@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+One synthetic world + pipeline run is shared across every bench module.
+``REPRO_BENCH_SCALE`` scales the dataset (1.0 ≈ the paper's Table I
+volumes, ~975k keyword-matched tweets); the default 0.12 keeps the whole
+bench suite at a few minutes while giving the shape assertions enough
+statistical power — below scale ≈ 0.1, small states (Kansas has ~50
+located users at 0.08) can miss their planted anomalies by sampling
+noise, exactly as a real undersized collection would.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.pipeline.runner import CollectionPipeline
+from repro.report.experiments import ExperimentSuite
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> SyntheticWorld:
+    return SyntheticWorld(paper2016_scenario(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_run(bench_world):
+    return CollectionPipeline().run(bench_world.firehose())
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(bench_run):
+    return bench_run[0]
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_run):
+    return bench_run[1]
+
+
+@pytest.fixture(scope="session")
+def bench_suite(bench_corpus, bench_report) -> ExperimentSuite:
+    return ExperimentSuite(bench_corpus, bench_report, AnalysisConfig())

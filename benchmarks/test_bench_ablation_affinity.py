@@ -1,0 +1,81 @@
+"""Ablation A3 — Bhattacharyya vs Euclidean affinity (§IV-B2).
+
+The paper picks the Bhattacharyya distance "since it is more suitable for
+discrete probability distributions … than other metrics, such as
+Euclidean distance" (Kailath 1967).  We quantify that: zone separation
+(cross-zone / within-zone distance ratio) is higher under Bhattacharyya
+than under Euclidean on the same K matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distances import pairwise_distances
+from repro.config import StateClusteringConfig
+from repro.core.characterize import characterize_regions
+from repro.core.state_clusters import cluster_states
+
+_ZONES = {
+    "liver": ("CO", "TX", "NC", "AZ"),
+    "lung": ("OR", "GA", "VA", "WA", "MA"),
+    "kidney": ("KS", "LA", "NY", "TN"),
+}
+
+
+def _zone_separation(matrix: np.ndarray, states: list[str]) -> float:
+    def mean_distance(group_a, group_b):
+        values = [
+            matrix[states.index(a), states.index(b)]
+            for a in group_a for b in group_b
+            if a != b and a in states and b in states
+        ]
+        return float(np.mean(values))
+
+    ratios = []
+    for organ, zone in _ZONES.items():
+        others = [s for o, z in _ZONES.items() if o != organ for s in z]
+        within = mean_distance(zone, zone)
+        across = mean_distance(zone, others)
+        if within > 0:
+            ratios.append(across / within)
+    return float(np.mean(ratios))
+
+
+@pytest.mark.benchmark(group="ablation-affinity")
+def test_bhattacharyya_separates_zones_better(benchmark, bench_corpus):
+    characterization = characterize_regions(bench_corpus)
+    k_matrix = characterization.matrix_k()
+    states = list(characterization.states)
+
+    bhatta = benchmark(pairwise_distances, k_matrix, "bhattacharyya")
+    euclid = pairwise_distances(k_matrix, "euclidean")
+
+    bhatta_sep = _zone_separation(bhatta, states)
+    euclid_sep = _zone_separation(euclid, states)
+
+    print()
+    print(
+        f"zone separation (across/within): bhattacharyya {bhatta_sep:.2f} "
+        f"vs euclidean {euclid_sep:.2f}"
+    )
+    assert bhatta_sep > 1.0  # zones are real under the paper's metric
+    assert bhatta_sep >= euclid_sep * 0.95  # never meaningfully worse
+
+
+@pytest.mark.benchmark(group="ablation-affinity")
+def test_affinity_changes_clustering(benchmark, bench_corpus):
+    """The metric choice is load-bearing: flat cuts differ between
+    affinities on the same data."""
+    characterization = characterize_regions(bench_corpus)
+
+    def cluster_both():
+        default = cluster_states(characterization)
+        euclidean = cluster_states(
+            characterization, StateClusteringConfig(affinity="euclidean")
+        )
+        return default, euclidean
+
+    default, euclidean = benchmark.pedantic(cluster_both, rounds=1, iterations=1)
+    assert default.cut(6) != euclidean.cut(6) or (
+        default.leaf_order() != euclidean.leaf_order()
+    )

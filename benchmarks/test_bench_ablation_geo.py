@@ -1,0 +1,65 @@
+"""Ablation A4 — geolocation source: GPS-only vs profile-augmented.
+
+The paper notes GPS coordinates are precise but rare (~1.4% of tweets,
+Morstatter et al.) while the profile location is abundant but noisy, and
+chooses to augment with profile geocoding.  We measure both coverage and
+accuracy of each source against the synthetic world's ground truth.
+"""
+
+import pytest
+
+from repro.config import CollectionConfig
+from repro.geo.geocoder import Geocoder
+from repro.pipeline.augment import augment_location
+from repro.pipeline.collect import collect
+
+
+@pytest.mark.benchmark(group="ablation-geo")
+def test_gps_only_coverage_is_tiny(benchmark, bench_world):
+    """GPS-only location loses ~98.6% of collected tweets."""
+    geocoder = Geocoder()
+    config = CollectionConfig()
+    truth = bench_world.ground_truth
+
+    def measure():
+        gps_located = 0
+        profile_located = 0
+        gps_correct = 0
+        profile_correct = 0
+        collected = 0
+        for tweet in collect(bench_world.firehose(), config):
+            collected += 1
+            expected_state = truth.seeds[tweet.user.user_id].state
+            match = augment_location(tweet, geocoder, config)
+            if match.source == "gps":
+                gps_located += 1
+                if match.state == expected_state:
+                    gps_correct += 1
+            elif match.is_us_state:
+                profile_located += 1
+                if match.state == expected_state:
+                    profile_correct += 1
+        return (collected, gps_located, gps_correct,
+                profile_located, profile_correct)
+
+    collected, gps_located, gps_correct, profile_located, profile_correct = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+
+    gps_coverage = gps_located / collected
+    combined_coverage = (gps_located + profile_located) / collected
+    print()
+    print(
+        f"coverage — GPS only: {gps_coverage:.2%}, "
+        f"GPS+profile: {combined_coverage:.2%} of {collected} collected"
+    )
+    if gps_located:
+        print(f"accuracy — GPS: {gps_correct / gps_located:.2%}")
+    print(f"accuracy — profile: {profile_correct / profile_located:.2%}")
+
+    # Morstatter et al.: ~1.4% geo-tagged.
+    assert gps_coverage < 0.03
+    # Profile augmentation multiplies usable location coverage ~10x.
+    assert combined_coverage > 5 * gps_coverage
+    # Profile geocoding stays accurate despite the noise.
+    assert profile_correct / profile_located > 0.9

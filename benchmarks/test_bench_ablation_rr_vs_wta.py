@@ -1,0 +1,50 @@
+"""Ablation A2 — relative risk vs winner-takes-all (§IV-B1).
+
+"The simplest approach … is a winner-takes-all strategy.  However, since
+some organs are much more prevalent than others, it is more likely to
+find a greater number of users mentioning that organ everywhere."  We
+show WTA labels (almost) every state heart and misses the planted
+geographic anomalies that RR recovers.
+"""
+
+import pytest
+
+from repro.core.relative_risk import highlighted_organs
+from repro.core.wta import winner_takes_all
+from repro.organs import Organ
+
+
+@pytest.mark.benchmark(group="ablation-rr-vs-wta")
+def test_wta_sees_only_heart_while_rr_finds_anomalies(benchmark, bench_corpus):
+    wta = benchmark(winner_takes_all, bench_corpus)
+    rr = highlighted_organs(bench_corpus)
+
+    heart_states = sum(organ is Organ.HEART for organ in wta.values())
+    print()
+    print(
+        f"WTA: {heart_states}/{len(wta)} states labelled heart; "
+        f"RR: {sum(1 for o in rr.values() if o)} states with a significant "
+        "non-trivial highlight"
+    )
+
+    # WTA: heart wins nearly everywhere (Fig. 4's point).
+    assert heart_states >= 0.75 * len(wta)
+
+    # RR finds the Kansas kidney anomaly.
+    assert Organ.KIDNEY in rr["KS"]
+
+    # WTA over-reports: its non-heart labels are raw-count noise in small
+    # states, which the significance-tested RR correctly declines to
+    # highlight.  At least one WTA kidney label must be RR-rejected.
+    kidney_rr_states = {s for s, organs in rr.items() if Organ.KIDNEY in organs}
+    kidney_wta_states = {s for s, organ in wta.items() if organ is Organ.KIDNEY}
+    noise_labels = kidney_wta_states - kidney_rr_states
+    assert noise_labels, "every WTA kidney label was RR-significant"
+
+    # RR leaves no-signal states unlabelled; WTA labels everything.
+    assert any(not organs for organs in rr.values())
+    assert len(wta) == len(rr)
+
+    # RR produces a non-degenerate map: several distinct organs appear.
+    rr_organs = {organ for organs in rr.values() for organ in organs}
+    assert len(rr_organs) >= 3

@@ -1,0 +1,79 @@
+"""Ablation A1 — user-level vs tweet-level characterization (§III-B).
+
+The paper chooses a user-based representation because tweet-based
+statistics "may be biased by the existence of a few heavily-active
+users".  We inject one hyperactive intestine-obsessed user into a single
+state and measure how much each representation's state signature moves:
+the tweet-level signature is dragged far toward intestine, the
+user-level signature barely moves.
+"""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.core.characterize import characterize_regions
+from repro.core.tweet_level import tweet_level_state_aggregation
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+_TARGET_STATE = "CA"
+_HYPERACTIVE_TWEETS = 400
+
+
+def _inject_hyperactive_user(corpus: TweetCorpus) -> TweetCorpus:
+    spam = [
+        CollectedTweet(
+            tweet=Tweet(
+                tweet_id=10_000_000 + i,
+                user=UserProfile(
+                    user_id=9_999_999, screen_name="intestine_spammer"
+                ),
+                text="intestine donor awareness",
+                created_at=datetime(2015, 8, 1, tzinfo=timezone.utc),
+            ),
+            location=GeoMatch("US", _TARGET_STATE, 0.95, "test"),
+            mentions={Organ.INTESTINE: 1},
+        )
+        for i in range(_HYPERACTIVE_TWEETS)
+    ]
+    return TweetCorpus(list(corpus.records) + spam)
+
+
+@pytest.mark.benchmark(group="ablation-user-vs-tweet")
+def test_user_level_resists_heavy_user_bias(benchmark, bench_corpus):
+    polluted = _inject_hyperactive_user(bench_corpus)
+
+    def run_both():
+        user_level = characterize_regions(polluted)
+        tweet_level = tweet_level_state_aggregation(polluted)
+        return user_level, tweet_level
+
+    user_level, tweet_level = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    clean_user = characterize_regions(bench_corpus)
+    intestine = Organ.INTESTINE.index
+
+    clean_share = clean_user.aggregation.row(_TARGET_STATE)[intestine]
+    user_share = user_level.aggregation.row(_TARGET_STATE)[intestine]
+    tweet_share = tweet_level.row(_TARGET_STATE)[intestine]
+
+    print()
+    print(
+        f"{_TARGET_STATE} intestine share — clean user-level: "
+        f"{clean_share:.4f}, polluted user-level: {user_share:.4f}, "
+        f"polluted tweet-level: {tweet_share:.4f}"
+    )
+
+    # One spammer ≈ one extra user among hundreds: user-level moves a
+    # little; tweet-level is dragged by hundreds of extra tweets.
+    user_distortion = user_share - clean_share
+    tweet_distortion = tweet_share - clean_share
+    assert tweet_distortion > 5 * max(user_distortion, 1e-9)
+    assert tweet_share > 3 * clean_share
+    assert user_share < clean_share + 0.02

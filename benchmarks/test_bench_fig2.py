@@ -1,0 +1,46 @@
+"""Bench F2 — regenerate Fig. 2 (organ popularity + multi-mention histogram).
+
+Asserts the paper's shape: the Twitter popularity order (heart first,
+intestine last), Spearman r ≈ .84 against 2012 transplant counts with the
+heart inversion, and tweets > users only for single-organ mentions.
+"""
+
+import pytest
+
+from repro.data.paper import PAPER_TWITTER_POPULARITY_ORDER
+from repro.data.transplants import transplant_rank
+from repro.dataset.stats import organ_mention_histogram, users_per_organ
+from repro.organs import Organ
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_popularity_and_correlation(benchmark, bench_suite):
+    result = benchmark(bench_suite.run_fig2)
+
+    print()
+    print(result.render())
+
+    order = tuple(result.popularity_order())
+    assert order == PAPER_TWITTER_POPULARITY_ORDER
+
+    # Paper: r = .84, p < .05; heart 1st on Twitter but 3rd in transplants.
+    assert result.correlation.r == pytest.approx(0.84, abs=0.06)
+    assert result.correlation.significant
+    assert order[0] is Organ.HEART
+    assert transplant_rank()[2] is Organ.HEART
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_mention_histogram(benchmark, bench_corpus):
+    histogram = benchmark(organ_mention_histogram, bench_corpus)
+    tweets_1, users_1 = histogram[1]
+    assert tweets_1 > users_1  # only k=1 has more tweets than users
+    for k in range(2, 7):
+        tweets_k, users_k = histogram[k]
+        assert tweets_k <= users_k, f"k={k}"
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_users_per_organ_computation(benchmark, bench_corpus):
+    counts = benchmark(users_per_organ, bench_corpus)
+    assert counts[Organ.HEART] > counts[Organ.INTESTINE]

@@ -1,0 +1,36 @@
+"""Bench F3 — regenerate Fig. 3 (organ co-attention characterization).
+
+Asserts the §IV-A reading: kidney is the most important co-organ for
+heart, liver, and pancreas users; heart for kidney and lung users; and
+the co-occurrences are not reciprocal.  Intestine is reported but not
+asserted — the paper itself calls its statistics unreliable.
+"""
+
+import pytest
+
+from repro.core.characterize import characterize_organs
+from repro.organs import Organ
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_organ_characterization(benchmark, bench_corpus, bench_suite):
+    characterization = benchmark.pedantic(
+        characterize_organs, args=(bench_corpus,), rounds=1, iterations=1
+    )
+
+    print()
+    print(bench_suite.run_fig3().render())
+
+    assert characterization.top_co_organ(Organ.HEART) is Organ.KIDNEY
+    assert characterization.top_co_organ(Organ.LIVER) is Organ.KIDNEY
+    assert characterization.top_co_organ(Organ.PANCREAS) is Organ.KIDNEY
+    assert characterization.top_co_organ(Organ.KIDNEY) is Organ.HEART
+    assert characterization.top_co_organ(Organ.LUNG) is Organ.HEART
+
+    # "Clearly, these co-occurrences are not reciprocal."
+    assert not all(characterization.reciprocity().values())
+
+    # Every organ dominates its own profile (Fig. 3's leading bar).
+    for organ in characterization.characterized_organs():
+        top, __ = characterization.profile(organ)[0]
+        assert top is organ

@@ -1,0 +1,41 @@
+"""Bench F4 — regenerate Fig. 4 (per-state organ signatures).
+
+Asserts the paper's reading: every state/territory gets a signature, most
+states have heart first, and the second-most-mentioned organ splits the
+states across kidney/liver/lung.
+"""
+
+import pytest
+
+from repro.core.characterize import characterize_regions
+from repro.organs import Organ
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_state_signatures(benchmark, bench_corpus, bench_suite):
+    characterization = benchmark.pedantic(
+        characterize_regions, args=(bench_corpus,), rounds=1, iterations=1
+    )
+
+    print()
+    print(bench_suite.run_fig4().render(states=("KS", "LA", "MA", "CA", "TX")))
+
+    # All 50 states + DC + PR appear at bench scale.
+    assert len(characterization.states) >= 50
+
+    heart_first = sum(
+        characterization.signature(state)[0][0] is Organ.HEART
+        for state in characterization.states
+    )
+    assert heart_first >= 0.6 * len(characterization.states)
+
+    seconds = {
+        characterization.second_most_mentioned(state)
+        for state in characterization.states
+    }
+    assert Organ.KIDNEY in seconds
+    assert len(seconds) >= 2  # states split by their second organ
+
+    # The planted Kansas anomaly is visible even in the raw signature.
+    ks_top2 = [organ for organ, __ in characterization.signature("KS")[:2]]
+    assert Organ.KIDNEY in ks_top2

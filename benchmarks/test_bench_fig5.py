@@ -1,0 +1,56 @@
+"""Bench F5 — regenerate Fig. 5 (highlighted organs per state via RR).
+
+Asserts the paper's reported findings hold in shape: Kansas shows a
+kidney-conversation excess and is the only Midwest state to do so;
+Louisiana shows kidney; Massachusetts shows lung; some states show no
+significant organ at all, while others show more than one test-worthy
+signal.
+"""
+
+import pytest
+
+from repro.core.relative_risk import highlighted_organs, state_organ_risks
+from repro.geo.gazetteer import CensusRegion, state_by_abbrev
+from repro.organs import Organ
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_highlighted_organs(benchmark, bench_corpus, bench_suite):
+    highlights = benchmark.pedantic(
+        highlighted_organs, args=(bench_corpus,), rounds=1, iterations=1
+    )
+
+    print()
+    print(bench_suite.run_fig5().render())
+
+    # Flagship anomalies (§IV-B1).
+    assert Organ.KIDNEY in highlights["KS"]
+    assert Organ.KIDNEY in highlights["LA"]
+    assert Organ.LUNG in highlights["MA"]
+
+    # Kansas is the only Midwestern state with a kidney excess.
+    midwest_kidney = [
+        state
+        for state, organs in highlights.items()
+        if Organ.KIDNEY in organs
+        and state_by_abbrev(state).region is CensusRegion.MIDWEST
+    ]
+    assert midwest_kidney == ["KS"]
+
+    # "for some states there are no significant excess for any organ".
+    assert any(not organs for organs in highlights.values())
+    # "other states have more than one highlighted organ" — at least the
+    # overall map is non-trivial.
+    assert sum(len(organs) for organs in highlights.values()) >= 5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_risk_computation(benchmark, bench_corpus):
+    risks = benchmark(state_organ_risks, bench_corpus)
+    states = {risk.state for risk in risks}
+    assert len(states) >= 50
+    ks_kidney = next(
+        r for r in risks if r.state == "KS" and r.organ is Organ.KIDNEY
+    )
+    # The planted boost should express as RR meaningfully above 1.
+    assert ks_kidney.result.rr > 1.3

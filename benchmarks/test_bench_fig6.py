@@ -1,0 +1,58 @@
+"""Bench F6 — regenerate Fig. 6 (hierarchical state clustering).
+
+Asserts the §IV-B2 structure: the Bhattacharyya similarity matrix over
+state signatures yields a dendrogram whose flat cut groups same-organ
+states (the paper's liver/lung/kidney/heart "zones"), with states lacking
+a highlighted organ tending to cluster together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterize_regions
+from repro.core.state_clusters import cluster_states
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_state_clustering(benchmark, bench_corpus, bench_suite):
+    characterization = characterize_regions(bench_corpus)
+    clustering = benchmark.pedantic(
+        cluster_states, args=(characterization,), rounds=1, iterations=1
+    )
+
+    print()
+    print(bench_suite.run_fig6().render(n_clusters=5))
+
+    states = list(clustering.states)
+    matrix = clustering.distance_matrix
+
+    # Dendrogram covers every state exactly once.
+    assert sorted(clustering.leaf_order()) == sorted(states)
+
+    # Zone structure: same-planted-organ states are mutually closer than
+    # cross-organ states (well-populated states only, for power).
+    zones = {
+        "liver": [s for s in ("CO", "TX", "NC", "AZ") if s in states],
+        "lung": [s for s in ("OR", "GA", "VA", "WA", "MA") if s in states],
+        "kidney": [s for s in ("KS", "LA", "NY", "TN") if s in states],
+    }
+
+    def mean_distance(group_a, group_b):
+        return float(np.mean([
+            matrix[states.index(a), states.index(b)]
+            for a in group_a for b in group_b if a != b
+        ]))
+
+    for organ, zone in zones.items():
+        others = [s for o, z in zones.items() if o != organ for s in z]
+        assert mean_distance(zone, zone) < mean_distance(zone, others), organ
+
+    # A moderate flat cut keeps at least one same-organ pair together.
+    assignment = clustering.cut(6)
+    kept_together = sum(
+        assignment[zone[i]] == assignment[zone[j]]
+        for zone in zones.values()
+        for i in range(len(zone))
+        for j in range(i + 1, len(zone))
+    )
+    assert kept_together >= 3

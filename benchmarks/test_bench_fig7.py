@@ -1,0 +1,61 @@
+"""Bench F7 — regenerate Fig. 7 (K-Means user clusters, k = 12).
+
+Asserts the §IV-C structure: k = 12 clusters with a very high silhouette
+(the paper reports 0.953), at least one cluster per organ, and the
+qualitative mix Fig. 7 shows — single-organ clusters, multi-organ
+clusters, and a broad cluster mentioning virtually all organs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import UserClusteringConfig
+from repro.core.user_clusters import cluster_users, sweep_k
+from repro.organs import N_ORGANS
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_user_clustering(benchmark, bench_suite):
+    attention = bench_suite.attention
+    clustering = benchmark.pedantic(
+        cluster_users,
+        args=(attention, UserClusteringConfig(k=12, n_init=4, seed=0)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(bench_suite.run_fig7().render())
+
+    assert clustering.k == 12
+    assert clustering.silhouette > 0.85  # paper: 0.953
+
+    # One cluster per organ corner (the k >= n rationale).
+    dominant = {
+        int(np.argmax(clustering.result.centers[c])) for c in range(12)
+    }
+    assert dominant == set(range(N_ORGANS))
+
+    # Qualitative mix: single-focus clusters and at least one broader one.
+    focus_counts = [clustering.n_focus_organs(c) for c in range(12)]
+    assert focus_counts.count(1) >= 6
+    assert max(focus_counts) >= 2
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_model_selection_sweep(benchmark, bench_suite):
+    """The paper's k-selection: inertia decreases with k while the
+    silhouette stays high; k = 12 remains a defensible choice."""
+    attention = bench_suite.attention
+    sweep = benchmark.pedantic(
+        sweep_k,
+        args=(attention, (6, 9, 12, 15)),
+        kwargs={"config": UserClusteringConfig(n_init=3, seed=0)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for k, inertia, silhouette in zip(sweep.ks, sweep.inertias, sweep.silhouettes):
+        print(f"k={k:>2}  inertia={inertia:10.2f}  silhouette={silhouette:.3f}")
+    assert sweep.inertias[-1] <= sweep.inertias[0]
+    assert all(s > 0.8 for s in sweep.silhouettes)

@@ -1,0 +1,73 @@
+"""Bench R1 — the registry substrate and the sensor-validity cross-check.
+
+The paper's Fig. 2a reference data (2012 transplant volumes), the §I
+waitlist arithmetic, and the §IV-B1 Cao et al. cross-validation all come
+from the OPTN registry; this bench regenerates them from the simulated
+registry and closes the loop: the Twitter-side Kansas kidney anomaly is
+jointly flagged with the registry-side Kansas donor surplus.
+"""
+
+import pytest
+
+from repro.core.relative_risk import state_organ_risks
+from repro.data.transplants import TRANSPLANTS_2012, transplant_rank
+from repro.organs import ORGANS, Organ
+from repro.registry.config import calibrated_2012_config
+from repro.registry.model import TransplantRegistry
+from repro.registry.statistics import summarize_registry
+from repro.registry.validation import sensor_validity
+
+
+@pytest.mark.benchmark(group="registry")
+def test_registry_reproduces_published_aggregates(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: TransplantRegistry(calibrated_2012_config(seed=3)).run(),
+        rounds=1,
+        iterations=1,
+    )
+    stats = summarize_registry(outcome)
+
+    print()
+    for organ in ORGANS:
+        print(
+            f"{organ.value:<10} transplants {stats.national_transplants[organ]:>8,.0f} "
+            f"(OPTN 2012: {TRANSPLANTS_2012[organ]:>6,})  "
+            f"waitlist {stats.national_waitlist[organ]:>8,.0f}"
+        )
+    print(f"waitlist deaths/day: {stats.deaths_per_day:.1f} (paper §I: ~22)")
+
+    ours = sorted(ORGANS, key=lambda organ: -stats.national_transplants[organ])
+    assert ours == transplant_rank()
+    for organ, published in TRANSPLANTS_2012.items():
+        # 12% relative, with a ~2.5σ Poisson allowance for tiny volumes.
+        tolerance = max(0.12 * published, 2.5 * published**0.5)
+        assert abs(stats.national_transplants[organ] - published) <= (
+            tolerance
+        ), organ
+    assert stats.deaths_per_day == pytest.approx(22.0, abs=4.0)
+    assert stats.transplant_shortfall(Organ.KIDNEY) > 3.0
+
+
+@pytest.mark.benchmark(group="registry")
+def test_sensor_validity_cross_check(benchmark, bench_corpus):
+    """Twitter RR vs registry donor geography (the Kansas coincidence)."""
+    registry_stats = summarize_registry(
+        TransplantRegistry(calibrated_2012_config(seed=3, months=72)).run()
+    )
+    risks = state_organ_risks(bench_corpus)
+    validity = benchmark.pedantic(
+        sensor_validity,
+        args=(risks, registry_stats, Organ.KIDNEY),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        f"sensor states: {validity.sensor_states}; "
+        f"registry surplus states: {validity.registry_states}; "
+        f"jointly flagged: {validity.jointly_flagged}; "
+        f"rank correlation r = {validity.correlation.r:.2f}"
+    )
+    assert "KS" in validity.jointly_flagged
+    assert validity.agrees

@@ -1,0 +1,99 @@
+"""Micro-benchmarks for the substrates on the pipeline's hot path.
+
+These are throughput measurements, not paper artifacts: tokenizer, track
+filter, geocoder, organ matcher, K-Means, and the Bhattacharyya pairwise
+kernel.  They guard against performance regressions that would make the
+paper-scale (scale=1.0) reproduction impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distances import pairwise_distances
+from repro.cluster.kmeans import KMeans
+from repro.geo.geocoder import Geocoder
+from repro.nlp.keywords import build_query_set, track_phrases
+from repro.nlp.matcher import OrganMatcher
+from repro.nlp.tokenize import tokenize
+from repro.twitter.stream import TrackFilter
+
+_SAMPLE_TEXTS = [
+    "Be a kidney donor, save a life #DonateLife",
+    "My mom just got her heart transplant, so grateful 🙏",
+    "Month 14 on the liver transplant waitlist. Staying hopeful.",
+    "nice sunset tonight, no filter",
+    "Rare double transplant: heart and lungs from one donor 🙌",
+    "#pancreastransplant awareness week — talk to your family",
+] * 50
+
+_SAMPLE_LOCATIONS = [
+    "Wichita, KS", "boston", "NOLA", "somewhere over the rainbow",
+    "Kansas, USA", "London", "living in kansas ☀", "CA", "new york city",
+] * 30
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_tokenizer_throughput(benchmark):
+    def run():
+        total = 0
+        for text in _SAMPLE_TEXTS:
+            total += len(tokenize(text))
+        return total
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_track_filter_throughput(benchmark):
+    track = TrackFilter(track_phrases(build_query_set()))
+
+    def run():
+        return sum(track.matches(text) for text in _SAMPLE_TEXTS)
+
+    matched = benchmark(run)
+    assert matched == 250  # 5 of 6 sample texts match, × 50
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_geocoder_throughput_cold(benchmark):
+    def run():
+        geocoder = Geocoder()  # cold cache each round
+        return sum(
+            geocoder.geocode(loc).is_us_state for loc in _SAMPLE_LOCATIONS
+        )
+
+    located = benchmark(run)
+    assert located == 210  # 7 of 9 sample locations resolve to states
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_matcher_throughput(benchmark):
+    matcher = OrganMatcher()
+
+    def run():
+        return sum(
+            sum(matcher.mentions(text).values()) for text in _SAMPLE_TEXTS
+        )
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_kmeans_paper_shape(benchmark):
+    """K-Means on a Û-shaped matrix (20k × 6 one-hot-ish rows)."""
+    rng = np.random.default_rng(0)
+    rows = rng.dirichlet(np.full(6, 0.3), size=20_000)
+    result = benchmark.pedantic(
+        lambda: KMeans(k=12, n_init=2, seed=0).fit(rows),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.k == 12
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bhattacharyya_pairwise_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    rows = rng.dirichlet(np.ones(6), size=500)
+    matrix = benchmark(pairwise_distances, rows, "bhattacharyya")
+    assert matrix.shape == (500, 500)

@@ -1,0 +1,36 @@
+"""Bench T1 — regenerate Table I (dataset statistics).
+
+Times the full collection pipeline (the paper's §III-A data production)
+and prints the Table I rows plus provenance, asserting the calibrated
+shape: ~13.8% US yield, ~1.88 tweets/user, ~1.03 organs/tweet.
+"""
+
+import pytest
+
+from repro.dataset.stats import compute_stats
+from repro.pipeline.runner import CollectionPipeline
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_pipeline(benchmark, bench_world, bench_suite):
+    corpus, report = benchmark.pedantic(
+        lambda: CollectionPipeline().run(bench_world.firehose()),
+        rounds=1,
+        iterations=1,
+    )
+    stats = compute_stats(corpus)
+
+    print()
+    print(bench_suite.run_table1().render())
+
+    assert report.us_yield == pytest.approx(0.138, abs=0.03)
+    assert 1.5 < stats.avg_tweets_per_user < 2.2
+    assert stats.organs_per_tweet == pytest.approx(1.03, abs=0.05)
+    assert stats.organs_per_user == pytest.approx(1.13, abs=0.09)
+    assert stats.days <= 385
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_stats_computation(benchmark, bench_corpus):
+    stats = benchmark(compute_stats, bench_corpus)
+    assert stats.tweets_collected == len(bench_corpus)

@@ -1,0 +1,88 @@
+"""The characterization method on a custom entity set.
+
+The paper's method is an adaptation of a football-supporter
+characterization (Pacheco et al. 2016, its ref [12]) — nothing in
+Eqs. 1-3 is organ-specific.  This example characterizes attention to
+football clubs with the generic API (:mod:`repro.core.entities`): the
+same attention matrix, argmax membership, and K = (LᵀL)⁻¹LᵀÛ, over a
+different target vocabulary.
+
+Run:
+    python examples/custom_entities.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.entities import (
+    GenericAttention,
+    aggregate_by_groups,
+    aggregate_by_top_target,
+)
+
+CLUBS = ["sport", "santa cruz", "nautico", "america-rn"]
+
+#: Directed "rivalry attention": supporters of club i spend their
+#: non-club attention mostly on their rivals — the football analogue of
+#: the organ co-attention structure of Fig. 3.
+RIVALRY = np.array([
+    [0.00, 0.60, 0.35, 0.05],
+    [0.55, 0.00, 0.40, 0.05],
+    [0.45, 0.45, 0.00, 0.10],
+    [0.30, 0.30, 0.40, 0.00],
+])
+
+CLUB_SHARE = np.array([0.40, 0.32, 0.23, 0.05])
+CITIES = ["recife", "natal"]
+
+
+def synthesize_supporters(n: int, rng: np.random.Generator):
+    """Supporters mentioning clubs on (synthetic) social media."""
+    ids, counts, cities = [], [], {}
+    for supporter in range(n):
+        club = rng.choice(len(CLUBS), p=CLUB_SHARE)
+        attention = 0.85 * np.eye(len(CLUBS))[club] + 0.15 * RIVALRY[club]
+        mentions = rng.multinomial(rng.integers(1, 12), attention)
+        if mentions.sum() == 0:
+            mentions[club] = 1
+        identifier = f"supporter{supporter}"
+        ids.append(identifier)
+        counts.append(mentions)
+        # america-rn is from Natal; the rest are Recife clubs.
+        home = "natal" if club == 3 else "recife"
+        cities[identifier] = home if rng.random() < 0.9 else (
+            "natal" if home == "recife" else "recife"
+        )
+    return ids, np.array(counts), cities
+
+
+def main() -> None:
+    rng = np.random.default_rng(16)
+    ids, counts, cities = synthesize_supporters(4000, rng)
+    attention = GenericAttention.from_counts(ids, CLUBS, counts)
+
+    print("# club characterization (Eq. 1 + Eq. 3 on a custom target set)")
+    by_club = aggregate_by_top_target(attention)
+    for club in by_club.group_labels:
+        profile = by_club.profile(club)
+        rival, share = profile[1]
+        print(f"  {club:<12} fans' top rival in conversation: "
+              f"{rival} ({share:.3f})")
+
+    print("\n# city characterization (Eq. 2 + Eq. 3)")
+    by_city = aggregate_by_groups(attention, cities, labels=CITIES)
+    for city in by_city.group_labels:
+        profile = by_city.profile(city)
+        leader, share = profile[0]
+        print(f"  {city:<8} most-supported club: {leader} ({share:.3f})")
+
+    natal = by_city.profile("natal")
+    america_share = dict(natal)["america-rn"]
+    print(f"\n# america-rn attention is {america_share:.2f} in natal vs "
+          f"{dict(by_city.profile('recife'))['america-rn']:.2f} in recife — "
+          "the geographic anomaly detection of Fig. 5, on football")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: collect a synthetic organ-donation tweet stream and
+characterize organs and states, in ~40 lines.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CollectionPipeline,
+    ExperimentSuite,
+    Organ,
+    SyntheticWorld,
+    paper2016_scenario,
+)
+
+
+def main() -> None:
+    # 1. A calibrated synthetic twittersphere (the 2015-16 Twitter data is
+    #    no longer obtainable; see DESIGN.md for the substitution).
+    world = SyntheticWorld(paper2016_scenario(scale=0.02, seed=7))
+
+    # 2. The paper's three-step pipeline: keyword filter -> locate -> US.
+    corpus, report = CollectionPipeline().run(world.firehose())
+    print(f"collected {report.collected:,} tweets, retained "
+          f"{report.retained:,} from US users ({report.us_yield:.1%})\n")
+
+    # 3. Characterize.  The suite shares the attention matrix across
+    #    experiments.
+    suite = ExperimentSuite(corpus, report)
+
+    print(suite.run_table1().render())
+    print()
+
+    # Who talks about what, and with which organ co-attention?
+    organs = suite.run_fig3().characterization
+    top = organs.top_co_organ(Organ.HEART)
+    print(f"heart-focused users co-mention {top.value} the most\n")
+
+    # Which states over-index on which organ conversations?
+    highlights = suite.run_fig5()
+    print(highlights.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Closing the loop: is the social sensor measuring something real?
+
+The paper's hypothesis (§I) is that social media can sense organ-donation
+awareness; its strongest evidence is a coincidence — Kansas is both the
+only Midwest state with excess kidney *conversation* (their Twitter data)
+and the only Midwest state with a deceased kidney-donor *surplus* (Cao et
+al.'s registry data).  With both worlds simulated here, this example runs
+the full cross-validation:
+
+1. simulate the twittersphere and run the paper's pipeline + Eq. 4,
+2. simulate the transplant registry over Cao et al.'s 6-year window,
+3. compare: which states do both sides flag, and how do per-state
+   conversation RR and donor rates correlate?
+
+Run:
+    python examples/sensor_validation.py
+    python examples/sensor_validation.py --scale 0.25 --years 6
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CollectionPipeline, Organ, SyntheticWorld, paper2016_scenario
+from repro.core.relative_risk import state_organ_risks
+from repro.registry.config import calibrated_2012_config
+from repro.registry.model import TransplantRegistry
+from repro.registry.statistics import summarize_registry
+from repro.registry.validation import sensor_validity
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--years", type=int, default=6,
+                        help="registry horizon (Cao et al. used 6 years)")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    print("# side 1: the social sensor (synthetic twittersphere)")
+    world = SyntheticWorld(paper2016_scenario(scale=args.scale, seed=args.seed))
+    corpus, report = CollectionPipeline().run(world.firehose())
+    risks = state_organ_risks(corpus)
+    print(f"#   {report.retained:,} US tweets, {corpus.n_users:,} users\n")
+
+    print(f"# side 2: the transplant registry ({args.years}-year horizon)")
+    registry = TransplantRegistry(
+        calibrated_2012_config(seed=3, months=12 * args.years)
+    ).run()
+    stats = summarize_registry(registry)
+    print(f"#   deaths/day {stats.deaths_per_day:.1f}, kidney waitlist "
+          f"{stats.national_waitlist[Organ.KIDNEY]:,.0f}\n")
+
+    print("# cross-validation, per organ")
+    for organ in Organ:
+        validity = sensor_validity(risks, stats, organ)
+        joint = ", ".join(validity.jointly_flagged) or "—"
+        print(
+            f"  {organ.value:<10} sensor={list(validity.sensor_states)} "
+            f"registry={list(validity.registry_states)} joint=[{joint}] "
+            f"rank-r={validity.correlation.r:+.2f}"
+        )
+
+    kidney = sensor_validity(risks, stats, Organ.KIDNEY)
+    print()
+    if "KS" in kidney.jointly_flagged:
+        print("=> the Kansas kidney coincidence reproduces: the state the "
+              "sensor flags for kidney conversation is a registry donor-"
+              "surplus state — the paper's validity argument, end to end.")
+    else:
+        print("=> Kansas not jointly flagged at this scale; increase "
+              "--scale (sensor power) or --years (registry power).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — reproduction of *Characterizing Organ Donation Awareness from
+Social Media* (Pacheco, Pinheiro, Cadeiras, Menezes; ICDE 2017).
+
+Quickstart::
+
+    from repro import (
+        CollectionPipeline, ExperimentSuite, SyntheticWorld, paper2016_scenario,
+    )
+
+    world = SyntheticWorld(paper2016_scenario(scale=0.02, seed=7))
+    corpus, report = CollectionPipeline().run(world.firehose())
+    suite = ExperimentSuite(corpus, report)
+    print(suite.run_table1().render())
+    print(suite.run_fig5().render())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.config import (
+    AnalysisConfig,
+    CollectionConfig,
+    RelativeRiskConfig,
+    StateClusteringConfig,
+    UserClusteringConfig,
+)
+from repro.core import (
+    AttentionMatrix,
+    OrganCharacterization,
+    RegionCharacterization,
+    StateClustering,
+    UserClustering,
+    build_attention_matrix,
+    characterize_organs,
+    characterize_regions,
+    cluster_states,
+    cluster_users,
+    highlighted_organs,
+)
+from repro.dataset import TweetCorpus, compute_stats, read_jsonl, write_jsonl
+from repro.errors import ReproError
+from repro.organs import ORGANS, Organ
+from repro.pipeline import CollectionPipeline, PipelineReport
+from repro.report.experiments import ExperimentSuite
+from repro.sensor import AwarenessSnapshot, RollingAwarenessSensor
+from repro.synth import SyntheticWorld, null_uniform_scenario, paper2016_scenario
+from repro.synth.calibration import check_calibration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AttentionMatrix",
+    "AwarenessSnapshot",
+    "CollectionConfig",
+    "CollectionPipeline",
+    "ExperimentSuite",
+    "ORGANS",
+    "Organ",
+    "OrganCharacterization",
+    "PipelineReport",
+    "RegionCharacterization",
+    "RelativeRiskConfig",
+    "ReproError",
+    "RollingAwarenessSensor",
+    "StateClustering",
+    "StateClusteringConfig",
+    "SyntheticWorld",
+    "TweetCorpus",
+    "UserClustering",
+    "UserClusteringConfig",
+    "build_attention_matrix",
+    "characterize_organs",
+    "characterize_regions",
+    "check_calibration",
+    "cluster_states",
+    "cluster_users",
+    "compute_stats",
+    "highlighted_organs",
+    "null_uniform_scenario",
+    "paper2016_scenario",
+    "read_jsonl",
+    "write_jsonl",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Secondary analyses the paper discusses but does not plot.
+
+* :mod:`repro.analysis.co_occurrence` — within-tweet and within-user
+  organ co-mention structure, compared against the dual-transplant pairs
+  §IV-A cites (heart–kidney, liver–kidney, kidney–pancreas).
+* :mod:`repro.analysis.bias` — the §V limitations, quantified: per-state
+  Twitter representation against census population, and the Midwest
+  under-representation.
+* :mod:`repro.analysis.timeseries` — daily conversation volume, rolling
+  baselines, and burst detection (the temporal side of the "social
+  sensor").
+* :mod:`repro.analysis.consistency` — agreement between the Fig. 5
+  highlighted organs and the Fig. 6 cluster zones ("such clusters present
+  some degree of consistence with the aforementioned results").
+* :mod:`repro.analysis.stability` — bootstrap stability of the Fig. 3
+  readings (§IV-A's "less reliable statistics" caveat, quantified).
+* :mod:`repro.analysis.robustness` — temporal-holdout stationarity of the
+  characterization over the 385-day window.
+"""
+
+from repro.analysis.bias import RepresentationBias, representation_bias
+from repro.analysis.co_occurrence import (
+    CoOccurrenceResult,
+    organ_co_occurrence,
+)
+from repro.analysis.consistency import (
+    ZoneConsistency,
+    highlight_cluster_consistency,
+)
+from repro.analysis.robustness import (
+    TemporalStability,
+    organ_characterization_stability,
+    temporal_split,
+)
+from repro.analysis.stability import OrganStability, co_attention_stability
+from repro.analysis.timeseries import (
+    Burst,
+    DailySeries,
+    daily_series,
+    detect_bursts,
+)
+
+__all__ = [
+    "Burst",
+    "CoOccurrenceResult",
+    "DailySeries",
+    "OrganStability",
+    "RepresentationBias",
+    "TemporalStability",
+    "ZoneConsistency",
+    "co_attention_stability",
+    "daily_series",
+    "detect_bursts",
+    "highlight_cluster_consistency",
+    "organ_characterization_stability",
+    "organ_co_occurrence",
+    "representation_bias",
+    "temporal_split",
+]

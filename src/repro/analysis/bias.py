@@ -1,0 +1,86 @@
+"""Twitter demographic bias, quantified (§V limitations).
+
+The paper warns that Twitter users are "a highly non-uniform sample of
+the USA population especially with regards to geography … the Midwestern
+population of United States is underrepresented among Twitter users"
+(citing Mislove et al.).  This module measures that bias in a collected
+corpus: each state's share of corpus users against its share of census
+population, and the same ratio aggregated by census region.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dataset.corpus import TweetCorpus
+from repro.geo.gazetteer import STATES, CensusRegion, total_population
+
+
+@dataclass(frozen=True, slots=True)
+class RepresentationBias:
+    """Per-state and per-region representation ratios.
+
+    A ratio of 1 means the state holds the same share of corpus users as
+    of the US population; < 1 means under-representation.
+
+    Attributes:
+        state_ratio: USPS code → representation ratio (only states with
+            at least one corpus user).
+        region_ratio: census region → aggregated representation ratio.
+        n_users: located users in the corpus.
+    """
+
+    state_ratio: dict[str, float]
+    region_ratio: dict[CensusRegion, float]
+    n_users: int
+
+    def underrepresented_states(self, threshold: float = 0.9) -> list[str]:
+        """States with ratio below ``threshold``, most biased first."""
+        return sorted(
+            (s for s, ratio in self.state_ratio.items() if ratio < threshold),
+            key=lambda s: self.state_ratio[s],
+        )
+
+    def most_biased_region(self) -> CensusRegion:
+        """The region with the lowest representation ratio."""
+        return min(self.region_ratio, key=lambda r: self.region_ratio[r])
+
+
+def representation_bias(corpus: TweetCorpus) -> RepresentationBias:
+    """Compute representation ratios for a corpus.
+
+    Raises:
+        ValueError: if the corpus has no located users.
+    """
+    user_states = Counter(
+        user.state for user in corpus.user_slices() if user.state is not None
+    )
+    n_users = sum(user_states.values())
+    if n_users == 0:
+        raise ValueError("corpus has no located users")
+
+    population = float(total_population())
+    state_ratio: dict[str, float] = {}
+    region_users: Counter[CensusRegion] = Counter()
+    region_population: Counter[CensusRegion] = Counter()
+    for state in STATES:
+        region_population[state.region] += state.population
+        users = user_states.get(state.abbrev, 0)
+        region_users[state.region] += users
+        if users:
+            user_share = users / n_users
+            population_share = state.population / population
+            state_ratio[state.abbrev] = user_share / population_share
+
+    region_ratio = {
+        region: (region_users[region] / n_users)
+        / (region_population[region] / population)
+        for region in region_population
+        if region_users[region] or region_population[region]
+    }
+    return RepresentationBias(
+        state_ratio=state_ratio,
+        region_ratio=region_ratio,
+        n_users=n_users,
+    )

@@ -1,0 +1,101 @@
+"""Fig. 5 ↔ Fig. 6 consistency (§IV-B2).
+
+The paper observes that the hierarchical clusters "present some degree of
+consistence with the aforementioned results regarding the organs that are
+highlighted at each state" — e.g. Delaware, Rhode Island, and Colorado
+(liver) cluster together, as do Oregon, Georgia, and Virginia (lung).
+This module quantifies the claim: for a flat cut of the dendrogram, how
+often do two states that share a highlighted organ land in the same
+cluster, against the rate expected from cluster sizes alone?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.state_clusters import StateClustering
+from repro.organs import Organ
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneConsistency:
+    """Agreement between highlighted organs and cluster assignments.
+
+    Attributes:
+        n_clusters: flat-cut size used.
+        same_highlight_pairs: state pairs sharing a highlighted organ.
+        pairs_co_clustered: of those, pairs in the same flat cluster.
+        expected_co_clustered: co-clustered pairs expected if highlights
+            were independent of the clustering (from cluster sizes).
+    """
+
+    n_clusters: int
+    same_highlight_pairs: int
+    pairs_co_clustered: int
+    expected_co_clustered: float
+
+    @property
+    def observed_rate(self) -> float:
+        if self.same_highlight_pairs == 0:
+            return float("nan")
+        return self.pairs_co_clustered / self.same_highlight_pairs
+
+    @property
+    def expected_rate(self) -> float:
+        if self.same_highlight_pairs == 0:
+            return float("nan")
+        return self.expected_co_clustered / self.same_highlight_pairs
+
+    @property
+    def enrichment(self) -> float:
+        """observed / expected co-clustering; > 1 means consistency."""
+        if not self.expected_co_clustered:
+            return float("nan")
+        return self.pairs_co_clustered / self.expected_co_clustered
+
+
+def highlight_cluster_consistency(
+    clustering: StateClustering,
+    highlights: dict[str, tuple[Organ, ...]],
+    n_clusters: int = 8,
+) -> ZoneConsistency:
+    """Measure Fig. 5 / Fig. 6 agreement at one flat cut.
+
+    Args:
+        clustering: the Fig. 6 state clustering.
+        highlights: the Fig. 5 state → highlighted organs mapping.
+        n_clusters: flat-cut size.
+    """
+    assignment = clustering.cut(n_clusters)
+    states = [
+        state
+        for state in clustering.states
+        if highlights.get(state)
+    ]
+    same_pairs = [
+        (a, b)
+        for a, b in combinations(states, 2)
+        if set(highlights[a]) & set(highlights[b])
+    ]
+    co_clustered = sum(assignment[a] == assignment[b] for a, b in same_pairs)
+
+    # Expected co-clustering under independence: probability two random
+    # states share a cluster, from the cluster size distribution over all
+    # clustered states.
+    sizes: dict[int, int] = {}
+    for state in clustering.states:
+        sizes[assignment[state]] = sizes.get(assignment[state], 0) + 1
+    total = len(clustering.states)
+    if total < 2:
+        p_same = 0.0
+    else:
+        p_same = sum(size * (size - 1) for size in sizes.values()) / (
+            total * (total - 1)
+        )
+    return ZoneConsistency(
+        n_clusters=n_clusters,
+        same_highlight_pairs=len(same_pairs),
+        pairs_co_clustered=int(co_clustered),
+        expected_co_clustered=p_same * len(same_pairs),
+    )

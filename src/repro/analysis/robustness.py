@@ -1,0 +1,95 @@
+"""Temporal robustness of the characterization.
+
+The paper aggregates 385 days of data into one static characterization,
+implicitly assuming the attention structure is stationary over the
+collection window.  This module tests that assumption by temporal
+holdout: split the corpus at its median timestamp, characterize each half
+independently, and compare the halves' K matrices row by row
+(Bhattacharyya distance, the paper's own metric).  Stable structure →
+small half-vs-half distances and matching argmax readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from repro.cluster.distances import bhattacharyya_distance
+from repro.core.characterize import characterize_organs
+from repro.dataset.corpus import TweetCorpus
+from repro.errors import DatasetError
+from repro.organs import Organ
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalStability:
+    """Half-vs-half agreement of the organ characterization.
+
+    Attributes:
+        split_at_iso: the split timestamp (median tweet time).
+        row_distances: per-organ Bhattacharyya distance between the two
+            halves' K rows (only organs present in both halves).
+        top_co_organ_agreement: fraction of organs whose Fig. 3 top
+            co-organ reading matches across halves.
+        n_first / n_second: tweets per half.
+    """
+
+    split_at_iso: str
+    row_distances: dict[Organ, float]
+    top_co_organ_agreement: float
+    n_first: int
+    n_second: int
+
+    @property
+    def mean_row_distance(self) -> float:
+        if not self.row_distances:
+            return float("nan")
+        return sum(self.row_distances.values()) / len(self.row_distances)
+
+
+def temporal_split(corpus: TweetCorpus) -> tuple[TweetCorpus, TweetCorpus]:
+    """Split a corpus at its median tweet timestamp.
+
+    Raises:
+        DatasetError: if either half would be empty.
+    """
+    times = sorted(record.tweet.created_at for record in corpus)
+    median = times[len(times) // 2]
+    start, end = corpus.time_span()
+    first = corpus.in_window(start, median)
+    second = corpus.in_window(median, end + timedelta(seconds=1))
+    if not len(first) or not len(second):  # pragma: no cover - guarded above
+        raise DatasetError("temporal split produced an empty half")
+    return first, second
+
+
+def organ_characterization_stability(corpus: TweetCorpus) -> TemporalStability:
+    """Measure half-vs-half stability of the Fig. 3 characterization."""
+    first, second = temporal_split(corpus)
+    char_first = characterize_organs(first)
+    char_second = characterize_organs(second)
+
+    common = set(char_first.characterized_organs()) & set(
+        char_second.characterized_organs()
+    )
+    row_distances = {
+        organ: bhattacharyya_distance(
+            char_first.aggregation.row(organ.value),
+            char_second.aggregation.row(organ.value),
+        )
+        for organ in common
+    }
+    agreements = [
+        char_first.top_co_organ(organ) is char_second.top_co_organ(organ)
+        for organ in common
+    ]
+    times = sorted(record.tweet.created_at for record in corpus)
+    return TemporalStability(
+        split_at_iso=times[len(times) // 2].isoformat(),
+        row_distances=row_distances,
+        top_co_organ_agreement=(
+            sum(agreements) / len(agreements) if agreements else float("nan")
+        ),
+        n_first=len(first),
+        n_second=len(second),
+    )

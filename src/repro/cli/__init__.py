@@ -1,0 +1,17 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the full reproduction from the
+shell, with JSONL files as the interchange format between stages:
+
+* ``generate``  — synthesize a world and write its firehose to JSONL.
+* ``collect``   — run the §III-A pipeline over a firehose file (or an
+  on-the-fly world) and write the analysis corpus.
+* ``analyze``   — regenerate any subset of the paper's artifacts from a
+  corpus file.
+* ``monitor``   — replay a firehose through the rolling awareness sensor.
+* ``calibrate`` — check a generated world against the Table I targets.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,190 @@
+"""CLI command implementations.
+
+Each command returns a process exit code (0 on success).  Commands print
+human-readable progress to stdout; file outputs are JSONL (firehose,
+corpus) or plain text (artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+from datetime import timedelta
+from pathlib import Path
+
+from repro.config import (
+    AnalysisConfig,
+    CollectionConfig,
+    RelativeRiskConfig,
+    UserClusteringConfig,
+)
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.io import (
+    read_jsonl,
+    read_tweets_jsonl,
+    write_jsonl,
+    write_tweets_jsonl,
+)
+from repro.errors import ReproError
+from repro.organs import Organ
+from repro.pipeline.runner import CollectionPipeline
+from repro.report.experiments import ExperimentSuite
+from repro.sensor.rolling import RollingAwarenessSensor
+from repro.synth.calibration import check_calibration
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+
+_ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Synthesize a world and persist its firehose."""
+    world = SyntheticWorld(paper2016_scenario(scale=args.scale, seed=args.seed))
+    print(f"generating {world.n_users:,} users "
+          f"(~{world.n_on_topic_tweets:,} on-topic tweets)…")
+    count = write_tweets_jsonl(world.firehose(), args.output)
+    print(f"wrote {count:,} tweets to {args.output}")
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Run the §III-A pipeline over a firehose file."""
+    config = CollectionConfig(
+        prefer_geotag=not args.no_geotag,
+        min_confidence=args.min_confidence,
+    )
+    pipeline = CollectionPipeline(config=config)
+    try:
+        corpus, report = pipeline.run(read_tweets_jsonl(args.firehose))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    count = write_jsonl(corpus.records, args.output)
+    for label, value in report.as_rows():
+        print(f"{label}: {value}")
+    print(f"wrote {count:,} records to {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Regenerate paper artifacts from a corpus file."""
+    wanted = [name.strip() for name in args.artifacts.split(",") if name.strip()]
+    unknown = sorted(set(wanted) - set(_ARTIFACTS))
+    if unknown:
+        print(f"error: unknown artifacts {unknown}; "
+              f"choose from {', '.join(_ARTIFACTS)}")
+        return 2
+    try:
+        corpus = TweetCorpus(read_jsonl(args.corpus))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    suite = ExperimentSuite(
+        corpus,
+        config=AnalysisConfig(
+            relative_risk=RelativeRiskConfig(alpha=args.alpha),
+            user_clustering=UserClusteringConfig(k=args.k),
+        ),
+    )
+    runners = {
+        "table1": lambda: suite.run_table1().render(),
+        "fig2": lambda: suite.run_fig2().render(),
+        "fig3": lambda: suite.run_fig3().render(),
+        "fig4": lambda: suite.run_fig4().render(),
+        "fig5": lambda: suite.run_fig5().render(),
+        "fig6": lambda: suite.run_fig6().render(),
+        "fig7": lambda: suite.run_fig7().render(),
+    }
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        for name in wanted:
+            text = runners[name]()
+            print(f"\n===== {name} =====")
+            print(text)
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+        if out_dir is not None:
+            print(f"\nwrote {len(wanted)} artifacts to {out_dir}/")
+        if args.csv is not None:
+            from repro.report.export import export_all_csv
+
+            paths = export_all_csv(suite, args.csv)
+            print(f"wrote {len(paths)} CSV files to {args.csv}/")
+        if args.svg is not None:
+            from repro.viz.artifacts import export_all_svg
+
+            paths = export_all_svg(suite, args.svg)
+            print(f"wrote {len(paths)} SVG figures to {args.svg}/")
+    except ReproError as exc:
+        # e.g. k exceeding the user count on a degenerate corpus.
+        print(f"error: {exc}")
+        return 1
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Replay a firehose through the rolling awareness sensor."""
+    sensor = RollingAwarenessSensor(
+        window=timedelta(days=args.window_days),
+        relative_risk=RelativeRiskConfig(min_users=args.min_users),
+    )
+    try:
+        stream = read_tweets_jsonl(args.firehose)
+        for snapshot in sensor.run(stream, emit_every=args.emit_every):
+            spiking = ", ".join(
+                f"{state}:{'+'.join(o.value for o in snapshot.highlights[state])}"
+                for state in snapshot.emerging_states()
+            ) or "-"
+            organs = " ".join(
+                f"{organ.value[:4]}={snapshot.users_by_organ[organ]}"
+                for organ in Organ
+            )
+            print(
+                f"{snapshot.window_end:%Y-%m-%d} "
+                f"tweets={snapshot.n_tweets} users={snapshot.n_users} "
+                f"{organs} spiking=[{spiking}]"
+            )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(f"done: {sensor.seen:,} seen, {sensor.retained:,} retained")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the full reproduction battery and print the verdict table."""
+    from repro.report.verdicts import evaluate_reproduction
+
+    world = SyntheticWorld(paper2016_scenario(scale=args.scale, seed=args.seed))
+    print(f"generating world (scale={args.scale}) and running pipeline…")
+    corpus, report = CollectionPipeline().run(world.firehose())
+    print(f"retained {report.retained:,} US tweets "
+          f"({report.us_yield:.1%} yield)\n")
+    suite = ExperimentSuite(corpus, report)
+    result = evaluate_reproduction(suite)
+    print(result.render())
+    return 0 if result.all_passed else 1
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """Run the reproduction across seeds and print aggregate rates."""
+    from repro.experiments.replication import replicate
+
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1")
+        return 2
+    summary = replicate(
+        seeds=tuple(range(1, args.seeds + 1)), scale=args.scale
+    )
+    print(summary.render())
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Generate a world and verify Table I calibration."""
+    world = SyntheticWorld(paper2016_scenario(scale=args.scale, seed=args.seed))
+    corpus, report = CollectionPipeline().run(world.firehose())
+    result = check_calibration(corpus, report)
+    print(result.render())
+    return 0 if result.ok else 1

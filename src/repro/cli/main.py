@@ -1,0 +1,108 @@
+"""CLI entry point: argument parsing and command dispatch."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Characterizing Organ Donation Awareness from "
+            "Social Media' (ICDE 2017)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesize a world and write its firehose to JSONL"
+    )
+    generate.add_argument("output", help="firehose JSONL path")
+    generate.add_argument("--scale", type=float, default=0.02,
+                          help="size relative to the paper (1.0 ≈ Table I)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=commands.cmd_generate)
+
+    collect = subparsers.add_parser(
+        "collect", help="run the collection pipeline over a firehose"
+    )
+    collect.add_argument("firehose", help="firehose JSONL path (from generate)")
+    collect.add_argument("output", help="corpus JSONL path")
+    collect.add_argument("--min-confidence", type=float, default=0.5)
+    collect.add_argument("--no-geotag", action="store_true",
+                         help="ignore GPS geo-tags (profile geocoding only)")
+    collect.set_defaults(func=commands.cmd_collect)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="regenerate paper artifacts from a corpus"
+    )
+    analyze.add_argument("corpus", help="corpus JSONL path (from collect)")
+    analyze.add_argument(
+        "--artifacts", default="table1,fig2,fig3,fig4,fig5,fig6,fig7",
+        help="comma-separated subset of: table1,fig2,...,fig7",
+    )
+    analyze.add_argument("--out", default=None,
+                         help="directory for per-artifact text files")
+    analyze.add_argument("--alpha", type=float, default=0.05,
+                         help="significance level for Fig. 5")
+    analyze.add_argument("--k", type=int, default=12,
+                         help="number of user clusters for Fig. 7")
+    analyze.add_argument("--csv", default=None,
+                         help="directory for CSV exports of all artifacts")
+    analyze.add_argument("--svg", default=None,
+                         help="directory for SVG figures of all artifacts")
+    analyze.set_defaults(func=commands.cmd_analyze)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="replay a firehose through the rolling sensor"
+    )
+    monitor.add_argument("firehose", help="firehose JSONL path")
+    monitor.add_argument("--window-days", type=int, default=60)
+    monitor.add_argument("--emit-every", type=int, default=1000)
+    monitor.add_argument("--min-users", type=int, default=15)
+    monitor.set_defaults(func=commands.cmd_monitor)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="check a world against the Table I targets"
+    )
+    calibrate.add_argument("--scale", type=float, default=0.05)
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.set_defaults(func=commands.cmd_calibrate)
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="run the full reproduction and print pass/fail verdicts for "
+        "every paper claim",
+    )
+    reproduce.add_argument("--scale", type=float, default=0.12,
+                           help="shape checks need scale ≥ ~0.1 for power")
+    reproduce.add_argument("--seed", type=int, default=7)
+    reproduce.set_defaults(func=commands.cmd_reproduce)
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="re-run the reproduction across several seeds and aggregate "
+        "pass rates",
+    )
+    replicate.add_argument("--seeds", type=int, default=5,
+                           help="number of independent seeds")
+    replicate.add_argument("--scale", type=float, default=0.12)
+    replicate.set_defaults(func=commands.cmd_replicate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Distance functions over attention distributions.
+
+The paper clusters states with the **Bhattacharyya distance** (Kailath
+1967, its ref [34]) because rows of K are discrete probability
+distributions, for which Euclidean distance is a poor fit.  Hellinger is
+included as the bounded relative of Bhattacharyya for the affinity
+ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+#: Clamp for the Bhattacharyya coefficient so BC=0 (disjoint supports)
+#: yields a large finite distance instead of infinity.
+_MIN_COEFFICIENT = 1e-12
+
+
+def _validate_distribution_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape or p_arr.ndim != 1:
+        raise ClusteringError(
+            f"expected equal-length 1-D distributions, got {p_arr.shape} "
+            f"and {q_arr.shape}"
+        )
+    if np.any(p_arr < -1e-12) or np.any(q_arr < -1e-12):
+        raise ClusteringError("distributions must be non-negative")
+    return np.clip(p_arr, 0.0, None), np.clip(q_arr, 0.0, None)
+
+
+def bhattacharyya_coefficient(p: np.ndarray, q: np.ndarray) -> float:
+    """BC(p, q) = Σ √(pᵢ qᵢ); 1 for identical distributions."""
+    p_arr, q_arr = _validate_distribution_pair(p, q)
+    return float(np.sqrt(p_arr * q_arr).sum())
+
+
+def bhattacharyya_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """D_B(p, q) = −ln BC(p, q); 0 iff p = q (for distributions)."""
+    coefficient = bhattacharyya_coefficient(p, q)
+    return -math.log(max(min(coefficient, 1.0), _MIN_COEFFICIENT))
+
+
+def hellinger_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """H(p, q) = √(1 − BC); bounded in [0, 1], metric."""
+    coefficient = bhattacharyya_coefficient(p, q)
+    return math.sqrt(max(0.0, 1.0 - min(coefficient, 1.0)))
+
+
+def euclidean_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Plain L2 distance (the ablation baseline)."""
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ClusteringError(
+            f"shape mismatch: {p_arr.shape} vs {q_arr.shape}"
+        )
+    return float(np.linalg.norm(p_arr - q_arr))
+
+
+_METRICS = {
+    "bhattacharyya": bhattacharyya_distance,
+    "hellinger": hellinger_distance,
+    "euclidean": euclidean_distance,
+}
+
+
+def pairwise_distances(rows: np.ndarray, metric: str = "bhattacharyya") -> np.ndarray:
+    """Symmetric pairwise distance matrix over the rows of a matrix.
+
+    Args:
+        rows: (m, n) matrix; each row is one item.
+        metric: one of ``bhattacharyya``, ``hellinger``, ``euclidean``.
+
+    Raises:
+        ClusteringError: on an unknown metric or malformed input.
+    """
+    distance = _METRICS.get(metric)
+    if distance is None:
+        raise ClusteringError(
+            f"unknown metric {metric!r}; expected one of {sorted(_METRICS)}"
+        )
+    matrix = np.asarray(rows, dtype=float)
+    if matrix.ndim != 2:
+        raise ClusteringError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    m = matrix.shape[0]
+    if metric == "euclidean":
+        # Vectorized: ||a−b||² = ||a||² + ||b||² − 2a·b.
+        squared_norms = np.einsum("ij,ij->i", matrix, matrix)
+        gram = matrix @ matrix.T
+        squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+        result = np.sqrt(np.clip(squared, 0.0, None))
+        np.fill_diagonal(result, 0.0)
+        return result
+    roots = np.sqrt(np.clip(matrix, 0.0, None))
+    coefficients = np.clip(roots @ roots.T, _MIN_COEFFICIENT, 1.0)
+    if metric == "bhattacharyya":
+        result = -np.log(coefficients)
+    else:  # hellinger
+        result = np.sqrt(np.clip(1.0 - coefficients, 0.0, None))
+    np.fill_diagonal(result, 0.0)
+    return result

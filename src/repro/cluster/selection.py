@@ -1,0 +1,113 @@
+"""Model-selection utilities for choosing k.
+
+The paper chooses k = 12 "after some empirical analysis comparing the
+inertia, the average cluster size, and the silhouette coefficient".  This
+module packages that empirical analysis: elbow (maximum-curvature)
+detection on the inertia curve and a combined selection rule that
+requires a minimum silhouette and a minimum average cluster size — the
+same three criteria, made explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def elbow_k(ks: tuple[int, ...], inertias: tuple[float, ...]) -> int:
+    """The elbow of an inertia curve by the maximum-distance rule.
+
+    Draws the chord from the first to the last point of the (k, inertia)
+    curve and returns the k whose point lies farthest below the chord —
+    the standard geometric "kneedle" criterion.
+
+    Raises:
+        ClusteringError: with fewer than 3 points (no interior elbow) or
+            misaligned inputs.
+    """
+    if len(ks) != len(inertias):
+        raise ClusteringError(
+            f"{len(ks)} ks but {len(inertias)} inertia values"
+        )
+    if len(ks) < 3:
+        raise ClusteringError("elbow detection needs at least 3 points")
+    if list(ks) != sorted(set(ks)):
+        raise ClusteringError("ks must be strictly increasing")
+
+    x = np.asarray(ks, dtype=float)
+    y = np.asarray(inertias, dtype=float)
+    # Normalize both axes so the chord geometry is scale-free.
+    x_span = x[-1] - x[0]
+    y_span = y[0] - y[-1]
+    if y_span <= 0:
+        # Flat or rising inertia: no curvature information; smallest k
+        # is the parsimonious answer.
+        return int(ks[0])
+    x_norm = (x - x[0]) / x_span
+    y_norm = (y[0] - y) / y_span  # increasing, 0 → 1
+    # Distance below the y = x chord.
+    gap = y_norm - x_norm
+    return int(ks[int(np.argmax(gap))])
+
+
+@dataclass(frozen=True, slots=True)
+class KSelection:
+    """Outcome of the three-criteria selection.
+
+    Attributes:
+        k: chosen number of clusters.
+        elbow: the inertia-curve elbow.
+        candidates: ks that passed the silhouette and size floors.
+        reason: human-readable justification.
+    """
+
+    k: int
+    elbow: int
+    candidates: tuple[int, ...]
+    reason: str
+
+
+def select_k(
+    ks: tuple[int, ...],
+    inertias: tuple[float, ...],
+    silhouettes: tuple[float, ...],
+    avg_sizes: tuple[float, ...],
+    min_silhouette: float = 0.85,
+    min_avg_size: float = 100.0,
+) -> KSelection:
+    """The paper's three-criteria k selection, made explicit.
+
+    Among ks whose silhouette and average cluster size meet the floors,
+    prefer the one nearest the inertia elbow (ties toward larger k, which
+    gives finer segments at equal evidence).  If nothing passes the
+    floors, fall back to the best-silhouette k.
+    """
+    if not (len(ks) == len(inertias) == len(silhouettes) == len(avg_sizes)):
+        raise ClusteringError("selection inputs must be aligned")
+    elbow = elbow_k(ks, inertias)
+    candidates = tuple(
+        k
+        for k, silhouette, avg_size in zip(ks, silhouettes, avg_sizes)
+        if silhouette >= min_silhouette and avg_size >= min_avg_size
+    )
+    if not candidates:
+        best = ks[int(np.argmax(silhouettes))]
+        return KSelection(
+            k=int(best),
+            elbow=elbow,
+            candidates=(),
+            reason="no k met the silhouette/size floors; best silhouette",
+        )
+    chosen = min(candidates, key=lambda k: (abs(k - elbow), -k))
+    return KSelection(
+        k=int(chosen),
+        elbow=elbow,
+        candidates=candidates,
+        reason=(
+            f"nearest to inertia elbow k={elbow} among "
+            f"{len(candidates)} candidates passing floors"
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Frozen configuration objects for collection and analysis.
+
+All tunables are plain frozen dataclasses so experiment definitions are
+hashable, comparable, and printable in provenance logs.  Validation happens
+eagerly in ``__post_init__`` — a bad configuration fails at construction,
+not deep inside a pipeline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.nlp.keywords import CONTEXT_TERMS, SUBJECT_TERMS
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionConfig:
+    """Configuration for the three-step collection pipeline (§III-A).
+
+    Attributes:
+        context_terms: organ-donation Context vocabulary (Fig. 1, rows).
+        subject_terms: organ Subject vocabulary (Fig. 1, columns).
+        prefer_geotag: resolve location from the tweet geo-tag before the
+            profile string, as the paper does (GPS is more precise but
+            ~1.4% coverage).
+        min_confidence: geocoder confidence below which a location
+            resolution is treated as unresolved.
+    """
+
+    context_terms: tuple[str, ...] = CONTEXT_TERMS
+    subject_terms: tuple[str, ...] = SUBJECT_TERMS
+    prefer_geotag: bool = True
+    min_confidence: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.context_terms:
+            raise ConfigError("context_terms must not be empty")
+        if not self.subject_terms:
+            raise ConfigError("subject_terms must not be empty")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ConfigError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeRiskConfig:
+    """Configuration for highlighted-organ detection (Eq. 4, §IV-B1).
+
+    Attributes:
+        alpha: significance level; the paper uses 0.05 (z = 1.96).
+        min_users: states with fewer located users than this are reported
+            as "insufficient data" rather than tested.
+    """
+
+    alpha: float = 0.05
+    min_users: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.min_users < 1:
+            raise ConfigError(f"min_users must be >= 1, got {self.min_users}")
+
+
+@dataclass(frozen=True, slots=True)
+class UserClusteringConfig:
+    """Configuration for the K-Means user characterization (§IV-C).
+
+    Attributes:
+        k: number of clusters; the paper selects 12.
+        n_init: k-means++ restarts; the best inertia wins.
+        max_iter: Lloyd iteration cap per restart.
+        tol: relative center-shift convergence tolerance.
+        seed: RNG seed for reproducible clustering.
+    """
+
+    k: int = 12
+    n_init: int = 8
+    max_iter: int = 200
+    tol: float = 1e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.n_init < 1:
+            raise ConfigError(f"n_init must be >= 1, got {self.n_init}")
+        if self.max_iter < 1:
+            raise ConfigError(f"max_iter must be >= 1, got {self.max_iter}")
+
+
+@dataclass(frozen=True, slots=True)
+class StateClusteringConfig:
+    """Configuration for the hierarchical state clustering (§IV-B2).
+
+    Attributes:
+        linkage: agglomerative linkage rule.
+        affinity: distance between state attention distributions; the paper
+            uses Bhattacharyya distance (Kailath 1967).
+    """
+
+    linkage: str = "average"
+    affinity: str = "bhattacharyya"
+
+    _LINKAGES = ("single", "complete", "average")
+    _AFFINITIES = ("bhattacharyya", "hellinger", "euclidean")
+
+    def __post_init__(self) -> None:
+        if self.linkage not in self._LINKAGES:
+            raise ConfigError(
+                f"linkage must be one of {self._LINKAGES}, got {self.linkage!r}"
+            )
+        if self.affinity not in self._AFFINITIES:
+            raise ConfigError(
+                f"affinity must be one of {self._AFFINITIES}, got {self.affinity!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisConfig:
+    """Top-level analysis configuration bundling all §IV experiments."""
+
+    relative_risk: RelativeRiskConfig = field(default_factory=RelativeRiskConfig)
+    user_clustering: UserClusteringConfig = field(default_factory=UserClusteringConfig)
+    state_clustering: StateClusteringConfig = field(
+        default_factory=StateClusteringConfig
+    )

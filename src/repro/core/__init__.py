@@ -1,0 +1,70 @@
+"""The paper's characterization method (§III-B) and analyses (§IV).
+
+The method characterizes *entities* (users) by the attention they give to
+a set of *targets* (organs), then aggregates:
+
+1. :mod:`repro.core.attention` — the row-normalized user contingency
+   matrix Û, where row i is user i's attention distribution over organs.
+2. :mod:`repro.core.membership` — membership-indicator matrices L: by
+   most-cited organ (Eq. 1) or by region of residence (Eq. 2).
+3. :mod:`repro.core.aggregation` — the aggregation K = (LᵀL)⁻¹LᵀÛ
+   (Eq. 3): each row of K is a group's mean attention distribution.
+4. :mod:`repro.core.relative_risk` — highlighted organs per state via
+   relative risk of organ-conversation prevalence (Eq. 4).
+5. :mod:`repro.core.state_clusters` / :mod:`repro.core.user_clusters` —
+   the Fig. 6 hierarchical state clustering and Fig. 7 K-Means user
+   clustering.
+
+:mod:`repro.core.characterize` wraps 1–3 into the two facades most callers
+want: :class:`~repro.core.characterize.OrganCharacterization` and
+:class:`~repro.core.characterize.RegionCharacterization`.
+"""
+
+from repro.core.attention import AttentionMatrix, build_attention_matrix
+from repro.core.aggregation import aggregate, ranked_profile
+from repro.core.characterize import (
+    OrganCharacterization,
+    RegionCharacterization,
+    characterize_organs,
+    characterize_regions,
+)
+from repro.core.membership import (
+    Membership,
+    by_most_cited_organ,
+    by_region,
+)
+from repro.core.relative_risk import (
+    StateOrganRisk,
+    highlighted_organs,
+    state_organ_risks,
+)
+from repro.core.state_clusters import StateClustering, cluster_states
+from repro.core.user_clusters import (
+    KSelectionSweep,
+    UserClustering,
+    cluster_users,
+    sweep_k,
+)
+
+__all__ = [
+    "AttentionMatrix",
+    "KSelectionSweep",
+    "Membership",
+    "OrganCharacterization",
+    "RegionCharacterization",
+    "StateClustering",
+    "StateOrganRisk",
+    "UserClustering",
+    "aggregate",
+    "build_attention_matrix",
+    "by_most_cited_organ",
+    "by_region",
+    "characterize_organs",
+    "characterize_regions",
+    "cluster_states",
+    "cluster_users",
+    "highlighted_organs",
+    "ranked_profile",
+    "state_organ_risks",
+    "sweep_k",
+]

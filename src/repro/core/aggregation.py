@@ -1,0 +1,101 @@
+"""The aggregation K = (LᵀL)⁻¹ Lᵀ Û (Eq. 3).
+
+For a one-hot membership L, LᵀL is the diagonal matrix of group sizes, so
+K's rows are exactly the group-mean attention distributions.  The
+implementation computes the literal linear-algebra form on the dense L
+(validated by property tests against the group-mean identity) while
+guarding the singularity the formula hides: a group with zero members
+makes LᵀL non-invertible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attention import AttentionMatrix
+from repro.core.membership import Membership
+from repro.errors import EmptyGroupError
+from repro.organs import ORGANS, Organ
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregation:
+    """K with its group metadata.
+
+    Attributes:
+        group_labels: row labels of K (groups that survived aggregation).
+        matrix: (n_groups, n_organs) aggregated attention; rows sum to 1.
+        group_sizes: members per surviving group, aligned with rows.
+    """
+
+    group_labels: tuple[str, ...]
+    matrix: np.ndarray
+    group_sizes: tuple[int, ...]
+
+    def row(self, label: str) -> np.ndarray:
+        """One group's aggregated attention distribution.
+
+        Raises:
+            KeyError: if the group is absent (e.g. dropped as empty).
+        """
+        try:
+            index = self.group_labels.index(label)
+        except ValueError:
+            raise KeyError(f"group {label!r} not in aggregation") from None
+        return self.matrix[index]
+
+
+def aggregate(
+    attention: AttentionMatrix,
+    membership: Membership,
+    on_empty: str = "drop",
+) -> Aggregation:
+    """Compute K = (LᵀL)⁻¹ Lᵀ Û (Eq. 3).
+
+    Args:
+        attention: the Û matrix.
+        membership: the L matrix (as assignments).
+        on_empty: ``"drop"`` removes empty groups from K (the paper's Fig. 4
+            simply has no bar for states with no users); ``"raise"`` raises
+            :class:`repro.errors.EmptyGroupError` instead.
+
+    Raises:
+        EmptyGroupError: when ``on_empty="raise"`` and a group is empty.
+        ValueError: on an unknown ``on_empty`` policy or misaligned shapes.
+    """
+    if on_empty not in ("drop", "raise"):
+        raise ValueError(f"on_empty must be 'drop' or 'raise', got {on_empty!r}")
+    if membership.assignments.shape[0] != attention.n_users:
+        raise ValueError(
+            f"membership covers {membership.assignments.shape[0]} users but "
+            f"Û has {attention.n_users} rows"
+        )
+    sizes = membership.group_sizes()
+    empty = np.flatnonzero(sizes == 0)
+    if empty.size and on_empty == "raise":
+        raise EmptyGroupError(membership.group_labels[int(empty[0])])
+
+    keep = np.flatnonzero(sizes > 0)
+    indicator = membership.indicator_matrix()[:, keep]
+    # Literal Eq. 3.  LᵀL is diagonal (one-hot rows), but we compute the
+    # inverse explicitly to stay faithful to the published formula; the
+    # group-mean identity is enforced by property tests.
+    gram = indicator.T @ indicator
+    k_matrix = np.linalg.inv(gram) @ (indicator.T @ attention.normalized)
+    return Aggregation(
+        group_labels=tuple(membership.group_labels[int(i)] for i in keep),
+        matrix=k_matrix,
+        group_sizes=tuple(int(sizes[int(i)]) for i in keep),
+    )
+
+
+def ranked_profile(row: np.ndarray) -> list[tuple[Organ, float]]:
+    """A K row as (organ, attention) pairs, highest attention first.
+
+    This is the presentation of Fig. 3/Fig. 4: "histogram bars … ranked
+    based on mentions".
+    """
+    order = np.argsort(-row, kind="stable")
+    return [(ORGANS[int(i)], float(row[int(i)])) for i in order]

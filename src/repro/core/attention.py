@@ -1,0 +1,119 @@
+"""The user attention matrix Û (§III-B).
+
+Users are represented by the *attention* they give to organs, measured as
+frequencies of mention in the donation context.  Formally, m users and n
+organs form a normalized contingency matrix Û = [û_ij] with rows summing
+to 1 — each row fully represents one user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.corpus import TweetCorpus
+from repro.errors import CharacterizationError
+from repro.organs import N_ORGANS, ORGANS, Organ
+
+
+@dataclass(frozen=True, slots=True)
+class AttentionMatrix:
+    """Û plus its row/column index metadata.
+
+    Attributes:
+        user_ids: row labels — user id per row, in sorted order.
+        states: resolved state per row (aligned with ``user_ids``).
+        counts: (m, n) raw mention counts U.
+        normalized: (m, n) row-normalized Û; every row sums to 1.
+    """
+
+    user_ids: tuple[int, ...]
+    states: tuple[str | None, ...]
+    counts: np.ndarray
+    normalized: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_organs(self) -> int:
+        return self.counts.shape[1]
+
+    def row_for_user(self, user_id: int) -> np.ndarray:
+        """One user's attention distribution.
+
+        Raises:
+            CharacterizationError: if the user is not a row of Û.
+        """
+        try:
+            index = self.user_ids.index(user_id)
+        except ValueError:
+            raise CharacterizationError(
+                f"user {user_id} is not in the attention matrix"
+            ) from None
+        return self.normalized[index]
+
+    def most_cited(self) -> np.ndarray:
+        """(m,) argmax organ index per user, with symmetric tie-breaking.
+
+        Ties are common here: most users have very few tweets, so exact
+        attention ties (e.g. one heart and one kidney mention) occur often.
+        Breaking ties toward a fixed column would systematically transfer
+        co-attention mass toward low-index organs, distorting every
+        aggregation; instead ties break by a deterministic hash of the
+        user id, which is reproducible and unbiased across organs.  (The
+        paper's Eq. 1 leaves tie handling unspecified.)
+        """
+        normalized = self.normalized
+        best = normalized.max(axis=1, keepdims=True)
+        is_tied_max = normalized >= best - 1e-12
+        choice = np.argmax(is_tied_max, axis=1)
+        tie_rows = np.flatnonzero(is_tied_max.sum(axis=1) > 1)
+        for row in tie_rows:
+            candidates = np.flatnonzero(is_tied_max[row])
+            hashed = (self.user_ids[row] * 2654435761) % (2**32)
+            choice[row] = candidates[hashed % candidates.size]
+        return choice.astype(np.int64)
+
+    def most_cited_organ(self, user_id: int) -> Organ:
+        try:
+            index = self.user_ids.index(user_id)
+        except ValueError:
+            raise CharacterizationError(
+                f"user {user_id} is not in the attention matrix"
+            ) from None
+        return ORGANS[int(self.most_cited()[index])]
+
+
+def build_attention_matrix(corpus: TweetCorpus) -> AttentionMatrix:
+    """Build U and Û from a corpus, one row per user.
+
+    Every collected tweet carries at least one organ mention (pipeline
+    invariant), so no row can be all-zero; an all-zero row would indicate
+    corpus corruption and raises.
+    """
+    slices = corpus.user_slices()
+    m = len(slices)
+    counts = np.zeros((m, N_ORGANS), dtype=float)
+    user_ids: list[int] = []
+    states: list[str | None] = []
+    for row, user in enumerate(slices):
+        user_ids.append(user.user_id)
+        states.append(user.state)
+        for organ, count in user.mention_counts.items():
+            counts[row, organ.index] = float(count)
+    row_sums = counts.sum(axis=1)
+    if np.any(row_sums <= 0):
+        bad = [user_ids[i] for i in np.flatnonzero(row_sums <= 0)[:5]]
+        raise CharacterizationError(
+            f"users with zero organ mentions cannot be characterized: {bad}"
+        )
+    normalized = counts / row_sums[:, None]
+    return AttentionMatrix(
+        user_ids=tuple(user_ids),
+        states=tuple(states),
+        counts=counts,
+        normalized=normalized,
+    )

@@ -1,0 +1,112 @@
+"""High-level characterization facades (Fig. 3 and Fig. 4).
+
+These wrap attention → membership → aggregation into the two analyses the
+paper runs, with convenient accessors for the claims its §IV discusses
+(top co-attended organ, per-state organ signatures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation, aggregate, ranked_profile
+from repro.core.attention import AttentionMatrix, build_attention_matrix
+from repro.core.membership import by_most_cited_organ, by_region
+from repro.dataset.corpus import TweetCorpus
+from repro.organs import ORGANS, Organ
+
+
+@dataclass(frozen=True, slots=True)
+class OrganCharacterization:
+    """Fig. 3: organs characterized by their dedicated users' attention.
+
+    Row *i* of :attr:`aggregation` is the mean attention distribution of
+    users whose most-cited organ is *i* — how heart-focused users also
+    talk about kidneys, and so on.
+    """
+
+    attention: AttentionMatrix
+    aggregation: Aggregation
+
+    def profile(self, organ: Organ) -> list[tuple[Organ, float]]:
+        """Ranked co-attention profile of one organ (one Fig. 3 panel)."""
+        return ranked_profile(self.aggregation.row(organ.value))
+
+    def top_co_organ(self, organ: Organ) -> Organ:
+        """The most co-attended *other* organ for a focal organ.
+
+        This is the quantity §IV-A reads off Fig. 3 (e.g. kidney is the
+        top co-mention for heart users).
+        """
+        row = self.aggregation.row(organ.value).copy()
+        row[organ.index] = -np.inf
+        return ORGANS[int(np.argmax(row))]
+
+    def characterized_organs(self) -> tuple[Organ, ...]:
+        """Organs that have at least one dedicated user (rows of K)."""
+        return tuple(Organ(label) for label in self.aggregation.group_labels)
+
+    def reciprocity(self) -> dict[tuple[Organ, Organ], bool]:
+        """For each focal organ a with top co-organ b: is a also b's top?
+
+        The paper notes these co-occurrences are *not* reciprocal.
+        """
+        tops = {
+            organ: self.top_co_organ(organ)
+            for organ in self.characterized_organs()
+        }
+        return {
+            (organ, top): tops.get(top) == organ for organ, top in tops.items()
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RegionCharacterization:
+    """Fig. 4: states characterized by their inhabitants' attention.
+
+    Row *r* of :attr:`aggregation` is state *r*'s organ signature.
+    """
+
+    attention: AttentionMatrix
+    aggregation: Aggregation
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return self.aggregation.group_labels
+
+    def signature(self, state: str) -> list[tuple[Organ, float]]:
+        """Ranked organ signature of one state (one Fig. 4 panel)."""
+        return ranked_profile(self.aggregation.row(state))
+
+    def second_most_mentioned(self, state: str) -> Organ:
+        """The state's second organ — the split §IV-B observes (kidney /
+        liver / lung)."""
+        return self.signature(state)[1][0]
+
+    def matrix_k(self) -> np.ndarray:
+        """The (r, n) K matrix — input to the Fig. 6 state clustering."""
+        return self.aggregation.matrix
+
+
+def characterize_organs(corpus: TweetCorpus) -> OrganCharacterization:
+    """Run the full §IV-A organ characterization on a corpus."""
+    attention = build_attention_matrix(corpus)
+    membership = by_most_cited_organ(attention)
+    return OrganCharacterization(
+        attention=attention,
+        aggregation=aggregate(attention, membership, on_empty="drop"),
+    )
+
+
+def characterize_regions(
+    corpus: TweetCorpus, regions: tuple[str, ...] | None = None
+) -> RegionCharacterization:
+    """Run the full §IV-B region characterization on a corpus."""
+    attention = build_attention_matrix(corpus)
+    membership = by_region(attention, regions)
+    return RegionCharacterization(
+        attention=attention,
+        aggregation=aggregate(attention, membership, on_empty="drop"),
+    )

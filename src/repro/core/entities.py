@@ -1,0 +1,175 @@
+"""Entity-agnostic characterization — the method behind the paper.
+
+The paper adapts a characterization originally built for football
+supporters (Pacheco et al. 2016, its ref [12]) to organs.  Nothing in the
+math is organ-specific: entities (users) are characterized by attention
+over any target set, then aggregated through a membership matrix.  This
+module exposes that generic form, so downstream users can characterize
+*their* target sets (teams, brands, diseases…) with the same pipeline:
+
+    attention = GenericAttention.from_counts(ids, labels, counts)
+    profile = aggregate_by_top_target(attention)
+
+The organ-specific :mod:`repro.core.attention` is a thin specialization of
+this machinery with the six-organ column set baked in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.membership import Membership
+from repro.errors import CharacterizationError, EmptyGroupError
+
+
+@dataclass(frozen=True, slots=True)
+class GenericAttention:
+    """A row-normalized attention matrix over arbitrary targets.
+
+    Attributes:
+        entity_ids: row labels (hashable entity identifiers).
+        target_labels: column labels (the target vocabulary).
+        normalized: (m, n) matrix; every row sums to 1.
+    """
+
+    entity_ids: tuple
+    target_labels: tuple[str, ...]
+    normalized: np.ndarray
+
+    @classmethod
+    def from_counts(
+        cls,
+        entity_ids: list,
+        target_labels: list[str],
+        counts: np.ndarray,
+    ) -> "GenericAttention":
+        """Build from a raw (m, n) count matrix.
+
+        Raises:
+            CharacterizationError: on shape mismatch, duplicate labels, or
+                any all-zero row (an entity with no attention is
+                uncharacterizable).
+        """
+        matrix = np.asarray(counts, dtype=float)
+        if matrix.ndim != 2:
+            raise CharacterizationError(
+                f"counts must be 2-D, got shape {matrix.shape}"
+            )
+        if matrix.shape != (len(entity_ids), len(target_labels)):
+            raise CharacterizationError(
+                f"counts shape {matrix.shape} does not match "
+                f"{len(entity_ids)} entities × {len(target_labels)} targets"
+            )
+        if len(set(target_labels)) != len(target_labels):
+            raise CharacterizationError("target labels must be unique")
+        if np.any(matrix < 0):
+            raise CharacterizationError("counts must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if np.any(row_sums <= 0):
+            bad = [entity_ids[i] for i in np.flatnonzero(row_sums <= 0)[:5]]
+            raise CharacterizationError(f"entities with zero attention: {bad}")
+        return cls(
+            entity_ids=tuple(entity_ids),
+            target_labels=tuple(target_labels),
+            normalized=matrix / row_sums[:, None],
+        )
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.entity_ids)
+
+    def top_target(self) -> np.ndarray:
+        """(m,) argmax target index per entity (deterministic hash ties)."""
+        best = self.normalized.max(axis=1, keepdims=True)
+        is_tied = self.normalized >= best - 1e-12
+        choice = np.argmax(is_tied, axis=1)
+        for row in np.flatnonzero(is_tied.sum(axis=1) > 1):
+            candidates = np.flatnonzero(is_tied[row])
+            hashed = (hash(self.entity_ids[row]) * 2654435761) % (2**32)
+            choice[row] = candidates[hashed % candidates.size]
+        return choice.astype(np.int64)
+
+
+@dataclass(frozen=True, slots=True)
+class GenericAggregation:
+    """K for a generic attention matrix."""
+
+    group_labels: tuple[str, ...]
+    target_labels: tuple[str, ...]
+    matrix: np.ndarray
+    group_sizes: tuple[int, ...]
+
+    def profile(self, group: str) -> list[tuple[str, float]]:
+        """One group's ranked (target, attention) profile."""
+        try:
+            index = self.group_labels.index(group)
+        except ValueError:
+            raise KeyError(f"group {group!r} not in aggregation") from None
+        row = self.matrix[index]
+        order = np.argsort(-row, kind="stable")
+        return [(self.target_labels[int(i)], float(row[int(i)])) for i in order]
+
+
+def aggregate_generic(
+    attention: GenericAttention, membership: Membership
+) -> GenericAggregation:
+    """Eq. 3 over arbitrary targets: K = (LᵀL)⁻¹ Lᵀ Û, dropping empty groups."""
+    if membership.assignments.shape[0] != attention.n_entities:
+        raise CharacterizationError(
+            f"membership covers {membership.assignments.shape[0]} entities "
+            f"but Û has {attention.n_entities} rows"
+        )
+    sizes = membership.group_sizes()
+    keep = np.flatnonzero(sizes > 0)
+    if keep.size == 0:
+        raise EmptyGroupError("<all>")
+    indicator = membership.indicator_matrix()[:, keep]
+    gram = indicator.T @ indicator
+    matrix = np.linalg.inv(gram) @ (indicator.T @ attention.normalized)
+    return GenericAggregation(
+        group_labels=tuple(membership.group_labels[int(i)] for i in keep),
+        target_labels=attention.target_labels,
+        matrix=matrix,
+        group_sizes=tuple(int(sizes[int(i)]) for i in keep),
+    )
+
+
+def aggregate_by_top_target(attention: GenericAttention) -> GenericAggregation:
+    """Eq. 1 + Eq. 3 for arbitrary targets: group entities by their most
+    attended target and aggregate."""
+    membership = Membership(
+        group_labels=attention.target_labels,
+        assignments=attention.top_target(),
+    )
+    return aggregate_generic(attention, membership)
+
+
+def aggregate_by_groups(
+    attention: GenericAttention, groups: dict, labels: list[str] | None = None
+) -> GenericAggregation:
+    """Eq. 2 + Eq. 3 for arbitrary targets.
+
+    Args:
+        attention: the Û matrix.
+        groups: entity id → group label; entities absent from the mapping
+            are excluded.
+        labels: explicit group label order (default: sorted labels seen).
+    """
+    if labels is None:
+        labels = sorted({groups[e] for e in attention.entity_ids if e in groups})
+    if not labels:
+        raise CharacterizationError("no groups to aggregate")
+    index_of = {label: i for i, label in enumerate(labels)}
+    assignments = np.array(
+        [
+            index_of.get(groups.get(entity), -1)
+            if groups.get(entity) is not None
+            else -1
+            for entity in attention.entity_ids
+        ],
+        dtype=np.int64,
+    )
+    membership = Membership(group_labels=tuple(labels), assignments=assignments)
+    return aggregate_generic(attention, membership)

@@ -1,0 +1,106 @@
+"""Membership-indicator matrices L (Eq. 1 and Eq. 2).
+
+L assigns each user (row of Û) to exactly one aggregation group.  Two
+definitions from the paper:
+
+* **Most-cited organ** (Eq. 1): ``l_ij = 1`` iff organ j is user i's
+  argmax attention — the organ-perspective aggregation of §IV-A.
+* **Region** (Eq. 2): ``l_ij = 1`` iff user i inhabits region j — the
+  state-perspective aggregation of §IV-B.
+
+L is represented both densely (for the literal Eq. 3 matrix product) and
+as a compact assignment vector (for efficient group means).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attention import AttentionMatrix
+from repro.errors import CharacterizationError
+from repro.organs import ORGAN_NAMES
+
+
+@dataclass(frozen=True, slots=True)
+class Membership:
+    """A user → group assignment.
+
+    Attributes:
+        group_labels: column labels of L, one per group.
+        assignments: (m,) group index per user; −1 marks users excluded
+            from this aggregation (e.g. no resolved state).
+    """
+
+    group_labels: tuple[str, ...]
+    assignments: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_labels)
+
+    @property
+    def n_assigned(self) -> int:
+        return int(np.count_nonzero(self.assignments >= 0))
+
+    def group_sizes(self) -> np.ndarray:
+        """(n_groups,) member count per group (excluded users not counted)."""
+        assigned = self.assignments[self.assignments >= 0]
+        return np.bincount(assigned, minlength=self.n_groups)
+
+    def indicator_matrix(self) -> np.ndarray:
+        """The dense L of the paper: (m, n_groups) one-hot rows.
+
+        Excluded users get an all-zero row, which keeps L aligned with Û;
+        Eq. 3 consumers must drop or guard empty groups (see
+        :func:`repro.core.aggregation.aggregate`).
+        """
+        m = self.assignments.shape[0]
+        matrix = np.zeros((m, self.n_groups))
+        assigned = np.flatnonzero(self.assignments >= 0)
+        matrix[assigned, self.assignments[assigned]] = 1.0
+        return matrix
+
+
+def by_most_cited_organ(attention: AttentionMatrix) -> Membership:
+    """Eq. 1: group users by their argmax-attention organ.
+
+    Ties break toward the lower organ index (heart first), matching
+    ``argmax`` semantics; the paper does not specify tie handling and ties
+    are measure-zero for real mention counts.
+    """
+    return Membership(
+        group_labels=ORGAN_NAMES,
+        assignments=attention.most_cited().astype(np.int64),
+    )
+
+
+def by_region(
+    attention: AttentionMatrix, regions: tuple[str, ...] | None = None
+) -> Membership:
+    """Eq. 2: group users by their resolved state.
+
+    Args:
+        attention: Û with per-row state metadata.
+        regions: explicit region label order; defaults to the sorted set of
+            states present.  Users whose state is ``None`` or not in
+            ``regions`` are excluded (assignment −1).
+
+    Raises:
+        CharacterizationError: if no user has a resolved state.
+    """
+    if regions is None:
+        present = sorted({state for state in attention.states if state is not None})
+        regions = tuple(present)
+    if not regions:
+        raise CharacterizationError("no users with a resolved state to aggregate")
+    index_of = {state: index for index, state in enumerate(regions)}
+    assignments = np.array(
+        [
+            index_of.get(state, -1) if state is not None else -1
+            for state in attention.states
+        ],
+        dtype=np.int64,
+    )
+    return Membership(group_labels=tuple(regions), assignments=assignments)

@@ -1,0 +1,118 @@
+"""Highlighted organs per state via relative risk (Eq. 4, §IV-B1).
+
+A winner-takes-all reading of state signatures picks heart everywhere,
+because some organs are simply more prevalent.  The paper instead computes
+the relative risk of each organ's conversation *prevalence* inside vs
+outside each state, and highlights an organ in a state when the lower
+limit of the 95% CI of log(RR) exceeds zero.
+
+Prevalence is user-level: the fraction of a state's users who mention the
+organ at least once, matching the paper's user-based characterization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.config import RelativeRiskConfig
+from repro.dataset.corpus import TweetCorpus
+from repro.organs import ORGANS, Organ
+from repro.stats.proportions import RelativeRiskResult, relative_risk
+
+
+@dataclass(frozen=True, slots=True)
+class StateOrganRisk:
+    """Relative risk of one organ's conversation in one state.
+
+    Attributes:
+        state: USPS state code.
+        organ: the organ tested.
+        result: RR point estimate and CI.
+        n_state_users: located users in the state.
+        n_outside_users: located users outside the state.
+        insufficient_data: True when the state had fewer users than the
+            configured minimum; such states are never flagged.
+    """
+
+    state: str
+    organ: Organ
+    result: RelativeRiskResult
+    n_state_users: int
+    n_outside_users: int
+    insufficient_data: bool
+
+    @property
+    def highlighted(self) -> bool:
+        """The paper's criterion: significant excess, with enough data."""
+        return not self.insufficient_data and self.result.significant_excess
+
+
+def state_organ_risks(
+    corpus: TweetCorpus, config: RelativeRiskConfig | None = None
+) -> list[StateOrganRisk]:
+    """Compute RR for every (state, organ) pair in the corpus.
+
+    Results are ordered by state then canonical organ order.
+    """
+    config = config or RelativeRiskConfig()
+    users_by_state: dict[str, int] = Counter()
+    mentions_by_state: dict[str, Counter[Organ]] = defaultdict(Counter)
+    total_mentions: Counter[Organ] = Counter()
+    total_users = 0
+
+    for user in corpus.user_slices():
+        if user.state is None:
+            continue
+        total_users += 1
+        users_by_state[user.state] += 1
+        for organ in user.distinct_organs:
+            mentions_by_state[user.state][organ] += 1
+            total_mentions[organ] += 1
+
+    risks: list[StateOrganRisk] = []
+    for state in sorted(users_by_state):
+        n_state = users_by_state[state]
+        n_outside = total_users - n_state
+        if n_outside <= 0:
+            continue  # single-state corpus: no outside population to compare
+        insufficient = n_state < config.min_users
+        for organ in ORGANS:
+            inside = mentions_by_state[state][organ]
+            outside = total_mentions[organ] - inside
+            result = relative_risk(
+                events_exposed=inside,
+                n_exposed=n_state,
+                events_control=outside,
+                n_control=n_outside,
+                alpha=config.alpha,
+            )
+            risks.append(
+                StateOrganRisk(
+                    state=state,
+                    organ=organ,
+                    result=result,
+                    n_state_users=n_state,
+                    n_outside_users=n_outside,
+                    insufficient_data=insufficient,
+                )
+            )
+    return risks
+
+
+def highlighted_organs(
+    corpus: TweetCorpus, config: RelativeRiskConfig | None = None
+) -> dict[str, tuple[Organ, ...]]:
+    """Fig. 5: state → organs with significant conversation excess.
+
+    States with no highlighted organ map to an empty tuple, mirroring the
+    paper's "for some states there are no significant excess for any
+    organ" observation.
+    """
+    by_state: dict[str, list[Organ]] = defaultdict(list)
+    states_seen: set[str] = set()
+    for risk in state_organ_risks(corpus, config):
+        states_seen.add(risk.state)
+        if risk.highlighted:
+            by_state[risk.state].append(risk.organ)
+    return {state: tuple(by_state.get(state, ())) for state in sorted(states_seen)}

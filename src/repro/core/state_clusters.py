@@ -1,0 +1,73 @@
+"""Hierarchical clustering of states (Fig. 6, §IV-B2).
+
+States (rows of K) are clustered by the similarity of their organ-attention
+distributions using agglomerative clustering with the Bhattacharyya
+distance — "more suitable for discrete probability distributions … than
+other metrics, such as Euclidean distance" (Kailath 1967).
+
+The deliverables of Fig. 6 are all exposed: the similarity (distance)
+matrix, the dendrogram, the left-to-right leaf ordering the paper reads
+zones from, and flat cuts at any cluster count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClustering, Dendrogram
+from repro.cluster.distances import pairwise_distances
+from repro.config import StateClusteringConfig
+from repro.core.characterize import RegionCharacterization
+
+
+@dataclass(frozen=True, slots=True)
+class StateClustering:
+    """Fig. 6 artifacts.
+
+    Attributes:
+        states: row labels, aligned with ``distance_matrix``.
+        distance_matrix: (r, r) pairwise affinity (lower = more similar).
+        dendrogram: the full merge tree.
+        config: the clustering configuration used.
+    """
+
+    states: tuple[str, ...]
+    distance_matrix: np.ndarray
+    dendrogram: Dendrogram
+    config: StateClusteringConfig
+
+    def leaf_order(self) -> list[str]:
+        """States in dendrogram left-to-right order (the Fig. 6 axis)."""
+        return [self.states[index] for index in self.dendrogram.leaf_order()]
+
+    def cut(self, n_clusters: int) -> dict[str, int]:
+        """State → cluster label for a flat cut of the tree."""
+        labels = self.dendrogram.cut(n_clusters)
+        return {state: int(label) for state, label in zip(self.states, labels)}
+
+    def clusters(self, n_clusters: int) -> list[tuple[str, ...]]:
+        """Flat clusters as tuples of states, ordered by first appearance."""
+        assignment = self.cut(n_clusters)
+        groups: dict[int, list[str]] = {}
+        for state in self.leaf_order():
+            groups.setdefault(assignment[state], []).append(state)
+        return [tuple(members) for members in groups.values()]
+
+
+def cluster_states(
+    characterization: RegionCharacterization,
+    config: StateClusteringConfig | None = None,
+) -> StateClustering:
+    """Run the Fig. 6 analysis on a region characterization."""
+    config = config or StateClusteringConfig()
+    matrix = characterization.matrix_k()
+    distances = pairwise_distances(matrix, metric=config.affinity)
+    dendrogram = AgglomerativeClustering(linkage=config.linkage).fit(distances)
+    return StateClustering(
+        states=characterization.states,
+        distance_matrix=distances,
+        dendrogram=dendrogram,
+        config=config,
+    )

@@ -1,0 +1,79 @@
+"""Tweet-level characterization — the baseline §III-B argues against.
+
+"A straightforward approach is to build a characterization model based on
+single messages.  Despite its intuitiveness, such characterization may be
+biased by the existence of a few heavily-active users."  This module
+implements that straightforward approach so the ablation bench can show
+the bias: each *tweet* (not user) becomes a row of the attention matrix,
+so a user posting 500 tweets carries 500× the weight of a one-tweet user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.corpus import TweetCorpus
+from repro.errors import CharacterizationError
+from repro.organs import N_ORGANS
+
+
+@dataclass(frozen=True, slots=True)
+class TweetLevelAggregation:
+    """Per-state mean attention computed over tweets instead of users.
+
+    Attributes:
+        states: row labels.
+        matrix: (r, n) tweet-level state signatures; rows sum to 1.
+        tweet_counts: tweets per state, aligned with rows.
+    """
+
+    states: tuple[str, ...]
+    matrix: np.ndarray
+    tweet_counts: tuple[int, ...]
+
+    def row(self, state: str) -> np.ndarray:
+        try:
+            index = self.states.index(state)
+        except ValueError:
+            raise KeyError(f"state {state!r} not present") from None
+        return self.matrix[index]
+
+
+def tweet_level_state_aggregation(corpus: TweetCorpus) -> TweetLevelAggregation:
+    """Aggregate normalized per-tweet mention vectors by state.
+
+    Every tweet contributes one row-normalized attention vector; states
+    average their tweets.  Heavy-active users dominate their state's
+    signature — exactly the failure mode the user-level Û avoids.
+    """
+    sums: dict[str, np.ndarray] = {}
+    counts: dict[str, int] = {}
+    for record in corpus:
+        state = record.state
+        if state is None:
+            continue
+        vector = np.zeros(N_ORGANS)
+        for organ, count in record.mentions.items():
+            vector[organ.index] = float(count)
+        total = vector.sum()
+        if total <= 0:
+            raise CharacterizationError(
+                f"tweet {record.tweet.tweet_id} has no organ mentions"
+            )
+        vector /= total
+        if state not in sums:
+            sums[state] = np.zeros(N_ORGANS)
+            counts[state] = 0
+        sums[state] += vector
+        counts[state] += 1
+    if not sums:
+        raise CharacterizationError("no located tweets to aggregate")
+    states = tuple(sorted(sums))
+    matrix = np.vstack([sums[state] / counts[state] for state in states])
+    return TweetLevelAggregation(
+        states=states,
+        matrix=matrix,
+        tweet_counts=tuple(counts[state] for state in states),
+    )

@@ -1,0 +1,33 @@
+"""Winner-takes-all state labelling — the baseline §IV-B1 argues against.
+
+"The simplest approach … is to count the number of users mentioning each
+organ and use a 'winner-takes-all' strategy."  Because organ prevalence is
+far from uniform, this labels (nearly) every state with heart.  The
+relative-risk method of :mod:`repro.core.relative_risk` is the paper's
+remedy; the ablation bench contrasts the two.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.dataset.corpus import TweetCorpus
+from repro.organs import Organ
+
+
+def winner_takes_all(corpus: TweetCorpus) -> dict[str, Organ]:
+    """state → most-mentioned organ (by user count).
+
+    Ties break toward the canonical organ order, matching the prevalence
+    ranking's behaviour for the degenerate case.
+    """
+    per_state: dict[str, Counter[Organ]] = defaultdict(Counter)
+    for user in corpus.user_slices():
+        if user.state is None:
+            continue
+        for organ in user.distinct_organs:
+            per_state[user.state][organ] += 1
+    return {
+        state: max(counts, key=lambda organ: (counts[organ], -organ.index))
+        for state, counts in sorted(per_state.items())
+    }

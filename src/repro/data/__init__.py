@@ -1,0 +1,23 @@
+"""Reference data: published transplant statistics and paper-reported findings."""
+
+from repro.data.transplants import (
+    TRANSPLANTS_2012,
+    transplant_counts_vector,
+    transplant_rank,
+)
+from repro.data.paper import (
+    PAPER_DATASET_STATS,
+    PAPER_HIGHLIGHTED_ORGANS,
+    PAPER_KMEANS,
+    PAPER_SPEARMAN_R,
+)
+
+__all__ = [
+    "PAPER_DATASET_STATS",
+    "PAPER_HIGHLIGHTED_ORGANS",
+    "PAPER_KMEANS",
+    "PAPER_SPEARMAN_R",
+    "TRANSPLANTS_2012",
+    "transplant_counts_vector",
+    "transplant_rank",
+]

@@ -1,0 +1,67 @@
+"""The paper's reported numbers, used as reproduction targets.
+
+EXPERIMENTS.md compares every regenerated table/figure against these.  The
+reproduction criterion is *shape* (orders, signs, anomaly identities), not
+absolute counts — see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from repro.organs import Organ
+
+#: Table I of the paper.
+PAPER_DATASET_STATS: dict[str, float | int | str] = {
+    "start": "2015-04-22",
+    "finish": "2016-05-11",
+    "days": 385,
+    "tweets_collected": 134_986,
+    "tweets_raw": 975_021,  # footnote: 134,986 of 975,021 identified as US
+    "users": 71_947,
+    "avg_tweets_per_day": 350,
+    "avg_tweets_per_user": 1.88,
+    "organs_per_tweet": 1.03,
+    "organs_per_user": 1.13,
+}
+
+#: Fig. 2a: Twitter popularity order (heart most mentioned, intestine least,
+#: heart inverted vs transplant volume) and the reported correlation.
+PAPER_TWITTER_POPULARITY_ORDER: tuple[Organ, ...] = (
+    Organ.HEART,
+    Organ.KIDNEY,
+    Organ.LIVER,
+    Organ.LUNG,
+    Organ.PANCREAS,
+    Organ.INTESTINE,
+)
+PAPER_SPEARMAN_R: float = 0.84
+
+#: Fig. 5 / §IV-B1: highlighted organs the text explicitly reports per state.
+PAPER_HIGHLIGHTED_ORGANS: dict[str, tuple[Organ, ...]] = {
+    "KS": (Organ.KIDNEY,),  # the only Midwest state with excess kidney talk
+    "LA": (Organ.KIDNEY,),
+    "MA": (Organ.KIDNEY, Organ.LUNG),
+}
+
+#: Fig. 6 / §IV-B2: states the text names inside organ-conversation zones.
+PAPER_CLUSTER_ZONE_EXAMPLES: dict[str, tuple[str, ...]] = {
+    "liver": ("DE", "RI", "CO"),
+    "lung": ("OR", "GA", "VA"),
+}
+
+#: Fig. 7: K-Means model reported by the paper.
+PAPER_KMEANS: dict[str, float | int] = {
+    "k": 12,
+    "silhouette": 0.953,
+    "avg_cluster_size": 31697.42,
+    "inertia": 2512.27,
+}
+
+#: Fig. 3 / §IV-A: reported top co-attended organs, by focal organ.
+PAPER_ORGAN_CO_ATTENTION: dict[Organ, Organ] = {
+    Organ.HEART: Organ.KIDNEY,     # kidney most important for heart
+    Organ.LIVER: Organ.KIDNEY,     # and for liver
+    Organ.PANCREAS: Organ.KIDNEY,  # and for pancreas
+    Organ.INTESTINE: Organ.HEART,  # heart most important for intestine
+    Organ.KIDNEY: Organ.HEART,     # and for kidney
+    Organ.LUNG: Organ.HEART,       # and for lung
+}

@@ -1,0 +1,44 @@
+"""US transplant statistics (OPTN/SRTR 2012 annual data report).
+
+The paper correlates Twitter organ popularity against the number of
+transplants performed in the USA (its reference [1], the OPTN/SRTR 2012
+report) and finds Spearman r = .84: the orders agree except heart, which is
+first in Twitter popularity but only third in transplant volume.
+
+The counts below are the published 2012 national totals by organ.  They are
+reference data, not measurements of this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.organs import ORGANS, Organ
+
+#: 2012 US transplants per organ (OPTN/SRTR 2012 annual data report).
+TRANSPLANTS_2012: dict[Organ, int] = {
+    Organ.KIDNEY: 16487,
+    Organ.LIVER: 6256,
+    Organ.HEART: 2378,
+    Organ.LUNG: 1754,
+    Organ.PANCREAS: 1043,
+    Organ.INTESTINE: 106,
+}
+
+#: Common dual-organ transplants the paper cites (§IV-A) when reading the
+#: organ co-attention profiles: heart–kidney, liver–kidney, kidney–pancreas.
+COMMON_DUAL_TRANSPLANTS: tuple[frozenset[Organ], ...] = (
+    frozenset({Organ.HEART, Organ.KIDNEY}),
+    frozenset({Organ.LIVER, Organ.KIDNEY}),
+    frozenset({Organ.KIDNEY, Organ.PANCREAS}),
+)
+
+
+def transplant_counts_vector() -> np.ndarray:
+    """2012 transplant counts in canonical organ column order."""
+    return np.array([TRANSPLANTS_2012[organ] for organ in ORGANS], dtype=float)
+
+
+def transplant_rank() -> list[Organ]:
+    """Organs by descending 2012 transplant volume (kidney first)."""
+    return sorted(ORGANS, key=lambda organ: -TRANSPLANTS_2012[organ])

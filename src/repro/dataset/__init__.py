@@ -1,0 +1,23 @@
+"""Dataset container and persistence for collected tweets."""
+
+from repro.dataset.corpus import TweetCorpus, UserSlice
+from repro.dataset.io import read_jsonl, write_jsonl
+from repro.dataset.records import CollectedTweet
+from repro.dataset.stats import (
+    DatasetStats,
+    compute_stats,
+    organ_mention_histogram,
+    users_per_organ,
+)
+
+__all__ = [
+    "CollectedTweet",
+    "DatasetStats",
+    "TweetCorpus",
+    "UserSlice",
+    "compute_stats",
+    "organ_mention_histogram",
+    "read_jsonl",
+    "users_per_organ",
+    "write_jsonl",
+]

@@ -1,0 +1,137 @@
+"""The analysis corpus: an indexed collection of collected tweets.
+
+Provides the two groupings every paper experiment needs — per user and per
+state — plus time-window slicing for streaming/rolling analyses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.dataset.records import CollectedTweet
+from repro.errors import DatasetError
+from repro.organs import Organ
+
+
+@dataclass(frozen=True, slots=True)
+class UserSlice:
+    """All of one user's tweets, with aggregated mention counts.
+
+    Attributes:
+        user_id: the user.
+        state: modal resolved state across the user's tweets.
+        mention_counts: organ → total mentions across all tweets.
+        n_tweets: number of collected tweets by this user.
+    """
+
+    user_id: int
+    state: str | None
+    mention_counts: Counter[Organ]
+    n_tweets: int
+
+    @property
+    def distinct_organs(self) -> frozenset[Organ]:
+        return frozenset(
+            organ for organ, count in self.mention_counts.items() if count > 0
+        )
+
+
+class TweetCorpus:
+    """Immutable container over collected tweets with per-user indexing.
+
+    Args:
+        records: collected tweets, any order.
+
+    Raises:
+        DatasetError: if constructed empty — every downstream matrix would
+            be degenerate, so fail at the boundary.
+    """
+
+    def __init__(self, records: Iterable[CollectedTweet]):
+        self._records: tuple[CollectedTweet, ...] = tuple(records)
+        if not self._records:
+            raise DatasetError("corpus must contain at least one record")
+        by_user: dict[int, list[CollectedTweet]] = defaultdict(list)
+        for record in self._records:
+            by_user[record.user_id].append(record)
+        self._users: dict[int, UserSlice] = {
+            user_id: _build_slice(user_id, tweets)
+            for user_id, tweets in by_user.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CollectedTweet]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[CollectedTweet, ...]:
+        return self._records
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)
+
+    def user_ids(self) -> list[int]:
+        """User ids in deterministic (sorted) order — the row order of Û."""
+        return sorted(self._users)
+
+    def user_slice(self, user_id: int) -> UserSlice:
+        """One user's aggregated view.
+
+        Raises:
+            DatasetError: if the user has no tweets in this corpus.
+        """
+        user = self._users.get(user_id)
+        if user is None:
+            raise DatasetError(f"user {user_id} not in corpus")
+        return user
+
+    def user_slices(self) -> list[UserSlice]:
+        """All user slices, ordered by :meth:`user_ids`."""
+        return [self._users[user_id] for user_id in self.user_ids()]
+
+    def states(self) -> list[str]:
+        """Distinct states present, sorted."""
+        return sorted(
+            {user.state for user in self._users.values() if user.state is not None}
+        )
+
+    def filter(self, predicate) -> "TweetCorpus":
+        """A new corpus with only records matching ``predicate``.
+
+        Raises:
+            DatasetError: if nothing matches.
+        """
+        return TweetCorpus(record for record in self._records if predicate(record))
+
+    def in_window(self, start: datetime, end: datetime) -> "TweetCorpus":
+        """Records with ``start <= created_at < end``."""
+        return self.filter(
+            lambda record: start <= record.tweet.created_at < end
+        )
+
+    def time_span(self) -> tuple[datetime, datetime]:
+        """(earliest, latest) tweet timestamps."""
+        times = [record.tweet.created_at for record in self._records]
+        return min(times), max(times)
+
+
+def _build_slice(user_id: int, tweets: list[CollectedTweet]) -> UserSlice:
+    counts: Counter[Organ] = Counter()
+    state_votes: Counter[str] = Counter()
+    for record in tweets:
+        counts.update(record.mentions)
+        if record.state is not None:
+            state_votes[record.state] += 1
+    state = state_votes.most_common(1)[0][0] if state_votes else None
+    return UserSlice(
+        user_id=user_id,
+        state=state,
+        mention_counts=counts,
+        n_tweets=len(tweets),
+    )

@@ -1,0 +1,96 @@
+"""JSONL persistence for tweets and collected records.
+
+One JSON object per line; append-friendly and streamable, matching how
+tweet datasets are stored in practice.  Two record kinds are supported:
+raw :class:`~repro.twitter.models.Tweet` firehoses
+(:func:`write_tweets_jsonl` / :func:`read_tweets_jsonl`) and
+pipeline-surviving :class:`~repro.dataset.records.CollectedTweet` corpora
+(:func:`write_jsonl` / :func:`read_jsonl`).  Reading is strict: a
+malformed line raises :class:`repro.errors.SerializationError` with the
+line number.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.dataset.records import CollectedTweet
+from repro.errors import SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.twitter.models import Tweet
+
+
+def write_jsonl(records: Iterable[CollectedTweet], path: str | Path) -> int:
+    """Write records to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_tweets_jsonl(tweets: Iterable["Tweet"], path: str | Path) -> int:
+    """Write raw tweets (a firehose) to JSONL; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for tweet in tweets:
+            handle.write(json.dumps(tweet.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_tweets_jsonl(path: str | Path) -> Iterator["Tweet"]:
+    """Stream raw tweets from a JSONL firehose file.
+
+    Raises:
+        SerializationError: on the first malformed line, with its 1-based
+            line number.
+    """
+    from repro.twitter.models import Tweet
+
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            try:
+                yield Tweet.from_dict(data)
+            except SerializationError as exc:
+                raise SerializationError(f"{path}:{line_number}: {exc}") from exc
+
+
+def read_jsonl(path: str | Path) -> Iterator[CollectedTweet]:
+    """Stream records from a JSONL file.
+
+    Raises:
+        SerializationError: on the first malformed line, reporting its
+            1-based line number.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            try:
+                yield CollectedTweet.from_dict(data)
+            except SerializationError as exc:
+                raise SerializationError(f"{path}:{line_number}: {exc}") from exc

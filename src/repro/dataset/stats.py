@@ -1,0 +1,106 @@
+"""Dataset descriptive statistics (Table I and Fig. 2 of the paper).
+
+All statistics follow the paper's definitions:
+
+* *Organs mentioned / Tweet* — mean number of **distinct** organs per tweet
+  (1.03 in the paper: multi-organ tweets are rare).
+* *Organs mentioned / User* — mean number of distinct organs across each
+  user's aggregated tweets (1.13: aggregation by user surfaces more
+  multi-organ behaviour, the paper's argument for user-level modelling).
+* Fig. 2a — number of users mentioning each organ (organ "popularity").
+* Fig. 2b — number of tweets vs number of users mentioning exactly
+  ``k`` organs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.corpus import TweetCorpus
+from repro.organs import N_ORGANS, ORGANS, Organ
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Table I of the paper for one corpus.
+
+    Attributes mirror Table I rows; ``start``/``finish`` are ISO dates.
+    """
+
+    start: str
+    finish: str
+    days: int
+    tweets_collected: int
+    n_users: int
+    avg_tweets_per_day: float
+    avg_tweets_per_user: float
+    organs_per_tweet: float
+    organs_per_user: float
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """(label, value) rows in Table I order, formatted for display."""
+        return [
+            ("Start Data Collection", self.start),
+            ("Finish Data Collection", self.finish),
+            ("Number of Days", str(self.days)),
+            ("Tweets collected", f"{self.tweets_collected:,}"),
+            ("Number of Users", f"{self.n_users:,}"),
+            ("Avg. Tweets / Day", f"{self.avg_tweets_per_day:.0f}"),
+            ("Avg. Tweets / User", f"{self.avg_tweets_per_user:.2f}"),
+            ("Organs mentioned / Tweet", f"{self.organs_per_tweet:.2f}"),
+            ("Organs mentioned / User", f"{self.organs_per_user:.2f}"),
+        ]
+
+
+def compute_stats(corpus: TweetCorpus) -> DatasetStats:
+    """Compute Table I for a corpus."""
+    start, finish = corpus.time_span()
+    days = max(1, (finish.date() - start.date()).days + 1)
+    n_tweets = len(corpus)
+    n_users = corpus.n_users
+    organs_per_tweet = float(
+        np.mean([len(record.distinct_organs) for record in corpus])
+    )
+    organs_per_user = float(
+        np.mean([len(user.distinct_organs) for user in corpus.user_slices()])
+    )
+    return DatasetStats(
+        start=start.date().isoformat(),
+        finish=finish.date().isoformat(),
+        days=days,
+        tweets_collected=n_tweets,
+        n_users=n_users,
+        avg_tweets_per_day=n_tweets / days,
+        avg_tweets_per_user=n_tweets / n_users,
+        organs_per_tweet=organs_per_tweet,
+        organs_per_user=organs_per_user,
+    )
+
+
+def users_per_organ(corpus: TweetCorpus) -> dict[Organ, int]:
+    """Fig. 2a: number of users mentioning each organ at least once."""
+    counts = dict.fromkeys(ORGANS, 0)
+    for user in corpus.user_slices():
+        for organ in user.distinct_organs:
+            counts[organ] += 1
+    return counts
+
+
+def organ_mention_histogram(corpus: TweetCorpus) -> dict[int, tuple[int, int]]:
+    """Fig. 2b: ``k -> (n_tweets, n_users)`` mentioning exactly k organs.
+
+    Keys run 1..N_ORGANS; zero-mention records cannot exist post-filter
+    (collection guarantees at least one Subject term), but a 0 key is
+    included if malformed data sneaks in, so anomalies stay visible.
+    """
+    tweet_counts = dict.fromkeys(range(N_ORGANS + 1), 0)
+    user_counts = dict.fromkeys(range(N_ORGANS + 1), 0)
+    for record in corpus:
+        tweet_counts[len(record.distinct_organs)] += 1
+    for user in corpus.user_slices():
+        user_counts[len(user.distinct_organs)] += 1
+    return {
+        k: (tweet_counts[k], user_counts[k]) for k in range(N_ORGANS + 1)
+    }

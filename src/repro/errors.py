@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every package-specific failure derives from :class:`ReproError`, so callers
+can catch one type at an integration boundary.  Subsystems define narrower
+exceptions in their own modules when the error carries extra state (e.g.
+:class:`repro.organs.UnknownOrganError`); simple failures live here.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class PipelineError(ReproError):
+    """A stage of the collection pipeline failed."""
+
+
+class DatasetError(ReproError):
+    """A dataset/corpus operation failed (e.g. malformed record)."""
+
+
+class SerializationError(DatasetError):
+    """A record could not be encoded to or decoded from JSONL."""
+
+
+class CharacterizationError(ReproError):
+    """A characterization (attention/membership/aggregation) step failed."""
+
+
+class EmptyGroupError(CharacterizationError):
+    """An aggregation group has no members, so its profile is undefined.
+
+    The paper's Eq. 3 inverts ``LᵀL``; a group with zero members makes the
+    matrix singular.  Callers choose between dropping empty groups and
+    raising, via ``on_empty`` arguments.
+    """
+
+    def __init__(self, group: object):
+        super().__init__(f"aggregation group {group!r} has no members")
+        self.group = group
+
+
+class ClusteringError(ReproError):
+    """A clustering algorithm received invalid input or failed to converge."""
+
+
+class GeoError(ReproError):
+    """A geolocation operation failed."""

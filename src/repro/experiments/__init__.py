@@ -1,0 +1,15 @@
+"""Multi-seed replication harness.
+
+A reproduction should not hinge on one lucky seed.
+:mod:`repro.experiments.replication` reruns the full pipeline + verdict
+battery across independent world seeds and aggregates pass rates and key
+metrics, giving the reproduction a confidence statement.
+"""
+
+from repro.experiments.replication import (
+    ReplicationSummary,
+    SeedResult,
+    replicate,
+)
+
+__all__ = ["ReplicationSummary", "SeedResult", "replicate"]

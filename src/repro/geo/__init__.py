@@ -1,0 +1,33 @@
+"""Offline geolocation substrate.
+
+The paper augments tweets with a location by geocoding the free-text
+``location`` field of the user profile through OpenStreetMap.  Network
+geocoding is unavailable offline, so this package provides a faithful
+replacement: a US gazetteer (:mod:`repro.geo.gazetteer`,
+:mod:`repro.geo.cities`) and a free-text geocoder
+(:mod:`repro.geo.geocoder`) that resolves the same kinds of messy profile
+strings ("NOLA", "Wichita, KS", "somewhere over the rainbow") to a country
+and US state.  :mod:`repro.geo.noise` generates that messiness for the
+synthetic world.
+"""
+
+from repro.geo.gazetteer import (
+    ALL_REGION_CODES,
+    STATES,
+    CensusRegion,
+    StateInfo,
+    state_by_abbrev,
+    state_by_name,
+)
+from repro.geo.geocoder import GeoMatch, Geocoder
+
+__all__ = [
+    "ALL_REGION_CODES",
+    "STATES",
+    "CensusRegion",
+    "StateInfo",
+    "GeoMatch",
+    "Geocoder",
+    "state_by_abbrev",
+    "state_by_name",
+]

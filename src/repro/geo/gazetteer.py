@@ -1,0 +1,143 @@
+"""US state gazetteer: names, abbreviations, populations, census regions.
+
+Populations are 2015 Census Bureau estimates (thousands), matching the
+paper's collection window (Apr 2015 – May 2016).  The census region is used
+to reproduce the paper's geographic observations (e.g. "Kansas is the only
+state in the Midwestern USA …", the Twitter under-representation of the
+Midwest noted in §V).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+
+class CensusRegion(enum.Enum):
+    """US Census Bureau region."""
+
+    NORTHEAST = "Northeast"
+    MIDWEST = "Midwest"
+    SOUTH = "South"
+    WEST = "West"
+    OTHER = "Other"  # DC is formally South; PR and territories use OTHER.
+
+
+@dataclass(frozen=True, slots=True)
+class StateInfo:
+    """A US state or state-equivalent territory.
+
+    Attributes:
+        name: Full official name, e.g. ``"Kansas"``.
+        abbrev: USPS two-letter code, e.g. ``"KS"``.
+        population: 2015 resident population estimate, in thousands.
+        region: Census region membership.
+        nicknames: Informal names seen in Twitter profile locations.
+    """
+
+    name: str
+    abbrev: str
+    population: int
+    region: CensusRegion
+    nicknames: tuple[str, ...] = ()
+
+
+# fmt: off
+STATES: tuple[StateInfo, ...] = (
+    StateInfo("Alabama", "AL", 4854, CensusRegion.SOUTH, ("bama", "the heart of dixie")),
+    StateInfo("Alaska", "AK", 738, CensusRegion.WEST, ("the last frontier",)),
+    StateInfo("Arizona", "AZ", 6829, CensusRegion.WEST, ()),
+    StateInfo("Arkansas", "AR", 2978, CensusRegion.SOUTH, ()),
+    StateInfo("California", "CA", 39145, CensusRegion.WEST, ("cali", "the golden state")),
+    StateInfo("Colorado", "CO", 5456, CensusRegion.WEST, ()),
+    StateInfo("Connecticut", "CT", 3591, CensusRegion.NORTHEAST, ()),
+    StateInfo("Delaware", "DE", 946, CensusRegion.SOUTH, ()),
+    StateInfo("District of Columbia", "DC", 672, CensusRegion.SOUTH, ("washington dc", "washington d.c.", "d.c.")),
+    StateInfo("Florida", "FL", 20271, CensusRegion.SOUTH, ("fla", "the sunshine state")),
+    StateInfo("Georgia", "GA", 10215, CensusRegion.SOUTH, ()),
+    StateInfo("Hawaii", "HI", 1432, CensusRegion.WEST, ()),
+    StateInfo("Idaho", "ID", 1655, CensusRegion.WEST, ()),
+    StateInfo("Illinois", "IL", 12860, CensusRegion.MIDWEST, ()),
+    StateInfo("Indiana", "IN", 6620, CensusRegion.MIDWEST, ()),
+    StateInfo("Iowa", "IA", 3124, CensusRegion.MIDWEST, ()),
+    StateInfo("Kansas", "KS", 2912, CensusRegion.MIDWEST, ()),
+    StateInfo("Kentucky", "KY", 4425, CensusRegion.SOUTH, ()),
+    StateInfo("Louisiana", "LA", 4671, CensusRegion.SOUTH, ()),
+    StateInfo("Maine", "ME", 1329, CensusRegion.NORTHEAST, ()),
+    StateInfo("Maryland", "MD", 6006, CensusRegion.SOUTH, ()),
+    StateInfo("Massachusetts", "MA", 6794, CensusRegion.NORTHEAST, ("mass",)),
+    StateInfo("Michigan", "MI", 9923, CensusRegion.MIDWEST, ()),
+    StateInfo("Minnesota", "MN", 5490, CensusRegion.MIDWEST, ()),
+    StateInfo("Mississippi", "MS", 2992, CensusRegion.SOUTH, ()),
+    StateInfo("Missouri", "MO", 6084, CensusRegion.MIDWEST, ()),
+    StateInfo("Montana", "MT", 1033, CensusRegion.WEST, ()),
+    StateInfo("Nebraska", "NE", 1896, CensusRegion.MIDWEST, ()),
+    StateInfo("Nevada", "NV", 2891, CensusRegion.WEST, ()),
+    StateInfo("New Hampshire", "NH", 1330, CensusRegion.NORTHEAST, ()),
+    StateInfo("New Jersey", "NJ", 8958, CensusRegion.NORTHEAST, ("jersey",)),
+    StateInfo("New Mexico", "NM", 2085, CensusRegion.WEST, ()),
+    StateInfo("New York", "NY", 19795, CensusRegion.NORTHEAST, ()),
+    StateInfo("North Carolina", "NC", 10043, CensusRegion.SOUTH, ()),
+    StateInfo("North Dakota", "ND", 757, CensusRegion.MIDWEST, ()),
+    StateInfo("Ohio", "OH", 11613, CensusRegion.MIDWEST, ()),
+    StateInfo("Oklahoma", "OK", 3911, CensusRegion.SOUTH, ()),
+    StateInfo("Oregon", "OR", 4029, CensusRegion.WEST, ()),
+    StateInfo("Pennsylvania", "PA", 12803, CensusRegion.NORTHEAST, ("penna",)),
+    StateInfo("Puerto Rico", "PR", 3474, CensusRegion.OTHER, ()),
+    StateInfo("Rhode Island", "RI", 1056, CensusRegion.NORTHEAST, ()),
+    StateInfo("South Carolina", "SC", 4896, CensusRegion.SOUTH, ()),
+    StateInfo("South Dakota", "SD", 858, CensusRegion.MIDWEST, ()),
+    StateInfo("Tennessee", "TN", 6600, CensusRegion.SOUTH, ()),
+    StateInfo("Texas", "TX", 27469, CensusRegion.SOUTH, ("lone star state",)),
+    StateInfo("Utah", "UT", 2996, CensusRegion.WEST, ()),
+    StateInfo("Vermont", "VT", 626, CensusRegion.NORTHEAST, ()),
+    StateInfo("Virginia", "VA", 8383, CensusRegion.SOUTH, ()),
+    StateInfo("Washington", "WA", 7170, CensusRegion.WEST, ()),
+    StateInfo("West Virginia", "WV", 1844, CensusRegion.SOUTH, ()),
+    StateInfo("Wisconsin", "WI", 5771, CensusRegion.MIDWEST, ()),
+    StateInfo("Wyoming", "WY", 586, CensusRegion.WEST, ()),
+)
+# fmt: on
+
+#: All region codes (USPS abbreviations) in gazetteer order; these are the
+#: ``r`` regions of the paper's Eq. 2 (states and territories of the USA).
+ALL_REGION_CODES: tuple[str, ...] = tuple(state.abbrev for state in STATES)
+
+_BY_ABBREV: dict[str, StateInfo] = {state.abbrev: state for state in STATES}
+_BY_NAME: dict[str, StateInfo] = {state.name.lower(): state for state in STATES}
+
+
+def state_by_abbrev(abbrev: str) -> StateInfo:
+    """Look up a state by USPS code (case-insensitive).
+
+    Raises:
+        GeoError: if the code is not a US state/territory in the gazetteer.
+    """
+    info = _BY_ABBREV.get(abbrev.strip().upper())
+    if info is None:
+        raise GeoError(f"unknown state abbreviation: {abbrev!r}")
+    return info
+
+
+def state_by_name(name: str) -> StateInfo:
+    """Look up a state by full name (case-insensitive).
+
+    Raises:
+        GeoError: if the name is not a US state/territory in the gazetteer.
+    """
+    info = _BY_NAME.get(name.strip().lower())
+    if info is None:
+        raise GeoError(f"unknown state name: {name!r}")
+    return info
+
+
+def states_in_region(region: CensusRegion) -> tuple[StateInfo, ...]:
+    """All gazetteer states belonging to a census region."""
+    return tuple(state for state in STATES if state.region is region)
+
+
+def total_population() -> int:
+    """Total gazetteer population, in thousands."""
+    return sum(state.population for state in STATES)

@@ -1,0 +1,263 @@
+"""Free-text location geocoder (offline OpenStreetMap stand-in).
+
+The paper resolves the self-reported profile ``location`` string of each
+user to a country and US state using OpenStreetMap Nominatim (§III-A).  This
+geocoder reproduces that resolution offline against the bundled gazetteer.
+
+Resolution strategy, in order of decreasing confidence:
+
+1. ``"City, ST"`` / ``"City, State Name"`` — comma patterns with a state.
+2. Full state name anywhere in the string ("living in kansas ☀").
+3. Bare USPS code — accepted only when uppercase, because lowercase
+   two-letter codes collide with English words ("in", "or", "hi", "me",
+   "ok", "la"); this mirrors the precision/recall tradeoff of real
+   geocoding and is exercised by tests.
+4. Known city name (resolved via :mod:`repro.geo.cities`).
+5. "USA"/"United States" alone — country-level match without a state.
+6. Known foreign country/city — non-US match.
+
+Anything else is unresolved (``GeoMatch.unresolved()``), which downstream
+causes the tweet to be dropped by the US filter, exactly as in the paper
+(only ~14% of collected tweets could be attributed to US users).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.geo.cities import CITY_TO_STATE
+from repro.geo.gazetteer import STATES
+
+#: Foreign locations commonly seen in profile strings.  Values are ISO-ish
+#: country codes; only "not US" matters downstream.
+FOREIGN_LOCATIONS: dict[str, str] = {
+    "london": "GB", "uk": "GB", "united kingdom": "GB", "england": "GB",
+    "manchester uk": "GB", "scotland": "GB", "wales": "GB",
+    "toronto": "CA-ON", "vancouver": "CA-ON", "canada": "CA-ON",
+    "montreal": "CA-ON", "ontario": "CA-ON",
+    "sydney": "AU", "melbourne": "AU", "australia": "AU",
+    "mumbai": "IN-C", "delhi": "IN-C", "india": "IN-C", "bangalore": "IN-C",
+    "lagos": "NG", "nigeria": "NG", "abuja": "NG",
+    "manila": "PH", "philippines": "PH",
+    "jakarta": "ID-C", "indonesia": "ID-C",
+    "dublin": "IE", "ireland": "IE",
+    "paris": "FR", "france": "FR",
+    "berlin": "DE", "germany": "DE",
+    "madrid": "ES", "spain": "ES",
+    "tokyo": "JP", "japan": "JP",
+    "nairobi": "KE", "kenya": "KE",
+    "johannesburg": "ZA", "south africa": "ZA",
+    "mexico city": "MX", "mexico": "MX",
+    "sao paulo": "BR", "brazil": "BR", "rio de janeiro": "BR",
+    "buenos aires": "AR-C", "argentina": "AR-C",
+}
+
+#: Informal multi-state metro/region names seen in profile locations,
+#: resolved to the state Nominatim's top result would give.
+METRO_AREAS: dict[str, str] = {
+    "bay area": "CA",
+    "the bay": "CA",
+    "silicon valley": "CA",
+    "socal": "CA",
+    "norcal": "CA",
+    "twin cities": "MN",
+    "pnw": "WA",
+    "pacific northwest": "WA",
+    "dmv": "DC",
+    "south florida": "FL",
+    "the hamptons": "NY",
+    "cape cod": "MA",
+    "the ozarks": "MO",
+}
+
+_US_COUNTRY_TERMS = frozenset(
+    {"usa", "us", "u.s.", "u.s.a.", "united states", "united states of america", "america"}
+)
+
+_NON_WORD = re.compile(r"[^\w\s,.'-]+", re.UNICODE)
+_WS = re.compile(r"\s+")
+_TRAILING_ZIP = re.compile(r"^(.*?)[\s,]+\d{5}(?:-\d{4})?$")
+
+
+@dataclass(frozen=True, slots=True)
+class GeoMatch:
+    """Result of geocoding one location string.
+
+    Attributes:
+        country: ISO-like country code (``"US"`` for the United States),
+            or ``None`` when unresolved.
+        state: USPS state code when the match is a US state, else ``None``.
+        confidence: heuristic resolution confidence in ``(0, 1]``;
+            0.0 for unresolved.
+        source: which resolution rule fired (for provenance/debugging).
+    """
+
+    country: str | None
+    state: str | None
+    confidence: float
+    source: str
+
+    @property
+    def is_us_state(self) -> bool:
+        """True when resolved to a specific US state or territory."""
+        return self.country == "US" and self.state is not None
+
+    @property
+    def resolved(self) -> bool:
+        return self.country is not None
+
+    @staticmethod
+    def unresolved() -> "GeoMatch":
+        return GeoMatch(country=None, state=None, confidence=0.0, source="none")
+
+
+class Geocoder:
+    """Resolve free-text profile locations to (country, US state).
+
+    Stateless and cheap to construct; lookup tables are built once per
+    instance.  Thread-safe after construction.
+    """
+
+    #: Cache bound: far above distinct profile strings in any realistic
+    #: corpus, small enough to be harmless.
+    _CACHE_LIMIT = 1_000_000
+
+    def __init__(self) -> None:
+        self._state_by_name = {state.name.lower(): state.abbrev for state in STATES}
+        self._state_by_code = {state.abbrev: state.abbrev for state in STATES}
+        self._nicknames = {
+            nickname: state.abbrev for state in STATES for nickname in state.nicknames
+        }
+        # Longest names first so "west virginia" wins over "virginia";
+        # patterns precompiled once — geocoding is the pipeline hot path.
+        self._state_names_ordered = sorted(
+            self._state_by_name, key=len, reverse=True
+        )
+        self._state_name_patterns = [
+            (name, re.compile(rf"\b{re.escape(name)}\b"))
+            for name in self._state_names_ordered
+        ]
+        self._nickname_patterns = [
+            (code, re.compile(rf"\b{re.escape(nickname)}\b"))
+            for nickname, code in self._nicknames.items()
+        ]
+        self._cache: dict[str, GeoMatch] = {}
+
+    def geocode(self, location: str | None) -> GeoMatch:
+        """Resolve one location string; never raises on messy input.
+
+        Results are memoized per string — users repeat across tweets, so
+        corpora contain few distinct location strings.
+        """
+        if not location:
+            return GeoMatch.unresolved()
+        cached = self._cache.get(location)
+        if cached is not None:
+            return cached
+        match = self._geocode_uncached(location)
+        if len(self._cache) < self._CACHE_LIMIT:
+            self._cache[location] = match
+        return match
+
+    def _geocode_uncached(self, location: str) -> GeoMatch:
+        cleaned = _WS.sub(" ", _NON_WORD.sub(" ", location)).strip()
+        if not cleaned:
+            return GeoMatch.unresolved()
+        zip_stripped = _TRAILING_ZIP.match(cleaned)
+        if zip_stripped is not None and zip_stripped.group(1).strip():
+            cleaned = zip_stripped.group(1).strip().rstrip(",")
+
+        match = self._match_comma_pattern(cleaned)
+        if match is None:
+            match = self._match_state_name(cleaned)
+        if match is None:
+            match = self._match_bare_code(cleaned)
+        if match is None:
+            match = self._match_city(cleaned)
+        if match is None:
+            match = self._match_metro(cleaned)
+        if match is None:
+            match = self._match_country(cleaned)
+        if match is None:
+            match = self._match_foreign(cleaned)
+        return match if match is not None else GeoMatch.unresolved()
+
+    def _match_comma_pattern(self, cleaned: str) -> GeoMatch | None:
+        """Resolve '<place>, <state>' forms, the most reliable pattern."""
+        if "," not in cleaned:
+            return None
+        __, __, tail = cleaned.rpartition(",")
+        tail = tail.strip().rstrip(".")
+        tail_lower = tail.lower()
+        code = self._state_by_code.get(tail.upper())
+        if code is not None and (len(tail) == 2 or tail_lower in _US_COUNTRY_TERMS):
+            return GeoMatch("US", code, 0.95, "comma-abbrev")
+        state = self._state_by_name.get(tail_lower)
+        if state is not None:
+            return GeoMatch("US", state, 0.95, "comma-name")
+        if tail_lower in _US_COUNTRY_TERMS:
+            # "Springfield, USA" — retry the head for a state/city.
+            head = cleaned.rpartition(",")[0].strip()
+            inner = self.geocode(head)
+            if inner.is_us_state:
+                return GeoMatch("US", inner.state, inner.confidence * 0.9, inner.source)
+            return GeoMatch("US", None, 0.6, "comma-country")
+        return None
+
+    def _match_state_name(self, cleaned: str) -> GeoMatch | None:
+        lowered = cleaned.lower()
+        for name, pattern in self._state_name_patterns:
+            if pattern.search(lowered):
+                return GeoMatch("US", self._state_by_name[name], 0.85, "state-name")
+        for code, pattern in self._nickname_patterns:
+            if pattern.search(lowered):
+                return GeoMatch("US", code, 0.7, "state-nickname")
+        return None
+
+    def _match_bare_code(self, cleaned: str) -> GeoMatch | None:
+        token = cleaned.strip()
+        if len(token) == 2 and token.isupper() and token in self._state_by_code:
+            return GeoMatch("US", token, 0.75, "bare-abbrev")
+        return None
+
+    def _match_city(self, cleaned: str) -> GeoMatch | None:
+        lowered = cleaned.lower().strip(" .")
+        state = CITY_TO_STATE.get(lowered)
+        if state is not None:
+            return GeoMatch("US", state, 0.8, "city")
+        # "downtown wichita" style: try the longest suffix of up to 3 tokens.
+        tokens = lowered.split()
+        for width in (3, 2, 1):
+            if len(tokens) >= width:
+                suffix = " ".join(tokens[-width:])
+                state = CITY_TO_STATE.get(suffix)
+                if state is not None:
+                    return GeoMatch("US", state, 0.65, "city-suffix")
+        return None
+
+    def _match_metro(self, cleaned: str) -> GeoMatch | None:
+        lowered = cleaned.lower().strip(" .")
+        state = METRO_AREAS.get(lowered)
+        if state is not None:
+            return GeoMatch("US", state, 0.6, "metro")
+        for metro, code in METRO_AREAS.items():
+            if re.search(rf"\b{re.escape(metro)}\b", lowered):
+                return GeoMatch("US", code, 0.55, "metro-embedded")
+        return None
+
+    def _match_country(self, cleaned: str) -> GeoMatch | None:
+        if cleaned.lower().strip(" .") in _US_COUNTRY_TERMS:
+            return GeoMatch("US", None, 0.6, "country")
+        return None
+
+    def _match_foreign(self, cleaned: str) -> GeoMatch | None:
+        lowered = cleaned.lower().strip(" .")
+        country = FOREIGN_LOCATIONS.get(lowered)
+        if country is not None:
+            return GeoMatch(country, None, 0.8, "foreign")
+        __, __, tail = lowered.rpartition(",")
+        country = FOREIGN_LOCATIONS.get(tail.strip())
+        if country is not None:
+            return GeoMatch(country, None, 0.75, "foreign-comma")
+        return None

@@ -1,0 +1,48 @@
+"""Social-network substrate: follower graph, cascades, interventions.
+
+The paper closes by arguing its characterization "can inform models of
+social influence to be employed in the context of organ donation aiming
+at designing interventions that effectively target specific groups of
+users" (§V), building on evidence that social-media campaigns move donor
+registrations (its ref [8], the "Facebook effect").  This package builds
+that model layer:
+
+* :mod:`repro.network.graph` — a follower graph over the synthetic
+  population with degree heterogeneity and homophily by state and by
+  focal organ (people follow like-minded, nearby accounts);
+* :mod:`repro.network.cascades` — independent-cascade message spread,
+  with pass-along probability modulated by the receiver's attention to
+  the message's organ;
+* :mod:`repro.network.influence` — seed-set evaluation and greedy
+  (CELF-style) influence maximization with degree/random baselines;
+* :mod:`repro.network.intervention` — campaign strategies that combine
+  the paper's artifacts (Fig. 7 user segments, Fig. 5 receptive states)
+  and measure awareness reach.
+"""
+
+from repro.network.cascades import CascadeResult, simulate_cascade
+from repro.network.graph import FollowerGraph, GraphConfig, build_follower_graph
+from repro.network.influence import (
+    InfluenceEstimate,
+    estimate_influence,
+    greedy_influence_maximization,
+)
+from repro.network.intervention import (
+    CampaignOutcome,
+    CampaignStrategy,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignStrategy",
+    "CascadeResult",
+    "FollowerGraph",
+    "GraphConfig",
+    "InfluenceEstimate",
+    "build_follower_graph",
+    "estimate_influence",
+    "greedy_influence_maximization",
+    "run_campaign",
+    "simulate_cascade",
+]

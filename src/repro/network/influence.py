@@ -1,0 +1,142 @@
+"""Influence estimation and greedy seed selection.
+
+Monte-Carlo influence estimation under the independent-cascade model and
+a lazy-greedy (CELF-style) maximizer.  Influence maximization is the
+formal version of the paper's "designing interventions that effectively
+target specific groups of users"; the submodularity of independent
+cascade makes lazy greedy a (1 − 1/e)-approximation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.cascades import simulate_cascade
+from repro.network.graph import FollowerGraph
+from repro.organs import Organ
+
+
+@dataclass(frozen=True, slots=True)
+class InfluenceEstimate:
+    """Monte-Carlo influence of one seed set.
+
+    Attributes:
+        seeds: the evaluated seed set.
+        mean_reach: mean activated users across simulations.
+        std_reach: standard deviation across simulations.
+        mean_aligned_reach: mean of Σ attention[organ] over activated
+            users — "awareness mass" delivered to the campaign's topic,
+            the metric that rewards targeting the right audience rather
+            than the biggest one.
+        n_simulations: Monte-Carlo repetitions.
+    """
+
+    seeds: tuple[int, ...]
+    mean_reach: float
+    std_reach: float
+    mean_aligned_reach: float
+    n_simulations: int
+
+    @property
+    def alignment(self) -> float:
+        """Aligned reach per activated user, in [0, 1]."""
+        if self.mean_reach <= 0:
+            return 0.0
+        return self.mean_aligned_reach / self.mean_reach
+
+
+def estimate_influence(
+    graph: FollowerGraph,
+    seeds: list[int],
+    organ: Organ,
+    n_simulations: int = 30,
+    base_probability: float = 0.06,
+    seed: int = 0,
+) -> InfluenceEstimate:
+    """Monte-Carlo estimate of a seed set's expected (aligned) reach."""
+    if n_simulations < 1:
+        raise ConfigError(f"n_simulations must be >= 1, got {n_simulations}")
+    rng = np.random.default_rng(seed)
+    organ_index = organ.index
+    sizes: list[int] = []
+    aligned: list[float] = []
+    for __ in range(n_simulations):
+        cascade = simulate_cascade(graph, seeds, organ, rng, base_probability)
+        sizes.append(cascade.size)
+        aligned.append(
+            float(
+                sum(
+                    graph.attention_of(user)[organ_index]
+                    for user in cascade.activated
+                )
+            )
+        )
+    return InfluenceEstimate(
+        seeds=tuple(seeds),
+        mean_reach=float(np.mean(sizes)),
+        std_reach=float(np.std(sizes)),
+        mean_aligned_reach=float(np.mean(aligned)),
+        n_simulations=n_simulations,
+    )
+
+
+def greedy_influence_maximization(
+    graph: FollowerGraph,
+    budget: int,
+    organ: Organ,
+    candidates: list[int] | None = None,
+    n_simulations: int = 20,
+    base_probability: float = 0.06,
+    seed: int = 0,
+) -> InfluenceEstimate:
+    """Lazy-greedy seed selection under independent cascade.
+
+    Args:
+        graph: the follower graph.
+        budget: number of seeds to select.
+        organ: campaign topic.
+        candidates: candidate pool; defaults to the 50 largest audiences
+            (marginal gain is negligible outside it and evaluation is the
+            cost driver).
+        n_simulations: Monte-Carlo repetitions per evaluation.
+
+    Raises:
+        ConfigError: if the budget exceeds the candidate pool.
+    """
+    if candidates is None:
+        candidates = graph.top_audiences(50)
+    if budget < 1 or budget > len(candidates):
+        raise ConfigError(
+            f"budget must be in [1, {len(candidates)}], got {budget}"
+        )
+
+    def reach(seed_set: list[int]) -> float:
+        return estimate_influence(
+            graph, seed_set, organ, n_simulations, base_probability, seed
+        ).mean_reach
+
+    chosen: list[int] = []
+    base_reach = 0.0
+    # CELF: a max-heap of stale marginal gains; re-evaluate lazily.
+    heap: list[tuple[float, int, int]] = []  # (-gain, candidate, round)
+    for candidate in candidates:
+        gain = reach([candidate])
+        heapq.heappush(heap, (-gain, candidate, 0))
+    current_round = 0
+    while len(chosen) < budget and heap:
+        neg_gain, candidate, evaluated_round = heapq.heappop(heap)
+        if evaluated_round == current_round:
+            chosen.append(candidate)
+            base_reach = reach(chosen)
+            current_round += 1
+        else:
+            gain = reach(chosen + [candidate]) - base_reach
+            heapq.heappush(heap, (-gain, candidate, current_round))
+    final = estimate_influence(
+        graph, chosen, organ, n_simulations, base_probability, seed
+    )
+    return final

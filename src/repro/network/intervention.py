@@ -1,0 +1,174 @@
+"""Campaign intervention strategies.
+
+Compares seed-selection strategies for an organ-awareness campaign — the
+practical payoff of the paper's characterizations:
+
+* ``RANDOM`` — naive baseline.
+* ``TOP_FOLLOWERS`` — pure audience size, ignoring content fit.
+* ``SEGMENT`` — the Fig. 7 insight: seed users whose attention is focused
+  on the campaign organ (high pass-along probability among peers).
+* ``RECEPTIVE_STATES`` — the Fig. 5 insight: seed high-audience users in
+  states with a significant conversation excess for the organ.
+* ``GREEDY`` — influence maximization (upper reference).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.graph import FollowerGraph
+from repro.network.influence import (
+    estimate_influence,
+    greedy_influence_maximization,
+)
+from repro.organs import Organ
+
+
+class CampaignStrategy(enum.Enum):
+    """Seed-selection strategy for an awareness campaign."""
+
+    RANDOM = "random"
+    TOP_FOLLOWERS = "top-followers"
+    SEGMENT = "segment"
+    RECEPTIVE_STATES = "receptive-states"
+    GREEDY = "greedy"
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignOutcome:
+    """Result of one strategy run.
+
+    Attributes:
+        strategy: the strategy used.
+        organ: campaign topic.
+        seeds: chosen seed users.
+        mean_reach: expected users reached (Monte-Carlo).
+        std_reach: reach standard deviation.
+        mean_aligned_reach: expected awareness mass delivered to the
+            campaign organ (Σ attention[organ] over reached users).
+    """
+
+    strategy: CampaignStrategy
+    organ: Organ
+    seeds: tuple[int, ...]
+    mean_reach: float
+    std_reach: float
+    mean_aligned_reach: float
+
+    @property
+    def alignment(self) -> float:
+        """Aligned reach per user reached."""
+        if self.mean_reach <= 0:
+            return 0.0
+        return self.mean_aligned_reach / self.mean_reach
+
+
+def run_campaign(
+    graph: FollowerGraph,
+    strategy: CampaignStrategy,
+    organ: Organ,
+    budget: int = 10,
+    receptive_states: tuple[str, ...] = (),
+    n_simulations: int = 30,
+    base_probability: float = 0.06,
+    seed: int = 0,
+) -> CampaignOutcome:
+    """Select seeds by one strategy and estimate the campaign's reach.
+
+    Args:
+        graph: the follower graph.
+        strategy: seed-selection strategy.
+        organ: campaign topic.
+        budget: seed count.
+        receptive_states: required for ``RECEPTIVE_STATES`` — normally
+            the Fig. 5 highlighted states for the organ.
+        n_simulations: Monte-Carlo repetitions for reach estimation.
+
+    Raises:
+        ConfigError: on an infeasible budget, or RECEPTIVE_STATES without
+            states.
+    """
+    if budget < 1:
+        raise ConfigError(f"budget must be >= 1, got {budget}")
+    rng = np.random.default_rng(seed)
+
+    if strategy is CampaignStrategy.GREEDY:
+        estimate = greedy_influence_maximization(
+            graph, budget, organ,
+            n_simulations=max(10, n_simulations // 2),
+            base_probability=base_probability,
+            seed=seed,
+        )
+        return CampaignOutcome(
+            strategy=strategy,
+            organ=organ,
+            seeds=estimate.seeds,
+            mean_reach=estimate.mean_reach,
+            std_reach=estimate.std_reach,
+            mean_aligned_reach=estimate.mean_aligned_reach,
+        )
+
+    seeds_chosen = _select_seeds(
+        graph, strategy, organ, budget, receptive_states, rng
+    )
+    estimate = estimate_influence(
+        graph, seeds_chosen, organ, n_simulations, base_probability, seed
+    )
+    return CampaignOutcome(
+        strategy=strategy,
+        organ=organ,
+        seeds=estimate.seeds,
+        mean_reach=estimate.mean_reach,
+        std_reach=estimate.std_reach,
+        mean_aligned_reach=estimate.mean_aligned_reach,
+    )
+
+
+def _select_seeds(
+    graph: FollowerGraph,
+    strategy: CampaignStrategy,
+    organ: Organ,
+    budget: int,
+    receptive_states: tuple[str, ...],
+    rng: np.random.Generator,
+) -> list[int]:
+    if strategy is CampaignStrategy.RANDOM:
+        nodes = list(graph.graph.nodes)
+        if budget > len(nodes):
+            raise ConfigError("budget exceeds population")
+        return [int(u) for u in rng.choice(nodes, size=budget, replace=False)]
+
+    if strategy is CampaignStrategy.TOP_FOLLOWERS:
+        return graph.top_audiences(budget)
+
+    if strategy is CampaignStrategy.SEGMENT:
+        segment = graph.users_with_focal(organ)
+        if len(segment) < budget:
+            raise ConfigError(
+                f"only {len(segment)} users focal on {organ.value}"
+            )
+        segment.sort(key=lambda user: -graph.audience_size(user))
+        return segment[:budget]
+
+    if strategy is CampaignStrategy.RECEPTIVE_STATES:
+        if not receptive_states:
+            raise ConfigError(
+                "RECEPTIVE_STATES requires at least one state"
+            )
+        pool = [
+            user
+            for state in receptive_states
+            for user in graph.users_in_state(state)
+        ]
+        if len(pool) < budget:
+            raise ConfigError(
+                f"only {len(pool)} users in receptive states"
+            )
+        pool.sort(key=lambda user: -graph.audience_size(user))
+        return pool[:budget]
+
+    raise ConfigError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,16 @@
+"""Text-processing substrate: tokenization, query keywords, organ matching."""
+
+from repro.nlp.keywords import CONTEXT_TERMS, SUBJECT_TERMS, KeywordQuery, build_query_set
+from repro.nlp.matcher import OrganMatcher
+from repro.nlp.tokenize import Token, TokenKind, tokenize
+
+__all__ = [
+    "CONTEXT_TERMS",
+    "SUBJECT_TERMS",
+    "KeywordQuery",
+    "OrganMatcher",
+    "Token",
+    "TokenKind",
+    "build_query_set",
+    "tokenize",
+]

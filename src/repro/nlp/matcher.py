@@ -1,0 +1,69 @@
+"""Organ-mention extraction from tweet text.
+
+Maps every tweet to the multiset of organs it mentions.  The contingency
+matrix of :mod:`repro.core.attention` is built from these mentions, so the
+matcher's recall/precision directly shapes every downstream result.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.organs import ALIASES, Organ
+from repro.nlp.tokenize import Token, TokenKind, tokenize
+
+
+class OrganMatcher:
+    """Extract organ mentions from tweet text.
+
+    Matching rules:
+
+    * WORD tokens match aliases exactly; hyphen/apostrophe compounds are
+      split so ``"kidney-liver"`` counts both organs.
+    * HASHTAG tokens match exactly, then by substring for glued bodies
+      (``"#hearttransplant"`` → heart).  Substring matching requires alias
+      length >= 4, so short inflections cannot fire spuriously.
+    * Each organ counts at most once per token, but every mentioning token
+      counts — "kidney kidney kidney" yields 3 kidney mentions.  Mention
+      *counts* feed the attention matrix.
+    """
+
+    def __init__(self, aliases: dict[str, Organ] | None = None):
+        self._aliases = dict(ALIASES if aliases is None else aliases)
+        self._substring_terms = tuple(
+            term for term in self._aliases if len(term) >= 4
+        )
+
+    def mentions(self, text: str) -> Counter[Organ]:
+        """Count organ mentions in one tweet's text."""
+        counts: Counter[Organ] = Counter()
+        for token in tokenize(text):
+            for organ in self._match_token(token):
+                counts[organ] += 1
+        return counts
+
+    def distinct_organs(self, text: str) -> frozenset[Organ]:
+        """The set of organs mentioned at least once."""
+        return frozenset(self.mentions(text))
+
+    def _match_token(self, token: Token) -> frozenset[Organ]:
+        if token.kind is TokenKind.WORD:
+            organ = self._aliases.get(token.text)
+            if organ is not None:
+                return frozenset((organ,))
+            if "-" in token.text or "'" in token.text or "’" in token.text:
+                parts = token.text.replace("’", "'").replace("'", "-").split("-")
+                return frozenset(
+                    self._aliases[part] for part in parts if part in self._aliases
+                )
+            return frozenset()
+        if token.kind is TokenKind.HASHTAG:
+            organ = self._aliases.get(token.text)
+            if organ is not None:
+                return frozenset((organ,))
+            return frozenset(
+                self._aliases[term]
+                for term in self._substring_terms
+                if term in token.text
+            )
+        return frozenset()

@@ -1,0 +1,88 @@
+"""Tweet-aware tokenizer.
+
+Splits tweet text into typed tokens, preserving the Twitter-specific
+entities that matter for matching: hashtags (``#organdonor``), user
+mentions (``@unos``), and URLs.  Hashtag bodies often glue words together
+("#kidneydonor"); the matcher handles those by substring rules, so the
+tokenizer keeps the hashtag body intact.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class TokenKind(enum.Enum):
+    """Lexical class of a token."""
+
+    WORD = "word"
+    HASHTAG = "hashtag"
+    MENTION = "mention"
+    URL = "url"
+    NUMBER = "number"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One token of tweet text.
+
+    Attributes:
+        text: Normalized token text — lowercase; hashtags/mentions without
+            their sigil; URLs verbatim.
+        kind: Lexical class.
+    """
+
+    text: str
+    kind: TokenKind
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<url>https?://\S+)
+  | (?P<mention>@\w+)
+  | (?P<hashtag>\#\w+)
+  | (?P<number>\d+(?:[.,]\d+)*)
+  | (?P<word>[A-Za-z]+(?:['’-][A-Za-z]+)*)
+    """,
+    re.VERBOSE,
+)
+
+
+@lru_cache(maxsize=65536)
+def tokenize(text: str) -> tuple[Token, ...]:
+    """Tokenize tweet text into typed tokens.
+
+    The result is cached — tweet vocabularies repeat heavily, and the
+    pipeline tokenizes every tweet twice (collection filter, then organ
+    matching).
+
+    >>> [t.text for t in tokenize("Be an organ donor! #kidney @UNOS")]
+    ['be', 'an', 'organ', 'donor', 'kidney', 'unos']
+    """
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind_name = match.lastgroup
+        raw = match.group()
+        if kind_name == "url":
+            tokens.append(Token(raw, TokenKind.URL))
+        elif kind_name == "mention":
+            tokens.append(Token(raw[1:].lower(), TokenKind.MENTION))
+        elif kind_name == "hashtag":
+            tokens.append(Token(raw[1:].lower(), TokenKind.HASHTAG))
+        elif kind_name == "number":
+            tokens.append(Token(raw, TokenKind.NUMBER))
+        else:
+            tokens.append(Token(raw.lower(), TokenKind.WORD))
+    return tuple(tokens)
+
+
+def words(text: str) -> tuple[str, ...]:
+    """Lowercased WORD and HASHTAG token texts, in order."""
+    return tuple(
+        token.text
+        for token in tokenize(text)
+        if token.kind in (TokenKind.WORD, TokenKind.HASHTAG)
+    )

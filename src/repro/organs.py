@@ -1,0 +1,102 @@
+"""The six major solid organs transplanted in the USA.
+
+The paper restricts the *Subject* vocabulary (Fig. 1) to the six major
+solid organs: heart, kidney, liver, lung, pancreas, and intestine.  This
+module is the single source of truth for that entity set — every matrix in
+:mod:`repro.core` indexes its columns by :data:`ORGANS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+
+class Organ(enum.Enum):
+    """One of the six major solid organs studied in the paper."""
+
+    HEART = "heart"
+    KIDNEY = "kidney"
+    LIVER = "liver"
+    LUNG = "lung"
+    PANCREAS = "pancreas"
+    INTESTINE = "intestine"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def index(self) -> int:
+        """Column index of this organ in attention/aggregation matrices."""
+        return ORGANS.index(self)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Organ":
+        """Resolve an organ from a canonical name or known alias.
+
+        Raises:
+            UnknownOrganError: if ``name`` is not a recognized organ term.
+        """
+        token = name.strip().lower()
+        organ = ALIASES.get(token)
+        if organ is None:
+            raise UnknownOrganError(name)
+        return organ
+
+
+class UnknownOrganError(KeyError):
+    """Raised when a string cannot be resolved to one of the six organs."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown organ name: {self.name!r}"
+
+
+#: Canonical column order for all organ-indexed matrices.
+ORGANS: tuple[Organ, ...] = (
+    Organ.HEART,
+    Organ.KIDNEY,
+    Organ.LIVER,
+    Organ.LUNG,
+    Organ.PANCREAS,
+    Organ.INTESTINE,
+)
+
+#: Number of organs (``n`` in the paper's notation).
+N_ORGANS: int = len(ORGANS)
+
+#: Canonical lowercase names, in column order.
+ORGAN_NAMES: tuple[str, ...] = tuple(organ.value for organ in ORGANS)
+
+#: Accepted surface forms for each organ, used by the NLP matcher.  Keys are
+#: lowercase single tokens; plural forms are included because tweet text uses
+#: them freely ("kidneys", "lungs").
+ALIASES: dict[str, Organ] = {
+    "heart": Organ.HEART,
+    "hearts": Organ.HEART,
+    "cardiac": Organ.HEART,
+    "kidney": Organ.KIDNEY,
+    "kidneys": Organ.KIDNEY,
+    "renal": Organ.KIDNEY,
+    "liver": Organ.LIVER,
+    "livers": Organ.LIVER,
+    "hepatic": Organ.LIVER,
+    "lung": Organ.LUNG,
+    "lungs": Organ.LUNG,
+    "pulmonary": Organ.LUNG,
+    "pancreas": Organ.PANCREAS,
+    "pancreases": Organ.PANCREAS,
+    "pancreatic": Organ.PANCREAS,
+    "intestine": Organ.INTESTINE,
+    "intestines": Organ.INTESTINE,
+    "intestinal": Organ.INTESTINE,
+    "bowel": Organ.INTESTINE,
+}
+
+
+def organ_indices(organs: Iterable[Organ]) -> list[int]:
+    """Map organs to their matrix column indices, preserving order."""
+    return [organ.index for organ in organs]

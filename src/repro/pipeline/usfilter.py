@@ -1,0 +1,17 @@
+"""Step 3: retain only tweets from users located in a US state.
+
+The paper keeps only tweets attributable to USA users (134,986 of 975,021
+collected).  A tweet survives when its resolved location is a specific US
+state or territory with sufficient confidence — country-level "USA" matches
+are not enough, because every downstream characterization is per-state.
+"""
+
+from __future__ import annotations
+
+from repro.config import CollectionConfig
+from repro.geo.geocoder import GeoMatch
+
+
+def is_us_located(match: GeoMatch, config: CollectionConfig) -> bool:
+    """True when the tweet should be retained by the US filter."""
+    return match.is_us_state and match.confidence >= config.min_confidence

@@ -1,0 +1,41 @@
+"""Synthetic organ procurement & transplantation registry (OPTN stand-in).
+
+The paper leans on OPTN/SRTR registry statistics throughout: Fig. 2a
+correlates Twitter attention against 2012 transplant volumes; the intro
+motivates the work with the waitlist arithmetic ("nearly 22 patients die
+in the USA every day", "roughly 60 thousand patients were in the waiting
+list for a kidney transplant … only 17 thousand kidney transplants"); and
+§IV-B1 validates the Kansas finding against Cao et al.'s kidney-donor
+geography.  The registry microdata behind those numbers is not
+redistributable, so this package simulates the registry itself:
+
+* :mod:`repro.registry.model` — a monthly-step simulation of waitlist
+  arrivals, deceased donors, a two-tier (local-then-national) organ
+  allocation, and waitlist mortality, per state × organ;
+* :mod:`repro.registry.config` — rates calibrated to the published 2012
+  aggregates, with the Kansas kidney-donor surplus planted;
+* :mod:`repro.registry.statistics` — the aggregate views the paper
+  consumes (national volumes, per-capita donor rates, deaths per day);
+* :mod:`repro.registry.validation` — the "social sensor" validity check:
+  does the Twitter-side relative risk correlate with registry-side donor
+  surpluses?
+"""
+
+from repro.registry.config import RegistryConfig, calibrated_2012_config
+from repro.registry.model import RegistryOutcome, TransplantRegistry
+from repro.registry.regions import OPTN_REGIONS, optn_region_of
+from repro.registry.statistics import RegistryStatistics, summarize_registry
+from repro.registry.validation import SensorValidity, sensor_validity
+
+__all__ = [
+    "OPTN_REGIONS",
+    "RegistryConfig",
+    "RegistryOutcome",
+    "RegistryStatistics",
+    "SensorValidity",
+    "TransplantRegistry",
+    "calibrated_2012_config",
+    "optn_region_of",
+    "sensor_validity",
+    "summarize_registry",
+]

@@ -1,0 +1,254 @@
+"""The registry simulation: waitlists, donors, allocation, mortality.
+
+Monthly discrete-event aggregates per (state, organ), vectorized over the
+52 gazetteer states and 6 organs:
+
+1. **Arrivals** — waitlist registrations ~ Poisson, distributed over
+   states by population.
+2. **Donors** — deceased donors ~ Poisson per state (population ×
+   planted propensity); each donor contributes ``donor_yield`` grafts per
+   organ in expectation.
+3. **Allocation** — the OPTN three-tier ladder: a local share of each
+   state's grafts is offered to its own waitlist; a regional share (plus
+   declined local offers) is allocated within the state's OPTN region
+   (:mod:`repro.registry.regions`); everything left enters the national
+   pool.  This reproduces the geographic donor/recipient disproportion
+   of the paper's refs [6]/[7].
+4. **Mortality & removals** — binomial draws on the post-transplant
+   waitlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.gazetteer import ALL_REGION_CODES, STATES
+from repro.organs import N_ORGANS
+from repro.registry.config import RegistryConfig
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryOutcome:
+    """Accumulated simulation results.
+
+    All arrays are (n_states, n_organs) totals over the horizon except
+    ``final_waitlist`` (a snapshot).  State order is
+    :data:`repro.geo.gazetteer.ALL_REGION_CODES`; organ order is
+    canonical.
+
+    Attributes:
+        states: state codes, aligned with axis 0.
+        additions: waitlist registrations.
+        transplants: grafts transplanted.
+        imports: grafts received from outside the state (regional +
+            national tiers).
+        regional_imports: grafts received through the OPTN-region tier.
+        local_transplants: grafts transplanted from in-state donors.
+        donor_grafts: grafts recovered from in-state donors.
+        deaths: waitlist deaths.
+        removals: non-death waitlist removals.
+        final_waitlist: waiting candidates at the end.
+        months: simulated horizon.
+    """
+
+    states: tuple[str, ...]
+    additions: np.ndarray
+    transplants: np.ndarray
+    imports: np.ndarray
+    regional_imports: np.ndarray
+    local_transplants: np.ndarray
+    donor_grafts: np.ndarray
+    deaths: np.ndarray
+    removals: np.ndarray
+    final_waitlist: np.ndarray
+    months: int
+
+
+class TransplantRegistry:
+    """Run the registry simulation for one configuration."""
+
+    def __init__(self, config: RegistryConfig):
+        self.config = config
+        populations = np.array(
+            [float(state.population) for state in STATES]
+        )
+        self._population_share = populations / populations.sum()
+        self._n_states = len(STATES)
+        # Per-state, per-organ donor propensity multipliers.
+        propensity = np.ones((self._n_states, N_ORGANS))
+        state_index = {code: i for i, code in enumerate(ALL_REGION_CODES)}
+        for state, boosts in config.donor_propensity.items():
+            row = state_index[state]
+            for organ_index, factor in boosts.items():
+                propensity[row, organ_index] = factor
+        self._propensity = propensity
+        from repro.registry.regions import optn_region_of
+
+        region_rows: dict[int, list[int]] = {}
+        for row, code in enumerate(ALL_REGION_CODES):
+            region_rows.setdefault(optn_region_of(code), []).append(row)
+        self._region_rows = {
+            region: np.array(rows) for region, rows in region_rows.items()
+        }
+
+    def run(self) -> RegistryOutcome:
+        """Simulate ``config.months`` months; deterministic per seed."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        n_states = self._n_states
+
+        waitlist = np.zeros((n_states, N_ORGANS))
+        for organ_index, flow in enumerate(config.flows):
+            waitlist[:, organ_index] = rng.multinomial(
+                flow.initial_waitlist, self._population_share
+            )
+
+        additions = np.zeros_like(waitlist)
+        transplants = np.zeros_like(waitlist)
+        imports = np.zeros_like(waitlist)
+        regional_imports = np.zeros_like(waitlist)
+        local_transplants = np.zeros_like(waitlist)
+        donor_grafts = np.zeros_like(waitlist)
+        deaths = np.zeros_like(waitlist)
+        removals = np.zeros_like(waitlist)
+
+        monthly_addition_mean = np.array(
+            [flow.annual_additions / 12.0 for flow in config.flows]
+        )
+        monthly_mortality = np.array(
+            [1.0 - (1.0 - flow.annual_mortality_rate) ** (1 / 12)
+             for flow in config.flows]
+        )
+        monthly_removal = np.array(
+            [1.0 - (1.0 - flow.annual_other_removals_rate) ** (1 / 12)
+             for flow in config.flows]
+        )
+        donor_yields = np.array([flow.donor_yield for flow in config.flows])
+        monthly_donors_mean = config.annual_deceased_donors / 12.0
+
+        for __ in range(config.months):
+            # 1. Arrivals.
+            month_additions = rng.poisson(
+                np.outer(self._population_share, monthly_addition_mean)
+            )
+            waitlist += month_additions
+            additions += month_additions
+
+            # 2. Donors and recovered grafts.
+            donors = rng.poisson(monthly_donors_mean * self._population_share)
+            grafts = rng.poisson(
+                donors[:, None] * donor_yields[None, :] * self._propensity
+            ).astype(float)
+            donor_grafts += grafts
+
+            # 3a. Local tier.
+            local_offer = np.floor(
+                grafts * config.local_allocation_share
+            )
+            local_used = np.minimum(local_offer, waitlist)
+            waitlist -= local_used
+            transplants += local_used
+            local_transplants += local_used
+
+            # 3b. Regional tier: the regional share plus declined local
+            # offers, allocated within each OPTN region.
+            remaining = grafts - local_used
+            regional_offer = np.floor(
+                remaining
+                * (
+                    config.regional_allocation_share
+                    / max(1e-12, 1.0 - config.local_allocation_share)
+                )
+            )
+            regional_offer = np.minimum(regional_offer, remaining)
+            national_pool = (remaining - regional_offer).sum(axis=0)
+            for rows in self._region_rows.values():
+                for organ_index in range(N_ORGANS):
+                    supply = int(regional_offer[rows, organ_index].sum())
+                    placed = _allocate_discrete(
+                        supply, waitlist[rows, organ_index], rng
+                    )
+                    waitlist[rows, organ_index] -= placed
+                    transplants[rows, organ_index] += placed
+                    imports[rows, organ_index] += placed
+                    regional_imports[rows, organ_index] += placed
+                    national_pool[organ_index] += supply - placed.sum()
+
+            # 3c. National tier: everything unplaced so far.
+            for organ_index in range(N_ORGANS):
+                supply = int(national_pool[organ_index])
+                placed = _allocate_discrete(
+                    supply, waitlist[:, organ_index], rng
+                )
+                waitlist[:, organ_index] -= placed
+                transplants[:, organ_index] += placed
+                imports[:, organ_index] += placed
+
+            # 4. Mortality and other removals.
+            month_deaths = rng.binomial(
+                waitlist.astype(np.int64), monthly_mortality[None, :]
+            )
+            waitlist -= month_deaths
+            deaths += month_deaths
+            month_removals = rng.binomial(
+                waitlist.astype(np.int64), monthly_removal[None, :]
+            )
+            waitlist -= month_removals
+            removals += month_removals
+
+        return RegistryOutcome(
+            states=ALL_REGION_CODES,
+            additions=additions,
+            transplants=transplants,
+            imports=imports,
+            regional_imports=regional_imports,
+            local_transplants=local_transplants,
+            donor_grafts=donor_grafts,
+            deaths=deaths,
+            removals=removals,
+            final_waitlist=waitlist,
+            months=config.months,
+        )
+
+
+def _allocate_discrete(
+    supply: int, demand: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Allocate ``supply`` discrete grafts proportionally to ``demand``.
+
+    Multinomial draw clipped to demand, with redistribution passes plus a
+    deterministic final fill, so allocation is lossless: whenever
+    ``supply <= total demand`` every graft is placed — no organ is wasted
+    while a candidate waits.  Returns the placed counts (same shape as
+    ``demand``).
+    """
+    placed = np.zeros_like(demand, dtype=float)
+    total_demand = demand.sum()
+    if supply <= 0 or total_demand <= 0:
+        return placed
+    allocated = int(min(supply, total_demand))
+    to_place = allocated
+    for __ in range(3):
+        open_demand = demand - placed
+        open_total = open_demand.sum()
+        if to_place <= 0 or open_total <= 0:
+            break
+        draw = rng.multinomial(
+            to_place, open_demand / open_total
+        ).astype(float)
+        draw = np.minimum(draw, open_demand)
+        placed += draw
+        to_place = allocated - int(placed.sum())
+    # Deterministic final fill: drain stragglers into the largest open
+    # demands.
+    while to_place > 0:
+        open_demand = demand - placed
+        target = int(np.argmax(open_demand))
+        if open_demand[target] <= 0:
+            break
+        take = min(float(to_place), open_demand[target])
+        placed[target] += take
+        to_place -= int(take)
+    return placed

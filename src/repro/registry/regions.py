@@ -1,0 +1,69 @@
+"""The 11 OPTN allocation regions.
+
+US organ allocation is geographically tiered: organs are offered locally
+(the recovering OPO), then within one of eleven OPTN regions, then
+nationally — the structure behind the geographic disparities the paper's
+refs [6] and [7] analyze.  The assignment below is the standard OPTN
+region map at state granularity (states split across OPOs are assigned to
+their majority region; Puerto Rico belongs to Region 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeoError
+from repro.geo.gazetteer import ALL_REGION_CODES
+
+#: OPTN region number → member states.
+OPTN_REGIONS: dict[int, tuple[str, ...]] = {
+    1: ("CT", "ME", "MA", "NH", "RI"),
+    2: ("DC", "DE", "MD", "NJ", "PA", "WV"),
+    3: ("AL", "AR", "FL", "GA", "LA", "MS", "PR"),
+    4: ("OK", "TX"),
+    5: ("AZ", "CA", "NV", "NM", "UT"),
+    6: ("AK", "HI", "ID", "MT", "OR", "WA"),
+    7: ("IL", "MN", "ND", "SD", "WI"),
+    8: ("CO", "IA", "KS", "MO", "NE", "WY"),
+    9: ("NY", "VT"),
+    10: ("IN", "MI", "OH"),
+    11: ("KY", "NC", "SC", "TN", "VA"),
+}
+
+_STATE_TO_REGION: dict[str, int] = {
+    state: region
+    for region, states in OPTN_REGIONS.items()
+    for state in states
+}
+
+
+def optn_region_of(state: str) -> int:
+    """The OPTN region number of a state.
+
+    Raises:
+        GeoError: for a state not in the region map.
+    """
+    region = _STATE_TO_REGION.get(state.strip().upper())
+    if region is None:
+        raise GeoError(f"state {state!r} has no OPTN region")
+    return region
+
+
+def validate_region_partition() -> None:
+    """Assert the region map partitions the gazetteer exactly.
+
+    Raises:
+        GeoError: if any gazetteer state is missing or duplicated.
+    """
+    seen: list[str] = [
+        state for states in OPTN_REGIONS.values() for state in states
+    ]
+    if len(seen) != len(set(seen)):
+        duplicates = sorted(
+            {state for state in seen if seen.count(state) > 1}
+        )
+        raise GeoError(f"states in multiple OPTN regions: {duplicates}")
+    missing = sorted(set(ALL_REGION_CODES) - set(seen))
+    if missing:
+        raise GeoError(f"states with no OPTN region: {missing}")
+    extra = sorted(set(seen) - set(ALL_REGION_CODES))
+    if extra:
+        raise GeoError(f"unknown states in OPTN regions: {extra}")

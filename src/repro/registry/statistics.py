@@ -1,0 +1,97 @@
+"""Aggregate registry views — the numbers the paper consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.gazetteer import STATES
+from repro.organs import ORGANS, Organ
+from repro.registry.model import RegistryOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryStatistics:
+    """National and per-state summaries of one simulation.
+
+    Attributes:
+        national_transplants: organ → grafts transplanted (annualized).
+        national_waitlist: organ → candidates waiting at the end.
+        deaths_per_day: national waitlist deaths per day.
+        donor_rate_per_million: state → organ → recovered grafts per
+            million residents per year (the Cao et al. geography).
+        import_share: organ → fraction of transplants supplied by the
+            national pool rather than in-state donors (geographic
+            disparity, the paper's ref [6]).
+    """
+
+    national_transplants: dict[Organ, float]
+    national_waitlist: dict[Organ, float]
+    deaths_per_day: float
+    donor_rate_per_million: dict[str, dict[Organ, float]]
+    import_share: dict[Organ, float]
+
+    def transplant_shortfall(self, organ: Organ) -> float:
+        """waitlist / annual transplants — §I's 'less than 1/3' figure is
+        the inverse for kidney."""
+        transplants = self.national_transplants[organ]
+        if transplants <= 0:
+            return float("inf")
+        return self.national_waitlist[organ] / transplants
+
+    def donor_surplus_states(
+        self, organ: Organ, factor: float = 1.25
+    ) -> list[str]:
+        """States whose per-capita donor rate exceeds the national mean
+        by ``factor`` — Cao et al.'s surplus criterion, applied here."""
+        rates = {
+            state: organs[organ]
+            for state, organs in self.donor_rate_per_million.items()
+        }
+        mean_rate = float(np.mean(list(rates.values())))
+        return sorted(
+            state for state, rate in rates.items() if rate > factor * mean_rate
+        )
+
+
+def summarize_registry(outcome: RegistryOutcome) -> RegistryStatistics:
+    """Reduce a simulation outcome to the published-style aggregates."""
+    years = outcome.months / 12.0
+    national_transplants = {
+        organ: float(outcome.transplants[:, organ.index].sum()) / years
+        for organ in ORGANS
+    }
+    national_waitlist = {
+        organ: float(outcome.final_waitlist[:, organ.index].sum())
+        for organ in ORGANS
+    }
+    deaths_per_day = float(outcome.deaths.sum()) / (outcome.months * 30.44)
+
+    populations = {state.abbrev: state.population for state in STATES}
+    donor_rate = {
+        state: {
+            organ: float(outcome.donor_grafts[row, organ.index])
+            / years
+            / (populations[state] / 1000.0)  # population is in thousands
+            for organ in ORGANS
+        }
+        for row, state in enumerate(outcome.states)
+    }
+    transplant_totals = outcome.transplants.sum(axis=0)
+    import_totals = outcome.imports.sum(axis=0)
+    import_share = {
+        organ: (
+            float(import_totals[organ.index] / transplant_totals[organ.index])
+            if transplant_totals[organ.index] > 0
+            else 0.0
+        )
+        for organ in ORGANS
+    }
+    return RegistryStatistics(
+        national_transplants=national_transplants,
+        national_waitlist=national_waitlist,
+        deaths_per_day=deaths_per_day,
+        donor_rate_per_million=donor_rate,
+        import_share=import_share,
+    )

@@ -1,0 +1,98 @@
+"""Social-sensor validity: Twitter-side signals vs registry-side reality.
+
+The paper's hypothesis is that "social media can be utilized as a sensor
+to characterize organ donation awareness".  Its strongest evidence is the
+Kansas coincidence: the only state with excess kidney *conversation* is
+also the only Midwest state with a deceased kidney-donor *surplus* (Cao
+et al.).  With both sides simulated here — the twittersphere plants
+conversation anomalies, the registry plants donor-rate anomalies — this
+module generalizes the coincidence into a measurement: the rank
+correlation between per-state conversation relative risk and per-state
+donor rates, and the agreement between the two anomaly sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relative_risk import StateOrganRisk
+from repro.organs import Organ
+from repro.registry.statistics import RegistryStatistics
+from repro.stats.correlation import CorrelationResult, spearman
+
+
+@dataclass(frozen=True, slots=True)
+class SensorValidity:
+    """Agreement between the social sensor and the registry for one organ.
+
+    Attributes:
+        organ: the organ compared.
+        correlation: Spearman correlation between per-state conversation
+            RR and per-state donor rate (states present on both sides).
+        sensor_states: states the social sensor flags (significant RR).
+        registry_states: states with a registry donor surplus.
+        jointly_flagged: intersection of the two.
+    """
+
+    organ: Organ
+    correlation: CorrelationResult
+    sensor_states: tuple[str, ...]
+    registry_states: tuple[str, ...]
+    jointly_flagged: tuple[str, ...]
+
+    @property
+    def agrees(self) -> bool:
+        """True when the sensor and registry flag at least one common
+        state and the correlation is non-negative."""
+        return bool(self.jointly_flagged) and (
+            self.correlation.r >= 0 or self.correlation.n < 3
+        )
+
+
+def sensor_validity(
+    risks: list[StateOrganRisk],
+    registry: RegistryStatistics,
+    organ: Organ,
+    surplus_factor: float = 1.25,
+) -> SensorValidity:
+    """Compare the social sensor against the registry for one organ.
+
+    Args:
+        risks: per-(state, organ) relative risks from the Twitter side
+            (:func:`repro.core.relative_risk.state_organ_risks`).
+        registry: registry aggregates from the simulation side.
+        organ: the organ to compare.
+        surplus_factor: registry surplus threshold (rate > factor × mean).
+    """
+    sensor_rr = {
+        risk.state: risk.result.rr
+        for risk in risks
+        if risk.organ is organ and not risk.insufficient_data
+    }
+    registry_rates = {
+        state: rates[organ]
+        for state, rates in registry.donor_rate_per_million.items()
+    }
+    common = sorted(set(sensor_rr) & set(registry_rates))
+    correlation = spearman(
+        [sensor_rr[state] for state in common],
+        [registry_rates[state] for state in common],
+    )
+    sensor_states = tuple(
+        sorted(
+            risk.state
+            for risk in risks
+            if risk.organ is organ and risk.highlighted
+        )
+    )
+    registry_states = tuple(
+        registry.donor_surplus_states(organ, factor=surplus_factor)
+    )
+    jointly = tuple(sorted(set(sensor_states) & set(registry_states)))
+    return SensorValidity(
+        organ=organ,
+        correlation=correlation,
+        sensor_states=sensor_states,
+        registry_states=registry_states,
+        jointly_flagged=jointly,
+    )

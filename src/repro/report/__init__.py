@@ -1,0 +1,19 @@
+"""Text rendering of the paper's tables and figures.
+
+Plotting libraries are unavailable offline, so every figure is rendered as
+aligned text: bar charts for the histogram figures, a heatmap for the
+similarity matrix, and a state table for the choropleth.  The experiment
+entry points in :mod:`repro.report.experiments` regenerate each paper
+artifact end to end.
+"""
+
+from repro.report.figures import bar_chart, dendrogram_text, heatmap, ranked_bars
+from repro.report.tables import render_table
+
+__all__ = [
+    "bar_chart",
+    "dendrogram_text",
+    "heatmap",
+    "ranked_bars",
+    "render_table",
+]

@@ -1,0 +1,385 @@
+"""One entry point per paper table/figure.
+
+:class:`ExperimentSuite` wraps a collected corpus and regenerates every
+artifact of the paper's evaluation — Table I and Figs. 2–7 — sharing the
+expensive intermediates (Û, K) across experiments.  Each ``run_*`` method
+returns a result object carrying both the raw data (for tests/benches to
+assert on) and a ``render()`` text view (for the examples and logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.bias import RepresentationBias
+    from repro.analysis.co_occurrence import CoOccurrenceResult
+    from repro.analysis.consistency import ZoneConsistency
+
+from repro.config import AnalysisConfig
+from repro.core.attention import AttentionMatrix, build_attention_matrix
+from repro.core.characterize import (
+    OrganCharacterization,
+    RegionCharacterization,
+    characterize_organs,
+    characterize_regions,
+)
+from repro.core.relative_risk import StateOrganRisk, highlighted_organs, state_organ_risks
+from repro.core.state_clusters import StateClustering, cluster_states
+from repro.core.user_clusters import UserClustering, cluster_users
+from repro.data.transplants import TRANSPLANTS_2012
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.stats import (
+    DatasetStats,
+    compute_stats,
+    organ_mention_histogram,
+    users_per_organ,
+)
+from repro.organs import ORGANS, Organ
+from repro.pipeline.runner import PipelineReport
+from repro.report.figures import bar_chart, dendrogram_text, heatmap, ranked_bars
+from repro.report.tables import render_table
+from repro.stats.correlation import CorrelationResult, spearman
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Table I: dataset statistics (plus pipeline provenance when known)."""
+
+    stats: DatasetStats
+    report: PipelineReport | None
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                ["Statistic", "Value"],
+                self.stats.as_rows(),
+                title="TABLE I — dataset statistics",
+            )
+        ]
+        if self.report is not None:
+            parts.append(
+                render_table(
+                    ["Pipeline stage", "Tweets"],
+                    self.report.as_rows(),
+                    title="Collection provenance",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Fig. 1: the query set Q = Context × Subject."""
+
+    context_terms: tuple[str, ...]
+    subject_terms: tuple[str, ...]
+    n_queries: int
+
+    def render(self) -> str:
+        return "\n".join([
+            "Fig. 1 — collection query set Q = Context × Subject",
+            f"Context ({len(self.context_terms)}): "
+            + ", ".join(self.context_terms),
+            f"Subject ({len(self.subject_terms)}): "
+            + ", ".join(self.subject_terms),
+            f"|Q| = {self.n_queries} conjunctive phrases "
+            "(every tweet matches ≥ 1 Context AND ≥ 1 Subject term)",
+        ])
+
+
+@dataclass(frozen=True)
+class SecondaryResult:
+    """The analyses §IV discusses without plotting: co-occurrence vs the
+    dual-transplant pairs, the §V demographic bias, and the Fig. 5↔6
+    consistency."""
+
+    co_occurrence: "CoOccurrenceResult"
+    bias: "RepresentationBias"
+    consistency: "ZoneConsistency"
+
+    def render(self) -> str:
+        top = self.co_occurrence.top_pairs(k=5)
+        pair_rows = [
+            (f"{a.value}+{b.value}", count, f"{lift:.2f}")
+            for a, b, count, lift in top
+        ]
+        from repro.geo.gazetteer import CensusRegion
+
+        region_rows = [
+            (region.value, f"{self.bias.region_ratio.get(region, 0.0):.2f}")
+            for region in CensusRegion
+            if region in self.bias.region_ratio
+        ]
+        return "\n\n".join([
+            render_table(
+                ["Organ pair", "Co-mentioning users", "Lift"],
+                pair_rows,
+                title="§IV-A — top organ co-mentions "
+                f"(dual-transplant mean rank: "
+                f"{self.co_occurrence.dual_transplant_rank():.1f})",
+            ),
+            render_table(
+                ["Census region", "Representation ratio"],
+                region_rows,
+                title="§V — Twitter representation vs population "
+                "(1.0 = proportional)",
+            ),
+            (
+                "§IV-B2 — Fig.5↔Fig.6 consistency: "
+                f"{self.consistency.pairs_co_clustered}/"
+                f"{self.consistency.same_highlight_pairs} same-highlight "
+                f"state pairs co-clustered "
+                f"(expected {self.consistency.expected_co_clustered:.1f}; "
+                f"enrichment {self.consistency.enrichment:.2f}×)"
+            ),
+        ])
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Fig. 2: organ popularity and multi-organ mention histograms."""
+
+    users_by_organ: dict[Organ, int]
+    mention_histogram: dict[int, tuple[int, int]]
+    correlation: CorrelationResult
+
+    def popularity_order(self) -> list[Organ]:
+        return sorted(self.users_by_organ, key=lambda o: -self.users_by_organ[o])
+
+    def render(self) -> str:
+        order = self.popularity_order()
+        chart_a = bar_chart(
+            [organ.value for organ in order],
+            [float(self.users_by_organ[organ]) for organ in order],
+            log_scale=True,
+            title="Fig. 2(a) — users per organ (log scale)",
+        )
+        rows = [
+            (k, tweets, users)
+            for k, (tweets, users) in sorted(self.mention_histogram.items())
+            if tweets or users
+        ]
+        chart_b = render_table(
+            ["#organs", "tweets", "users"],
+            rows,
+            title="Fig. 2(b) — records mentioning exactly k organs",
+        )
+        corr = (
+            f"Spearman r = {self.correlation.r:.2f} "
+            f"(p = {self.correlation.p_value:.3f}) vs 2012 transplant counts"
+        )
+        return "\n\n".join([chart_a, chart_b, corr])
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Fig. 3: organ co-attention characterization."""
+
+    characterization: OrganCharacterization
+
+    def render(self) -> str:
+        parts = ["Fig. 3 — organ characterization (rows of K, Eq. 1 + 3)"]
+        for organ in self.characterization.characterized_organs():
+            parts.append(
+                ranked_bars(
+                    self.characterization.profile(organ),
+                    title=f"[{organ.value}] focal users (ranked co-attention)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Fig. 4: per-state organ signatures."""
+
+    characterization: RegionCharacterization
+
+    def render(self, states: tuple[str, ...] | None = None) -> str:
+        chosen = states or self.characterization.states
+        parts = ["Fig. 4 — state organ signatures (rows of K, Eq. 2 + 3)"]
+        for state in chosen:
+            parts.append(
+                ranked_bars(
+                    self.characterization.signature(state),
+                    title=f"[{state}]",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Fig. 5: highlighted organs per state via relative risk."""
+
+    highlights: dict[str, tuple[Organ, ...]]
+    risks: list[StateOrganRisk]
+
+    def render(self) -> str:
+        rows = []
+        for state, organs in self.highlights.items():
+            label = ", ".join(organ.value for organ in organs) if organs else "—"
+            rows.append((state, label))
+        return render_table(
+            ["State", "Highlighted organs (95% CI of RR above 1)"],
+            rows,
+            title="Fig. 5 — significant organ-conversation excess per state",
+        )
+
+    def significant_states(self) -> dict[str, tuple[Organ, ...]]:
+        return {s: o for s, o in self.highlights.items() if o}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Fig. 6: hierarchical state clustering on Bhattacharyya affinity."""
+
+    clustering: StateClustering
+
+    def render(self, n_clusters: int = 4) -> str:
+        order = self.clustering.leaf_order()
+        index = {state: i for i, state in enumerate(self.clustering.states)}
+        matrix = self.clustering.distance_matrix
+        reordered = [
+            [matrix[index[a], index[b]] for b in order] for a in order
+        ]
+        parts = [
+            heatmap(
+                order,
+                reordered,
+                title="Fig. 6 — state distance matrix (dendrogram order; "
+                "darker = farther)",
+            ),
+            dendrogram_text(
+                list(self.clustering.states),
+                [
+                    (merge.left, merge.right, merge.height)
+                    for merge in self.clustering.dendrogram.merges
+                ],
+                title="Dendrogram (bar length = last merge height)",
+            ),
+            "Flat cut into zones: "
+            + " | ".join(
+                ",".join(zone) for zone in self.clustering.clusters(n_clusters)
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Fig. 7: K-Means user clusters."""
+
+    clustering: UserClustering
+
+    def render(self) -> str:
+        parts = [
+            "Fig. 7 — K-Means user clusters "
+            f"(k = {self.clustering.k}, silhouette = "
+            f"{self.clustering.silhouette:.3f}, avg size = "
+            f"{self.clustering.avg_cluster_size:.1f}, inertia = "
+            f"{self.clustering.result.inertia:.2f})"
+        ]
+        sizes = self.clustering.relative_sizes()
+        order = sorted(range(self.clustering.k), key=lambda c: -sizes[c])
+        for cluster in order:
+            parts.append(
+                ranked_bars(
+                    self.clustering.cluster_profile(cluster),
+                    title=f"[cluster {cluster}] {sizes[cluster]:.1%} of users, "
+                    f"{self.clustering.n_focus_organs(cluster)} focus organ(s)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+class ExperimentSuite:
+    """All paper experiments over one corpus, with shared intermediates."""
+
+    def __init__(
+        self,
+        corpus: TweetCorpus,
+        report: PipelineReport | None = None,
+        config: AnalysisConfig | None = None,
+    ):
+        self.corpus = corpus
+        self.report = report
+        self.config = config or AnalysisConfig()
+
+    @cached_property
+    def attention(self) -> AttentionMatrix:
+        return build_attention_matrix(self.corpus)
+
+    @cached_property
+    def organ_characterization(self) -> OrganCharacterization:
+        return characterize_organs(self.corpus)
+
+    @cached_property
+    def region_characterization(self) -> RegionCharacterization:
+        return characterize_regions(self.corpus)
+
+    def run_table1(self) -> Table1Result:
+        return Table1Result(stats=compute_stats(self.corpus), report=self.report)
+
+    def run_fig1(self) -> Fig1Result:
+        from repro.nlp.keywords import CONTEXT_TERMS, SUBJECT_TERMS, build_query_set
+
+        return Fig1Result(
+            context_terms=CONTEXT_TERMS,
+            subject_terms=SUBJECT_TERMS,
+            n_queries=len(build_query_set()),
+        )
+
+    def run_secondary(self) -> SecondaryResult:
+        from repro.analysis.bias import representation_bias
+        from repro.analysis.co_occurrence import organ_co_occurrence
+        from repro.analysis.consistency import highlight_cluster_consistency
+
+        clustering = cluster_states(
+            self.region_characterization, self.config.state_clustering
+        )
+        return SecondaryResult(
+            co_occurrence=organ_co_occurrence(self.corpus, level="user"),
+            bias=representation_bias(self.corpus),
+            consistency=highlight_cluster_consistency(
+                clustering,
+                highlighted_organs(self.corpus, self.config.relative_risk),
+            ),
+        )
+
+    def run_fig2(self) -> Fig2Result:
+        users_by_organ = users_per_organ(self.corpus)
+        twitter_counts = [float(users_by_organ[organ]) for organ in ORGANS]
+        transplant_counts = [float(TRANSPLANTS_2012[organ]) for organ in ORGANS]
+        return Fig2Result(
+            users_by_organ=users_by_organ,
+            mention_histogram=organ_mention_histogram(self.corpus),
+            correlation=spearman(twitter_counts, transplant_counts),
+        )
+
+    def run_fig3(self) -> Fig3Result:
+        return Fig3Result(characterization=self.organ_characterization)
+
+    def run_fig4(self) -> Fig4Result:
+        return Fig4Result(characterization=self.region_characterization)
+
+    def run_fig5(self) -> Fig5Result:
+        return Fig5Result(
+            highlights=highlighted_organs(self.corpus, self.config.relative_risk),
+            risks=state_organ_risks(self.corpus, self.config.relative_risk),
+        )
+
+    def run_fig6(self) -> Fig6Result:
+        return Fig6Result(
+            clustering=cluster_states(
+                self.region_characterization, self.config.state_clustering
+            )
+        )
+
+    def run_fig7(self) -> Fig7Result:
+        return Fig7Result(
+            clustering=cluster_users(self.attention, self.config.user_clustering)
+        )

@@ -1,0 +1,144 @@
+"""CSV export of every paper artifact.
+
+Text renderings are for reading; these emitters produce the underlying
+data as CSV so downstream users can plot the figures with their own
+tooling.  One file per artifact, written through
+:func:`export_all_csv`, or individually via the ``*_csv`` functions
+(each returns the CSV text).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.organs import ORGANS
+from repro.report.experiments import ExperimentSuite
+
+
+def _render(header: list[str], rows: list[list[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def table1_csv(suite: ExperimentSuite) -> str:
+    stats = suite.run_table1().stats
+    return _render(
+        ["statistic", "value"],
+        [list(row) for row in stats.as_rows()],
+    )
+
+
+def fig2_csv(suite: ExperimentSuite) -> str:
+    result = suite.run_fig2()
+    rows: list[list[object]] = [
+        ["users_per_organ", organ.value, count, ""]
+        for organ, count in result.users_by_organ.items()
+    ]
+    rows += [
+        ["mention_histogram", k, tweets, users]
+        for k, (tweets, users) in sorted(result.mention_histogram.items())
+        if tweets or users
+    ]
+    rows.append(
+        ["spearman_vs_transplants", "", result.correlation.r,
+         result.correlation.p_value]
+    )
+    return _render(["series", "key", "value_a", "value_b"], rows)
+
+
+def fig3_csv(suite: ExperimentSuite) -> str:
+    aggregation = suite.organ_characterization.aggregation
+    rows = [
+        [label, *map(float, aggregation.matrix[index])]
+        for index, label in enumerate(aggregation.group_labels)
+    ]
+    return _render(
+        ["focal_organ", *(organ.value for organ in ORGANS)], rows
+    )
+
+
+def fig4_csv(suite: ExperimentSuite) -> str:
+    aggregation = suite.region_characterization.aggregation
+    rows = [
+        [label, *map(float, aggregation.matrix[index])]
+        for index, label in enumerate(aggregation.group_labels)
+    ]
+    return _render(["state", *(organ.value for organ in ORGANS)], rows)
+
+
+def fig5_csv(suite: ExperimentSuite) -> str:
+    result = suite.run_fig5()
+    rows = [
+        [
+            risk.state,
+            risk.organ.value,
+            risk.result.rr,
+            risk.result.ci_low,
+            risk.result.ci_high,
+            risk.highlighted,
+            risk.n_state_users,
+        ]
+        for risk in result.risks
+    ]
+    return _render(
+        ["state", "organ", "rr", "ci_low", "ci_high", "highlighted",
+         "n_users"],
+        rows,
+    )
+
+
+def fig6_csv(suite: ExperimentSuite) -> str:
+    clustering = suite.run_fig6().clustering
+    states = clustering.states
+    rows = [
+        [states[i], states[j], float(clustering.distance_matrix[i, j])]
+        for i in range(len(states))
+        for j in range(len(states))
+        if i < j
+    ]
+    return _render(["state_a", "state_b", "bhattacharyya_distance"], rows)
+
+
+def fig7_csv(suite: ExperimentSuite) -> str:
+    clustering = suite.run_fig7().clustering
+    sizes = clustering.relative_sizes()
+    rows = [
+        [
+            cluster,
+            float(sizes[cluster]),
+            *map(float, clustering.result.centers[cluster]),
+        ]
+        for cluster in range(clustering.k)
+    ]
+    return _render(
+        ["cluster", "relative_size", *(organ.value for organ in ORGANS)],
+        rows,
+    )
+
+
+_EMITTERS = {
+    "table1": table1_csv,
+    "fig2": fig2_csv,
+    "fig3": fig3_csv,
+    "fig4": fig4_csv,
+    "fig5": fig5_csv,
+    "fig6": fig6_csv,
+    "fig7": fig7_csv,
+}
+
+
+def export_all_csv(suite: ExperimentSuite, directory: str | Path) -> list[Path]:
+    """Write every artifact's CSV into ``directory``; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, emitter in _EMITTERS.items():
+        path = target / f"{name}.csv"
+        path.write_text(emitter(suite))
+        written.append(path)
+    return written

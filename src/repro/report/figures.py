@@ -1,0 +1,143 @@
+"""ASCII figure rendering: bar charts, ranked profiles, heatmaps."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    log_scale: bool = False,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart.
+
+    Args:
+        labels: one per bar.
+        values: non-negative bar magnitudes.
+        width: maximum bar width in characters.
+        log_scale: scale bars by log10(1 + value), matching the paper's
+            log-scale histograms.
+        title: optional heading line.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+    scaled = [math.log10(1 + value) if log_scale else value for value in values]
+    peak = max(scaled, default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [] if title is None else [title]
+    for label, value, magnitude in zip(labels, values, scaled):
+        bar_length = int(round(width * magnitude / peak)) if peak > 0 else 0
+        display = f"{value:,.4g}" if isinstance(value, float) else f"{value:,}"
+        lines.append(
+            f"{label.ljust(label_width)} |{'█' * bar_length} {display}"
+        )
+    return "\n".join(lines)
+
+
+def ranked_bars(
+    profile: Sequence[tuple[object, float]],
+    width: int = 40,
+    log_scale: bool = True,
+    title: str | None = None,
+) -> str:
+    """A Fig. 3/4-style ranked attention profile (highest bar first)."""
+    labels = [str(item) for item, __ in profile]
+    values = [value for __, value in profile]
+    return bar_chart(labels, values, width=width, log_scale=log_scale, title=title)
+
+
+def dendrogram_text(
+    labels: Sequence[str],
+    merges: Sequence[tuple[int, int, float]],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Render a dendrogram as indented text, one leaf per line.
+
+    Args:
+        labels: leaf labels, indexed by leaf id.
+        merges: (left, right, height) triples in SciPy id convention
+            (merge i creates cluster ``len(labels) + i``).
+        width: horizontal resolution for the height axis.
+        title: optional heading.
+
+    Leaves appear in tree order; each line shows the label and a bar whose
+    length is proportional to the height at which the leaf's cluster last
+    merged — adjacent short bars are tight clusters (Fig. 6's zones).
+    """
+    n = len(labels)
+    if len(merges) != n - 1:
+        raise ValueError(
+            f"{n} leaves require {n - 1} merges, got {len(merges)}"
+        )
+    children: dict[int, tuple[int, int]] = {}
+    join_height: dict[int, float] = {}
+    for index, (left, right, height) in enumerate(merges):
+        node = n + index
+        children[node] = (left, right)
+        join_height[left] = height
+        join_height[right] = height
+
+    order: list[int] = []
+    stack = [n + len(merges) - 1] if merges else [0]
+    while stack:
+        node = stack.pop()
+        if node < n:
+            order.append(node)
+        else:
+            left, right = children[node]
+            stack.append(right)
+            stack.append(left)
+
+    peak = max((height for __, __, height in merges), default=1.0) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [] if title is None else [title]
+    for leaf in order:
+        height = join_height.get(leaf, peak)
+        bar = int(round(width * height / peak))
+        lines.append(
+            f"{labels[leaf].rjust(label_width)} ├{'─' * bar}┤ {height:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def heatmap(
+    labels: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Character-shade heatmap of a square matrix (Fig. 6's similarity).
+
+    Darker glyphs mean larger values.  Row/column order is the caller's
+    (e.g. dendrogram leaf order).
+    """
+    shades = " .:-=+*#%@"
+    values = [list(map(float, row)) for row in matrix]
+    n = len(labels)
+    if any(len(row) != n for row in values) or len(values) != n:
+        raise ValueError("heatmap requires a square matrix matching labels")
+    flat = [cell for row in values for cell in row]
+    low, high = min(flat), max(flat)
+    span = high - low or 1.0
+
+    def shade(value: float) -> str:
+        index = int((value - low) / span * (len(shades) - 1))
+        return shades[index]
+
+    label_width = max(len(label) for label in labels)
+    lines = [] if title is None else [title]
+    header = " " * (label_width + 1) + "".join(label[:1] for label in labels)
+    lines.append(header)
+    for label, row in zip(labels, values):
+        lines.append(
+            label.rjust(label_width) + " " + "".join(shade(cell) for cell in row)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Numeric-looking cells are right-aligned, text cells left-aligned.
+
+    >>> print(render_table(["a", "b"], [["x", 1], ["y", 22]]))
+    a | b
+    --+---
+    x |  1
+    y | 22
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    n_columns = len(headers)
+    for row in cells:
+        if len(row) != n_columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_columns}: {row}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(n_columns)
+    ]
+    right_align = [
+        all(_is_numeric(row[col]) for row in cells) if cells else False
+        for col in range(n_columns)
+    ]
+
+    def format_row(row: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(row):
+            if right_align[col]:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

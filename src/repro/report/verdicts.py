@@ -1,0 +1,220 @@
+"""Programmatic reproduction verdicts.
+
+EXPERIMENTS.md as executable code: every shape claim the paper makes is a
+named check against a collected corpus, each returning pass/fail with the
+measured evidence.  ``python -m repro reproduce`` runs the full battery.
+
+Checks assert *shape* (orders, signs, anomaly identities), never absolute
+counts — the same criteria the benchmark suite enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper import (
+    PAPER_ORGAN_CO_ATTENTION,
+    PAPER_SPEARMAN_R,
+    PAPER_TWITTER_POPULARITY_ORDER,
+)
+from repro.geo.gazetteer import CensusRegion, state_by_abbrev
+from repro.organs import Organ
+from repro.report.experiments import ExperimentSuite
+from repro.report.tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """Outcome of one reproduction check.
+
+    Attributes:
+        check: short identifier (matches EXPERIMENTS.md rows).
+        artifact: which paper artifact the check belongs to.
+        passed: whether the claim reproduced.
+        evidence: human-readable measured values.
+    """
+
+    check: str
+    artifact: str
+    passed: bool
+    evidence: str
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All verdicts for one corpus."""
+
+    verdicts: tuple[Verdict, ...]
+
+    @property
+    def n_passed(self) -> int:
+        return sum(verdict.passed for verdict in self.verdicts)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.n_passed == len(self.verdicts)
+
+    def render(self) -> str:
+        rows = [
+            (
+                "PASS" if verdict.passed else "FAIL",
+                verdict.artifact,
+                verdict.check,
+                verdict.evidence,
+            )
+            for verdict in self.verdicts
+        ]
+        table = render_table(
+            ["", "Artifact", "Check", "Evidence"],
+            rows,
+            title="Reproduction verdicts (shape criteria)",
+        )
+        summary = (
+            f"\n{self.n_passed}/{len(self.verdicts)} checks passed"
+            + ("" if self.all_passed else " — see FAIL rows")
+        )
+        return table + summary
+
+
+def evaluate_reproduction(suite: ExperimentSuite) -> ReproductionReport:
+    """Run every shape check against a suite's corpus."""
+    verdicts: list[Verdict] = []
+
+    # --- Fig. 2 ---
+    fig2 = suite.run_fig2()
+    order = tuple(fig2.popularity_order())
+    verdicts.append(Verdict(
+        check="popularity order heart…intestine",
+        artifact="Fig.2a",
+        passed=order == PAPER_TWITTER_POPULARITY_ORDER,
+        evidence=" > ".join(organ.value for organ in order),
+    ))
+    correlation = fig2.correlation
+    verdicts.append(Verdict(
+        check=f"Spearman ≈ {PAPER_SPEARMAN_R} vs transplants, p < .05",
+        artifact="Fig.2a",
+        passed=abs(correlation.r - PAPER_SPEARMAN_R) <= 0.08
+        and correlation.significant,
+        evidence=f"r = {correlation.r:.2f}, p = {correlation.p_value:.3f}",
+    ))
+    histogram = fig2.mention_histogram
+    single_ok = histogram[1][0] > histogram[1][1]
+    multi_ok = all(
+        histogram[k][0] <= histogram[k][1] for k in range(2, 7)
+    )
+    verdicts.append(Verdict(
+        check="tweets > users only at k = 1 mention",
+        artifact="Fig.2b",
+        passed=single_ok and multi_ok,
+        evidence=f"k=1: {histogram[1][0]} tweets vs {histogram[1][1]} users",
+    ))
+
+    # --- Table I shape ---
+    stats = suite.run_table1().stats
+    verdicts.append(Verdict(
+        check="organs/user exceeds organs/tweet",
+        artifact="Table I",
+        passed=stats.organs_per_user > stats.organs_per_tweet,
+        evidence=f"{stats.organs_per_user:.2f} vs {stats.organs_per_tweet:.2f}",
+    ))
+
+    # --- Fig. 3 ---
+    characterization = suite.organ_characterization
+    hits = []
+    for focal, expected in PAPER_ORGAN_CO_ATTENTION.items():
+        if focal is Organ.INTESTINE:
+            continue  # the paper's own unreliability caveat
+        measured = characterization.top_co_organ(focal)
+        hits.append((focal, measured, measured is expected))
+    verdicts.append(Verdict(
+        check="top co-organs match §IV-A (excl. intestine)",
+        artifact="Fig.3",
+        passed=all(ok for __, __, ok in hits),
+        evidence=", ".join(
+            f"{focal.value}→{measured.value}" for focal, measured, __ in hits
+        ),
+    ))
+    verdicts.append(Verdict(
+        check="co-occurrences not reciprocal",
+        artifact="Fig.3",
+        passed=not all(characterization.reciprocity().values()),
+        evidence=f"{sum(characterization.reciprocity().values())} of "
+        f"{len(characterization.reciprocity())} reciprocal",
+    ))
+
+    # --- Fig. 4 ---
+    regions = suite.region_characterization
+    heart_first = sum(
+        regions.signature(state)[0][0] is Organ.HEART
+        for state in regions.states
+    )
+    verdicts.append(Verdict(
+        check="heart first in most states",
+        artifact="Fig.4",
+        passed=heart_first >= 0.6 * len(regions.states),
+        evidence=f"{heart_first}/{len(regions.states)} states heart-first",
+    ))
+
+    # --- Fig. 5 ---
+    highlights = suite.run_fig5().highlights
+    ks = highlights.get("KS", ())
+    verdicts.append(Verdict(
+        check="Kansas kidney excess",
+        artifact="Fig.5",
+        passed=Organ.KIDNEY in ks,
+        evidence=f"KS: {', '.join(o.value for o in ks) or 'none'}",
+    ))
+    midwest_kidney = [
+        state
+        for state, organs in highlights.items()
+        if Organ.KIDNEY in organs
+        and state_by_abbrev(state).region is CensusRegion.MIDWEST
+    ]
+    verdicts.append(Verdict(
+        check="Kansas unique in the Midwest",
+        artifact="Fig.5",
+        passed=midwest_kidney == ["KS"],
+        evidence=f"Midwest kidney states: {midwest_kidney or 'none'}",
+    ))
+    verdicts.append(Verdict(
+        check="some states have no highlighted organ",
+        artifact="Fig.5",
+        passed=any(not organs for organs in highlights.values()),
+        evidence=f"{sum(1 for o in highlights.values() if not o)} states "
+        "unhighlighted",
+    ))
+
+    # --- Fig. 6 ---
+    from repro.analysis.consistency import highlight_cluster_consistency
+    from repro.core.state_clusters import cluster_states
+
+    clustering = cluster_states(regions, suite.config.state_clustering)
+    consistency = highlight_cluster_consistency(clustering, highlights)
+    verdicts.append(Verdict(
+        check="clusters consistent with highlights",
+        artifact="Fig.6",
+        passed=consistency.enrichment > 1.0
+        or consistency.same_highlight_pairs < 3,
+        evidence=f"enrichment {consistency.enrichment:.2f}× over "
+        f"{consistency.same_highlight_pairs} pairs",
+    ))
+
+    # --- Fig. 7 ---
+    fig7 = suite.run_fig7().clustering
+    verdicts.append(Verdict(
+        check="k = 12 silhouette high (paper: 0.953)",
+        artifact="Fig.7",
+        passed=fig7.silhouette > 0.85,
+        evidence=f"silhouette = {fig7.silhouette:.3f}",
+    ))
+    import numpy as np
+
+    dominant = {int(np.argmax(fig7.result.centers[c])) for c in range(fig7.k)}
+    verdicts.append(Verdict(
+        check="every organ owns a cluster",
+        artifact="Fig.7",
+        passed=dominant == set(range(6)),
+        evidence=f"{len(dominant)}/6 organs dominate a cluster",
+    ))
+
+    return ReproductionReport(verdicts=tuple(verdicts))

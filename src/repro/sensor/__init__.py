@@ -1,0 +1,12 @@
+"""Real-time awareness sensing.
+
+The paper concludes the approach "has the potential to characterize the
+awareness of organ donation in real-time".  This package delivers that
+extension: a rolling-window sensor over a live tweet stream that
+maintains the user-level characterization incrementally and emits
+relative-risk snapshots per window.
+"""
+
+from repro.sensor.rolling import AwarenessSnapshot, RollingAwarenessSensor
+
+__all__ = ["AwarenessSnapshot", "RollingAwarenessSensor"]

@@ -1,0 +1,157 @@
+"""Rolling-window organ-donation awareness sensor.
+
+Consumes a live (or replayed) tweet stream and maintains the paper's
+user-level characterization over a sliding time window, emitting
+:class:`AwarenessSnapshot` records: per-organ user counts and the states
+currently showing a significant conversation excess (Eq. 4 applied to the
+window's population).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.config import CollectionConfig, RelativeRiskConfig
+from repro.core.relative_risk import highlighted_organs
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.dataset.stats import users_per_organ
+from repro.errors import ConfigError
+from repro.geo.geocoder import Geocoder
+from repro.nlp.keywords import build_query_set, matches_query_set
+from repro.nlp.matcher import OrganMatcher
+from repro.organs import Organ
+from repro.pipeline.augment import augment_location
+from repro.pipeline.usfilter import is_us_located
+from repro.twitter.models import Tweet
+
+
+@dataclass(frozen=True)
+class AwarenessSnapshot:
+    """The sensor's reading for one window.
+
+    Attributes:
+        window_start / window_end: time span covered.
+        n_tweets: retained tweets in the window.
+        n_users: distinct users in the window.
+        users_by_organ: Fig. 2a per-window (organ popularity right now).
+        highlights: Fig. 5 per-window (state → organs in excess).
+    """
+
+    window_start: datetime
+    window_end: datetime
+    n_tweets: int
+    n_users: int
+    users_by_organ: dict[Organ, int]
+    highlights: dict[str, tuple[Organ, ...]]
+
+    def emerging_states(self) -> list[str]:
+        """States with at least one highlighted organ, sorted."""
+        return sorted(state for state, organs in self.highlights.items() if organs)
+
+
+class RollingAwarenessSensor:
+    """Sliding-window awareness characterization over a tweet stream.
+
+    Args:
+        window: how much history a snapshot covers.
+        collection: keyword/geocoding configuration (paper defaults).
+        relative_risk: highlight-detection configuration.  The default
+            ``min_users`` still applies per window — early windows rarely
+            flag anything, exactly as a cold-started sensor should.
+
+    The sensor is pure stream-processing: :meth:`observe` ingests one raw
+    tweet (applying the full §III-A pipeline inline) and :meth:`snapshot`
+    characterizes the current window.  Eviction follows tweet timestamps,
+    so replays of historical streams behave identically to live use.
+    """
+
+    def __init__(
+        self,
+        window: timedelta,
+        collection: CollectionConfig | None = None,
+        relative_risk: RelativeRiskConfig | None = None,
+    ):
+        if window <= timedelta(0):
+            raise ConfigError(f"window must be positive, got {window}")
+        self.window = window
+        self.collection = collection or CollectionConfig()
+        self.relative_risk = relative_risk or RelativeRiskConfig()
+        self._queries = build_query_set(
+            self.collection.context_terms, self.collection.subject_terms
+        )
+        self._geocoder = Geocoder()
+        self._matcher = OrganMatcher()
+        self._buffer: deque[CollectedTweet] = deque()
+        self.seen = 0
+        self.retained = 0
+
+    def observe(self, tweet: Tweet) -> bool:
+        """Ingest one tweet; returns True when it entered the window."""
+        self.seen += 1
+        self._evict(tweet.created_at)
+        if not matches_query_set(tweet.text, self._queries):
+            return False
+        match = augment_location(tweet, self._geocoder, self.collection)
+        if not is_us_located(match, self.collection):
+            return False
+        mentions = self._matcher.mentions(tweet.text)
+        if not mentions:
+            return False
+        self._buffer.append(
+            CollectedTweet(tweet=tweet, location=match, mentions=dict(mentions))
+        )
+        self.retained += 1
+        return True
+
+    def snapshot(self) -> AwarenessSnapshot | None:
+        """Characterize the current window; ``None`` while it is empty."""
+        if not self._buffer:
+            return None
+        corpus = TweetCorpus(self._buffer)
+        start, end = corpus.time_span()
+        return AwarenessSnapshot(
+            window_start=start,
+            window_end=end,
+            n_tweets=len(corpus),
+            n_users=corpus.n_users,
+            users_by_organ=users_per_organ(corpus),
+            highlights=highlighted_organs(corpus, self.relative_risk),
+        )
+
+    def run(
+        self, stream: Iterable[Tweet], emit_every: int = 1000
+    ) -> Iterator[AwarenessSnapshot]:
+        """Drive the sensor over a stream, yielding periodic snapshots.
+
+        Args:
+            stream: tweets in timestamp order.
+            emit_every: emit a snapshot after this many *retained* tweets.
+        """
+        if emit_every < 1:
+            raise ConfigError(f"emit_every must be >= 1, got {emit_every}")
+        since_emit = 0
+        for tweet in stream:
+            if self.observe(tweet):
+                since_emit += 1
+                if since_emit >= emit_every:
+                    since_emit = 0
+                    snapshot = self.snapshot()
+                    if snapshot is not None:
+                        yield snapshot
+        final = self.snapshot()
+        if final is not None:
+            yield final
+
+    @property
+    def window_size(self) -> int:
+        """Tweets currently in the window."""
+        return len(self._buffer)
+
+    def _evict(self, now: datetime) -> None:
+        horizon = now - self.window
+        while self._buffer and self._buffer[0].tweet.created_at < horizon:
+            self._buffer.popleft()

@@ -1,0 +1,22 @@
+"""Statistics substrate: ranking, correlation, proportions, descriptives."""
+
+from repro.stats.correlation import CorrelationResult, pearson, spearman
+from repro.stats.proportions import (
+    RelativeRiskResult,
+    prevalence,
+    relative_risk,
+)
+from repro.stats.ranking import rankdata
+from repro.stats.descriptive import log_binned_histogram, summarize
+
+__all__ = [
+    "CorrelationResult",
+    "RelativeRiskResult",
+    "log_binned_histogram",
+    "pearson",
+    "prevalence",
+    "rankdata",
+    "relative_risk",
+    "spearman",
+    "summarize",
+]

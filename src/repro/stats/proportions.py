@@ -1,0 +1,124 @@
+"""Proportions and relative risk (Sistrom & Garvan, the paper's ref [31]).
+
+The paper detects a state's *highlighted* organs by comparing the
+prevalence of organ-related conversation inside the state against the rest
+of the USA (Eq. 4):
+
+    RR_ir = ρ_ir / ρ_in
+
+with ρ the fraction of users mentioning organ *i* inside / outside state
+*r*.  ``log(RR)`` is approximately normal, so an organ is highlighted when
+the lower limit of the (1−α) CI of ``log(RR)`` exceeds zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.special import ndtri
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeRiskResult:
+    """Relative risk of one event between an exposed and a control group.
+
+    Attributes:
+        rr: point estimate ρ_exposed / ρ_control (``nan`` if undefined,
+            ``inf`` if the control prevalence is zero).
+        log_rr: natural log of the point estimate.
+        se_log_rr: standard error of ``log_rr`` (delta method).
+        ci_low / ci_high: (1−α) confidence interval for RR.
+        alpha: significance level used for the interval.
+    """
+
+    rr: float
+    log_rr: float
+    se_log_rr: float
+    ci_low: float
+    ci_high: float
+    alpha: float
+
+    @property
+    def significant_excess(self) -> bool:
+        """True when the CI lower limit exceeds 1 (log-RR CI above zero).
+
+        This is the paper's highlight criterion:
+        ``log(RR) − z_α · σ_log(RR) > 0``.
+        """
+        return bool(self.ci_low > 1.0)
+
+    @property
+    def significant_deficit(self) -> bool:
+        """True when the CI upper limit is below 1 (under-mention)."""
+        return bool(self.ci_high < 1.0)
+
+
+def prevalence(events: int, total: int) -> float:
+    """Event prevalence ρ = events / total.
+
+    Raises:
+        ValueError: on a non-positive denominator or impossible counts.
+    """
+    if total <= 0:
+        raise ValueError(f"total must be > 0, got {total}")
+    if not 0 <= events <= total:
+        raise ValueError(f"events must be in [0, {total}], got {events}")
+    return events / total
+
+
+def relative_risk(
+    events_exposed: int,
+    n_exposed: int,
+    events_control: int,
+    n_control: int,
+    alpha: float = 0.05,
+) -> RelativeRiskResult:
+    """Relative risk with a log-normal (1−α) confidence interval.
+
+    Uses the standard delta-method standard error
+
+        SE = sqrt(1/a − 1/n₁ + 1/b − 1/n₂)
+
+    where ``a``/``b`` are event counts in the exposed/control groups.  When
+    either event count is zero the estimate degenerates (rr = 0 or inf)
+    and the interval is unbounded on the corresponding side.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    rho_exposed = prevalence(events_exposed, n_exposed)
+    rho_control = prevalence(events_control, n_control)
+
+    if rho_exposed == 0.0 and rho_control == 0.0:
+        return RelativeRiskResult(
+            rr=math.nan, log_rr=math.nan, se_log_rr=math.inf,
+            ci_low=0.0, ci_high=math.inf, alpha=alpha,
+        )
+    if rho_control == 0.0:
+        return RelativeRiskResult(
+            rr=math.inf, log_rr=math.inf, se_log_rr=math.inf,
+            ci_low=0.0, ci_high=math.inf, alpha=alpha,
+        )
+    if rho_exposed == 0.0:
+        return RelativeRiskResult(
+            rr=0.0, log_rr=-math.inf, se_log_rr=math.inf,
+            ci_low=0.0, ci_high=math.inf, alpha=alpha,
+        )
+
+    rr = rho_exposed / rho_control
+    log_rr = math.log(rr)
+    se = math.sqrt(
+        1.0 / events_exposed
+        - 1.0 / n_exposed
+        + 1.0 / events_control
+        - 1.0 / n_control
+    )
+    z = float(ndtri(1.0 - alpha / 2.0))
+    return RelativeRiskResult(
+        rr=rr,
+        log_rr=log_rr,
+        se_log_rr=se,
+        ci_low=math.exp(log_rr - z * se),
+        ci_high=math.exp(log_rr + z * se),
+        alpha=alpha,
+    )

@@ -1,0 +1,35 @@
+"""Rank transformation with average-tie handling.
+
+Self-contained equivalent of ``scipy.stats.rankdata(method="average")`` —
+kept in-repo so the Spearman implementation has no hidden dependency and
+its tie behaviour is pinned by our own tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rankdata(values: np.ndarray | list[float]) -> np.ndarray:
+    """1-based ranks with ties receiving their average rank.
+
+    >>> rankdata([10, 20, 20, 30]).tolist()
+    [1.0, 2.5, 2.5, 4.0]
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"rankdata expects a 1-D array, got shape {array.shape}")
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(array.size, dtype=float)
+    ranks[order] = np.arange(1, array.size + 1, dtype=float)
+    # Average the ranks within each tie group.
+    sorted_values = array[order]
+    group_start = 0
+    for index in range(1, array.size + 1):
+        at_end = index == array.size
+        if at_end or sorted_values[index] != sorted_values[group_start]:
+            if index - group_start > 1:
+                average = (group_start + 1 + index) / 2.0
+                ranks[order[group_start:index]] = average
+            group_start = index
+    return ranks

@@ -1,0 +1,43 @@
+"""Generative model of the organ-donation twittersphere.
+
+The paper's raw material — 975k keyword-matched tweets from Apr 2015 to May
+2016 — is not publicly available and the open Streaming API no longer
+exists.  This package substitutes a calibrated generative model:
+
+* a synthetic population of US and foreign users with realistic profile
+  locations (:mod:`repro.synth.population`),
+* per-user ground-truth organ attention with planted real-world structure
+  — national popularity order, directed co-attention, and per-state
+  anomalies such as the Kansas kidney excess (:mod:`repro.synth.attention`),
+* a heavy-tailed tweet activity model (:mod:`repro.synth.activity`),
+* template-based tweet text that carries the Context × Subject vocabulary
+  (:mod:`repro.synth.text`), and
+* :class:`repro.synth.world.SyntheticWorld`, which assembles them into a
+  firehose of :class:`repro.twitter.models.Tweet` records and exposes the
+  planted ground truth so experiments can verify recovery.
+
+Calibration targets are Table I of the paper; named configurations live in
+:mod:`repro.synth.scenarios`.
+"""
+
+from repro.synth.config import (
+    ActivityConfig,
+    AttentionConfig,
+    PopulationConfig,
+    SynthConfig,
+    TextConfig,
+)
+from repro.synth.scenarios import null_uniform_scenario, paper2016_scenario
+from repro.synth.world import GroundTruth, SyntheticWorld
+
+__all__ = [
+    "ActivityConfig",
+    "AttentionConfig",
+    "GroundTruth",
+    "PopulationConfig",
+    "SynthConfig",
+    "SyntheticWorld",
+    "TextConfig",
+    "null_uniform_scenario",
+    "paper2016_scenario",
+]

@@ -1,0 +1,111 @@
+"""Calibration checking: does a generated world match Table I?
+
+Used by the ``repro calibrate`` CLI command and by tests.  Each check
+compares a measured statistic of a pipeline run against the paper's
+target with a tolerance, so drift introduced by future changes to the
+generative model is caught immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper import PAPER_DATASET_STATS
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.stats import compute_stats
+from repro.pipeline.runner import PipelineReport
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationCheck:
+    """One target comparison.
+
+    Attributes:
+        name: statistic name.
+        target: the paper's value.
+        measured: this world's value.
+        tolerance: accepted absolute deviation.
+        ok: whether the check passed.
+    """
+
+    name: str
+    target: float
+    measured: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.measured - self.target) <= self.tolerance
+
+    def render(self) -> str:
+        flag = "ok " if self.ok else "FAIL"
+        return (
+            f"[{flag}] {self.name}: measured {self.measured:.3f} "
+            f"vs target {self.target:.3f} (±{self.tolerance:.3f})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationReport:
+    """All checks for one world/pipeline run."""
+
+    checks: tuple[CalibrationCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        lines = [check.render() for check in self.checks]
+        verdict = "CALIBRATED" if self.ok else "OUT OF CALIBRATION"
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+def check_calibration(
+    corpus: TweetCorpus, report: PipelineReport
+) -> CalibrationReport:
+    """Compare a pipeline run against the paper's Table I targets.
+
+    Scale-free statistics only: ratios and per-user/per-tweet means.
+    Absolute volumes are excluded because they scale with the world size
+    by construction.
+    """
+    stats = compute_stats(corpus)
+    target_yield = (
+        PAPER_DATASET_STATS["tweets_collected"]
+        / PAPER_DATASET_STATS["tweets_raw"]
+    )
+    checks = (
+        CalibrationCheck(
+            name="us_yield",
+            target=float(target_yield),
+            measured=report.us_yield,
+            tolerance=0.03,
+        ),
+        CalibrationCheck(
+            name="avg_tweets_per_user",
+            target=float(PAPER_DATASET_STATS["avg_tweets_per_user"]),
+            measured=stats.avg_tweets_per_user,
+            tolerance=0.25,
+        ),
+        CalibrationCheck(
+            name="organs_per_tweet",
+            target=float(PAPER_DATASET_STATS["organs_per_tweet"]),
+            measured=stats.organs_per_tweet,
+            tolerance=0.05,
+        ),
+        CalibrationCheck(
+            name="organs_per_user",
+            target=float(PAPER_DATASET_STATS["organs_per_user"]),
+            measured=stats.organs_per_user,
+            tolerance=0.09,
+        ),
+        CalibrationCheck(
+            name="collection_days",
+            target=float(PAPER_DATASET_STATS["days"]),
+            measured=float(stats.days),
+            tolerance=2.0,
+        ),
+    )
+    return CalibrationReport(checks=checks)

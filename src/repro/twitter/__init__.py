@@ -1,0 +1,23 @@
+"""Simulated Twitter platform substrate.
+
+The paper consumes the public Twitter Streaming API, which is no longer
+openly available (and the 2015–16 dataset was never released).  This
+package models the platform surface the paper's pipeline touched: tweet and
+user-profile records (:mod:`repro.twitter.models`) and a filtered stream
+with Twitter ``track`` keyword semantics (:mod:`repro.twitter.stream`).
+The content flowing through it comes from :mod:`repro.synth`.
+"""
+
+from repro.twitter.errors import StreamClosedError, StreamError
+from repro.twitter.models import Place, Tweet, UserProfile
+from repro.twitter.stream import FilteredStream, TrackFilter
+
+__all__ = [
+    "FilteredStream",
+    "Place",
+    "StreamClosedError",
+    "StreamError",
+    "TrackFilter",
+    "Tweet",
+    "UserProfile",
+]

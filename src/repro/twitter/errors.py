@@ -1,0 +1,17 @@
+"""Error types for the simulated Twitter stream."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class StreamError(ReproError):
+    """Base class for streaming failures."""
+
+
+class StreamClosedError(StreamError):
+    """The stream was read after being closed."""
+
+
+class InvalidTrackError(StreamError):
+    """A ``track`` phrase list is empty or malformed."""

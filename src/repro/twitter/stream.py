@@ -1,0 +1,104 @@
+"""Filtered stream with Twitter ``track`` semantics.
+
+Reproduces the matching rules of the Streaming API ``statuses/filter``
+endpoint the paper used: each track phrase is an AND of its space-separated
+terms, the phrase list is an OR, matching is case-insensitive against the
+tweet's tokenized text, and terms match inside hashtags.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.nlp.tokenize import words
+from repro.twitter.errors import InvalidTrackError, StreamClosedError
+from repro.twitter.models import Tweet
+
+
+class TrackFilter:
+    """Twitter ``track`` phrase matcher.
+
+    Args:
+        phrases: Track phrases; each phrase's space-separated terms must all
+            appear in a tweet for the phrase to match, and any matching
+            phrase admits the tweet.
+
+    Raises:
+        InvalidTrackError: on an empty phrase list or a blank phrase.
+    """
+
+    def __init__(self, phrases: Iterable[str]):
+        parsed = [tuple(phrase.lower().split()) for phrase in phrases]
+        if not parsed:
+            raise InvalidTrackError("track phrase list is empty")
+        if any(not terms for terms in parsed):
+            raise InvalidTrackError("track phrase list contains a blank phrase")
+        self._phrases: tuple[tuple[str, ...], ...] = tuple(parsed)
+        self._phrase_sets = tuple(frozenset(terms) for terms in parsed)
+        # Terms are tested for presence once per tweet; phrases are then
+        # checked as subset tests against the present-term set.
+        self._vocabulary = tuple(
+            sorted({term for terms in self._phrases for term in terms})
+        )
+
+    @property
+    def phrases(self) -> tuple[tuple[str, ...], ...]:
+        return self._phrases
+
+    def matches(self, text: str) -> bool:
+        """True when any track phrase fully matches the tweet text."""
+        tokens = set(words(text))
+        if not tokens:
+            return False
+        glued = [token for token in tokens if len(token) > 8]
+        present = {
+            term
+            for term in self._vocabulary
+            if term in tokens or any(term in token for token in glued)
+        }
+        if not present:
+            return False
+        return any(terms <= present for terms in self._phrase_sets)
+
+
+class FilteredStream:
+    """A ``statuses/filter``-like stream over a tweet source.
+
+    Wraps any iterable of :class:`Tweet` (normally the firehose of a
+    :class:`repro.synth.world.SyntheticWorld`) and yields only tweets that
+    match the track filter, counting both delivered and dropped tweets so
+    collection yield can be reported the way Table I's footnote does.
+
+    The stream is single-use, like a network stream: iterating after
+    :meth:`close` raises :class:`StreamClosedError`.
+    """
+
+    def __init__(self, source: Iterable[Tweet], track: Iterable[str]):
+        self._source = iter(source)
+        self._filter = TrackFilter(track)
+        self._closed = False
+        self.delivered = 0
+        self.dropped = 0
+
+    def __iter__(self) -> Iterator[Tweet]:
+        return self
+
+    def __next__(self) -> Tweet:
+        if self._closed:
+            raise StreamClosedError("stream is closed")
+        for tweet in self._source:
+            if self._filter.matches(tweet.text):
+                self.delivered += 1
+                return tweet
+            self.dropped += 1
+        raise StopIteration
+
+    def close(self) -> None:
+        """Close the stream; further reads raise."""
+        self._closed = True
+
+    def __enter__(self) -> "FilteredStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

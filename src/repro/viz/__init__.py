@@ -1,0 +1,26 @@
+"""SVG figure rendering — viewable figures without matplotlib.
+
+Offline environments cannot install plotting libraries, so this package
+renders the paper's figures as standalone SVG files with a small
+hand-rolled SVG builder: bar charts (Figs. 2–4, 7 panels), a distance
+heatmap (Fig. 6), a US tile-grid choropleth (Fig. 5), and a dendrogram.
+``python -m repro analyze … --svg DIR`` writes one SVG per artifact.
+"""
+
+from repro.viz.artifacts import export_all_svg
+from repro.viz.charts import (
+    bar_chart_svg,
+    dendrogram_svg,
+    heatmap_svg,
+    tile_grid_map_svg,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "SvgCanvas",
+    "bar_chart_svg",
+    "dendrogram_svg",
+    "export_all_svg",
+    "heatmap_svg",
+    "tile_grid_map_svg",
+]

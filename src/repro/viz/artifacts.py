@@ -1,0 +1,144 @@
+"""Per-artifact SVG rendering: one figure file per paper artifact."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.organs import ORGANS, Organ
+from repro.report.experiments import ExperimentSuite
+from repro.viz.charts import (
+    bar_chart_svg,
+    dendrogram_svg,
+    heatmap_svg,
+    organ_colors,
+    tile_grid_map_svg,
+)
+
+
+def fig2_svg(suite: ExperimentSuite) -> str:
+    result = suite.run_fig2()
+    order = result.popularity_order()
+    return bar_chart_svg(
+        [organ.value for organ in order],
+        [float(result.users_by_organ[organ]) for organ in order],
+        title=(
+            "Fig. 2(a) — users per organ "
+            f"(Spearman vs transplants r = {result.correlation.r:.2f})"
+        ),
+        log_scale=True,
+        colors=[organ_colors()[organ.index] for organ in order],
+    )
+
+
+def fig3_svg(suite: ExperimentSuite, organ: Organ) -> str:
+    profile = suite.organ_characterization.profile(organ)
+    return bar_chart_svg(
+        [item.value for item, __ in profile],
+        [value for __, value in profile],
+        title=f"Fig. 3 — co-attention of {organ.value}-focal users",
+        log_scale=True,
+        colors=[organ_colors()[item.index] for item, __ in profile],
+    )
+
+
+def fig4_svg(suite: ExperimentSuite, state: str) -> str:
+    signature = suite.region_characterization.signature(state)
+    return bar_chart_svg(
+        [organ.value for organ, __ in signature],
+        [value for __, value in signature],
+        title=f"Fig. 4 — organ signature of {state}",
+        log_scale=True,
+        colors=[organ_colors()[organ.index] for organ, __ in signature],
+    )
+
+
+def fig5_svg(suite: ExperimentSuite) -> str:
+    """The Fig. 5 choropleth as a tile-grid map: states colored by their
+    (first) highlighted organ."""
+    result = suite.run_fig5()
+    colors: dict[str, str] = {}
+    tooltips: dict[str, str] = {}
+    for state, organs in result.highlights.items():
+        if organs:
+            colors[state] = organ_colors()[organs[0].index]
+            tooltips[state] = (
+                f"{state}: {', '.join(organ.value for organ in organs)}"
+            )
+        else:
+            tooltips[state] = f"{state}: no significant excess"
+    legend = ", ".join(
+        f"{organ.value}" for organ in ORGANS
+    )
+    return tile_grid_map_svg(
+        colors,
+        tooltips,
+        title=f"Fig. 5 — highlighted organs per state ({legend})",
+    )
+
+
+def fig6_svg(suite: ExperimentSuite) -> str:
+    clustering = suite.run_fig6().clustering
+    order = clustering.leaf_order()
+    index = {state: i for i, state in enumerate(clustering.states)}
+    matrix = [
+        [clustering.distance_matrix[index[a], index[b]] for b in order]
+        for a in order
+    ]
+    return heatmap_svg(
+        order, matrix,
+        title="Fig. 6 — Bhattacharyya distances (dendrogram order)",
+    )
+
+
+def fig6_dendrogram_svg(suite: ExperimentSuite) -> str:
+    clustering = suite.run_fig6().clustering
+    return dendrogram_svg(
+        list(clustering.states),
+        [(m.left, m.right, m.height) for m in clustering.dendrogram.merges],
+        title="Fig. 6 — state dendrogram (average linkage)",
+    )
+
+
+def fig7_svg(suite: ExperimentSuite) -> str:
+    clustering = suite.run_fig7().clustering
+    sizes = clustering.relative_sizes()
+    labels: list[str] = []
+    values: list[float] = []
+    colors: list[str] = []
+    for cluster in sorted(range(clustering.k), key=lambda c: -sizes[c]):
+        top_organ, share = clustering.cluster_profile(cluster)[0]
+        labels.append(
+            f"c{cluster} ({top_organ.value} {share:.0%})"
+        )
+        values.append(float(sizes[cluster]))
+        colors.append(organ_colors()[top_organ.index])
+    return bar_chart_svg(
+        labels, values,
+        title=f"Fig. 7 — user clusters (k = {clustering.k}, "
+        f"silhouette {clustering.silhouette:.3f})",
+        colors=colors,
+    )
+
+
+def export_all_svg(suite: ExperimentSuite, directory: str | Path) -> list[Path]:
+    """Write every artifact's SVG into ``directory``; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def write(name: str, document: str) -> None:
+        path = target / f"{name}.svg"
+        path.write_text(document)
+        written.append(path)
+
+    write("fig2", fig2_svg(suite))
+    for organ in suite.organ_characterization.characterized_organs():
+        write(f"fig3_{organ.value}", fig3_svg(suite, organ))
+    for state in ("KS", "LA", "MA", "CA", "TX"):
+        if state in suite.region_characterization.states:
+            write(f"fig4_{state}", fig4_svg(suite, state))
+    write("fig5", fig5_svg(suite))
+    write("fig6_heatmap", fig6_svg(suite))
+    write("fig6_dendrogram", fig6_dendrogram_svg(suite))
+    write("fig7", fig7_svg(suite))
+    return written

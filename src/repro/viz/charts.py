@@ -1,0 +1,205 @@
+"""SVG chart renderers: bars, heatmap, tile-grid map, dendrogram."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.viz.svg import ORGAN_COLORS, SvgCanvas, sequential_color
+
+_MARGIN = 16
+_LABEL_WIDTH = 90
+
+
+def bar_chart_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 520,
+    bar_height: int = 20,
+    log_scale: bool = False,
+    colors: Sequence[str] | None = None,
+) -> str:
+    """A horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+    scaled = [
+        math.log10(1 + value) if log_scale else float(value)
+        for value in values
+    ]
+    peak = max(scaled, default=0.0) or 1.0
+
+    height = _MARGIN * 2 + 24 + len(labels) * (bar_height + 6)
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(_MARGIN, _MARGIN + 8, title, size=13, bold=True)
+    plot_width = width - _LABEL_WIDTH - 3 * _MARGIN - 60
+    y = _MARGIN + 28
+    for index, (label, value, magnitude) in enumerate(
+        zip(labels, values, scaled)
+    ):
+        color = (
+            colors[index % len(colors)] if colors else "#1f77b4"
+        )
+        bar = plot_width * magnitude / peak
+        canvas.text(
+            _MARGIN + _LABEL_WIDTH, y + bar_height - 6, str(label),
+            anchor="end", size=11,
+        )
+        canvas.rect(
+            _MARGIN + _LABEL_WIDTH + 6, y, bar, bar_height,
+            fill=color, tooltip=f"{label}: {value:g}",
+        )
+        canvas.text(
+            _MARGIN + _LABEL_WIDTH + 10 + bar, y + bar_height - 6,
+            f"{value:,.4g}", size=10, fill="#555555",
+        )
+        y += bar_height + 6
+    return canvas.render()
+
+
+def heatmap_svg(
+    labels: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    title: str = "",
+    cell: int = 12,
+) -> str:
+    """A square heatmap; darker cells = larger values."""
+    n = len(labels)
+    values = [list(map(float, row)) for row in matrix]
+    if len(values) != n or any(len(row) != n for row in values):
+        raise ValueError("heatmap requires a square matrix matching labels")
+    flat = [value for row in values for value in row]
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+
+    left = _MARGIN + 34
+    top = _MARGIN + 40
+    size = n * cell
+    canvas = SvgCanvas(left + size + _MARGIN, top + size + _MARGIN)
+    if title:
+        canvas.text(_MARGIN, _MARGIN + 8, title, size=13, bold=True)
+    for row_index, label in enumerate(labels):
+        canvas.text(
+            left - 4, top + row_index * cell + cell - 2, str(label),
+            anchor="end", size=7,
+        )
+        for col_index in range(n):
+            value = values[row_index][col_index]
+            canvas.rect(
+                left + col_index * cell,
+                top + row_index * cell,
+                cell - 1,
+                cell - 1,
+                fill=sequential_color((value - low) / span),
+                tooltip=f"{labels[row_index]}–{labels[col_index]}: {value:.4f}",
+            )
+    for col_index, label in enumerate(labels):
+        canvas.text(
+            left + col_index * cell + cell / 2, top - 4, str(label)[:2],
+            anchor="middle", size=6,
+        )
+    return canvas.render()
+
+
+def tile_grid_map_svg(
+    state_colors: dict[str, str],
+    state_tooltips: dict[str, str] | None = None,
+    title: str = "",
+    cell: int = 42,
+) -> str:
+    """A US tile-grid choropleth.
+
+    Args:
+        state_colors: USPS code → fill color; missing states render gray.
+        state_tooltips: optional hover text per state.
+        title: heading.
+        cell: tile size in pixels.
+    """
+    from repro.viz.tilegrid import TILE_GRID, grid_extent
+
+    rows, cols = grid_extent()
+    left, top = _MARGIN, _MARGIN + 28
+    canvas = SvgCanvas(left + cols * cell + _MARGIN, top + rows * cell + _MARGIN)
+    if title:
+        canvas.text(_MARGIN, _MARGIN + 8, title, size=13, bold=True)
+    tooltips = state_tooltips or {}
+    for state, (row, col) in TILE_GRID.items():
+        x = left + col * cell
+        y = top + row * cell
+        canvas.rect(
+            x, y, cell - 3, cell - 3,
+            fill=state_colors.get(state, "#e8e8e8"),
+            stroke="#ffffff",
+            tooltip=tooltips.get(state, state),
+        )
+        canvas.text(
+            x + (cell - 3) / 2, y + cell / 2 + 3, state,
+            anchor="middle", size=11, bold=True,
+        )
+    return canvas.render()
+
+
+def dendrogram_svg(
+    labels: Sequence[str],
+    merges: Sequence[tuple[int, int, float]],
+    title: str = "",
+    width: int = 640,
+    row_height: int = 14,
+) -> str:
+    """A left-to-right dendrogram (leaves on the left axis)."""
+    n = len(labels)
+    if len(merges) != n - 1:
+        raise ValueError(f"{n} leaves require {n - 1} merges")
+    children: dict[int, tuple[int, int]] = {}
+    for index, (left_child, right_child, __) in enumerate(merges):
+        children[n + index] = (left_child, right_child)
+
+    order: list[int] = []
+    stack = [n + len(merges) - 1] if merges else [0]
+    while stack:
+        node = stack.pop()
+        if node < n:
+            order.append(node)
+        else:
+            left_child, right_child = children[node]
+            stack.append(right_child)
+            stack.append(left_child)
+    leaf_y = {
+        leaf: _MARGIN + 36 + position * row_height
+        for position, leaf in enumerate(order)
+    }
+
+    peak = max((height for __, __, height in merges), default=1.0) or 1.0
+    left = _MARGIN + 46
+    plot = width - left - _MARGIN
+
+    def x_of(height: float) -> float:
+        return left + plot * height / peak
+
+    canvas = SvgCanvas(width, _MARGIN * 2 + 44 + n * row_height)
+    if title:
+        canvas.text(_MARGIN, _MARGIN + 8, title, size=13, bold=True)
+    for leaf, y in leaf_y.items():
+        canvas.text(left - 4, y + 3, str(labels[leaf]), anchor="end", size=8)
+
+    # Draw merges bottom-up; track each cluster's (x, y) junction point.
+    position: dict[int, tuple[float, float]] = {
+        leaf: (left, y) for leaf, y in leaf_y.items()
+    }
+    for index, (left_child, right_child, height) in enumerate(merges):
+        x = x_of(height)
+        x1, y1 = position[left_child]
+        x2, y2 = position[right_child]
+        canvas.line(x1, y1, x, y1, stroke="#666666")
+        canvas.line(x2, y2, x, y2, stroke="#666666")
+        canvas.line(x, y1, x, y2, stroke="#666666")
+        position[n + index] = (x, (y1 + y2) / 2)
+    return canvas.render()
+
+
+def organ_colors() -> tuple[str, ...]:
+    """The canonical organ palette (Fig. 3's legend colors)."""
+    return ORGAN_COLORS

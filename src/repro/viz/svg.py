@@ -1,0 +1,116 @@
+"""A minimal SVG document builder.
+
+Only the primitives the chart layer needs: rectangles, lines, text, and
+groups, with XML escaping and a fluent append API.  Documents are plain
+strings — viewable in any browser, no dependencies.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+
+class SvgCanvas:
+    """An SVG document under construction.
+
+    Args:
+        width / height: document size in pixels.
+        background: optional background fill color.
+    """
+
+    def __init__(self, width: int, height: int, background: str | None = "#ffffff"):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas size must be positive, got {width}×{height}")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background is not None:
+            self.rect(0, 0, width, height, fill=background)
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "#888888",
+        stroke: str | None = None,
+        opacity: float | None = None,
+        tooltip: str | None = None,
+    ) -> "SvgCanvas":
+        """Append a rectangle; ``tooltip`` becomes a ``<title>`` child."""
+        attrs = [
+            f'x="{x:.2f}" y="{y:.2f}" width="{max(width, 0):.2f}" '
+            f'height="{max(height, 0):.2f}" fill={quoteattr(fill)}'
+        ]
+        if stroke is not None:
+            attrs.append(f"stroke={quoteattr(stroke)}")
+        if opacity is not None:
+            attrs.append(f'opacity="{opacity:.3f}"')
+        if tooltip:
+            self._elements.append(
+                f"<rect {' '.join(attrs)}><title>{escape(tooltip)}</title></rect>"
+            )
+        else:
+            self._elements.append(f"<rect {' '.join(attrs)} />")
+        return self
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "#444444", width: float = 1.0,
+    ) -> "SvgCanvas":
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke={quoteattr(stroke)} stroke-width="{width:.2f}" />'
+        )
+        return self
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        fill: str = "#222222",
+        bold: bool = False,
+    ) -> "SvgCanvas":
+        """Append a text element (``anchor``: start/middle/end)."""
+        weight = ' font-weight="bold"' if bold else ""
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f"fill={quoteattr(fill)}{weight}>{escape(content)}</text>"
+        )
+        return self
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n".join(f"  {element}" for element in self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )
+
+
+def sequential_color(value: float) -> str:
+    """Map [0, 1] to a white → deep-blue sequential color."""
+    clamped = min(max(value, 0.0), 1.0)
+    red = int(255 - 205 * clamped)
+    green = int(255 - 170 * clamped)
+    blue = int(255 - 80 * clamped)
+    return f"#{red:02x}{green:02x}{blue:02x}"
+
+
+#: Categorical palette for the six organs, in canonical order — mirrors
+#: the paper's Fig. 3 legend (heart red, kidney yellow, liver green, lung
+#: blue, pancreas olive, intestine magenta).
+ORGAN_COLORS: tuple[str, ...] = (
+    "#d62728",  # heart — red
+    "#e6b117",  # kidney — yellow
+    "#2ca02c",  # liver — green
+    "#1f77b4",  # lung — blue
+    "#808000",  # pancreas — olive
+    "#c44fc4",  # intestine — magenta
+)

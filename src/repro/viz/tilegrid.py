@@ -1,0 +1,70 @@
+"""US tile-grid map layout.
+
+The standard "tile grid" cartogram places every state in a fixed cell of
+a coarse grid that roughly preserves geography while giving each state
+equal visual weight — the usual substitute for a choropleth when exact
+shapes are unnecessary (Fig. 5's message is per-state categorical, so the
+tile grid carries it faithfully).  Coordinates are (row, column), row 0
+at the top.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeoError
+from repro.geo.gazetteer import ALL_REGION_CODES
+
+#: state → (row, col) in the standard US tile-grid layout (+ PR).
+TILE_GRID: dict[str, tuple[int, int]] = {
+    "AK": (0, 0), "ME": (0, 11),
+    "VT": (1, 10), "NH": (1, 11),
+    "WA": (2, 1), "ID": (2, 2), "MT": (2, 3), "ND": (2, 4), "MN": (2, 5),
+    "IL": (2, 6), "WI": (2, 7), "MI": (2, 8), "NY": (2, 9), "RI": (2, 10),
+    "MA": (2, 11),
+    "OR": (3, 1), "NV": (3, 2), "WY": (3, 3), "SD": (3, 4), "IA": (3, 5),
+    "IN": (3, 6), "OH": (3, 7), "PA": (3, 8), "NJ": (3, 9), "CT": (3, 10),
+    "CA": (4, 1), "UT": (4, 2), "CO": (4, 3), "NE": (4, 4), "MO": (4, 5),
+    "KY": (4, 6), "WV": (4, 7), "VA": (4, 8), "MD": (4, 9), "DE": (4, 10),
+    "AZ": (5, 2), "NM": (5, 3), "KS": (5, 4), "AR": (5, 5), "TN": (5, 6),
+    "NC": (5, 7), "SC": (5, 8), "DC": (5, 9),
+    "OK": (6, 4), "LA": (6, 5), "MS": (6, 6), "AL": (6, 7), "GA": (6, 8),
+    "HI": (7, 0), "TX": (7, 4), "FL": (7, 9), "PR": (7, 11),
+}
+
+
+def tile_of(state: str) -> tuple[int, int]:
+    """The (row, col) cell of a state.
+
+    Raises:
+        GeoError: for a state without a tile.
+    """
+    cell = TILE_GRID.get(state.strip().upper())
+    if cell is None:
+        raise GeoError(f"state {state!r} has no tile-grid cell")
+    return cell
+
+
+def grid_extent() -> tuple[int, int]:
+    """(n_rows, n_cols) of the layout."""
+    rows = max(row for row, __ in TILE_GRID.values()) + 1
+    cols = max(col for __, col in TILE_GRID.values()) + 1
+    return rows, cols
+
+
+def validate_tile_grid() -> None:
+    """Assert the layout covers the gazetteer exactly, one cell each.
+
+    Raises:
+        GeoError: on missing/extra states or cell collisions.
+    """
+    missing = sorted(set(ALL_REGION_CODES) - set(TILE_GRID))
+    if missing:
+        raise GeoError(f"states without tiles: {missing}")
+    extra = sorted(set(TILE_GRID) - set(ALL_REGION_CODES))
+    if extra:
+        raise GeoError(f"unknown states in tile grid: {extra}")
+    cells = list(TILE_GRID.values())
+    if len(cells) != len(set(cells)):
+        collisions = sorted(
+            {cell for cell in cells if cells.count(cell) > 1}
+        )
+        raise GeoError(f"tile collisions at {collisions}")

@@ -1,0 +1,89 @@
+"""Tests for demographic representation bias."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.analysis.bias import representation_bias
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.gazetteer import CensusRegion
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, state, tweet_id):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions={Organ.HEART: 1},
+    )
+
+
+class TestRepresentationRatios:
+    def test_balanced_state_near_one(self):
+        # CA is ~12.2% of the gazetteer population; a corpus with 12 of
+        # 100 users in CA should give a ratio near 1.
+        records = [record(i, "CA", i) for i in range(12)]
+        records += [record(100 + i, "TX", 100 + i) for i in range(9)]
+        records += [record(200 + i, "NY", 200 + i) for i in range(6)]
+        records += [record(300 + i, "FL", 300 + i) for i in range(6)]
+        records += [record(400 + i, "PA", 400 + i) for i in range(4)]
+        records += [record(500 + i, "OH", 500 + i) for i in range(63)]
+        bias = representation_bias(TweetCorpus(records))
+        assert bias.state_ratio["CA"] == pytest.approx(1.0, abs=0.05)
+
+    def test_small_state_ratio_dwarfs_large_state_at_equal_counts(self):
+        records = [record(i, "WY", i) for i in range(50)]
+        records += [record(100 + i, "CA", 100 + i) for i in range(50)]
+        bias = representation_bias(TweetCorpus(records))
+        assert bias.state_ratio["WY"] > 10  # WY is ~0.2% of population
+        # Equal user counts, ~67× population difference.
+        assert bias.state_ratio["WY"] > 30 * bias.state_ratio["CA"]
+
+    def test_users_counted_once(self):
+        # One user with many tweets counts once.
+        records = [record(1, "WY", i) for i in range(10)]
+        records.append(record(2, "CA", 99))
+        bias = representation_bias(TweetCorpus(records))
+        assert bias.n_users == 2
+
+    def test_region_ratio_aggregates(self):
+        records = [record(i, "KS", i) for i in range(10)]
+        records += [record(100 + i, "CA", 100 + i) for i in range(10)]
+        bias = representation_bias(TweetCorpus(records))
+        # Kansas is a far smaller share of the Midwest than CA of the
+        # West, so equal counts over-represent the Midwest more.
+        assert bias.region_ratio[CensusRegion.MIDWEST] > (
+            bias.region_ratio[CensusRegion.WEST]
+        )
+        # Regions with no corpus users read as fully under-represented.
+        assert bias.region_ratio[CensusRegion.SOUTH] == 0.0
+
+    def test_underrepresented_states_sorted(self):
+        records = [record(i, "CA", i) for i in range(99)]
+        records.append(record(100, "TX", 100))
+        bias = representation_bias(TweetCorpus(records))
+        assert "TX" in bias.underrepresented_states()
+
+
+class TestOnSyntheticCorpus:
+    def test_midwest_underrepresented_as_paper_notes(self, midsize_corpus):
+        """§V: 'the Midwestern population … is underrepresented among
+        Twitter users' — planted via the midwest_bias knob and measured
+        here end to end."""
+        bias = representation_bias(midsize_corpus)
+        assert bias.region_ratio[CensusRegion.MIDWEST] < 1.0
+        assert bias.most_biased_region() in (
+            CensusRegion.MIDWEST, CensusRegion.OTHER,
+        )
+
+    def test_ratios_cover_every_populated_state(self, midsize_corpus):
+        bias = representation_bias(midsize_corpus)
+        assert len(bias.state_ratio) >= 50

@@ -1,0 +1,104 @@
+"""Tests for organ co-mention analysis."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.analysis.co_occurrence import organ_co_occurrence
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, tweet_id):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", "KS", 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def corpus():
+    return TweetCorpus([
+        record(1, {Organ.HEART: 1, Organ.KIDNEY: 1}, 1),   # co-tweet
+        record(2, {Organ.HEART: 1}, 2),
+        record(2, {Organ.KIDNEY: 1}, 3),                    # co-user only
+        record(3, {Organ.LIVER: 1}, 4),
+        record(4, {Organ.HEART: 1}, 5),
+    ])
+
+
+class TestTweetLevel:
+    def test_pair_counted_within_tweet_only(self, corpus):
+        result = organ_co_occurrence(corpus, level="tweet")
+        assert result.pair_count(Organ.HEART, Organ.KIDNEY) == 1
+        assert result.n_units == 5
+
+    def test_diagonal_is_marginal(self, corpus):
+        result = organ_co_occurrence(corpus, level="tweet")
+        assert result.counts[Organ.HEART.index, Organ.HEART.index] == 3
+
+    def test_symmetry(self, corpus):
+        result = organ_co_occurrence(corpus, level="tweet")
+        np.testing.assert_array_equal(result.counts, result.counts.T)
+
+
+class TestUserLevel:
+    def test_user_aggregation_counts_cross_tweet_pairs(self, corpus):
+        result = organ_co_occurrence(corpus, level="user")
+        # users 1 and 2 both mention heart+kidney (user 2 across tweets).
+        assert result.pair_count(Organ.HEART, Organ.KIDNEY) == 2
+        assert result.n_units == 4
+
+    def test_user_level_default(self, corpus):
+        assert organ_co_occurrence(corpus).level == "user"
+
+
+class TestLift:
+    def test_positive_association_lift_above_one(self, corpus):
+        result = organ_co_occurrence(corpus, level="user")
+        # heart: 3/4 users, kidney: 2/4; expected pairs 4*(3/4)*(2/4)=1.5,
+        # observed 2 → lift 4/3.
+        assert result.pair_lift(Organ.HEART, Organ.KIDNEY) == pytest.approx(4 / 3)
+
+    def test_unobserved_pair_nan_or_zero(self, corpus):
+        result = organ_co_occurrence(corpus, level="user")
+        lift = result.pair_lift(Organ.LUNG, Organ.PANCREAS)
+        assert np.isnan(lift)
+
+    def test_diagonal_nan(self, corpus):
+        result = organ_co_occurrence(corpus)
+        assert np.isnan(result.lift[0, 0])
+
+
+class TestTopPairs:
+    def test_ordering(self, corpus):
+        result = organ_co_occurrence(corpus, level="user")
+        top = result.top_pairs(k=1)[0]
+        assert {top[0], top[1]} == {Organ.HEART, Organ.KIDNEY}
+
+    def test_unknown_level_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            organ_co_occurrence(corpus, level="sentence")
+
+
+class TestOnSyntheticCorpus:
+    def test_dual_transplant_pairs_rank_high(self, midsize_corpus):
+        """The planted co-attention makes the cited dual-transplant pairs
+        among the most co-mentioned."""
+        result = organ_co_occurrence(midsize_corpus, level="user")
+        assert result.dual_transplant_rank() <= 5.0
+
+    def test_heart_kidney_is_top_pair(self, midsize_corpus):
+        result = organ_co_occurrence(midsize_corpus, level="user")
+        a, b, __, __ = result.top_pairs(k=1)[0]
+        assert {a, b} == {Organ.HEART, Organ.KIDNEY}

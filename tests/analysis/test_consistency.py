@@ -1,0 +1,78 @@
+"""Tests for Fig. 5 / Fig. 6 consistency measurement."""
+
+import pytest
+
+from repro.analysis.consistency import highlight_cluster_consistency
+from repro.core.characterize import characterize_regions
+from repro.core.relative_risk import highlighted_organs
+from repro.core.state_clusters import cluster_states
+from repro.organs import Organ
+
+
+@pytest.fixture(scope="module")
+def clustering(midsize_corpus):
+    return cluster_states(characterize_regions(midsize_corpus))
+
+
+@pytest.fixture(scope="module")
+def highlights(midsize_corpus):
+    return highlighted_organs(midsize_corpus)
+
+
+class TestZoneConsistency:
+    def test_counts_are_consistent(self, clustering, highlights):
+        result = highlight_cluster_consistency(clustering, highlights, 8)
+        assert 0 <= result.pairs_co_clustered <= result.same_highlight_pairs
+        assert result.expected_co_clustered >= 0
+
+    def test_paper_claim_clusters_consistent_with_highlights(
+        self, clustering, highlights
+    ):
+        """'Such clusters present some degree of consistence with the …
+        organs that are highlighted at each state' — enrichment > 1."""
+        result = highlight_cluster_consistency(clustering, highlights, 8)
+        assert result.same_highlight_pairs >= 5
+        assert result.enrichment > 1.0
+
+    def test_enrichment_monotone_reasonable_over_cuts(self, clustering,
+                                                      highlights):
+        for n_clusters in (4, 8, 12):
+            result = highlight_cluster_consistency(
+                clustering, highlights, n_clusters
+            )
+            assert result.n_clusters == n_clusters
+            assert result.observed_rate >= 0
+
+    def test_synthetic_perfect_consistency(self):
+        """Hand-built case: two clean zones → enrichment >> 1."""
+        import numpy as np
+
+        from repro.cluster.agglomerative import AgglomerativeClustering
+        from repro.cluster.distances import pairwise_distances
+        from repro.config import StateClusteringConfig
+        from repro.core.state_clusters import StateClustering
+
+        rows = np.array([
+            [0.8, 0.1, 0.1],
+            [0.79, 0.11, 0.1],
+            [0.1, 0.8, 0.1],
+            [0.11, 0.79, 0.1],
+        ])
+        distances = pairwise_distances(
+            np.pad(rows, ((0, 0), (0, 3)), constant_values=1e-9)
+        )
+        dendrogram = AgglomerativeClustering().fit(distances)
+        clustering = StateClustering(
+            states=("A1", "A2", "B1", "B2"),
+            distance_matrix=distances,
+            dendrogram=dendrogram,
+            config=StateClusteringConfig(),
+        )
+        highlights = {
+            "A1": (Organ.HEART,), "A2": (Organ.HEART,),
+            "B1": (Organ.KIDNEY,), "B2": (Organ.KIDNEY,),
+        }
+        result = highlight_cluster_consistency(clustering, highlights, 2)
+        assert result.same_highlight_pairs == 2
+        assert result.pairs_co_clustered == 2
+        assert result.enrichment > 1.5

@@ -1,0 +1,47 @@
+"""Tests for temporal robustness analysis."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    organ_characterization_stability,
+    temporal_split,
+)
+from repro.organs import Organ
+
+
+class TestTemporalSplit:
+    def test_halves_partition_corpus(self, corpus):
+        first, second = temporal_split(corpus)
+        assert len(first) + len(second) == len(corpus)
+
+    def test_halves_roughly_balanced(self, corpus):
+        first, second = temporal_split(corpus)
+        ratio = len(first) / len(corpus)
+        assert 0.4 < ratio < 0.6
+
+    def test_halves_time_ordered(self, corpus):
+        first, second = temporal_split(corpus)
+        assert first.time_span()[1] <= second.time_span()[0]
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def stability(self, midsize_corpus):
+        return organ_characterization_stability(midsize_corpus)
+
+    def test_structure_is_stationary(self, stability):
+        """The generative process is time-homogeneous, so the two halves
+        must agree closely — validating the paper's static aggregation."""
+        assert stability.mean_row_distance < 0.01
+
+    def test_major_organ_readings_agree(self, stability):
+        assert stability.top_co_organ_agreement >= 4 / 6
+
+    def test_distances_cover_major_organs(self, stability):
+        assert Organ.HEART in stability.row_distances
+        assert Organ.KIDNEY in stability.row_distances
+
+    def test_counts_reported(self, stability):
+        assert stability.n_first > 0
+        assert stability.n_second > 0
+        assert stability.split_at_iso.startswith("201")

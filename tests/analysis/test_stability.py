@@ -1,0 +1,56 @@
+"""Tests for the bootstrap co-attention stability analysis."""
+
+import pytest
+
+from repro.analysis.stability import co_attention_stability
+from repro.core.attention import build_attention_matrix
+from repro.errors import CharacterizationError
+from repro.organs import ORGANS, Organ
+
+
+@pytest.fixture(scope="module")
+def stability(midsize_corpus):
+    attention = build_attention_matrix(midsize_corpus)
+    return co_attention_stability(attention, n_replicates=60, seed=1)
+
+
+class TestStability:
+    def test_all_present_organs_analyzed(self, stability):
+        assert set(stability) == set(ORGANS)
+
+    def test_stability_in_unit_interval(self, stability):
+        for result in stability.values():
+            assert 0.0 <= result.stability <= 1.0
+            assert sum(result.replicate_tops.values()) == 60
+
+    def test_full_data_top_is_not_self(self, stability):
+        for organ, result in stability.items():
+            assert result.full_data_top is not organ
+
+    def test_paper_caveat_intestine_least_stable(self, stability):
+        """§IV-A: intestine statistics are 'less reliable' — its bootstrap
+        stability must be below the large heart group's."""
+        assert (
+            stability[Organ.INTESTINE].stability
+            <= stability[Organ.HEART].stability
+        )
+        assert stability[Organ.HEART].stability > 0.9
+
+    def test_group_sizes_follow_popularity(self, stability):
+        assert (
+            stability[Organ.HEART].group_size
+            > stability[Organ.INTESTINE].group_size
+        )
+
+    def test_deterministic_per_seed(self, midsize_corpus):
+        attention = build_attention_matrix(midsize_corpus)
+        a = co_attention_stability(attention, n_replicates=10, seed=5)
+        b = co_attention_stability(attention, n_replicates=10, seed=5)
+        assert {o: r.stability for o, r in a.items()} == {
+            o: r.stability for o, r in b.items()
+        }
+
+    def test_invalid_replicates(self, midsize_corpus):
+        attention = build_attention_matrix(midsize_corpus)
+        with pytest.raises(CharacterizationError):
+            co_attention_stability(attention, n_replicates=0)

@@ -1,0 +1,130 @@
+"""Tests for temporal analysis."""
+
+from datetime import date, datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import daily_series, detect_bursts
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(day_offset, organ=Organ.HEART, tweet_id=0, user_id=1):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc)
+            + timedelta(days=day_offset),
+        ),
+        location=GeoMatch("US", "KS", 0.95, "test"),
+        mentions={organ: 1},
+    )
+
+
+class TestDailySeries:
+    def test_counts_per_day(self):
+        corpus = TweetCorpus([
+            record(0, tweet_id=1),
+            record(0, tweet_id=2),
+            record(2, tweet_id=3),
+        ])
+        series = daily_series(corpus)
+        assert series.start == date(2015, 6, 1)
+        assert series.counts.tolist() == [2, 0, 1]
+
+    def test_gap_free(self):
+        corpus = TweetCorpus([record(0, tweet_id=1), record(9, tweet_id=2)])
+        assert daily_series(corpus).n_days == 10
+
+    def test_per_organ_filter(self):
+        corpus = TweetCorpus([
+            record(0, Organ.HEART, 1),
+            record(0, Organ.KIDNEY, 2),
+            record(1, Organ.KIDNEY, 3),
+        ])
+        series = daily_series(corpus, organ=Organ.KIDNEY)
+        assert series.counts.tolist() == [1, 1]
+
+    def test_no_matching_tweets_raises(self):
+        corpus = TweetCorpus([record(0, Organ.HEART, 1)])
+        with pytest.raises(ValueError):
+            daily_series(corpus, organ=Organ.INTESTINE)
+
+    def test_mean_per_day(self):
+        corpus = TweetCorpus([record(0, tweet_id=1), record(1, tweet_id=2)])
+        assert daily_series(corpus).mean_per_day == 1.0
+
+    def test_day_accessor(self):
+        corpus = TweetCorpus([record(0, tweet_id=1), record(3, tweet_id=2)])
+        assert daily_series(corpus).day(3) == date(2015, 6, 4)
+
+
+class TestRollingMean:
+    def test_constant_series(self):
+        corpus = TweetCorpus([record(i, tweet_id=i) for i in range(10)])
+        rolling = daily_series(corpus).rolling_mean(window=3)
+        np.testing.assert_allclose(rolling, 1.0)
+
+    def test_window_one_is_identity(self):
+        corpus = TweetCorpus([
+            record(0, tweet_id=1), record(0, tweet_id=2), record(1, tweet_id=3),
+        ])
+        series = daily_series(corpus)
+        np.testing.assert_allclose(series.rolling_mean(1), series.counts)
+
+    def test_invalid_window(self):
+        corpus = TweetCorpus([record(0, tweet_id=1)])
+        with pytest.raises(ValueError):
+            daily_series(corpus).rolling_mean(0)
+
+
+class TestBurstDetection:
+    def _bursty_corpus(self):
+        records = []
+        tweet_id = 0
+        for day in range(30):
+            volume = 3 if day != 20 else 40  # a campaign-day spike
+            for __ in range(volume):
+                tweet_id += 1
+                records.append(record(day, tweet_id=tweet_id, user_id=tweet_id))
+        return TweetCorpus(records)
+
+    def test_detects_planted_burst(self):
+        series = daily_series(self._bursty_corpus())
+        bursts = detect_bursts(series, window=14, threshold=3.0)
+        assert [burst.day for burst in bursts] == [date(2015, 6, 21)]
+        assert bursts[0].count == 40
+        assert bursts[0].z_score > 3.0
+
+    def test_quiet_series_no_bursts(self):
+        corpus = TweetCorpus([
+            record(day, tweet_id=day) for day in range(20)
+        ])
+        assert detect_bursts(daily_series(corpus)) == []
+
+    def test_threshold_controls_sensitivity(self):
+        series = daily_series(self._bursty_corpus())
+        strict = detect_bursts(series, threshold=10.0)
+        loose = detect_bursts(series, threshold=1.5)
+        assert len(strict) <= len(loose)
+
+    def test_invalid_parameters(self):
+        series = daily_series(self._bursty_corpus())
+        with pytest.raises(ValueError):
+            detect_bursts(series, window=1)
+        with pytest.raises(ValueError):
+            detect_bursts(series, threshold=0)
+
+
+class TestOnSyntheticCorpus:
+    def test_volume_spread_over_full_window(self, corpus):
+        series = daily_series(corpus)
+        assert series.n_days >= 380
+        # Uniform generation: no extreme bursts expected.
+        assert len(detect_bursts(series, threshold=5.0)) <= 2

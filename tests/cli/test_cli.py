@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def firehose(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "firehose.jsonl"
+    code = main(["generate", str(path), "--scale", "0.004", "--seed", "3"])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def corpus_file(firehose, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    code = main(["collect", str(firehose), str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.jsonl"])
+        assert args.scale == 0.02
+        assert args.seed == 0
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, firehose):
+        lines = firehose.read_text().strip().splitlines()
+        assert len(lines) > 500
+        assert lines[0].startswith("{")
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["generate", str(a), "--scale", "0.002", "--seed", "9"])
+        main(["generate", str(b), "--scale", "0.002", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestCollect:
+    def test_produces_corpus(self, corpus_file):
+        from repro.dataset.corpus import TweetCorpus
+        from repro.dataset.io import read_jsonl
+
+        corpus = TweetCorpus(read_jsonl(corpus_file))
+        assert len(corpus) > 50
+        assert all(record.state is not None for record in corpus)
+
+    def test_missing_firehose_errors(self, tmp_path, capsys):
+        code = main([
+            "collect", str(tmp_path / "nope.jsonl"), str(tmp_path / "o.jsonl"),
+        ])
+        assert code != 0 or "error" in capsys.readouterr().out.lower()
+
+    def test_no_geotag_flag(self, firehose, tmp_path, capsys):
+        out = tmp_path / "nogps.jsonl"
+        code = main(["collect", str(firehose), str(out), "--no-geotag"])
+        assert code == 0
+        assert "Located via GPS geo-tag: 0" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_single_artifact(self, corpus_file, capsys):
+        code = main([
+            "analyze", str(corpus_file), "--artifacts", "table1", "--k", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+
+    def test_multiple_artifacts_to_files(self, corpus_file, tmp_path):
+        code = main([
+            "analyze", str(corpus_file),
+            "--artifacts", "table1,fig2,fig5",
+            "--out", str(tmp_path / "artifacts"),
+            "--k", "6",
+        ])
+        assert code == 0
+        for name in ("table1", "fig2", "fig5"):
+            assert (tmp_path / "artifacts" / f"{name}.txt").exists()
+
+    def test_csv_export(self, corpus_file, tmp_path):
+        code = main([
+            "analyze", str(corpus_file), "--artifacts", "table1",
+            "--csv", str(tmp_path / "csv"), "--k", "6",
+        ])
+        assert code == 0
+        assert (tmp_path / "csv" / "fig5.csv").exists()
+        assert len(list((tmp_path / "csv").glob("*.csv"))) == 7
+
+    def test_unknown_artifact_rejected(self, corpus_file, capsys):
+        code = main(["analyze", str(corpus_file), "--artifacts", "fig99"])
+        assert code == 2
+        assert "unknown artifacts" in capsys.readouterr().out
+
+    def test_degenerate_corpus_reports_error(self, corpus_file, capsys):
+        # k far beyond the user count must fail cleanly, not traceback.
+        code = main([
+            "analyze", str(corpus_file), "--artifacts", "fig7",
+            "--k", "10000000",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().out.lower()
+
+
+class TestMonitor:
+    def test_emits_snapshots(self, firehose, capsys):
+        code = main([
+            "monitor", str(firehose), "--emit-every", "200",
+            "--window-days", "90",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done:" in out
+        assert "tweets=" in out
+
+
+class TestReproduce:
+    def test_runs_and_reports_verdicts(self, capsys):
+        # Small scale: some shape checks may fail for power, but the
+        # battery itself must run and render.
+        code = main(["reproduce", "--scale", "0.02", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "Reproduction verdicts" in out
+        assert "checks passed" in out
+        assert code in (0, 1)
+
+
+class TestCalibrate:
+    def test_calibrated_world_passes(self, capsys):
+        code = main(["calibrate", "--scale", "0.02", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "us_yield" in out
+        assert code == 0
+        assert "CALIBRATED" in out

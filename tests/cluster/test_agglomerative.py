@@ -1,0 +1,148 @@
+"""Tests for agglomerative clustering, cross-checked against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import squareform
+
+from repro.cluster.agglomerative import AgglomerativeClustering, Dendrogram, MergeStep
+from repro.errors import ClusteringError
+
+
+def toy_distances() -> np.ndarray:
+    # Two tight pairs far apart: {0,1} and {2,3}.
+    return np.array([
+        [0.0, 1.0, 9.0, 9.5],
+        [1.0, 0.0, 8.5, 9.0],
+        [9.0, 8.5, 0.0, 0.5],
+        [9.5, 9.0, 0.5, 0.0],
+    ])
+
+
+class TestBasicStructure:
+    def test_merge_count(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        assert len(tree.merges) == 3
+
+    def test_first_merges_are_tight_pairs(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        first, second = tree.merges[0], tree.merges[1]
+        assert {first.left, first.right} == {2, 3}
+        assert {second.left, second.right} == {0, 1}
+
+    def test_heights_non_decreasing_average_linkage(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((15, 3))
+        from repro.cluster.distances import pairwise_distances
+
+        tree = AgglomerativeClustering("average").fit(
+            pairwise_distances(points, "euclidean")
+        )
+        heights = [merge.height for merge in tree.merges]
+        assert heights == sorted(heights)
+
+    def test_cut_two_clusters(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        labels = tree.cut(2)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_cut_one_cluster(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        assert set(tree.cut(1).tolist()) == {0}
+
+    def test_cut_m_clusters_all_singletons(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        assert len(set(tree.cut(4).tolist())) == 4
+
+    def test_cut_out_of_range(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        with pytest.raises(ClusteringError):
+            tree.cut(0)
+        with pytest.raises(ClusteringError):
+            tree.cut(5)
+
+    def test_leaf_order_is_permutation(self):
+        tree = AgglomerativeClustering().fit(toy_distances())
+        assert sorted(tree.leaf_order()) == [0, 1, 2, 3]
+
+    def test_leaf_order_keeps_pairs_adjacent(self):
+        order = AgglomerativeClustering().fit(toy_distances()).leaf_order()
+        assert abs(order.index(0) - order.index(1)) == 1
+        assert abs(order.index(2) - order.index(3)) == 1
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_merge_heights_match_scipy(self, linkage):
+        rng = np.random.default_rng(1)
+        points = rng.random((20, 4))
+        from repro.cluster.distances import pairwise_distances
+
+        distances = pairwise_distances(points, "euclidean")
+        ours = AgglomerativeClustering(linkage).fit(distances)
+        theirs = sch.linkage(squareform(distances, checks=False), method=linkage)
+        np.testing.assert_allclose(
+            [merge.height for merge in ours.merges], theirs[:, 2], atol=1e-9
+        )
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_flat_cuts_match_scipy(self, linkage):
+        rng = np.random.default_rng(2)
+        points = rng.random((18, 3))
+        from repro.cluster.distances import pairwise_distances
+
+        distances = pairwise_distances(points, "euclidean")
+        ours = AgglomerativeClustering(linkage).fit(distances)
+        theirs = sch.linkage(squareform(distances, checks=False), method=linkage)
+        for n_clusters in (2, 3, 5):
+            our_labels = ours.cut(n_clusters)
+            their_labels = sch.fcluster(theirs, n_clusters, criterion="maxclust")
+            # Same partition up to label permutation.
+            assert _same_partition(our_labels, their_labels)
+
+
+def _same_partition(a, b) -> bool:
+    mapping: dict[int, int] = {}
+    reverse: dict[int, int] = {}
+    for x, y in zip(a.tolist(), list(b)):
+        if mapping.setdefault(x, y) != y:
+            return False
+        if reverse.setdefault(y, x) != x:
+            return False
+    return True
+
+
+class TestValidation:
+    def test_asymmetric_rejected(self):
+        bad = toy_distances()
+        bad[0, 1] = 5.0
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(bad)
+
+    def test_nonzero_diagonal_rejected(self):
+        bad = toy_distances()
+        np.fill_diagonal(bad, 1.0)
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(bad)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(np.zeros((3, 4)))
+
+    def test_single_item_rejected(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(np.zeros((1, 1)))
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering("ward")
+
+    def test_dendrogram_merge_count_validated(self):
+        with pytest.raises(ClusteringError):
+            Dendrogram(n_leaves=3, merges=[MergeStep(0, 1, 1.0, 2)])
+
+    def test_fit_predict_shortcut(self):
+        labels = AgglomerativeClustering().fit_predict(toy_distances(), 2)
+        assert len(set(labels.tolist())) == 2

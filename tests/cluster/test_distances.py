@@ -1,0 +1,133 @@
+"""Tests for distribution distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.distances import (
+    bhattacharyya_coefficient,
+    bhattacharyya_distance,
+    euclidean_distance,
+    hellinger_distance,
+    pairwise_distances,
+)
+from repro.errors import ClusteringError
+
+
+def dist(*values):
+    array = np.array(values, dtype=float)
+    return array / array.sum()
+
+
+class TestBhattacharyya:
+    def test_identical_distributions_zero(self):
+        p = dist(1, 2, 3)
+        assert bhattacharyya_distance(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_coefficient_of_identical_is_one(self):
+        p = dist(4, 1, 1)
+        assert bhattacharyya_coefficient(p, p) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p, q = dist(1, 2, 3), dist(3, 1, 1)
+        assert bhattacharyya_distance(p, q) == pytest.approx(
+            bhattacharyya_distance(q, p)
+        )
+
+    def test_disjoint_supports_large_but_finite(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        value = bhattacharyya_distance(p, q)
+        assert value > 10
+        assert math.isfinite(value)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.9, 0.1])
+        coefficient = math.sqrt(0.45) + math.sqrt(0.05)
+        assert bhattacharyya_distance(p, q) == pytest.approx(
+            -math.log(coefficient)
+        )
+
+    def test_more_different_means_larger(self):
+        p = dist(1, 1, 1)
+        near = dist(1.2, 1, 0.8)
+        far = dist(5, 1, 0.1)
+        assert bhattacharyya_distance(p, near) < bhattacharyya_distance(p, far)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ClusteringError):
+            bhattacharyya_distance(np.array([-0.5, 1.5]), dist(1, 1))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            bhattacharyya_distance(dist(1, 1), dist(1, 1, 1))
+
+
+class TestHellinger:
+    def test_bounded(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert hellinger_distance(p, q) == pytest.approx(1.0)
+
+    def test_identity(self):
+        p = dist(2, 3, 5)
+        assert hellinger_distance(p, p) == pytest.approx(0.0, abs=1e-8)
+
+    def test_relation_to_bhattacharyya_coefficient(self):
+        p, q = dist(1, 3), dist(2, 1)
+        coefficient = bhattacharyya_coefficient(p, q)
+        assert hellinger_distance(p, q) == pytest.approx(
+            math.sqrt(1 - coefficient)
+        )
+
+    def test_triangle_inequality_sampled(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            p, q, r = (rng.dirichlet(np.ones(4)) for __ in range(3))
+            assert hellinger_distance(p, r) <= (
+                hellinger_distance(p, q) + hellinger_distance(q, r) + 1e-12
+            )
+
+
+class TestEuclidean:
+    def test_known(self):
+        assert euclidean_distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(5.0)
+
+
+class TestPairwise:
+    def test_matches_scalar_function(self):
+        rng = np.random.default_rng(1)
+        rows = rng.dirichlet(np.ones(6), size=10)
+        for metric, scalar in [
+            ("bhattacharyya", bhattacharyya_distance),
+            ("hellinger", hellinger_distance),
+            ("euclidean", euclidean_distance),
+        ]:
+            matrix = pairwise_distances(rows, metric)
+            for i in range(10):
+                for j in range(10):
+                    assert matrix[i, j] == pytest.approx(
+                        scalar(rows[i], rows[j]), abs=1e-7
+                    ), (metric, i, j)
+
+    def test_zero_diagonal(self):
+        rows = np.random.default_rng(2).dirichlet(np.ones(4), size=5)
+        for metric in ("bhattacharyya", "hellinger", "euclidean"):
+            assert np.allclose(np.diag(pairwise_distances(rows, metric)), 0.0)
+
+    def test_symmetric(self):
+        rows = np.random.default_rng(3).dirichlet(np.ones(4), size=7)
+        matrix = pairwise_distances(rows)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ClusteringError, match="cosine"):
+            pairwise_distances(np.ones((2, 2)), "cosine")
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ClusteringError):
+            pairwise_distances(np.ones(3))

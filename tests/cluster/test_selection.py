@@ -1,0 +1,107 @@
+"""Tests for k-selection utilities."""
+
+import pytest
+
+from repro.cluster.selection import elbow_k, select_k
+from repro.errors import ClusteringError
+
+
+class TestElbowK:
+    def test_clean_elbow(self):
+        # Sharp drop until k=4, flat after.
+        ks = (2, 3, 4, 5, 6, 7)
+        inertias = (100.0, 60.0, 20.0, 18.0, 17.0, 16.5)
+        assert elbow_k(ks, inertias) == 4
+
+    def test_linear_curve_interior(self):
+        # Perfectly linear: gap is ~0 everywhere; any k acceptable but
+        # must not crash; argmax picks a deterministic point.
+        ks = (1, 2, 3, 4)
+        inertias = (40.0, 30.0, 20.0, 10.0)
+        assert elbow_k(ks, inertias) in ks
+
+    def test_flat_inertia_returns_smallest_k(self):
+        assert elbow_k((2, 3, 4), (5.0, 5.0, 5.0)) == 2
+
+    def test_rising_inertia_returns_smallest_k(self):
+        assert elbow_k((2, 3, 4), (5.0, 6.0, 7.0)) == 2
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ClusteringError):
+            elbow_k((2, 3), (10.0, 5.0))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ClusteringError):
+            elbow_k((2, 3, 4), (10.0, 5.0))
+
+    def test_unsorted_ks_rejected(self):
+        with pytest.raises(ClusteringError):
+            elbow_k((4, 2, 3), (1.0, 3.0, 2.0))
+
+
+class TestSelectK:
+    KS = (6, 9, 12, 15, 18)
+    INERTIAS = (500.0, 200.0, 80.0, 70.0, 65.0)
+
+    def test_prefers_near_elbow_candidate(self):
+        selection = select_k(
+            self.KS,
+            self.INERTIAS,
+            silhouettes=(0.90, 0.92, 0.95, 0.94, 0.93),
+            avg_sizes=(1000.0, 800.0, 600.0, 480.0, 400.0),
+        )
+        assert selection.elbow == 12
+        assert selection.k == 12
+        assert 12 in selection.candidates
+
+    def test_floors_filter_candidates(self):
+        selection = select_k(
+            self.KS,
+            self.INERTIAS,
+            silhouettes=(0.95, 0.95, 0.80, 0.80, 0.80),  # only 6, 9 pass
+            avg_sizes=(1000.0,) * 5,
+        )
+        assert selection.candidates == (6, 9)
+        assert selection.k == 9  # nearest to elbow 12
+
+    def test_size_floor(self):
+        selection = select_k(
+            self.KS,
+            self.INERTIAS,
+            silhouettes=(0.95,) * 5,
+            avg_sizes=(500.0, 300.0, 150.0, 90.0, 60.0),
+            min_avg_size=100.0,
+        )
+        assert selection.candidates == (6, 9, 12)
+
+    def test_fallback_when_nothing_passes(self):
+        selection = select_k(
+            self.KS,
+            self.INERTIAS,
+            silhouettes=(0.5, 0.6, 0.7, 0.65, 0.6),
+            avg_sizes=(10.0,) * 5,
+        )
+        assert selection.candidates == ()
+        assert selection.k == 12  # best silhouette
+        assert "floors" in selection.reason
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_k((6, 9), (1.0,), (0.9, 0.9), (10.0, 10.0))
+
+    def test_paper_scenario_selects_twelve(self, midsize_suite):
+        """On the real sweep, the explicit rule lands on a k near the
+        paper's 12 (the curve is shallow, so 9–15 are all defensible)."""
+        from repro.config import UserClusteringConfig
+        from repro.core.user_clusters import sweep_k
+
+        sweep = sweep_k(
+            midsize_suite.attention,
+            ks=(6, 9, 12, 15),
+            config=UserClusteringConfig(n_init=2, seed=0),
+        )
+        selection = select_k(
+            sweep.ks, sweep.inertias, sweep.silhouettes, sweep.avg_sizes,
+            min_avg_size=50.0,
+        )
+        assert selection.k in (9, 12, 15)

@@ -1,0 +1,99 @@
+"""Tests for the silhouette coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.silhouette import silhouette_samples, silhouette_score
+from repro.errors import ClusteringError
+
+
+def blobs(separation: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(scale=0.2, size=(40, 2))
+    b = rng.normal(scale=0.2, size=(40, 2)) + [separation, 0]
+    rows = np.vstack([a, b])
+    labels = np.repeat([0, 1], 40)
+    return rows, labels
+
+
+class TestSilhouetteValues:
+    def test_range(self):
+        rows, labels = blobs(3.0)
+        samples = silhouette_samples(rows, labels)
+        assert np.all(samples >= -1.0)
+        assert np.all(samples <= 1.0)
+
+    def test_well_separated_near_one(self):
+        rows, labels = blobs(50.0)
+        assert silhouette_score(rows, labels) > 0.95
+
+    def test_overlapping_near_zero(self):
+        rows, labels = blobs(0.01, seed=1)
+        assert abs(silhouette_score(rows, labels)) < 0.3
+
+    def test_wrong_labels_negative(self):
+        rows, labels = blobs(50.0)
+        shuffled = labels.copy()
+        rng = np.random.default_rng(2)
+        rng.shuffle(shuffled)
+        assert silhouette_score(rows, shuffled) < silhouette_score(rows, labels)
+
+    def test_separation_monotonicity(self):
+        scores = [
+            silhouette_score(*blobs(separation, seed=3))
+            for separation in (0.5, 2.0, 10.0)
+        ]
+        assert scores == sorted(scores)
+
+    def test_singleton_cluster_scores_zero(self):
+        rows = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        samples = silhouette_samples(rows, labels)
+        assert samples[2] == 0.0
+
+
+class TestAgainstManualComputation:
+    def test_tiny_example(self):
+        rows = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        samples = silhouette_samples(rows, labels)
+        # Point 0: a = 1, b = mean(10, 11) = 10.5 → s = (10.5-1)/10.5.
+        assert samples[0] == pytest.approx((10.5 - 1) / 10.5)
+        # Point 2: a = 1, b = mean(10, 9) = 9.5 → s = 8.5/9.5.
+        assert samples[2] == pytest.approx(8.5 / 9.5)
+
+
+class TestSubsampling:
+    def test_subsample_close_to_full(self):
+        rows, labels = blobs(10.0, seed=4)
+        full = silhouette_score(rows, labels)
+        sampled = silhouette_score(rows, labels, sample_size=40, seed=0)
+        assert sampled == pytest.approx(full, abs=0.1)
+
+    def test_subsample_deterministic(self):
+        rows, labels = blobs(5.0)
+        a = silhouette_score(rows, labels, sample_size=30, seed=9)
+        b = silhouette_score(rows, labels, sample_size=30, seed=9)
+        assert a == b
+
+    def test_sample_size_larger_than_data_ignored(self):
+        rows, labels = blobs(5.0)
+        assert silhouette_score(rows, labels, sample_size=10_000) == (
+            silhouette_score(rows, labels)
+        )
+
+    def test_tiny_sample_size_rejected(self):
+        rows, labels = blobs(5.0)
+        with pytest.raises(ClusteringError):
+            silhouette_score(rows, labels, sample_size=1)
+
+
+class TestValidation:
+    def test_single_cluster_rejected(self):
+        rows = np.ones((5, 2))
+        with pytest.raises(ClusteringError):
+            silhouette_samples(rows, np.zeros(5, dtype=int))
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ClusteringError):
+            silhouette_samples(np.ones((5, 2)), np.zeros(4, dtype=int))

@@ -1,0 +1,66 @@
+"""Shared fixtures: one small synthetic world + pipeline run per session.
+
+The world is deliberately small (fast) but large enough that every state
+receives users and the planted structure is statistically visible to the
+integration tests that need it (which use the larger ``midsize_*``
+fixtures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CollectionConfig
+from repro.pipeline.runner import CollectionPipeline
+from repro.report.experiments import ExperimentSuite
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SyntheticWorld:
+    """~5k users; enough for most statistics, runs in under a second."""
+    return SyntheticWorld(paper2016_scenario(scale=0.01, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_run(small_world):
+    pipeline = CollectionPipeline(config=CollectionConfig())
+    return pipeline.run(small_world.firehose())
+
+
+@pytest.fixture(scope="session")
+def corpus(small_run):
+    return small_run[0]
+
+
+@pytest.fixture(scope="session")
+def report(small_run):
+    return small_run[1]
+
+
+@pytest.fixture(scope="session")
+def suite(corpus, report) -> ExperimentSuite:
+    return ExperimentSuite(corpus, report)
+
+
+@pytest.fixture(scope="session")
+def midsize_world() -> SyntheticWorld:
+    """~63k users (≈9k located US); used by ground-truth recovery tests
+    that need statistical power in mid-size states."""
+    return SyntheticWorld(paper2016_scenario(scale=0.12, seed=7))
+
+
+@pytest.fixture(scope="session")
+def midsize_run(midsize_world):
+    return CollectionPipeline().run(midsize_world.firehose())
+
+
+@pytest.fixture(scope="session")
+def midsize_corpus(midsize_run):
+    return midsize_run[0]
+
+
+@pytest.fixture(scope="session")
+def midsize_suite(midsize_corpus, midsize_run) -> ExperimentSuite:
+    return ExperimentSuite(midsize_corpus, midsize_run[1])

@@ -1,0 +1,107 @@
+"""Tests for the aggregation K = (LᵀL)⁻¹LᵀÛ."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate, ranked_profile
+from repro.core.attention import build_attention_matrix
+from repro.core.membership import by_most_cited_organ, by_region
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.errors import EmptyGroupError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, tweet_id=0, state="KS"):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def attention():
+    corpus = TweetCorpus([
+        record(1, {Organ.KIDNEY: 3, Organ.HEART: 1}, 1, "KS"),
+        record(2, {Organ.KIDNEY: 1}, 2, "KS"),
+        record(3, {Organ.HEART: 4}, 3, "MA"),
+        record(4, {Organ.HEART: 1, Organ.LIVER: 3}, 4, "MA"),
+    ])
+    return build_attention_matrix(corpus)
+
+
+class TestEquationThree:
+    def test_k_rows_are_group_means(self, attention):
+        """The literal (LᵀL)⁻¹LᵀÛ must equal per-group row means."""
+        membership = by_region(attention)
+        result = aggregate(attention, membership)
+        for index, label in enumerate(result.group_labels):
+            members = [
+                row
+                for row, state in enumerate(attention.states)
+                if state == label
+            ]
+            expected = attention.normalized[members].mean(axis=0)
+            np.testing.assert_allclose(result.matrix[index], expected)
+
+    def test_k_rows_are_distributions(self, attention):
+        result = aggregate(attention, by_region(attention))
+        np.testing.assert_allclose(result.matrix.sum(axis=1), 1.0)
+        assert np.all(result.matrix >= 0)
+
+    def test_region_aggregation_shape(self, attention):
+        result = aggregate(attention, by_region(attention))
+        assert result.matrix.shape == (2, 6)
+        assert result.group_labels == ("KS", "MA")
+        assert result.group_sizes == (2, 2)
+
+    def test_known_values(self, attention):
+        result = aggregate(attention, by_region(attention))
+        ks = result.row("KS")
+        # Users 1 (0.25 heart, 0.75 kidney) and 2 (1.0 kidney).
+        assert ks[Organ.KIDNEY.index] == pytest.approx(0.875)
+        assert ks[Organ.HEART.index] == pytest.approx(0.125)
+
+
+class TestEmptyGroups:
+    def test_drop_removes_empty_organ_groups(self, attention):
+        result = aggregate(attention, by_most_cited_organ(attention))
+        assert "lung" not in result.group_labels
+        assert all(size > 0 for size in result.group_sizes)
+
+    def test_raise_policy(self, attention):
+        with pytest.raises(EmptyGroupError):
+            aggregate(attention, by_most_cited_organ(attention), on_empty="raise")
+
+    def test_unknown_policy_rejected(self, attention):
+        with pytest.raises(ValueError):
+            aggregate(attention, by_most_cited_organ(attention), on_empty="ignore")
+
+    def test_unknown_group_lookup_raises(self, attention):
+        result = aggregate(attention, by_region(attention))
+        with pytest.raises(KeyError):
+            result.row("WY")
+
+
+class TestRankedProfile:
+    def test_descending(self):
+        row = np.array([0.1, 0.5, 0.2, 0.1, 0.05, 0.05])
+        profile = ranked_profile(row)
+        values = [value for __, value in profile]
+        assert values == sorted(values, reverse=True)
+        assert profile[0][0] is Organ.KIDNEY
+
+    def test_stable_on_ties(self):
+        row = np.array([0.25, 0.25, 0.25, 0.25, 0.0, 0.0])
+        organs = [organ for organ, __ in ranked_profile(row)]
+        assert organs[:4] == [Organ.HEART, Organ.KIDNEY, Organ.LIVER, Organ.LUNG]

@@ -1,0 +1,97 @@
+"""Tests for the user attention matrix Û."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.attention import build_attention_matrix
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.errors import CharacterizationError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, tweet_id=0, state="KS"):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def toy_attention():
+    corpus = TweetCorpus([
+        record(1, {Organ.KIDNEY: 3, Organ.HEART: 1}, 1),
+        record(2, {Organ.LUNG: 1}, 2, state="MA"),
+        record(3, {Organ.HEART: 1}, 3),
+        record(3, {Organ.HEART: 1, Organ.LIVER: 2}, 4),
+    ])
+    return build_attention_matrix(corpus)
+
+
+class TestConstruction:
+    def test_shape(self, toy_attention):
+        assert toy_attention.counts.shape == (3, 6)
+        assert toy_attention.normalized.shape == (3, 6)
+
+    def test_counts_aggregated_per_user(self, toy_attention):
+        row = toy_attention.counts[toy_attention.user_ids.index(3)]
+        assert row[Organ.HEART.index] == 2
+        assert row[Organ.LIVER.index] == 2
+
+    def test_rows_sum_to_one(self, toy_attention):
+        np.testing.assert_allclose(toy_attention.normalized.sum(axis=1), 1.0)
+
+    def test_normalization_values(self, toy_attention):
+        row = toy_attention.row_for_user(1)
+        assert row[Organ.KIDNEY.index] == pytest.approx(0.75)
+        assert row[Organ.HEART.index] == pytest.approx(0.25)
+
+    def test_states_aligned(self, toy_attention):
+        index = toy_attention.user_ids.index(2)
+        assert toy_attention.states[index] == "MA"
+
+    def test_unknown_user_raises(self, toy_attention):
+        with pytest.raises(CharacterizationError):
+            toy_attention.row_for_user(99)
+
+
+class TestMostCited:
+    def test_clear_argmax(self, toy_attention):
+        assert toy_attention.most_cited_organ(1) is Organ.KIDNEY
+
+    def test_tie_breaking_is_deterministic(self, toy_attention):
+        corpus = TweetCorpus([record(5, {Organ.HEART: 1, Organ.KIDNEY: 1})])
+        attention = build_attention_matrix(corpus)
+        first = attention.most_cited_organ(5)
+        second = build_attention_matrix(corpus).most_cited_organ(5)
+        assert first is second
+        assert first in (Organ.HEART, Organ.KIDNEY)
+
+    def test_tie_breaking_is_symmetric_across_users(self):
+        """Over many tied users, neither organ should dominate: the fix
+        for the low-index bias that distorted Fig. 3."""
+        corpus = TweetCorpus([
+            record(uid, {Organ.HEART: 1, Organ.KIDNEY: 1}, uid)
+            for uid in range(400)
+        ])
+        attention = build_attention_matrix(corpus)
+        choices = attention.most_cited()
+        heart_share = (choices == Organ.HEART.index).mean()
+        assert 0.4 < heart_share < 0.6
+
+    def test_most_cited_matches_row_argmax_when_unique(self, toy_attention):
+        choices = toy_attention.most_cited()
+        for row_index in range(toy_attention.n_users):
+            row = toy_attention.normalized[row_index]
+            if (row == row.max()).sum() == 1:
+                assert choices[row_index] == int(np.argmax(row))

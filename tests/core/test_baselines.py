@@ -1,0 +1,101 @@
+"""Unit tests for the baseline methods the paper argues against
+(tweet-level characterization and winner-takes-all)."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.tweet_level import tweet_level_state_aggregation
+from repro.core.wta import winner_takes_all
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, state="KS", tweet_id=0):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+class TestTweetLevelAggregation:
+    def test_rows_are_distributions(self):
+        corpus = TweetCorpus([
+            record(1, {Organ.KIDNEY: 1}, "KS", 1),
+            record(2, {Organ.HEART: 1, Organ.KIDNEY: 1}, "KS", 2),
+            record(3, {Organ.HEART: 1}, "MA", 3),
+        ])
+        result = tweet_level_state_aggregation(corpus)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), 1.0)
+        assert result.states == ("KS", "MA")
+        assert result.tweet_counts == (2, 1)
+
+    def test_known_values(self):
+        corpus = TweetCorpus([
+            record(1, {Organ.KIDNEY: 1}, "KS", 1),
+            record(2, {Organ.HEART: 1, Organ.KIDNEY: 1}, "KS", 2),
+        ])
+        row = tweet_level_state_aggregation(corpus).row("KS")
+        # Tweet 1: pure kidney; tweet 2: half heart half kidney.
+        assert row[Organ.KIDNEY.index] == pytest.approx(0.75)
+        assert row[Organ.HEART.index] == pytest.approx(0.25)
+
+    def test_heavy_user_dominates_tweet_level(self):
+        """The §III-B bias: one busy user outweighs many quiet ones."""
+        records = [record(1, {Organ.INTESTINE: 1}, "KS", i) for i in range(30)]
+        records += [
+            record(100 + i, {Organ.HEART: 1}, "KS", 100 + i) for i in range(10)
+        ]
+        result = tweet_level_state_aggregation(TweetCorpus(records))
+        assert result.row("KS")[Organ.INTESTINE.index] == pytest.approx(0.75)
+
+    def test_unknown_state_raises(self):
+        corpus = TweetCorpus([record(1, {Organ.KIDNEY: 1}, "KS", 1)])
+        with pytest.raises(KeyError):
+            tweet_level_state_aggregation(corpus).row("ZZ")
+
+
+class TestWinnerTakesAll:
+    def test_counts_users_not_tweets(self):
+        records = [record(1, {Organ.KIDNEY: 1}, "KS", i) for i in range(10)]
+        records += [
+            record(100 + i, {Organ.HEART: 1}, "KS", 100 + i) for i in range(2)
+        ]
+        labels = winner_takes_all(TweetCorpus(records))
+        # One kidney user vs two heart users: heart wins per user counts.
+        assert labels["KS"] is Organ.HEART
+
+    def test_one_label_per_state(self):
+        corpus = TweetCorpus([
+            record(1, {Organ.KIDNEY: 1}, "KS", 1),
+            record(2, {Organ.HEART: 1}, "MA", 2),
+        ])
+        labels = winner_takes_all(corpus)
+        assert set(labels) == {"KS", "MA"}
+
+    def test_tie_breaks_to_canonical_order(self):
+        corpus = TweetCorpus([
+            record(1, {Organ.LIVER: 1}, "KS", 1),
+            record(2, {Organ.KIDNEY: 1}, "KS", 2),
+        ])
+        assert winner_takes_all(corpus)["KS"] is Organ.KIDNEY
+
+    def test_heart_dominates_synthetic_corpus(self, corpus):
+        labels = winner_takes_all(corpus)
+        heart_share = sum(
+            organ is Organ.HEART for organ in labels.values()
+        ) / len(labels)
+        # At the small session-fixture scale, tiny states flip by noise;
+        # heart still tops at least half the states (benches assert the
+        # stronger ≥ 75% at scale 0.12).
+        assert heart_share >= 0.5

@@ -1,0 +1,78 @@
+"""Tests for the characterization facades (Fig. 3 / Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterize_organs, characterize_regions
+from repro.organs import ORGANS, Organ
+
+
+class TestOrganCharacterization:
+    def test_all_organs_characterized_on_synthetic_corpus(self, corpus):
+        characterization = characterize_organs(corpus)
+        assert set(characterization.characterized_organs()) == set(ORGANS)
+
+    def test_profile_is_ranked(self, corpus):
+        characterization = characterize_organs(corpus)
+        profile = characterization.profile(Organ.HEART)
+        values = [value for __, value in profile]
+        assert values == sorted(values, reverse=True)
+
+    def test_focal_organ_dominates_own_profile(self, corpus):
+        characterization = characterize_organs(corpus)
+        for organ in characterization.characterized_organs():
+            top, __ = characterization.profile(organ)[0]
+            assert top is organ
+
+    def test_top_co_organ_is_not_self(self, corpus):
+        characterization = characterize_organs(corpus)
+        for organ in characterization.characterized_organs():
+            assert characterization.top_co_organ(organ) is not organ
+
+    def test_reciprocity_map_covers_all_organs(self, corpus):
+        characterization = characterize_organs(corpus)
+        reciprocity = characterization.reciprocity()
+        assert len(reciprocity) == len(characterization.characterized_organs())
+
+    def test_co_occurrences_not_all_reciprocal(self, midsize_corpus):
+        """§IV-A: 'Clearly, these co-occurrences are not reciprocal.'"""
+        characterization = characterize_organs(midsize_corpus)
+        assert not all(characterization.reciprocity().values())
+
+
+class TestRegionCharacterization:
+    def test_states_present(self, corpus):
+        characterization = characterize_regions(corpus)
+        assert len(characterization.states) >= 40
+
+    def test_signatures_are_distributions(self, corpus):
+        characterization = characterize_regions(corpus)
+        matrix = characterization.matrix_k()
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_heart_first_in_most_states(self, midsize_corpus):
+        """Fig. 4: 'most states have their first … organ as heart'."""
+        characterization = characterize_regions(midsize_corpus)
+        heart_first = sum(
+            characterization.signature(state)[0][0] is Organ.HEART
+            for state in characterization.states
+        )
+        assert heart_first > len(characterization.states) * 0.6
+
+    def test_second_most_mentioned(self, midsize_corpus):
+        characterization = characterize_regions(midsize_corpus)
+        seconds = {
+            characterization.second_most_mentioned(state)
+            for state in characterization.states
+        }
+        # Fig. 4: states split by their second organ — kidney, liver, lung.
+        assert Organ.KIDNEY in seconds
+
+    def test_explicit_region_list(self, corpus):
+        characterization = characterize_regions(corpus, regions=("KS", "MA"))
+        assert characterization.states == ("KS", "MA")
+
+    def test_signature_for_unknown_state_raises(self, corpus):
+        characterization = characterize_regions(corpus, regions=("KS",))
+        with pytest.raises(KeyError):
+            characterization.signature("ZZ")

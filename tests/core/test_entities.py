@@ -1,0 +1,147 @@
+"""Tests for entity-agnostic characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.entities import (
+    GenericAttention,
+    aggregate_by_groups,
+    aggregate_by_top_target,
+    aggregate_generic,
+)
+from repro.core.membership import Membership
+from repro.errors import CharacterizationError
+
+TEAMS = ["lions", "tigers", "bears"]
+
+
+@pytest.fixture()
+def attention() -> GenericAttention:
+    counts = np.array([
+        [8, 1, 1],   # fan0: lions
+        [0, 5, 5],   # fan1: tigers/bears tie
+        [1, 1, 8],   # fan2: bears
+        [9, 0, 1],   # fan3: lions
+    ])
+    return GenericAttention.from_counts(
+        ["fan0", "fan1", "fan2", "fan3"], TEAMS, counts
+    )
+
+
+class TestFromCounts:
+    def test_rows_normalized(self, attention):
+        np.testing.assert_allclose(attention.normalized.sum(axis=1), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CharacterizationError):
+            GenericAttention.from_counts(["a"], TEAMS, np.ones((2, 3)))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(CharacterizationError):
+            GenericAttention.from_counts(
+                ["a"], ["x", "x"], np.ones((1, 2))
+            )
+
+    def test_zero_row_rejected(self):
+        with pytest.raises(CharacterizationError, match="fan1"):
+            GenericAttention.from_counts(
+                ["fan0", "fan1"], TEAMS, np.array([[1, 0, 0], [0, 0, 0]])
+            )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CharacterizationError):
+            GenericAttention.from_counts(
+                ["a"], TEAMS, np.array([[1, -1, 0]])
+            )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(CharacterizationError):
+            GenericAttention.from_counts(["a"], TEAMS, np.ones(3))
+
+
+class TestTopTarget:
+    def test_clear_winners(self, attention):
+        top = attention.top_target()
+        assert top[0] == 0  # lions
+        assert top[2] == 2  # bears
+
+    def test_tie_resolved_deterministically(self, attention):
+        first = attention.top_target()[1]
+        second = attention.top_target()[1]
+        assert first == second
+        assert first in (1, 2)
+
+
+class TestAggregation:
+    def test_by_top_target_matches_group_means(self, attention):
+        result = aggregate_by_top_target(attention)
+        top = attention.top_target()
+        for index, label in enumerate(result.group_labels):
+            target_index = TEAMS.index(label)
+            members = np.flatnonzero(top == target_index)
+            expected = attention.normalized[members].mean(axis=0)
+            np.testing.assert_allclose(result.matrix[index], expected)
+
+    def test_profile_ranked(self, attention):
+        result = aggregate_by_top_target(attention)
+        profile = result.profile("lions")
+        assert profile[0][0] == "lions"
+        values = [value for __, value in profile]
+        assert values == sorted(values, reverse=True)
+
+    def test_unknown_group_raises(self, attention):
+        result = aggregate_by_top_target(attention)
+        with pytest.raises(KeyError):
+            result.profile("sharks")
+
+    def test_by_groups(self, attention):
+        groups = {"fan0": "north", "fan1": "south", "fan2": "south",
+                  "fan3": "north"}
+        result = aggregate_by_groups(attention, groups)
+        assert result.group_labels == ("north", "south")
+        north = result.profile("north")
+        assert north[0][0] == "lions"
+
+    def test_by_groups_excludes_unmapped(self, attention):
+        result = aggregate_by_groups(attention, {"fan0": "solo"})
+        assert result.group_sizes == (1,)
+
+    def test_by_groups_empty_rejected(self, attention):
+        with pytest.raises(CharacterizationError):
+            aggregate_by_groups(attention, {})
+
+    def test_generic_misalignment_rejected(self, attention):
+        membership = Membership(
+            group_labels=("g",), assignments=np.zeros(2, dtype=np.int64)
+        )
+        with pytest.raises(CharacterizationError):
+            aggregate_generic(attention, membership)
+
+    def test_rows_are_distributions(self, attention):
+        result = aggregate_by_top_target(attention)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), 1.0)
+
+
+class TestParityWithOrganPath:
+    def test_same_numbers_as_specialized_pipeline(self, corpus):
+        """The generic path and the organ-specialized path agree on K."""
+        from repro.core.aggregation import aggregate
+        from repro.core.attention import build_attention_matrix
+        from repro.core.membership import by_most_cited_organ
+        from repro.organs import ORGAN_NAMES
+
+        specialized_attention = build_attention_matrix(corpus)
+        specialized = aggregate(
+            specialized_attention, by_most_cited_organ(specialized_attention)
+        )
+        generic_attention = GenericAttention.from_counts(
+            list(specialized_attention.user_ids),
+            list(ORGAN_NAMES),
+            specialized_attention.counts,
+        )
+        membership = Membership(
+            group_labels=tuple(ORGAN_NAMES),
+            assignments=specialized_attention.most_cited(),
+        )
+        generic = aggregate_generic(generic_attention, membership)
+        np.testing.assert_allclose(generic.matrix, specialized.matrix)

@@ -1,0 +1,100 @@
+"""Tests for membership-indicator matrices L."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.attention import build_attention_matrix
+from repro.core.membership import by_most_cited_organ, by_region
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.errors import CharacterizationError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import ORGAN_NAMES, Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, tweet_id=0, state="KS"):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def attention():
+    corpus = TweetCorpus([
+        record(1, {Organ.KIDNEY: 3}, 1, "KS"),
+        record(2, {Organ.HEART: 2}, 2, "MA"),
+        record(3, {Organ.HEART: 1}, 3, "KS"),
+    ])
+    return build_attention_matrix(corpus)
+
+
+class TestOrganMembership:
+    def test_group_labels_are_organs(self, attention):
+        membership = by_most_cited_organ(attention)
+        assert membership.group_labels == ORGAN_NAMES
+
+    def test_assignments(self, attention):
+        membership = by_most_cited_organ(attention)
+        assert membership.assignments.tolist() == [
+            Organ.KIDNEY.index, Organ.HEART.index, Organ.HEART.index,
+        ]
+
+    def test_group_sizes(self, attention):
+        sizes = by_most_cited_organ(attention).group_sizes()
+        assert sizes[Organ.HEART.index] == 2
+        assert sizes[Organ.KIDNEY.index] == 1
+        assert sizes.sum() == 3
+
+    def test_indicator_one_hot(self, attention):
+        indicator = by_most_cited_organ(attention).indicator_matrix()
+        assert indicator.shape == (3, 6)
+        np.testing.assert_allclose(indicator.sum(axis=1), 1.0)
+
+    def test_eq1_literal_form(self, attention):
+        """l_ij = 1 iff j = argmax_j Û(i, j)."""
+        membership = by_most_cited_organ(attention)
+        indicator = membership.indicator_matrix()
+        for i in range(attention.n_users):
+            j = int(np.argmax(attention.normalized[i]))
+            if (attention.normalized[i] == attention.normalized[i].max()).sum() == 1:
+                assert indicator[i, j] == 1.0
+
+
+class TestRegionMembership:
+    def test_default_regions_sorted(self, attention):
+        membership = by_region(attention)
+        assert membership.group_labels == ("KS", "MA")
+
+    def test_assignments_by_state(self, attention):
+        membership = by_region(attention)
+        assert membership.assignments.tolist() == [0, 1, 0]
+
+    def test_explicit_region_order(self, attention):
+        membership = by_region(attention, regions=("MA", "KS", "WY"))
+        assert membership.assignments.tolist() == [1, 0, 1]
+        assert membership.group_sizes().tolist() == [1, 2, 0]
+
+    def test_user_outside_region_list_excluded(self, attention):
+        membership = by_region(attention, regions=("MA",))
+        assert membership.assignments.tolist() == [-1, 0, -1]
+        assert membership.n_assigned == 1
+
+    def test_excluded_users_have_zero_rows(self, attention):
+        membership = by_region(attention, regions=("MA",))
+        indicator = membership.indicator_matrix()
+        assert indicator[0].sum() == 0.0
+        assert indicator[2].sum() == 0.0
+
+    def test_empty_regions_raise(self, attention):
+        with pytest.raises(CharacterizationError):
+            by_region(attention, regions=())

@@ -1,0 +1,119 @@
+"""Tests for highlighted-organ detection via relative risk."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.config import RelativeRiskConfig
+from repro.core.relative_risk import highlighted_organs, state_organ_risks
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import ORGANS, Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, state, tweet_id=0):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+def synthetic_excess_corpus() -> TweetCorpus:
+    """KS users all mention kidney; elsewhere kidney is rare."""
+    records = []
+    tweet_id = 0
+    user_id = 0
+    for i in range(60):  # Kansas: kidney-heavy (50 kidney, 10 heart)
+        organ = Organ.KIDNEY if i < 50 else Organ.HEART
+        records.append(record(user_id, {organ: 1}, "KS", tweet_id))
+        user_id += 1
+        tweet_id += 1
+    for state in ("CA", "TX", "NY"):
+        for i in range(100):
+            organ = Organ.KIDNEY if i < 20 else Organ.HEART
+            records.append(record(user_id, {organ: 1}, state, tweet_id))
+            user_id += 1
+            tweet_id += 1
+    return TweetCorpus(records)
+
+
+class TestStateOrganRisks:
+    def test_every_state_organ_pair_present(self):
+        risks = state_organ_risks(synthetic_excess_corpus())
+        states = {risk.state for risk in risks}
+        assert states == {"KS", "CA", "TX", "NY"}
+        assert len(risks) == 4 * len(ORGANS)
+
+    def test_kansas_kidney_rr_large(self):
+        risks = state_organ_risks(synthetic_excess_corpus())
+        ks_kidney = next(
+            r for r in risks if r.state == "KS" and r.organ is Organ.KIDNEY
+        )
+        # Prevalence 50/60 inside vs 60/300 outside.
+        assert ks_kidney.result.rr == pytest.approx((50 / 60) / 0.2, rel=0.01)
+        assert ks_kidney.highlighted
+
+    def test_kansas_heart_deficit_not_highlighted(self):
+        risks = state_organ_risks(synthetic_excess_corpus())
+        ks_heart = next(
+            r for r in risks if r.state == "KS" and r.organ is Organ.HEART
+        )
+        assert not ks_heart.highlighted
+        assert ks_heart.result.significant_deficit
+
+    def test_population_counts(self):
+        risks = state_organ_risks(synthetic_excess_corpus())
+        ks = next(r for r in risks if r.state == "KS")
+        assert ks.n_state_users == 60
+        assert ks.n_outside_users == 300
+
+    def test_min_users_marks_insufficient(self):
+        corpus = synthetic_excess_corpus()
+        config = RelativeRiskConfig(min_users=100)
+        risks = state_organ_risks(corpus, config)
+        ks = [r for r in risks if r.state == "KS"]
+        assert all(r.insufficient_data for r in ks)
+        assert not any(r.highlighted for r in ks)
+
+    def test_single_state_corpus_yields_nothing(self):
+        corpus = TweetCorpus([
+            record(1, {Organ.KIDNEY: 1}, "KS", 1),
+            record(2, {Organ.HEART: 1}, "KS", 2),
+        ])
+        assert state_organ_risks(corpus) == []
+
+
+class TestHighlightedOrgans:
+    def test_planted_excess_recovered(self):
+        highlights = highlighted_organs(synthetic_excess_corpus())
+        assert highlights["KS"] == (Organ.KIDNEY,)
+
+    def test_null_states_empty(self):
+        highlights = highlighted_organs(synthetic_excess_corpus())
+        # Heart is *uniform* outside KS; CA/TX/NY may pick up a small
+        # complementary excess but never kidney.
+        for state in ("CA", "TX", "NY"):
+            assert Organ.KIDNEY not in highlights[state]
+
+    def test_all_states_in_mapping(self):
+        highlights = highlighted_organs(synthetic_excess_corpus())
+        assert set(highlights) == {"KS", "CA", "TX", "NY"}
+
+    def test_alpha_tightening_reduces_highlights(self, midsize_corpus):
+        loose = highlighted_organs(
+            midsize_corpus, RelativeRiskConfig(alpha=0.20)
+        )
+        strict = highlighted_organs(
+            midsize_corpus, RelativeRiskConfig(alpha=0.001)
+        )
+        n_loose = sum(len(organs) for organs in loose.values())
+        n_strict = sum(len(organs) for organs in strict.values())
+        assert n_strict <= n_loose

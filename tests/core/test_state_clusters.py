@@ -1,0 +1,63 @@
+"""Tests for the state hierarchical clustering (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateClusteringConfig
+from repro.core.characterize import characterize_regions
+from repro.core.state_clusters import cluster_states
+
+
+@pytest.fixture(scope="module")
+def clustering(midsize_corpus):
+    return cluster_states(characterize_regions(midsize_corpus))
+
+
+class TestStateClustering:
+    def test_distance_matrix_shape(self, clustering):
+        n = len(clustering.states)
+        assert clustering.distance_matrix.shape == (n, n)
+
+    def test_distance_matrix_symmetric_zero_diagonal(self, clustering):
+        matrix = clustering.distance_matrix
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_leaf_order_is_permutation_of_states(self, clustering):
+        assert sorted(clustering.leaf_order()) == sorted(clustering.states)
+
+    def test_cut_covers_all_states(self, clustering):
+        assignment = clustering.cut(4)
+        assert set(assignment) == set(clustering.states)
+        assert len(set(assignment.values())) == 4
+
+    def test_clusters_partition(self, clustering):
+        zones = clustering.clusters(5)
+        flattened = [state for zone in zones for state in zone]
+        assert sorted(flattened) == sorted(clustering.states)
+
+    def test_similar_states_cluster_together(self, midsize_corpus):
+        """States with the same planted boost should sit in the same flat
+        cluster more often than with differently-boosted states."""
+        clustering = cluster_states(characterize_regions(midsize_corpus))
+        assignment = clustering.cut(8)
+        liver_states = ["DE", "RI", "CO"]
+        pairs_same = sum(
+            assignment[a] == assignment[b]
+            for i, a in enumerate(liver_states)
+            for b in liver_states[i + 1:]
+            if a in assignment and b in assignment
+        )
+        assert pairs_same >= 1
+
+    def test_euclidean_affinity_config(self, midsize_corpus):
+        characterization = characterize_regions(midsize_corpus)
+        euclid = cluster_states(
+            characterization,
+            StateClusteringConfig(affinity="euclidean"),
+        )
+        bhatta = cluster_states(characterization)
+        assert not np.allclose(euclid.distance_matrix, bhatta.distance_matrix)
+
+    def test_config_recorded(self, clustering):
+        assert clustering.config.affinity == "bhattacharyya"

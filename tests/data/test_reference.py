@@ -1,0 +1,86 @@
+"""Consistency tests for the bundled reference data."""
+
+import pytest
+
+from repro.data.paper import (
+    PAPER_CLUSTER_ZONE_EXAMPLES,
+    PAPER_DATASET_STATS,
+    PAPER_HIGHLIGHTED_ORGANS,
+    PAPER_KMEANS,
+    PAPER_ORGAN_CO_ATTENTION,
+    PAPER_SPEARMAN_R,
+    PAPER_TWITTER_POPULARITY_ORDER,
+)
+from repro.data.transplants import (
+    COMMON_DUAL_TRANSPLANTS,
+    TRANSPLANTS_2012,
+    transplant_counts_vector,
+    transplant_rank,
+)
+from repro.organs import ORGANS, Organ
+
+
+class TestTransplantData:
+    def test_covers_all_organs(self):
+        assert set(TRANSPLANTS_2012) == set(ORGANS)
+
+    def test_kidney_most_transplanted(self):
+        assert transplant_rank()[0] is Organ.KIDNEY
+
+    def test_heart_third_the_paper_inversion(self):
+        """Fig. 2a: heart is 1st on Twitter but 3rd in transplants."""
+        assert transplant_rank()[2] is Organ.HEART
+        assert PAPER_TWITTER_POPULARITY_ORDER[0] is Organ.HEART
+
+    def test_intestine_smallest(self):
+        assert transplant_rank()[-1] is Organ.INTESTINE
+
+    def test_vector_matches_canonical_order(self):
+        vector = transplant_counts_vector()
+        for organ in ORGANS:
+            assert vector[organ.index] == TRANSPLANTS_2012[organ]
+
+    def test_dual_transplants_are_pairs(self):
+        for pair in COMMON_DUAL_TRANSPLANTS:
+            assert len(pair) == 2
+            assert Organ.KIDNEY in pair  # every common dual involves kidney
+
+
+class TestPaperNumbers:
+    def test_table1_internally_consistent(self):
+        stats = PAPER_DATASET_STATS
+        assert stats["tweets_collected"] < stats["tweets_raw"]
+        yield_ratio = stats["tweets_collected"] / stats["tweets_raw"]
+        assert yield_ratio == pytest.approx(0.138, abs=0.002)
+        per_user = stats["tweets_collected"] / stats["users"]
+        assert per_user == pytest.approx(stats["avg_tweets_per_user"], abs=0.01)
+        per_day = stats["tweets_collected"] / stats["days"]
+        assert per_day == pytest.approx(stats["avg_tweets_per_day"], rel=0.01)
+
+    def test_reported_spearman_matches_rank_arithmetic(self):
+        """The heart inversion alone implies r = 1 − 36/210 ≈ .83, which
+        the paper rounds to .84."""
+        assert PAPER_SPEARMAN_R == pytest.approx(1 - 36 / 210, abs=0.015)
+
+    def test_co_attention_map_total(self):
+        assert set(PAPER_ORGAN_CO_ATTENTION) == set(ORGANS)
+        for focal, top in PAPER_ORGAN_CO_ATTENTION.items():
+            assert top is not focal
+
+    def test_highlighted_states_valid(self):
+        from repro.geo.gazetteer import state_by_abbrev
+
+        for state, organs in PAPER_HIGHLIGHTED_ORGANS.items():
+            state_by_abbrev(state)
+            assert organs
+
+    def test_zone_examples_valid_states(self):
+        from repro.geo.gazetteer import state_by_abbrev
+
+        for states in PAPER_CLUSTER_ZONE_EXAMPLES.values():
+            for state in states:
+                state_by_abbrev(state)
+
+    def test_kmeans_reference(self):
+        assert PAPER_KMEANS["k"] == 12
+        assert 0 < PAPER_KMEANS["silhouette"] <= 1

@@ -1,0 +1,111 @@
+"""Tests for the tweet corpus container."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.errors import DatasetError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id: int, state: str, organs: dict, tweet_id: int = 0,
+           when: datetime | None = None) -> CollectedTweet:
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="kidney donor",
+            created_at=when or datetime(2015, 6, 1, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", state, 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def corpus() -> TweetCorpus:
+    return TweetCorpus([
+        record(1, "KS", {Organ.KIDNEY: 2}, 1),
+        record(1, "KS", {Organ.HEART: 1}, 2),
+        record(2, "MA", {Organ.LUNG: 1}, 3),
+        record(3, "KS", {Organ.KIDNEY: 1, Organ.HEART: 1}, 4),
+    ])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            TweetCorpus([])
+
+    def test_len_and_iter(self, corpus):
+        assert len(corpus) == 4
+        assert len(list(corpus)) == 4
+
+    def test_n_users(self, corpus):
+        assert corpus.n_users == 3
+
+
+class TestUserSlices:
+    def test_user_ids_sorted(self, corpus):
+        assert corpus.user_ids() == [1, 2, 3]
+
+    def test_slice_aggregates_mentions(self, corpus):
+        user = corpus.user_slice(1)
+        assert user.mention_counts[Organ.KIDNEY] == 2
+        assert user.mention_counts[Organ.HEART] == 1
+        assert user.n_tweets == 2
+
+    def test_slice_distinct_organs(self, corpus):
+        assert corpus.user_slice(1).distinct_organs == {
+            Organ.KIDNEY, Organ.HEART,
+        }
+
+    def test_unknown_user_raises(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.user_slice(99)
+
+    def test_slices_align_with_ids(self, corpus):
+        assert [u.user_id for u in corpus.user_slices()] == [1, 2, 3]
+
+    def test_modal_state(self):
+        corpus = TweetCorpus([
+            record(1, "KS", {Organ.KIDNEY: 1}, 1),
+            record(1, "KS", {Organ.KIDNEY: 1}, 2),
+            record(1, "MO", {Organ.KIDNEY: 1}, 3),
+        ])
+        assert corpus.user_slice(1).state == "KS"
+
+
+class TestStatesAndFiltering:
+    def test_states_sorted_distinct(self, corpus):
+        assert corpus.states() == ["KS", "MA"]
+
+    def test_filter(self, corpus):
+        kansas = corpus.filter(lambda r: r.state == "KS")
+        assert len(kansas) == 3
+        assert kansas.states() == ["KS"]
+
+    def test_filter_nothing_matches_raises(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.filter(lambda r: False)
+
+    def test_in_window(self):
+        early = datetime(2015, 5, 1, tzinfo=timezone.utc)
+        late = datetime(2015, 7, 1, tzinfo=timezone.utc)
+        corpus = TweetCorpus([
+            record(1, "KS", {Organ.KIDNEY: 1}, 1, early),
+            record(2, "KS", {Organ.KIDNEY: 1}, 2, late),
+        ])
+        window = corpus.in_window(
+            datetime(2015, 4, 1, tzinfo=timezone.utc),
+            datetime(2015, 6, 1, tzinfo=timezone.utc),
+        )
+        assert [r.tweet.tweet_id for r in window] == [1]
+
+    def test_time_span(self, corpus):
+        start, end = corpus.time_span()
+        assert start <= end

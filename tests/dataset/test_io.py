@@ -1,0 +1,84 @@
+"""Tests for JSONL persistence."""
+
+import pytest
+
+from repro.dataset.io import read_jsonl, write_jsonl
+from repro.dataset.records import CollectedTweet
+from repro.errors import SerializationError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def records(n: int) -> list[CollectedTweet]:
+    return [
+        CollectedTweet(
+            tweet=Tweet(
+                tweet_id=i,
+                user=UserProfile(user_id=i % 3, screen_name=f"u{i % 3}",
+                                 location="Wichita, KS"),
+                text=f"kidney donor tweet {i}",
+            ),
+            location=GeoMatch("US", "KS", 0.95, "comma-abbrev"),
+            mentions={Organ.KIDNEY: 1 + i % 2},
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        original = records(25)
+        assert write_jsonl(original, path) == 25
+        assert list(read_jsonl(path)) == original
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl([], path)
+        assert list(read_jsonl(path)) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        write_jsonl(records(2), path)
+        content = path.read_text()
+        path.write_text(content.replace("\n", "\n\n"))
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_unicode_text_preserved(self, tmp_path):
+        rec = records(1)[0]
+        tweet = Tweet(
+            tweet_id=0,
+            user=rec.tweet.user,
+            text="kidney donor 🙏 ❤",
+            created_at=rec.tweet.created_at,
+        )
+        rec = CollectedTweet(tweet=tweet, location=rec.location,
+                             mentions=rec.mentions)
+        path = tmp_path / "emoji.jsonl"
+        write_jsonl([rec], path)
+        assert next(iter(read_jsonl(path))).tweet.text == "kidney donor 🙏 ❤"
+
+
+class TestMalformedFiles:
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_jsonl(records(1), path)
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(SerializationError, match=":2"):
+            list(read_jsonl(path))
+
+    def test_valid_json_wrong_schema_reports_line(self, tmp_path):
+        path = tmp_path / "schema.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(SerializationError, match=":1"):
+            list(read_jsonl(path))
+
+    def test_reading_is_lazy(self, tmp_path):
+        path = tmp_path / "lazy.jsonl"
+        write_jsonl(records(3), path)
+        with open(path, "a") as handle:
+            handle.write("garbage\n")
+        reader = read_jsonl(path)
+        assert next(reader).tweet.tweet_id == 0  # no error until reached

@@ -1,0 +1,61 @@
+"""Tests for collected-tweet records."""
+
+import pytest
+
+from repro.dataset.records import CollectedTweet
+from repro.errors import SerializationError
+from repro.geo.geocoder import GeoMatch
+from repro.organs import Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(mentions=None, state="KS") -> CollectedTweet:
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=1,
+            user=UserProfile(user_id=9, screen_name="u", location="Wichita, KS"),
+            text="kidney donor",
+        ),
+        location=GeoMatch("US", state, 0.95, "comma-abbrev"),
+        mentions=mentions or {Organ.KIDNEY: 1},
+    )
+
+
+class TestAccessors:
+    def test_user_id(self):
+        assert record().user_id == 9
+
+    def test_state(self):
+        assert record().state == "KS"
+
+    def test_distinct_organs_excludes_zero_counts(self):
+        rec = record(mentions={Organ.KIDNEY: 2, Organ.HEART: 0})
+        assert rec.distinct_organs == frozenset({Organ.KIDNEY})
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        rec = record(mentions={Organ.KIDNEY: 2, Organ.LIVER: 1})
+        assert CollectedTweet.from_dict(rec.to_dict()) == rec
+
+    def test_mentions_serialized_by_name(self):
+        data = record().to_dict()
+        assert data["mentions"] == {"kidney": 1}
+
+    def test_malformed_mentions_raise(self):
+        data = record().to_dict()
+        data["mentions"] = {"spleen": 1}
+        with pytest.raises((SerializationError, KeyError)):
+            CollectedTweet.from_dict(data)
+
+    def test_missing_location_raises(self):
+        data = record().to_dict()
+        del data["location"]
+        with pytest.raises(SerializationError):
+            CollectedTweet.from_dict(data)
+
+    def test_nested_tweet_error_propagates(self):
+        data = record().to_dict()
+        del data["tweet"]["text"]
+        with pytest.raises(SerializationError):
+            CollectedTweet.from_dict(data)

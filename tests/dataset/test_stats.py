@@ -1,0 +1,106 @@
+"""Tests for dataset statistics (Table I / Fig. 2)."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.dataset.stats import (
+    compute_stats,
+    organ_mention_histogram,
+    users_per_organ,
+)
+from repro.geo.geocoder import GeoMatch
+from repro.organs import ORGANS, Organ
+from repro.twitter.models import Tweet, UserProfile
+
+
+def record(user_id, organs, tweet_id=0, day=1):
+    return CollectedTweet(
+        tweet=Tweet(
+            tweet_id=tweet_id,
+            user=UserProfile(user_id=user_id, screen_name=f"u{user_id}"),
+            text="t",
+            created_at=datetime(2015, 6, day, tzinfo=timezone.utc),
+        ),
+        location=GeoMatch("US", "KS", 0.95, "test"),
+        mentions=organs,
+    )
+
+
+@pytest.fixture()
+def toy_corpus():
+    return TweetCorpus([
+        record(1, {Organ.KIDNEY: 1}, 1, day=1),
+        record(1, {Organ.HEART: 1}, 2, day=2),
+        record(2, {Organ.KIDNEY: 1, Organ.LIVER: 1}, 3, day=5),
+        record(3, {Organ.HEART: 2}, 4, day=10),
+    ])
+
+
+class TestComputeStats:
+    def test_counts(self, toy_corpus):
+        stats = compute_stats(toy_corpus)
+        assert stats.tweets_collected == 4
+        assert stats.n_users == 3
+
+    def test_days_inclusive(self, toy_corpus):
+        assert compute_stats(toy_corpus).days == 10
+
+    def test_avg_tweets_per_user(self, toy_corpus):
+        assert compute_stats(toy_corpus).avg_tweets_per_user == pytest.approx(4 / 3)
+
+    def test_organs_per_tweet_distinct(self, toy_corpus):
+        # tweets have 1, 1, 2, 1 distinct organs → 1.25
+        assert compute_stats(toy_corpus).organs_per_tweet == pytest.approx(1.25)
+
+    def test_organs_per_user_distinct(self, toy_corpus):
+        # users have 2, 2, 1 distinct organs → 5/3
+        assert compute_stats(toy_corpus).organs_per_user == pytest.approx(5 / 3)
+
+    def test_user_aggregation_exceeds_tweet_aggregation(self, toy_corpus):
+        """Fig. 2(b)'s message: organs are more likely mentioned when
+        aggregated by user than per tweet."""
+        stats = compute_stats(toy_corpus)
+        assert stats.organs_per_user > stats.organs_per_tweet
+
+    def test_as_rows_has_table1_labels(self, toy_corpus):
+        labels = [label for label, __ in compute_stats(toy_corpus).as_rows()]
+        assert "Tweets collected" in labels
+        assert "Organs mentioned / User" in labels
+
+
+class TestUsersPerOrgan:
+    def test_counts_users_not_tweets(self, toy_corpus):
+        counts = users_per_organ(toy_corpus)
+        assert counts[Organ.KIDNEY] == 2  # users 1 and 2
+        assert counts[Organ.HEART] == 2   # users 1 and 3
+        assert counts[Organ.LIVER] == 1
+
+    def test_all_organs_present_in_result(self, toy_corpus):
+        assert set(users_per_organ(toy_corpus)) == set(ORGANS)
+
+    def test_unmentioned_organ_zero(self, toy_corpus):
+        assert users_per_organ(toy_corpus)[Organ.INTESTINE] == 0
+
+
+class TestMentionHistogram:
+    def test_histogram_shape(self, toy_corpus):
+        histogram = organ_mention_histogram(toy_corpus)
+        assert histogram[1] == (3, 1)  # 3 single-organ tweets; user 3
+        assert histogram[2] == (1, 2)  # 1 dual tweet; users 1 and 2
+
+    def test_totals_match_corpus(self, toy_corpus):
+        histogram = organ_mention_histogram(toy_corpus)
+        assert sum(t for t, __ in histogram.values()) == len(toy_corpus)
+        assert sum(u for __, u in histogram.values()) == toy_corpus.n_users
+
+    def test_tweets_exceed_users_only_for_single_mentions(self, corpus):
+        """The paper's Fig. 2(b) observation, on the synthetic corpus."""
+        histogram = organ_mention_histogram(corpus)
+        tweets_1, users_1 = histogram[1]
+        assert tweets_1 > users_1
+        for k in range(2, 7):
+            tweets_k, users_k = histogram[k]
+            assert tweets_k <= users_k, f"k={k}"

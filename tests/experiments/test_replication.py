@@ -1,0 +1,48 @@
+"""Tests for the multi-seed replication harness."""
+
+import pytest
+
+from repro.experiments.replication import replicate
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        # Two small seeds keep the harness test fast; power-sensitive
+        # checks may fail at this scale, which is fine — the harness is
+        # what is under test.
+        return replicate(seeds=(1, 2), scale=0.02)
+
+    def test_one_result_per_seed(self, summary):
+        assert summary.n_seeds == 2
+        assert [result.seed for result in summary.results] == [1, 2]
+
+    def test_pass_rates_in_unit_interval(self, summary):
+        for rate in summary.pass_rates().values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_metrics_aggregated(self, summary):
+        metrics = summary.metric_summary()
+        assert set(metrics) == {
+            "us_yield", "spearman_r", "silhouette_k12", "n_users",
+        }
+        for mean, std in metrics.values():
+            assert std >= 0.0
+        mean_yield, __ = metrics["us_yield"]
+        assert 0.08 < mean_yield < 0.20
+
+    def test_robust_checks_pass_even_small(self, summary):
+        """Scale-insensitive checks must pass on every seed."""
+        rates = summary.pass_rates()
+        assert rates["organs/user exceeds organs/tweet"] == 1.0
+        assert rates["popularity order heart…intestine"] == 1.0
+
+    def test_render(self, summary):
+        text = summary.render()
+        assert "Replication over 2 seeds" in text
+        assert "pass rates" in text
+        assert "us_yield" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(seeds=())

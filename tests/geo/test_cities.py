@@ -1,0 +1,49 @@
+"""Tests for the city → state table."""
+
+from repro.geo.cities import CITY_TO_STATE, cities_in_state, city_state
+from repro.geo.gazetteer import ALL_REGION_CODES
+
+
+class TestCityTable:
+    def test_all_values_are_known_states(self):
+        valid = set(ALL_REGION_CODES)
+        for city, state in CITY_TO_STATE.items():
+            assert state in valid, f"{city} maps to unknown state {state}"
+
+    def test_keys_are_lowercase(self):
+        for city in CITY_TO_STATE:
+            assert city == city.lower()
+
+    def test_every_state_has_a_city(self):
+        covered = set(CITY_TO_STATE.values())
+        assert covered == set(ALL_REGION_CODES)
+
+    def test_nola_is_louisiana(self):
+        assert CITY_TO_STATE["nola"] == "LA"
+
+    def test_wichita_is_kansas(self):
+        assert CITY_TO_STATE["wichita"] == "KS"
+
+
+class TestCityState:
+    def test_known_city(self):
+        assert city_state("Boston") == "MA"
+
+    def test_case_and_whitespace(self):
+        assert city_state("  cHiCaGo ") == "IL"
+
+    def test_unknown_returns_none(self):
+        assert city_state("gotham") is None
+
+
+class TestCitiesInState:
+    def test_kansas_cities(self):
+        cities = cities_in_state("KS")
+        assert "wichita" in cities
+        assert "topeka" in cities
+
+    def test_lowercase_abbrev_accepted(self):
+        assert cities_in_state("ma") == cities_in_state("MA")
+
+    def test_unknown_state_empty(self):
+        assert cities_in_state("ZZ") == ()

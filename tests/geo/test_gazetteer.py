@@ -1,0 +1,79 @@
+"""Tests for the US state gazetteer."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.gazetteer import (
+    ALL_REGION_CODES,
+    STATES,
+    CensusRegion,
+    state_by_abbrev,
+    state_by_name,
+    states_in_region,
+    total_population,
+)
+
+
+class TestGazetteerContents:
+    def test_fifty_states_plus_dc_and_pr(self):
+        assert len(STATES) == 52
+
+    def test_abbrevs_unique(self):
+        assert len(set(ALL_REGION_CODES)) == 52
+
+    def test_names_unique(self):
+        assert len({state.name for state in STATES}) == 52
+
+    def test_abbrevs_are_two_uppercase_letters(self):
+        for code in ALL_REGION_CODES:
+            assert len(code) == 2
+            assert code.isupper()
+
+    def test_populations_positive(self):
+        for state in STATES:
+            assert state.population > 0
+
+    def test_california_most_populous(self):
+        biggest = max(STATES, key=lambda state: state.population)
+        assert biggest.abbrev == "CA"
+
+    def test_total_population_plausible_2015(self):
+        # ~321M US + PR, in thousands.
+        assert 300_000 < total_population() < 340_000
+
+    def test_kansas_is_midwest(self):
+        assert state_by_abbrev("KS").region is CensusRegion.MIDWEST
+
+    def test_midwest_has_twelve_states(self):
+        assert len(states_in_region(CensusRegion.MIDWEST)) == 12
+
+    def test_regions_partition_states(self):
+        total = sum(
+            len(states_in_region(region)) for region in CensusRegion
+        )
+        assert total == len(STATES)
+
+
+class TestLookups:
+    def test_by_abbrev(self):
+        assert state_by_abbrev("MA").name == "Massachusetts"
+
+    def test_by_abbrev_case_insensitive(self):
+        assert state_by_abbrev("ks").name == "Kansas"
+
+    def test_by_abbrev_strips_whitespace(self):
+        assert state_by_abbrev(" LA ").name == "Louisiana"
+
+    def test_by_abbrev_unknown_raises(self):
+        with pytest.raises(GeoError, match="ZZ"):
+            state_by_abbrev("ZZ")
+
+    def test_by_name(self):
+        assert state_by_name("Rhode Island").abbrev == "RI"
+
+    def test_by_name_case_insensitive(self):
+        assert state_by_name("kansas").abbrev == "KS"
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(GeoError):
+            state_by_name("Atlantis")

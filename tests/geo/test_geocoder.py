@@ -1,0 +1,179 @@
+"""Tests for the free-text geocoder."""
+
+import pytest
+
+from repro.geo.geocoder import GeoMatch, Geocoder
+
+
+@pytest.fixture(scope="module")
+def geocoder() -> Geocoder:
+    return Geocoder()
+
+
+class TestCommaPatterns:
+    def test_city_comma_abbrev(self, geocoder):
+        match = geocoder.geocode("Wichita, KS")
+        assert match.is_us_state
+        assert match.state == "KS"
+        assert match.confidence >= 0.9
+
+    def test_city_comma_full_name(self, geocoder):
+        match = geocoder.geocode("Baton Rouge, Louisiana")
+        assert match.state == "LA"
+
+    def test_lowercase_abbrev_in_comma_context(self, geocoder):
+        # Comma context disambiguates even word-collision codes.
+        match = geocoder.geocode("indianapolis, in")
+        assert match.state == "IN"
+
+    def test_state_comma_usa(self, geocoder):
+        match = geocoder.geocode("Kansas, USA")
+        assert match.state == "KS"
+
+    def test_city_comma_usa_resolves_via_head(self, geocoder):
+        match = geocoder.geocode("Boston, USA")
+        assert match.state == "MA"
+
+    def test_unknown_comma_usa_is_country_only(self, geocoder):
+        match = geocoder.geocode("Smallville, USA")
+        assert match.country == "US"
+        assert match.state is None
+        assert not match.is_us_state
+
+
+class TestStateNames:
+    def test_bare_state_name(self, geocoder):
+        assert geocoder.geocode("Kansas").state == "KS"
+
+    def test_state_name_embedded_in_noise(self, geocoder):
+        match = geocoder.geocode("living my best life in kansas ☀")
+        assert match.state == "KS"
+
+    def test_west_virginia_not_virginia(self, geocoder):
+        assert geocoder.geocode("West Virginia").state == "WV"
+
+    def test_virginia_still_matches(self, geocoder):
+        assert geocoder.geocode("Virginia").state == "VA"
+
+    def test_nickname(self, geocoder):
+        assert geocoder.geocode("the sunshine state").state == "FL"
+
+    def test_washington_state_vs_dc(self, geocoder):
+        # Bare "Washington" resolves to the city table entry (DC),
+        # mirroring Nominatim's importance ranking.
+        assert geocoder.geocode("Washington").state in ("WA", "DC")
+
+
+class TestBareAbbrevs:
+    def test_uppercase_code(self, geocoder):
+        assert geocoder.geocode("KS").state == "KS"
+
+    def test_lowercase_word_collision_not_matched(self, geocoder):
+        # "in", "or", "hi" are English words; a bare lowercase token must
+        # not geocode to Indiana/Oregon/Hawaii.
+        for token in ("in", "or", "hi", "me", "ok"):
+            match = geocoder.geocode(token)
+            assert not match.is_us_state, token
+
+    def test_uppercase_collision_codes_do_match(self, geocoder):
+        assert geocoder.geocode("IN").state == "IN"
+        assert geocoder.geocode("OR").state == "OR"
+
+
+class TestCities:
+    def test_bare_city(self, geocoder):
+        assert geocoder.geocode("Wichita").state == "KS"
+
+    def test_city_nickname(self, geocoder):
+        assert geocoder.geocode("NOLA").state == "LA"
+
+    def test_city_with_prefix_noise(self, geocoder):
+        assert geocoder.geocode("downtown wichita").state == "KS"
+
+
+class TestZipCodes:
+    def test_city_state_zip(self, geocoder):
+        assert geocoder.geocode("Wichita, KS 67202").state == "KS"
+
+    def test_zip_plus_four(self, geocoder):
+        assert geocoder.geocode("Boston, MA 02134-1000").state == "MA"
+
+    def test_state_name_with_zip(self, geocoder):
+        assert geocoder.geocode("Kansas 67202").state == "KS"
+
+    def test_bare_zip_unresolved(self, geocoder):
+        assert not geocoder.geocode("67202").resolved
+
+
+class TestMetroAreas:
+    @pytest.mark.parametrize(
+        "metro,state",
+        [
+            ("Bay Area", "CA"),
+            ("twin cities", "MN"),
+            ("PNW", "WA"),
+            ("the DMV", "DC"),
+            ("South Florida", "FL"),
+        ],
+    )
+    def test_metro_resolves(self, geocoder, metro, state):
+        match = geocoder.geocode(metro)
+        assert match.state == state
+
+    def test_metro_embedded_in_noise(self, geocoder):
+        match = geocoder.geocode("living my best bay area life")
+        assert match.state == "CA"
+        assert match.confidence < 0.7
+
+    def test_state_name_beats_metro(self, geocoder):
+        # Explicit state information should win over metro nicknames.
+        assert geocoder.geocode("bay area, TX").state == "TX"
+
+
+class TestCountryAndForeign:
+    def test_usa_alone(self, geocoder):
+        match = geocoder.geocode("USA")
+        assert match.country == "US"
+        assert match.state is None
+
+    def test_foreign_city(self, geocoder):
+        match = geocoder.geocode("London")
+        assert match.resolved
+        assert match.country != "US"
+        assert not match.is_us_state
+
+    def test_foreign_comma_pattern(self, geocoder):
+        match = geocoder.geocode("Somewhere, Canada")
+        assert match.country and match.country != "US"
+
+
+class TestUnresolved:
+    @pytest.mark.parametrize(
+        "junk",
+        ["", None, "somewhere over the rainbow", "🌍", "your heart",
+         "the internet", "    ", "!!!"],
+    )
+    def test_junk_is_unresolved(self, geocoder, junk):
+        match = geocoder.geocode(junk)
+        assert not match.resolved
+        assert match.confidence == 0.0
+
+    def test_never_raises_on_weird_unicode(self, geocoder):
+        for text in ("日本", "🌮🌮🌮", "a" * 500, ",,,", "., ., ."):
+            geocoder.geocode(text)  # must not raise
+
+
+class TestGeoMatch:
+    def test_unresolved_factory(self):
+        match = GeoMatch.unresolved()
+        assert not match.resolved
+        assert not match.is_us_state
+
+    def test_us_state_requires_state(self):
+        match = GeoMatch(country="US", state=None, confidence=0.6, source="x")
+        assert not match.is_us_state
+
+    def test_caching_returns_equal_results(self, geocoder):
+        first = geocoder.geocode("Wichita, KS")
+        second = geocoder.geocode("Wichita, KS")
+        assert first == second

@@ -1,0 +1,55 @@
+"""Tests for the location-string styler used by the synthetic world."""
+
+import numpy as np
+import pytest
+
+from repro.geo.gazetteer import STATES, state_by_abbrev
+from repro.geo.geocoder import Geocoder
+from repro.geo.noise import JUNK_LOCATIONS, LocationStyler
+
+
+@pytest.fixture()
+def styler() -> LocationStyler:
+    return LocationStyler(np.random.default_rng(42))
+
+
+class TestStyleUs:
+    def test_produces_nonempty_strings(self, styler):
+        kansas = state_by_abbrev("KS")
+        for __ in range(50):
+            assert styler.style_us(kansas).strip()
+
+    def test_most_styled_locations_geocode_to_their_state(self):
+        """The styler and geocoder must agree ~90%+ of the time, or the
+        pipeline's US yield calibration breaks."""
+        rng = np.random.default_rng(0)
+        styler = LocationStyler(rng)
+        geocoder = Geocoder()
+        hits = 0
+        trials = 0
+        for state in STATES:
+            for __ in range(20):
+                match = geocoder.geocode(styler.style_us(state))
+                trials += 1
+                if match.state == state.abbrev:
+                    hits += 1
+        assert hits / trials > 0.9
+
+    def test_deterministic_given_seed(self):
+        kansas = state_by_abbrev("KS")
+        first = [LocationStyler(np.random.default_rng(9)).style_us(kansas)
+                 for __ in range(1)]
+        second = [LocationStyler(np.random.default_rng(9)).style_us(kansas)
+                  for __ in range(1)]
+        assert first == second
+
+
+class TestStyleJunk:
+    def test_junk_never_geocodes(self, styler):
+        geocoder = Geocoder()
+        for junk in JUNK_LOCATIONS:
+            assert not geocoder.geocode(junk).resolved, junk
+
+    def test_style_junk_draws_from_pool(self, styler):
+        for __ in range(20):
+            assert styler.style_junk() in JUNK_LOCATIONS

@@ -1,0 +1,67 @@
+"""End-to-end integration: world → pipeline → corpus → every experiment."""
+
+import pytest
+
+from repro.dataset.io import read_jsonl, write_jsonl
+from repro.dataset.corpus import TweetCorpus
+from repro.report.experiments import ExperimentSuite
+
+
+class TestPipelineIntegration:
+    def test_collection_yield_matches_paper_footnote(self, report):
+        """134,986 / 975,021 ≈ 13.8% of collected tweets are US-locatable."""
+        assert report.us_yield == pytest.approx(0.138, abs=0.03)
+
+    def test_tweets_per_user_near_table1(self, corpus):
+        from repro.dataset.stats import compute_stats
+
+        stats = compute_stats(corpus)
+        # 1.88 in the paper; small worlds truncate the activity tail.
+        assert 1.3 < stats.avg_tweets_per_user < 2.4
+
+    def test_organs_per_tweet_near_table1(self, corpus):
+        from repro.dataset.stats import compute_stats
+
+        stats = compute_stats(corpus)
+        assert stats.organs_per_tweet == pytest.approx(1.03, abs=0.05)
+
+    def test_organs_per_user_near_table1(self, corpus):
+        from repro.dataset.stats import compute_stats
+
+        stats = compute_stats(corpus)
+        assert stats.organs_per_user == pytest.approx(1.13, abs=0.08)
+
+    def test_collection_window_matches_table1(self, corpus):
+        start, finish = corpus.time_span()
+        assert start.date().isoformat() >= "2015-04-22"
+        assert finish.date().isoformat() <= "2016-05-11"
+
+
+class TestPersistenceIntegration:
+    def test_corpus_roundtrip_through_jsonl(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(corpus.records, path)
+        restored = TweetCorpus(read_jsonl(path))
+        assert len(restored) == len(corpus)
+        assert restored.user_ids() == corpus.user_ids()
+        suite = ExperimentSuite(restored)
+        original = ExperimentSuite(corpus)
+        assert (
+            suite.run_fig2().popularity_order()
+            == original.run_fig2().popularity_order()
+        )
+
+
+class TestAllExperimentsRun:
+    def test_every_artifact_renders_nonempty(self, suite):
+        renders = [
+            suite.run_table1().render(),
+            suite.run_fig2().render(),
+            suite.run_fig3().render(),
+            suite.run_fig4().render(states=("KS", "CA")),
+            suite.run_fig5().render(),
+            suite.run_fig6().render(),
+            suite.run_fig7().render(),
+        ]
+        for text in renders:
+            assert len(text) > 50

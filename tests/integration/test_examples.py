@@ -1,0 +1,82 @@
+"""Every example script must run end to end as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "TABLE I" in result.stdout
+        assert "Fig. 5" in result.stdout
+
+    def test_reproduce_paper_small(self, tmp_path):
+        result = run_example(
+            "reproduce_paper.py", "--scale", "0.02", "--seed", "3",
+            "--out", str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        for artifact in ("table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                         "fig7"):
+            assert (tmp_path / f"{artifact}.txt").exists(), artifact
+            assert (tmp_path / f"{artifact}.txt").stat().st_size > 50
+
+    def test_campaign_targeting(self):
+        result = run_example(
+            "campaign_targeting.py", "--organ", "kidney", "--scale", "0.03",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "campaign plan: kidney" in result.stdout
+        assert "user segments" in result.stdout
+
+    @pytest.mark.parametrize("organ", ["heart", "lung"])
+    def test_campaign_targeting_other_organs(self, organ):
+        result = run_example(
+            "campaign_targeting.py", "--organ", organ, "--scale", "0.02",
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_streaming_monitor(self):
+        result = run_example(
+            "streaming_monitor.py", "--scale", "0.01", "--emit-every", "300",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "stream finished" in result.stdout
+        assert "window end" in result.stdout
+
+    def test_custom_entities(self):
+        result = run_example("custom_entities.py")
+        assert result.returncode == 0, result.stderr
+        assert "club characterization" in result.stdout
+        assert "america-rn" in result.stdout
+
+    def test_dataset_tour(self):
+        result = run_example("dataset_tour.py", "--scale", "0.03")
+        assert result.returncode == 0, result.stderr
+        assert "co-mentions" in result.stdout
+        assert "demographic bias" in result.stdout
+        assert "state × organ dependence" in result.stdout
+
+    def test_sensor_validation(self):
+        result = run_example(
+            "sensor_validation.py", "--scale", "0.04", "--years", "6",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "cross-validation" in result.stdout
+        assert "kidney" in result.stdout

@@ -1,0 +1,199 @@
+"""Tests for cascades, influence estimation, and interventions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.cascades import simulate_cascade
+from repro.network.graph import GraphConfig, build_follower_graph
+from repro.network.influence import (
+    estimate_influence,
+    greedy_influence_maximization,
+)
+from repro.network.intervention import CampaignStrategy, run_campaign
+from repro.organs import Organ
+from repro.synth.config import PopulationConfig, SynthConfig
+from repro.synth.world import SyntheticWorld
+
+
+@pytest.fixture(scope="module")
+def graph():
+    world = SyntheticWorld(
+        SynthConfig(population=PopulationConfig(n_users=1500,
+                                                us_fraction=0.6), seed=4)
+    )
+    return build_follower_graph(world, GraphConfig(seed=2))
+
+
+class TestSimulateCascade:
+    def test_seeds_always_activated(self, graph):
+        seeds = graph.top_audiences(3)
+        cascade = simulate_cascade(
+            graph, seeds, Organ.KIDNEY, np.random.default_rng(0)
+        )
+        assert set(seeds) <= cascade.activated
+
+    def test_empty_seeds_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            simulate_cascade(graph, [], Organ.HEART, np.random.default_rng(0))
+
+    def test_bad_probability_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            simulate_cascade(
+                graph, [0], Organ.HEART, np.random.default_rng(0),
+                base_probability=0.0,
+            )
+
+    def test_zero_audience_seed_reaches_only_itself_mostly(self, graph):
+        loner = min(graph.graph.nodes, key=graph.audience_size)
+        cascade = simulate_cascade(
+            graph, [loner], Organ.HEART, np.random.default_rng(1)
+        )
+        assert cascade.size == 1
+        assert cascade.depth == 0
+
+    def test_higher_probability_larger_cascades(self, graph):
+        seeds = graph.top_audiences(3)
+        small = np.mean([
+            simulate_cascade(graph, seeds, Organ.HEART,
+                             np.random.default_rng(i), 0.02).size
+            for i in range(10)
+        ])
+        large = np.mean([
+            simulate_cascade(graph, seeds, Organ.HEART,
+                             np.random.default_rng(i), 0.3).size
+            for i in range(10)
+        ])
+        assert large > small
+
+    def test_attention_gates_spread(self, graph):
+        """A message spreads further among its own interest community:
+        kidney content seeded at kidney-focal hubs outperforms intestine
+        content from the same seeds."""
+        kidney_hubs = sorted(
+            graph.users_with_focal(Organ.KIDNEY),
+            key=lambda u: -graph.audience_size(u),
+        )[:5]
+        kidney_reach = np.mean([
+            simulate_cascade(graph, kidney_hubs, Organ.KIDNEY,
+                             np.random.default_rng(i)).size
+            for i in range(15)
+        ])
+        intestine_reach = np.mean([
+            simulate_cascade(graph, kidney_hubs, Organ.INTESTINE,
+                             np.random.default_rng(i)).size
+            for i in range(15)
+        ])
+        assert kidney_reach > intestine_reach
+
+
+class TestEstimateInfluence:
+    def test_fields(self, graph):
+        estimate = estimate_influence(
+            graph, graph.top_audiences(2), Organ.HEART, n_simulations=5
+        )
+        assert estimate.mean_reach >= 2
+        assert estimate.n_simulations == 5
+        assert 0.0 <= estimate.alignment <= 1.0
+
+    def test_deterministic_per_seed(self, graph):
+        seeds = graph.top_audiences(2)
+        a = estimate_influence(graph, seeds, Organ.HEART, 5, seed=3)
+        b = estimate_influence(graph, seeds, Organ.HEART, 5, seed=3)
+        assert a.mean_reach == b.mean_reach
+
+    def test_more_seeds_never_fewer(self, graph):
+        one = estimate_influence(
+            graph, graph.top_audiences(1), Organ.HEART, 10, seed=1
+        )
+        five = estimate_influence(
+            graph, graph.top_audiences(5), Organ.HEART, 10, seed=1
+        )
+        assert five.mean_reach >= one.mean_reach
+
+    def test_invalid_simulations(self, graph):
+        with pytest.raises(ConfigError):
+            estimate_influence(graph, [0], Organ.HEART, n_simulations=0)
+
+
+class TestGreedy:
+    def test_selects_budget_seeds(self, graph):
+        estimate = greedy_influence_maximization(
+            graph, budget=3, organ=Organ.HEART,
+            candidates=graph.top_audiences(8), n_simulations=5,
+        )
+        assert len(estimate.seeds) == 3
+        assert len(set(estimate.seeds)) == 3
+
+    def test_beats_random_seeds(self, graph):
+        greedy = greedy_influence_maximization(
+            graph, budget=3, organ=Organ.HEART,
+            candidates=graph.top_audiences(8), n_simulations=8,
+        )
+        rng = np.random.default_rng(5)
+        random_seeds = [int(u) for u in rng.choice(
+            list(graph.graph.nodes), size=3, replace=False
+        )]
+        random_estimate = estimate_influence(
+            graph, random_seeds, Organ.HEART, 8
+        )
+        assert greedy.mean_reach > random_estimate.mean_reach
+
+    def test_budget_exceeding_candidates_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            greedy_influence_maximization(
+                graph, budget=5, organ=Organ.HEART, candidates=[1, 2],
+            )
+
+
+class TestCampaigns:
+    def test_all_strategies_run(self, graph):
+        for strategy in (
+            CampaignStrategy.RANDOM,
+            CampaignStrategy.TOP_FOLLOWERS,
+            CampaignStrategy.SEGMENT,
+        ):
+            outcome = run_campaign(
+                graph, strategy, Organ.KIDNEY, budget=5, n_simulations=5,
+            )
+            assert len(outcome.seeds) == 5
+            assert outcome.mean_reach >= 5
+
+    def test_receptive_states_strategy(self, graph):
+        outcome = run_campaign(
+            graph, CampaignStrategy.RECEPTIVE_STATES, Organ.KIDNEY,
+            budget=3, receptive_states=("CA", "TX", "NY"), n_simulations=5,
+        )
+        states = {graph.state_of(seed) for seed in outcome.seeds}
+        assert states <= {"CA", "TX", "NY"}
+
+    def test_receptive_states_requires_states(self, graph):
+        with pytest.raises(ConfigError):
+            run_campaign(
+                graph, CampaignStrategy.RECEPTIVE_STATES, Organ.KIDNEY,
+            )
+
+    def test_segment_strategy_improves_alignment(self, graph):
+        """The paper's payoff: Fig. 7-style segment targeting delivers
+        more on-topic awareness per user than raw audience size."""
+        segment = run_campaign(
+            graph, CampaignStrategy.SEGMENT, Organ.KIDNEY,
+            budget=8, n_simulations=10,
+        )
+        top = run_campaign(
+            graph, CampaignStrategy.TOP_FOLLOWERS, Organ.KIDNEY,
+            budget=8, n_simulations=10,
+        )
+        assert segment.alignment > top.alignment
+
+    def test_greedy_strategy(self, graph):
+        outcome = run_campaign(
+            graph, CampaignStrategy.GREEDY, Organ.HEART, budget=2,
+            n_simulations=6,
+        )
+        assert len(outcome.seeds) == 2
+
+    def test_invalid_budget(self, graph):
+        with pytest.raises(ConfigError):
+            run_campaign(graph, CampaignStrategy.RANDOM, Organ.HEART,
+                         budget=0)

@@ -1,0 +1,113 @@
+"""Tests for follower-graph generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.graph import FollowerGraph, GraphConfig, build_follower_graph
+from repro.organs import ORGANS
+from repro.synth.config import PopulationConfig, SynthConfig
+from repro.synth.world import SyntheticWorld
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld(
+        SynthConfig(population=PopulationConfig(n_users=1500,
+                                                us_fraction=0.6), seed=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def graph(world):
+    return build_follower_graph(world, GraphConfig(seed=2))
+
+
+class TestGraphConfig:
+    def test_defaults_valid(self):
+        GraphConfig()
+
+    def test_bad_mean_followers(self):
+        with pytest.raises(ConfigError):
+            GraphConfig(mean_followers=0)
+
+    def test_bad_prestige(self):
+        with pytest.raises(ConfigError):
+            GraphConfig(prestige_exponent=1.0)
+
+    def test_homophily_shares_bounded(self):
+        with pytest.raises(ConfigError):
+            GraphConfig(same_state_share=0.7, same_organ_share=0.5)
+
+
+class TestStructure:
+    def test_every_user_is_a_node(self, world, graph):
+        assert graph.n_users == world.n_users
+
+    def test_edge_volume_near_mean_followers(self, world, graph):
+        mean_degree = graph.n_edges / graph.n_users
+        # Each user *follows* ~8 accounts before deduplication; the
+        # prestige concentration collapses repeat picks of the same hub.
+        assert 4.5 < mean_degree < 8.5
+
+    def test_no_self_loops(self, graph):
+        assert all(u != v for u, v in graph.graph.edges)
+
+    def test_heavy_tailed_audiences(self, graph):
+        audiences = sorted(
+            (graph.audience_size(u) for u in graph.graph.nodes), reverse=True
+        )
+        assert audiences[0] > 20 * np.median(audiences[audiences != 0] if
+                                             isinstance(audiences, np.ndarray)
+                                             else audiences)
+
+    def test_node_attributes_present(self, world, graph):
+        for user in list(graph.graph.nodes)[:50]:
+            assert graph.focal_of(user) in ORGANS
+            assert graph.attention_of(user).shape == (6,)
+
+    def test_deterministic_per_seed(self, world):
+        a = build_follower_graph(world, GraphConfig(seed=9))
+        b = build_follower_graph(world, GraphConfig(seed=9))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+
+class TestHomophily:
+    def test_same_state_edges_enriched(self, world, graph):
+        """Follow edges connect same-state pairs far above the random
+        baseline."""
+        edges = list(graph.graph.edges)
+        same_state = sum(
+            1
+            for u, v in edges
+            if graph.state_of(u) is not None
+            and graph.state_of(u) == graph.state_of(v)
+        )
+        observed = same_state / len(edges)
+        # Random baseline: ~Σ share² over states, well under 10%.
+        assert observed > 0.12
+
+    def test_same_focal_edges_enriched(self, graph):
+        edges = list(graph.graph.edges)
+        same_focal = sum(
+            1 for u, v in edges if graph.focal_of(u) is graph.focal_of(v)
+        )
+        observed = same_focal / len(edges)
+        # Random baseline ≈ Σ organ-share² ≈ 0.23 for the national prior.
+        assert observed > 0.3
+
+
+class TestAccessors:
+    def test_followers_match_edges(self, graph):
+        user = graph.top_audiences(1)[0]
+        followers = graph.followers_of(user)
+        assert len(followers) == graph.audience_size(user)
+
+    def test_users_in_state(self, graph):
+        ks_users = graph.users_in_state("KS")
+        assert all(graph.state_of(u) == "KS" for u in ks_users)
+
+    def test_top_audiences_sorted(self, graph):
+        top = graph.top_audiences(10)
+        sizes = [graph.audience_size(u) for u in top]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,69 @@
+"""Tests for the Context × Subject query set (Fig. 1)."""
+
+from repro.nlp.keywords import (
+    CONTEXT_TERMS,
+    SUBJECT_TERMS,
+    build_query_set,
+    matches_query_set,
+    track_phrases,
+)
+from repro.organs import ALIASES, Organ
+
+
+class TestQuerySetConstruction:
+    def test_cartesian_product_size(self):
+        queries = build_query_set()
+        assert len(queries) == len(CONTEXT_TERMS) * len(SUBJECT_TERMS)
+
+    def test_every_query_pairs_context_with_subject(self):
+        for query in build_query_set():
+            assert query.context in CONTEXT_TERMS
+            assert query.subject in SUBJECT_TERMS
+            assert query.organ is ALIASES[query.subject]
+
+    def test_track_phrase_format(self):
+        queries = build_query_set(("donor",), ("kidney",))
+        assert queries[0].track_phrase == "kidney donor"
+
+    def test_track_phrases_cover_all_queries(self):
+        queries = build_query_set()
+        assert len(track_phrases(queries)) == len(queries)
+
+    def test_custom_vocabularies(self):
+        queries = build_query_set(("transplant",), ("heart", "liver"))
+        assert {q.subject for q in queries} == {"heart", "liver"}
+        assert {q.organ for q in queries} == {Organ.HEART, Organ.LIVER}
+
+
+class TestMatching:
+    def test_context_and_subject_matches(self):
+        assert matches_query_set("be a kidney donor today")
+
+    def test_context_without_subject_rejected(self):
+        assert not matches_query_set("please donate to the food bank")
+
+    def test_subject_without_context_rejected(self):
+        assert not matches_query_set("my heart is full tonight")
+
+    def test_neither_rejected(self):
+        assert not matches_query_set("beautiful sunset")
+
+    def test_empty_rejected(self):
+        assert not matches_query_set("")
+
+    def test_alias_subject_matches(self):
+        assert matches_query_set("she needs a renal transplant")
+
+    def test_glued_hashtag_satisfies_both_terms(self):
+        assert matches_query_set("support #kidneytransplant week")
+
+    def test_hashtag_subject_with_plain_context(self):
+        assert matches_query_set("register as a donor #lung")
+
+    def test_explicit_query_list(self):
+        queries = build_query_set(("donor",), ("kidney",))
+        assert matches_query_set("kidney donor drive", queries)
+        assert not matches_query_set("liver donor drive", queries)
+
+    def test_case_insensitive(self):
+        assert matches_query_set("KIDNEY DONOR")

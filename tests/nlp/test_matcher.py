@@ -1,0 +1,96 @@
+"""Tests for organ-mention extraction."""
+
+from collections import Counter
+
+from repro.nlp.matcher import OrganMatcher
+from repro.organs import Organ
+
+
+class TestWordMatching:
+    def setup_method(self):
+        self.matcher = OrganMatcher()
+
+    def test_single_mention(self):
+        assert self.matcher.mentions("be a kidney donor") == Counter(
+            {Organ.KIDNEY: 1}
+        )
+
+    def test_plural_alias(self):
+        assert self.matcher.mentions("both kidneys failed") == Counter(
+            {Organ.KIDNEY: 1}
+        )
+
+    def test_medical_adjective(self):
+        assert self.matcher.mentions("renal transplant unit") == Counter(
+            {Organ.KIDNEY: 1}
+        )
+
+    def test_repeated_mentions_counted(self):
+        counts = self.matcher.mentions("kidney kidney kidney")
+        assert counts[Organ.KIDNEY] == 3
+
+    def test_multiple_organs(self):
+        counts = self.matcher.mentions("heart and lung transplant")
+        assert counts == Counter({Organ.HEART: 1, Organ.LUNG: 1})
+
+    def test_no_mentions(self):
+        assert self.matcher.mentions("please donate blood") == Counter()
+
+    def test_substring_of_word_not_matched(self):
+        # "sweetheart" must not count as heart: WORD tokens match exactly.
+        assert self.matcher.mentions("you are a sweetheart") == Counter()
+
+    def test_hyphenated_compound_counts_both(self):
+        counts = self.matcher.mentions("combined kidney-liver transplant")
+        assert counts == Counter({Organ.KIDNEY: 1, Organ.LIVER: 1})
+
+
+class TestHashtagMatching:
+    def setup_method(self):
+        self.matcher = OrganMatcher()
+
+    def test_exact_hashtag(self):
+        assert self.matcher.mentions("#kidney") == Counter({Organ.KIDNEY: 1})
+
+    def test_glued_hashtag(self):
+        assert self.matcher.mentions("#hearttransplant") == Counter(
+            {Organ.HEART: 1}
+        )
+
+    def test_glued_hashtag_two_organs(self):
+        counts = self.matcher.mentions("#heartandlungtransplant")
+        assert counts == Counter({Organ.HEART: 1, Organ.LUNG: 1})
+
+    def test_same_organ_not_double_counted_within_hashtag(self):
+        # "kidneys" and "kidney" both match inside the body → one organ.
+        assert self.matcher.mentions("#kidneysmatter") == Counter(
+            {Organ.KIDNEY: 1}
+        )
+
+
+class TestNonMatchingTokens:
+    def setup_method(self):
+        self.matcher = OrganMatcher()
+
+    def test_mentions_handles_ignore_organ_words(self):
+        # @heart is a user mention, not an organ mention.
+        assert self.matcher.mentions("@heart hello") == Counter()
+
+    def test_urls_ignored(self):
+        assert self.matcher.mentions("https://kidney.org/donor") == Counter()
+
+
+class TestDistinctOrgans:
+    def test_distinct_set(self):
+        matcher = OrganMatcher()
+        organs = matcher.distinct_organs("kidney kidney liver donor")
+        assert organs == frozenset({Organ.KIDNEY, Organ.LIVER})
+
+
+class TestCustomAliases:
+    def test_custom_alias_table(self):
+        matcher = OrganMatcher(aliases={"ticker": Organ.HEART})
+        assert matcher.mentions("my ticker needs help") == Counter(
+            {Organ.HEART: 1}
+        )
+        assert matcher.mentions("kidney donor") == Counter()

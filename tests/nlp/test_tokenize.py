@@ -1,0 +1,71 @@
+"""Tests for the tweet tokenizer."""
+
+from repro.nlp.tokenize import Token, TokenKind, tokenize, words
+
+
+class TestBasicTokenization:
+    def test_words_lowercased(self):
+        tokens = tokenize("Be An Organ DONOR")
+        assert [t.text for t in tokens] == ["be", "an", "organ", "donor"]
+        assert all(t.kind is TokenKind.WORD for t in tokens)
+
+    def test_empty_text(self):
+        assert tokenize("") == ()
+
+    def test_punctuation_ignored(self):
+        assert [t.text for t in tokenize("kidney!!! donor???")] == [
+            "kidney", "donor",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("waited 14 months")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.WORD, TokenKind.NUMBER, TokenKind.WORD]
+
+    def test_apostrophe_word_kept_whole(self):
+        assert tokenize("donor's")[0].text == "donor's"
+
+    def test_hyphen_compound_kept_whole(self):
+        assert tokenize("kidney-liver")[0].text == "kidney-liver"
+
+
+class TestTwitterEntities:
+    def test_hashtag(self):
+        token = tokenize("#DonateLife")[0]
+        assert token == Token("donatelife", TokenKind.HASHTAG)
+
+    def test_mention(self):
+        token = tokenize("@UNOS")[0]
+        assert token == Token("unos", TokenKind.MENTION)
+
+    def test_url(self):
+        token = tokenize("read https://example.org/organ-donor now")[1]
+        assert token.kind is TokenKind.URL
+        assert token.text.startswith("https://")
+
+    def test_url_contents_not_tokenized_as_words(self):
+        texts = [t.text for t in tokenize("https://example.org/kidney-donor")]
+        assert texts == ["https://example.org/kidney-donor"]
+
+    def test_mixed_tweet(self):
+        tokens = tokenize("Be a #kidney donor @UNOS https://x.co 🙏")
+        kinds = [t.kind for t in tokens]
+        assert TokenKind.HASHTAG in kinds
+        assert TokenKind.MENTION in kinds
+        assert TokenKind.URL in kinds
+
+
+class TestWordsHelper:
+    def test_words_includes_hashtags(self):
+        assert words("organ #donor") == ("organ", "donor")
+
+    def test_words_excludes_mentions_urls_numbers(self):
+        assert words("@unos 42 https://x.co organ") == ("organ",)
+
+
+class TestCaching:
+    def test_same_text_same_result(self):
+        assert tokenize("kidney donor") is tokenize("kidney donor")
+
+    def test_result_is_immutable_tuple(self):
+        assert isinstance(tokenize("kidney donor"), tuple)

@@ -1,0 +1,68 @@
+"""Tests for collection step 2 (location augmentation)."""
+
+import pytest
+
+from repro.config import CollectionConfig
+from repro.geo.geocoder import Geocoder
+from repro.pipeline.augment import augment_location
+from repro.twitter.models import Place, Tweet, UserProfile
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return Geocoder()
+
+
+def tweet(location: str = "", place: Place | None = None) -> Tweet:
+    return Tweet(
+        tweet_id=1,
+        user=UserProfile(user_id=1, screen_name="u", location=location),
+        text="kidney donor",
+        place=place,
+    )
+
+
+class TestGeotagPriority:
+    def test_geotag_preferred_over_profile(self, geocoder):
+        record = tweet(location="Boston, MA", place=Place("Wichita, KS", "US"))
+        match = augment_location(record, geocoder, CollectionConfig())
+        assert match.state == "KS"
+        assert match.source == "gps"
+        assert match.confidence == 1.0
+
+    def test_profile_used_when_no_geotag(self, geocoder):
+        match = augment_location(
+            tweet(location="Boston, MA"), geocoder, CollectionConfig()
+        )
+        assert match.state == "MA"
+        assert match.source != "gps"
+
+    def test_geotag_can_be_disabled(self, geocoder):
+        config = CollectionConfig(prefer_geotag=False)
+        record = tweet(location="Boston, MA", place=Place("Wichita, KS", "US"))
+        assert augment_location(record, geocoder, config).state == "MA"
+
+    def test_foreign_geotag_marks_non_us(self, geocoder):
+        record = tweet(location="Boston, MA", place=Place("London", "GB"))
+        match = augment_location(record, geocoder, CollectionConfig())
+        assert match.country == "GB"
+        assert not match.is_us_state
+
+    def test_us_geotag_without_state(self, geocoder):
+        record = tweet(place=Place("Middle of Nowhere", "US"))
+        match = augment_location(record, geocoder, CollectionConfig())
+        assert match.country == "US"
+        assert match.state is None
+        assert match.source == "gps"
+
+
+class TestProfileFallback:
+    def test_unresolvable_profile(self, geocoder):
+        match = augment_location(
+            tweet(location="the moon"), geocoder, CollectionConfig()
+        )
+        assert not match.resolved
+
+    def test_empty_profile(self, geocoder):
+        match = augment_location(tweet(), geocoder, CollectionConfig())
+        assert not match.resolved

@@ -1,0 +1,60 @@
+"""Tests for collection step 1 (keyword filtering)."""
+
+from repro.config import CollectionConfig
+from repro.pipeline.collect import collect
+from repro.twitter.models import Tweet, UserProfile
+from repro.twitter.stream import FilteredStream
+
+
+def tweet(text: str, tweet_id: int = 0) -> Tweet:
+    return Tweet(
+        tweet_id=tweet_id,
+        user=UserProfile(user_id=1, screen_name="u"),
+        text=text,
+    )
+
+
+class TestCollect:
+    def test_returns_stream(self):
+        stream = collect([], CollectionConfig())
+        assert isinstance(stream, FilteredStream)
+
+    def test_admits_context_plus_subject(self):
+        source = [tweet("be a kidney donor", 1)]
+        assert [t.tweet_id for t in collect(source, CollectionConfig())] == [1]
+
+    def test_rejects_context_only(self):
+        source = [tweet("please donate to charity")]
+        assert list(collect(source, CollectionConfig())) == []
+
+    def test_rejects_subject_only(self):
+        source = [tweet("my heart is full")]
+        assert list(collect(source, CollectionConfig())) == []
+
+    def test_cross_pair_matching(self):
+        """Any Context with any Subject matches — the Cartesian product."""
+        source = [
+            tweet("liver recipient meets her hero", 1),
+            tweet("pancreas waitlist updates", 2),
+            tweet("intestinal transplantation summit", 3),
+        ]
+        collected = [t.tweet_id for t in collect(source, CollectionConfig())]
+        assert collected == [1, 2, 3]
+
+    def test_custom_vocabulary_narrows_collection(self):
+        config = CollectionConfig(
+            context_terms=("donor",), subject_terms=("kidney",)
+        )
+        source = [
+            tweet("kidney donor", 1),
+            tweet("kidney transplant", 2),  # context not in custom set
+            tweet("liver donor", 3),        # subject not in custom set
+        ]
+        assert [t.tweet_id for t in collect(source, config)] == [1]
+
+    def test_counters_track_drops(self):
+        source = [tweet("kidney donor"), tweet("sunset"), tweet("rainbow")]
+        stream = collect(source, CollectionConfig())
+        list(stream)
+        assert stream.delivered == 1
+        assert stream.dropped == 2

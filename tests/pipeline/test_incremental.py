@@ -1,0 +1,134 @@
+"""Tests for resumable collection."""
+
+import json
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.incremental import IncrementalCollector
+from repro.twitter.models import Tweet, UserProfile
+
+
+def tweet(tweet_id: int, text: str = "kidney donor",
+          location: str = "Wichita, KS") -> Tweet:
+    return Tweet(
+        tweet_id=tweet_id,
+        user=UserProfile(user_id=tweet_id % 7, screen_name="u",
+                         location=location),
+        text=text,
+    )
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    return tmp_path / "corpus.jsonl", tmp_path / "corpus.jsonl.checkpoint.json"
+
+
+class TestBasicCollection:
+    def test_writes_and_checkpoints(self, paths):
+        corpus_path, checkpoint_path = paths
+        collector = IncrementalCollector(corpus_path)
+        written = collector.run([tweet(i) for i in range(10)])
+        assert written == 10
+        assert checkpoint_path.exists()
+        state = json.loads(checkpoint_path.read_text())
+        assert state["last_tweet_id"] == 9
+        assert state["retained"] == 10
+
+    def test_filters_apply(self, paths):
+        corpus_path, __ = paths
+        collector = IncrementalCollector(corpus_path)
+        written = collector.run([
+            tweet(1),
+            tweet(2, text="nice sunset"),          # off-topic
+            tweet(3, location="London"),            # non-US
+            tweet(4, location="the moon"),          # unresolvable
+        ])
+        assert written == 1
+
+    def test_load_corpus(self, paths):
+        corpus_path, __ = paths
+        collector = IncrementalCollector(corpus_path)
+        collector.run([tweet(i) for i in range(5)])
+        corpus = collector.load_corpus()
+        assert len(corpus) == 5
+
+
+class TestResume:
+    def test_resume_continues_without_duplicates(self, paths):
+        corpus_path, __ = paths
+        first = IncrementalCollector(corpus_path)
+        first.run([tweet(i) for i in range(5)])
+
+        # New collector instance (process restart) over an overlapping
+        # slice: ids 0-4 must be skipped, 5-9 processed.
+        second = IncrementalCollector(corpus_path)
+        written = second.run([tweet(i) for i in range(10)])
+        assert written == 5
+        corpus = second.load_corpus()
+        ids = sorted(record.tweet.tweet_id for record in corpus)
+        assert ids == list(range(10))
+
+    def test_idempotent_replay(self, paths):
+        corpus_path, __ = paths
+        collector = IncrementalCollector(corpus_path)
+        collector.run([tweet(i) for i in range(5)])
+        again = IncrementalCollector(corpus_path)
+        assert again.run([tweet(i) for i in range(5)]) == 0
+
+    def test_counters_cumulative(self, paths):
+        corpus_path, __ = paths
+        IncrementalCollector(corpus_path).run([tweet(i) for i in range(4)])
+        collector = IncrementalCollector(corpus_path)
+        collector.run([tweet(i) for i in range(4, 8)])
+        assert collector.checkpoint.retained == 8
+        assert collector.checkpoint.seen == 8
+
+    def test_mid_stream_checkpointing(self, paths):
+        corpus_path, checkpoint_path = paths
+        collector = IncrementalCollector(corpus_path)
+        collector.run([tweet(i) for i in range(7)], checkpoint_every=2)
+        state = json.loads(checkpoint_path.read_text())
+        assert state["last_tweet_id"] == 6
+
+
+class TestFailureModes:
+    def test_corrupt_checkpoint_raises(self, paths):
+        corpus_path, checkpoint_path = paths
+        checkpoint_path.write_text("{not json")
+        with pytest.raises(PipelineError, match="corrupt checkpoint"):
+            IncrementalCollector(corpus_path)
+
+    def test_invalid_checkpoint_every(self, paths):
+        corpus_path, __ = paths
+        collector = IncrementalCollector(corpus_path)
+        with pytest.raises(PipelineError):
+            collector.run([], checkpoint_every=0)
+
+    def test_empty_stream_noop(self, paths):
+        corpus_path, __ = paths
+        collector = IncrementalCollector(corpus_path)
+        assert collector.run([]) == 0
+
+
+class TestEquivalenceWithBatchPipeline:
+    def test_same_records_as_one_shot_pipeline(self, tmp_path, small_world):
+        """Incremental collection over the firehose must retain exactly
+        what the batch pipeline retains."""
+        from itertools import islice
+
+        from repro.pipeline.runner import CollectionPipeline
+
+        slice_of_world = list(islice(small_world.firehose(), 3000))
+        batch_corpus, __ = CollectionPipeline().run(iter(slice_of_world))
+
+        collector = IncrementalCollector(tmp_path / "inc.jsonl")
+        # Split the same slice across three separate runs.
+        collector.run(iter(slice_of_world[:1000]))
+        collector = IncrementalCollector(tmp_path / "inc.jsonl")
+        collector.run(iter(slice_of_world[1000:2200]))
+        collector.run(iter(slice_of_world[2200:]))
+        incremental_corpus = collector.load_corpus()
+
+        assert len(incremental_corpus) == len(batch_corpus)
+        assert incremental_corpus.user_ids() == batch_corpus.user_ids()

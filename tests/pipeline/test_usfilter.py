@@ -1,0 +1,33 @@
+"""Tests for collection step 3 (US filter)."""
+
+from repro.config import CollectionConfig
+from repro.geo.geocoder import GeoMatch
+from repro.pipeline.usfilter import is_us_located
+
+
+class TestUsFilter:
+    def test_us_state_passes(self):
+        match = GeoMatch("US", "KS", 0.95, "comma-abbrev")
+        assert is_us_located(match, CollectionConfig())
+
+    def test_country_only_us_fails(self):
+        """Country-level 'USA' is not enough: analyses are per-state."""
+        match = GeoMatch("US", None, 0.6, "country")
+        assert not is_us_located(match, CollectionConfig())
+
+    def test_foreign_fails(self):
+        match = GeoMatch("GB", None, 0.8, "foreign")
+        assert not is_us_located(match, CollectionConfig())
+
+    def test_unresolved_fails(self):
+        assert not is_us_located(GeoMatch.unresolved(), CollectionConfig())
+
+    def test_low_confidence_filtered(self):
+        config = CollectionConfig(min_confidence=0.8)
+        match = GeoMatch("US", "KS", 0.7, "state-nickname")
+        assert not is_us_located(match, config)
+
+    def test_confidence_threshold_inclusive(self):
+        config = CollectionConfig(min_confidence=0.7)
+        match = GeoMatch("US", "KS", 0.7, "state-nickname")
+        assert is_us_located(match, config)

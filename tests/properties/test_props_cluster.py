@@ -1,0 +1,121 @@
+"""Property-based tests for the clustering substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.cluster.distances import (
+    bhattacharyya_distance,
+    hellinger_distance,
+    pairwise_distances,
+)
+from repro.cluster.kmeans import KMeans
+from repro.cluster.silhouette import silhouette_samples
+from repro.cluster.agglomerative import AgglomerativeClustering
+
+
+@st.composite
+def distribution(draw, n=6):
+    raw = draw(
+        npst.arrays(
+            np.float64, n,
+            elements=st.floats(min_value=1e-6, max_value=1.0),
+        )
+    )
+    return raw / raw.sum()
+
+
+@st.composite
+def distribution_matrix(draw, max_rows=12, n=6):
+    m = draw(st.integers(2, max_rows))
+    rows = [draw(distribution(n)) for __ in range(m)]
+    return np.array(rows)
+
+
+class TestDistanceProperties:
+    @given(distribution(), distribution())
+    def test_bhattacharyya_symmetric_nonnegative(self, p, q):
+        d_pq = bhattacharyya_distance(p, q)
+        assert d_pq >= 0
+        assert abs(d_pq - bhattacharyya_distance(q, p)) < 1e-12
+
+    @given(distribution())
+    def test_bhattacharyya_identity(self, p):
+        assert bhattacharyya_distance(p, p) < 1e-7
+
+    @given(distribution(), distribution())
+    def test_hellinger_bounded(self, p, q):
+        assert 0.0 <= hellinger_distance(p, q) <= 1.0
+
+    @given(distribution(), distribution(), distribution())
+    @settings(max_examples=80)
+    def test_hellinger_triangle_inequality(self, p, q, r):
+        assert hellinger_distance(p, r) <= (
+            hellinger_distance(p, q) + hellinger_distance(q, r) + 1e-7
+        )
+
+    @given(distribution_matrix())
+    def test_pairwise_consistent_with_scalar(self, rows):
+        matrix = pairwise_distances(rows, "bhattacharyya")
+        for i in range(rows.shape[0]):
+            assert matrix[i, i] == 0.0
+            for j in range(i):
+                assert abs(
+                    matrix[i, j] - bhattacharyya_distance(rows[i], rows[j])
+                ) < 1e-7
+
+
+class TestKMeansProperties:
+    @given(
+        npst.arrays(
+            np.float64, st.tuples(st.integers(4, 40), st.integers(1, 5)),
+            elements=st.floats(min_value=-10, max_value=10),
+        ),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, rows, k):
+        result = KMeans(k=k, n_init=2, seed=0).fit(rows)
+        assert result.labels.shape == (rows.shape[0],)
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        assert result.inertia >= 0
+        assert result.cluster_sizes().sum() == rows.shape[0]
+
+    @given(
+        npst.arrays(
+            np.float64, st.tuples(st.integers(6, 30), st.integers(1, 4)),
+            elements=st.floats(min_value=-5, max_value=5),
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_is_nearest_center(self, rows):
+        result = KMeans(k=3, n_init=2, seed=1).fit(rows)
+        for i in range(rows.shape[0]):
+            own = np.linalg.norm(rows[i] - result.centers[result.labels[i]])
+            for center in result.centers:
+                assert own <= np.linalg.norm(rows[i] - center) + 1e-9
+
+
+class TestSilhouetteProperties:
+    @given(distribution_matrix(max_rows=20))
+    @settings(max_examples=40, deadline=None)
+    def test_range(self, rows):
+        labels = np.arange(rows.shape[0]) % 2
+        values = silhouette_samples(rows, labels)
+        assert np.all(values >= -1.0 - 1e-12)
+        assert np.all(values <= 1.0 + 1e-12)
+
+
+class TestAgglomerativeProperties:
+    @given(distribution_matrix(max_rows=10))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_invariants(self, rows):
+        distances = pairwise_distances(rows, "hellinger")
+        tree = AgglomerativeClustering("average").fit(distances)
+        m = rows.shape[0]
+        assert len(tree.merges) == m - 1
+        assert sorted(tree.leaf_order()) == list(range(m))
+        for n_clusters in range(1, m + 1):
+            labels = tree.cut(n_clusters)
+            assert len(set(labels.tolist())) == n_clusters

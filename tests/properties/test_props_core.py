@@ -1,0 +1,143 @@
+"""Property-based tests for the core characterization math."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import aggregate
+from repro.core.attention import build_attention_matrix
+from repro.core.membership import Membership, by_most_cited_organ, by_region
+from repro.dataset.corpus import TweetCorpus
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import ORGANS
+from repro.twitter.models import Tweet, UserProfile
+
+_STATES = ("KS", "MA", "CA", "TX")
+
+
+@st.composite
+def random_corpus(draw):
+    """A random small corpus: users with random states and mention counts."""
+    n_users = draw(st.integers(1, 12))
+    records = []
+    tweet_id = 0
+    for user_id in range(n_users):
+        state = draw(st.sampled_from(_STATES))
+        n_tweets = draw(st.integers(1, 3))
+        for __ in range(n_tweets):
+            mentions = {}
+            n_organs = draw(st.integers(1, 3))
+            organs = draw(
+                st.lists(
+                    st.sampled_from(ORGANS), min_size=n_organs,
+                    max_size=n_organs, unique=True,
+                )
+            )
+            for organ in organs:
+                mentions[organ] = draw(st.integers(1, 5))
+            records.append(
+                CollectedTweet(
+                    tweet=Tweet(
+                        tweet_id=tweet_id,
+                        user=UserProfile(
+                            user_id=user_id, screen_name=f"u{user_id}"
+                        ),
+                        text="t",
+                        created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+                    ),
+                    location=GeoMatch("US", state, 0.95, "test"),
+                    mentions=mentions,
+                )
+            )
+            tweet_id += 1
+    return TweetCorpus(records)
+
+
+class TestAttentionProperties:
+    @given(random_corpus())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_are_distributions(self, corpus):
+        attention = build_attention_matrix(corpus)
+        np.testing.assert_allclose(attention.normalized.sum(axis=1), 1.0)
+        assert np.all(attention.normalized >= 0)
+
+    @given(random_corpus())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_user_slices(self, corpus):
+        attention = build_attention_matrix(corpus)
+        for row, user_id in enumerate(attention.user_ids):
+            user = corpus.user_slice(user_id)
+            for organ in ORGANS:
+                assert attention.counts[row, organ.index] == float(
+                    user.mention_counts.get(organ, 0)
+                )
+
+    @given(random_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_most_cited_is_a_maximal_organ(self, corpus):
+        attention = build_attention_matrix(corpus)
+        choices = attention.most_cited()
+        for row in range(attention.n_users):
+            row_values = attention.normalized[row]
+            assert row_values[choices[row]] >= row_values.max() - 1e-12
+
+
+class TestAggregationProperties:
+    @given(random_corpus())
+    @settings(max_examples=60, deadline=None)
+    def test_eq3_equals_group_means(self, corpus):
+        """(LᵀL)⁻¹LᵀÛ == per-group mean for one-hot memberships."""
+        attention = build_attention_matrix(corpus)
+        membership = by_most_cited_organ(attention)
+        result = aggregate(attention, membership)
+        assignments = membership.assignments
+        for index, label in enumerate(result.group_labels):
+            organ_index = next(
+                o.index for o in ORGANS if o.value == label
+            )
+            members = np.flatnonzero(assignments == organ_index)
+            expected = attention.normalized[members].mean(axis=0)
+            np.testing.assert_allclose(result.matrix[index], expected, atol=1e-12)
+
+    @given(random_corpus())
+    @settings(max_examples=60, deadline=None)
+    def test_k_rows_are_distributions(self, corpus):
+        attention = build_attention_matrix(corpus)
+        for membership in (by_most_cited_organ(attention), by_region(attention)):
+            result = aggregate(attention, membership)
+            np.testing.assert_allclose(result.matrix.sum(axis=1), 1.0)
+            assert np.all(result.matrix >= -1e-12)
+
+    @given(random_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_global_mean_preserved(self, corpus):
+        """Size-weighted mean of K rows equals the grand mean of Û
+        (aggregation neither creates nor destroys attention mass)."""
+        attention = build_attention_matrix(corpus)
+        membership = by_region(attention)
+        result = aggregate(attention, membership)
+        sizes = np.array(result.group_sizes, dtype=float)
+        weighted = (sizes[:, None] * result.matrix).sum(axis=0) / sizes.sum()
+        grand = attention.normalized.mean(axis=0)
+        np.testing.assert_allclose(weighted, grand, atol=1e-12)
+
+
+class TestMembershipProperties:
+    @given(random_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_indicator_rows_one_hot_or_zero(self, corpus):
+        attention = build_attention_matrix(corpus)
+        for membership in (by_most_cited_organ(attention), by_region(attention)):
+            indicator = membership.indicator_matrix()
+            row_sums = indicator.sum(axis=1)
+            assert np.all((row_sums == 0.0) | (row_sums == 1.0))
+
+    @given(random_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_group_sizes_total_assigned(self, corpus):
+        attention = build_attention_matrix(corpus)
+        membership = by_region(attention)
+        assert membership.group_sizes().sum() == membership.n_assigned

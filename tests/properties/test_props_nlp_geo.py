@@ -1,0 +1,88 @@
+"""Property-based tests for NLP and geo substrates."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geocoder import Geocoder
+from repro.nlp.matcher import OrganMatcher
+from repro.nlp.tokenize import TokenKind, tokenize
+from repro.organs import ALIASES
+
+_GEOCODER = Geocoder()
+_MATCHER = OrganMatcher()
+
+tweet_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " #@.,'!-:/🙏❤🌍",
+    max_size=200,
+)
+
+
+class TestTokenizerProperties:
+    @given(tweet_text)
+    @settings(max_examples=150)
+    def test_never_raises_and_types_consistent(self, text):
+        for token in tokenize(text):
+            assert token.text
+            assert isinstance(token.kind, TokenKind)
+            if token.kind is TokenKind.WORD:
+                assert token.text == token.text.lower()
+
+    @given(tweet_text)
+    @settings(max_examples=100)
+    def test_idempotent_via_cache(self, text):
+        assert tokenize(text) == tokenize(text)
+
+    @given(st.lists(st.sampled_from(sorted(ALIASES)), min_size=1, max_size=5))
+    def test_alias_words_tokenize_as_words(self, aliases):
+        text = " ".join(aliases)
+        tokens = tokenize(text)
+        assert [t.text for t in tokens] == aliases
+
+
+class TestMatcherProperties:
+    @given(tweet_text)
+    @settings(max_examples=150)
+    def test_never_raises_counts_nonnegative(self, text):
+        counts = _MATCHER.mentions(text)
+        assert all(count > 0 for count in counts.values())
+
+    @given(st.lists(st.sampled_from(sorted(ALIASES)), min_size=1, max_size=6))
+    def test_planted_aliases_all_recovered(self, aliases):
+        text = " ".join(aliases)
+        counts = _MATCHER.mentions(text)
+        assert sum(counts.values()) == len(aliases)
+        expected = {ALIASES[alias] for alias in aliases}
+        assert set(counts) == expected
+
+    @given(tweet_text, tweet_text)
+    @settings(max_examples=80)
+    def test_space_concatenation_additive(self, a, b):
+        """Whitespace joins cannot create or destroy mentions: counts over
+        "a b" equal the sum of counts over a and over b."""
+        combined = _MATCHER.mentions(a + " " + b)
+        separate = _MATCHER.mentions(a) + _MATCHER.mentions(b)
+        assert combined == separate
+
+
+class TestGeocoderProperties:
+    @given(st.text(max_size=120))
+    @settings(max_examples=200)
+    def test_never_raises(self, text):
+        match = _GEOCODER.geocode(text)
+        assert 0.0 <= match.confidence <= 1.0
+        if match.state is not None:
+            assert match.country == "US"
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=100)
+    def test_deterministic(self, text):
+        assert _GEOCODER.geocode(text) == _GEOCODER.geocode(text)
+
+    @given(st.sampled_from([s.name for s in __import__("repro.geo.gazetteer", fromlist=["STATES"]).STATES]))
+    def test_every_state_name_geocodes_to_itself(self, name):
+        from repro.geo.gazetteer import state_by_name
+
+        match = _GEOCODER.geocode(name)
+        assert match.state == state_by_name(name).abbrev

@@ -1,0 +1,115 @@
+"""Property-based tests for the registry simulation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry.config import OrganFlow, RegistryConfig
+from repro.registry.model import TransplantRegistry, _allocate_discrete
+
+
+@st.composite
+def registry_config(draw):
+    flows = tuple(
+        OrganFlow(
+            initial_waitlist=draw(st.integers(0, 2000)),
+            annual_additions=draw(st.integers(0, 3000)),
+            annual_mortality_rate=draw(st.floats(0.0, 0.5)),
+            annual_other_removals_rate=draw(st.floats(0.0, 0.5)),
+            donor_yield=draw(st.floats(0.0, 2.5)),
+        )
+        for __ in range(6)
+    )
+    local = draw(st.floats(0.0, 0.8))
+    regional = draw(st.floats(0.0, min(0.9 - local, 0.5)))
+    return RegistryConfig(
+        flows=flows,
+        annual_deceased_donors=draw(st.integers(0, 3000)),
+        local_allocation_share=local,
+        regional_allocation_share=regional,
+        months=draw(st.integers(1, 6)),
+        seed=draw(st.integers(0, 100)),
+    )
+
+
+class TestRegistryProperties:
+    @given(registry_config())
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_and_nonnegativity(self, config):
+        outcome = TransplantRegistry(config).run()
+        for array in (
+            outcome.additions, outcome.transplants, outcome.imports,
+            outcome.regional_imports, outcome.local_transplants,
+            outcome.donor_grafts, outcome.deaths, outcome.removals,
+            outcome.final_waitlist,
+        ):
+            assert (array >= -1e-9).all()
+        # Flow balance per organ.
+        initial = np.array([flow.initial_waitlist for flow in config.flows])
+        balance = (
+            initial
+            + outcome.additions.sum(axis=0)
+            - outcome.transplants.sum(axis=0)
+            - outcome.deaths.sum(axis=0)
+            - outcome.removals.sum(axis=0)
+        )
+        np.testing.assert_allclose(
+            balance, outcome.final_waitlist.sum(axis=0), atol=1e-6
+        )
+        # No organ transplanted beyond recovered supply.
+        assert (
+            outcome.transplants.sum(axis=0)
+            <= outcome.donor_grafts.sum(axis=0) + 1e-9
+        ).all()
+        # Import decomposition.
+        np.testing.assert_allclose(
+            outcome.transplants,
+            outcome.local_transplants + outcome.imports,
+            atol=1e-9,
+        )
+        assert (outcome.regional_imports <= outcome.imports + 1e-9).all()
+
+
+class TestAllocateDiscreteProperties:
+    @given(
+        supply=st.integers(0, 500),
+        demand=st.lists(st.integers(0, 60), min_size=1, max_size=40),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_placement_invariants(self, supply, demand, seed):
+        demand_arr = np.array(demand, dtype=float)
+        rng = np.random.default_rng(seed)
+        placed = _allocate_discrete(supply, demand_arr, rng)
+        assert (placed >= 0).all()
+        assert (placed <= demand_arr).all()
+        assert placed.sum() <= supply + 1e-9
+
+    @given(
+        demand=st.lists(st.integers(1, 60), min_size=1, max_size=30),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ample_supply_fills_all_demand(self, demand, seed):
+        demand_arr = np.array(demand, dtype=float)
+        rng = np.random.default_rng(seed)
+        placed = _allocate_discrete(int(demand_arr.sum()), demand_arr, rng)
+        np.testing.assert_allclose(placed, demand_arr)
+
+    @given(
+        supply=st.integers(1, 200),
+        demand=st.lists(st.integers(5, 60), min_size=2, max_size=20),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scarce_supply_fully_placed(self, supply, demand, seed):
+        """When demand exceeds supply, no graft may be wasted."""
+        demand_arr = np.array(demand, dtype=float)
+        if supply >= demand_arr.sum():
+            supply = int(demand_arr.sum()) - 1
+        if supply <= 0:
+            return
+        rng = np.random.default_rng(seed)
+        placed = _allocate_discrete(supply, demand_arr, rng)
+        # Lossless allocation: a scarce supply is fully placed.
+        assert placed.sum() == supply

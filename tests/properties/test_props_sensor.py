@@ -1,0 +1,85 @@
+"""Property-based tests for the rolling awareness sensor."""
+
+from datetime import datetime, timedelta, timezone
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RelativeRiskConfig
+from repro.sensor.rolling import RollingAwarenessSensor
+from repro.twitter.models import Tweet, UserProfile
+
+_START = datetime(2015, 6, 1, tzinfo=timezone.utc)
+
+_ON_TOPIC = (
+    "kidney donor drive", "heart transplant news", "liver donor needed",
+    "lung transplant waitlist", "be an organ donor #pancreas",
+)
+_OFF_TOPIC = ("nice sunset", "coffee time", "donate to the food bank")
+_LOCATIONS = ("Wichita, KS", "Boston, MA", "Austin, TX", "London", "the moon")
+
+
+@st.composite
+def tweet_stream(draw):
+    n = draw(st.integers(1, 80))
+    tweets = []
+    minute = 0
+    for index in range(n):
+        minute += draw(st.integers(0, 600))
+        on_topic = draw(st.booleans())
+        text = draw(st.sampled_from(_ON_TOPIC if on_topic else _OFF_TOPIC))
+        tweets.append(
+            Tweet(
+                tweet_id=index,
+                user=UserProfile(
+                    user_id=draw(st.integers(0, 20)),
+                    screen_name="u",
+                    location=draw(st.sampled_from(_LOCATIONS)),
+                ),
+                text=text,
+                created_at=_START + timedelta(minutes=minute),
+            )
+        )
+    return tweets
+
+
+class TestSensorProperties:
+    @given(tweet_stream(), st.integers(1, 72))
+    @settings(max_examples=50, deadline=None)
+    def test_window_invariant(self, tweets, window_hours):
+        """After each observation, nothing in the buffer predates the
+        window horizon, and counters never decrease."""
+        sensor = RollingAwarenessSensor(
+            window=timedelta(hours=window_hours),
+            relative_risk=RelativeRiskConfig(min_users=2),
+        )
+        previous_seen = 0
+        for tweet in tweets:
+            sensor.observe(tweet)
+            assert sensor.seen == previous_seen + 1
+            previous_seen = sensor.seen
+            horizon = tweet.created_at - sensor.window
+            snapshot = sensor.snapshot()
+            if snapshot is not None:
+                assert snapshot.window_start >= horizon
+                assert snapshot.n_tweets == sensor.window_size
+                assert snapshot.n_users <= snapshot.n_tweets
+
+    @given(tweet_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_retained_bounded_by_seen(self, tweets):
+        sensor = RollingAwarenessSensor(window=timedelta(days=30))
+        for tweet in tweets:
+            sensor.observe(tweet)
+        assert 0 <= sensor.retained <= sensor.seen
+
+    @given(tweet_stream(), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_run_emits_final_snapshot_when_nonempty(self, tweets, emit_every):
+        sensor = RollingAwarenessSensor(window=timedelta(days=365))
+        snapshots = list(sensor.run(iter(tweets), emit_every=emit_every))
+        if sensor.retained > 0:
+            assert snapshots
+            assert snapshots[-1].n_tweets == sensor.window_size
+        else:
+            assert snapshots == []

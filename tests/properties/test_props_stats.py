@@ -1,0 +1,135 @@
+"""Property-based tests for the statistics substrate."""
+
+import math
+
+import numpy as np
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.stats.correlation import pearson, spearman
+from repro.stats.proportions import relative_risk
+from repro.stats.ranking import rankdata
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRankdataProperties:
+    @given(npst.arrays(np.float64, st.integers(1, 200), elements=finite_floats))
+    def test_matches_scipy(self, data):
+        np.testing.assert_allclose(rankdata(data), scipy.stats.rankdata(data))
+
+    @given(npst.arrays(np.float64, st.integers(1, 100), elements=finite_floats))
+    def test_rank_sum_is_invariant(self, data):
+        n = data.size
+        assert rankdata(data).sum() == np.float64(n * (n + 1) / 2)
+
+    @given(
+        npst.arrays(
+            np.float64, st.integers(1, 100),
+            # Integral values: translation cannot collapse distinct values
+            # through floating-point absorption.
+            elements=st.integers(-1000, 1000).map(float),
+        )
+    )
+    def test_translation_invariance(self, data):
+        np.testing.assert_allclose(rankdata(data), rankdata(data + 17.5))
+
+    @given(npst.arrays(np.float64, st.integers(2, 60), elements=finite_floats))
+    def test_order_preservation(self, data):
+        ranks = rankdata(data)
+        for i in range(data.size):
+            for j in range(data.size):
+                if data[i] < data[j]:
+                    assert ranks[i] < ranks[j]
+
+
+class TestCorrelationProperties:
+    @given(
+        npst.arrays(np.float64, 20, elements=finite_floats),
+        npst.arrays(np.float64, 20, elements=finite_floats),
+    )
+    def test_symmetry(self, x, y):
+        a = pearson(x, y)
+        b = pearson(y, x)
+        if math.isnan(a.r):
+            assert math.isnan(b.r)
+        else:
+            assert a.r == b.r
+
+    @given(npst.arrays(np.float64, st.integers(3, 50), elements=finite_floats))
+    def test_self_correlation(self, x):
+        result = spearman(x, x)
+        if not math.isnan(result.r):
+            assert result.r == 1.0
+
+    @given(
+        npst.arrays(np.float64, 25, elements=finite_floats),
+        npst.arrays(np.float64, 25, elements=finite_floats),
+    )
+    def test_bounded(self, x, y):
+        result = spearman(x, y)
+        if not math.isnan(result.r):
+            assert -1.0 <= result.r <= 1.0
+
+    @given(
+        npst.arrays(
+            np.float64, 25, elements=st.integers(-10_000, 10_000).map(float)
+        ),
+        st.floats(min_value=0.5, max_value=100),
+        st.floats(min_value=-50, max_value=50),
+    )
+    def test_spearman_monotone_transform_invariance(self, x, scale, shift):
+        y = scale * x + shift
+        result = spearman(x, y)
+        if not math.isnan(result.r):
+            assert result.r >= 0.999999
+
+
+@st.composite
+def rr_inputs(draw):
+    n_exposed = draw(st.integers(2, 500))
+    n_control = draw(st.integers(2, 500))
+    events_exposed = draw(st.integers(1, n_exposed))
+    events_control = draw(st.integers(1, n_control))
+    return events_exposed, n_exposed, events_control, n_control
+
+
+class TestRelativeRiskProperties:
+    @given(rr_inputs())
+    def test_reciprocal_symmetry(self, inputs):
+        a, n1, b, n2 = inputs
+        forward = relative_risk(a, n1, b, n2)
+        backward = relative_risk(b, n2, a, n1)
+        assert forward.rr * backward.rr == np.float64(1.0) or (
+            abs(forward.rr * backward.rr - 1.0) < 1e-9
+        )
+
+    @given(rr_inputs())
+    def test_ci_ordering(self, inputs):
+        result = relative_risk(*inputs)
+        assert result.ci_low <= result.rr <= result.ci_high
+
+    @given(rr_inputs(), st.integers(2, 20))
+    @settings(max_examples=60)
+    def test_count_scaling_preserves_point_estimate(self, inputs, factor):
+        a, n1, b, n2 = inputs
+        base = relative_risk(a, n1, b, n2)
+        scaled = relative_risk(a * factor, n1 * factor, b * factor, n2 * factor)
+        assert scaled.rr == base.rr or abs(scaled.rr - base.rr) < 1e-9
+
+    @given(rr_inputs(), st.integers(2, 20))
+    @settings(max_examples=60)
+    def test_count_scaling_narrows_ci(self, inputs, factor):
+        a, n1, b, n2 = inputs
+        base = relative_risk(a, n1, b, n2)
+        scaled = relative_risk(a * factor, n1 * factor, b * factor, n2 * factor)
+        assert scaled.se_log_rr <= base.se_log_rr + 1e-12
+
+    @given(rr_inputs())
+    def test_excess_and_deficit_mutually_exclusive(self, inputs):
+        result = relative_risk(*inputs)
+        assert not (result.significant_excess and result.significant_deficit)

@@ -1,0 +1,142 @@
+"""Tests for the transplant registry simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.organs import ORGANS, Organ
+from repro.registry.config import OrganFlow, RegistryConfig, calibrated_2012_config
+from repro.registry.model import TransplantRegistry
+from repro.registry.statistics import summarize_registry
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return TransplantRegistry(calibrated_2012_config(seed=3)).run()
+
+
+@pytest.fixture(scope="module")
+def stats(outcome):
+    return summarize_registry(outcome)
+
+
+class TestConfigValidation:
+    def test_calibrated_config_valid(self):
+        config = calibrated_2012_config()
+        assert len(config.flows) == 6
+        assert config.months == 12
+
+    def test_wrong_flow_count_rejected(self):
+        flow = OrganFlow(10, 10, 0.1, 0.1, 1.0)
+        with pytest.raises(ConfigError):
+            RegistryConfig(flows=(flow,) * 3)
+
+    def test_bad_mortality_rejected(self):
+        with pytest.raises(ConfigError):
+            OrganFlow(10, 10, 1.5, 0.1, 1.0)
+
+    def test_negative_volumes_rejected(self):
+        with pytest.raises(ConfigError):
+            OrganFlow(-1, 10, 0.1, 0.1, 1.0)
+
+    def test_bad_local_share_rejected(self):
+        flow = OrganFlow(10, 10, 0.1, 0.1, 1.0)
+        with pytest.raises(ConfigError):
+            RegistryConfig(flows=(flow,) * 6, local_allocation_share=1.5)
+
+
+class TestConservation:
+    def test_waitlist_flow_balance(self, outcome):
+        """initial + additions − transplants − deaths − removals = final."""
+        config = calibrated_2012_config(seed=3)
+        initial = np.array([flow.initial_waitlist for flow in config.flows])
+        balance = (
+            initial
+            + outcome.additions.sum(axis=0)
+            - outcome.transplants.sum(axis=0)
+            - outcome.deaths.sum(axis=0)
+            - outcome.removals.sum(axis=0)
+        )
+        np.testing.assert_allclose(
+            balance, outcome.final_waitlist.sum(axis=0), atol=1e-6
+        )
+
+    def test_no_negative_quantities(self, outcome):
+        for array in (
+            outcome.additions, outcome.transplants, outcome.imports,
+            outcome.local_transplants, outcome.donor_grafts,
+            outcome.deaths, outcome.removals, outcome.final_waitlist,
+        ):
+            assert (array >= 0).all()
+
+    def test_transplants_bounded_by_grafts(self, outcome):
+        """Nationally, transplants cannot exceed recovered grafts."""
+        assert (
+            outcome.transplants.sum(axis=0)
+            <= outcome.donor_grafts.sum(axis=0) + 1e-9
+        ).all()
+
+    def test_transplants_split_into_local_and_imports(self, outcome):
+        np.testing.assert_allclose(
+            outcome.transplants,
+            outcome.local_transplants + outcome.imports,
+            atol=1e-9,
+        )
+
+    def test_deterministic_per_seed(self):
+        a = TransplantRegistry(calibrated_2012_config(seed=11)).run()
+        b = TransplantRegistry(calibrated_2012_config(seed=11)).run()
+        np.testing.assert_array_equal(a.transplants, b.transplants)
+
+
+class TestCalibration:
+    def test_national_transplants_match_optn_2012(self, stats):
+        """Within 12% of every published 2012 volume, with an absolute
+        allowance of ~2.5 Poisson σ for the tiny intestine volume."""
+        from repro.data.transplants import TRANSPLANTS_2012
+
+        for organ, published in TRANSPLANTS_2012.items():
+            measured = stats.national_transplants[organ]
+            tolerance = max(0.12 * published, 2.5 * published**0.5)
+            assert abs(measured - published) <= tolerance, organ
+
+    def test_transplant_ranking_matches_optn(self, stats):
+        from repro.data.transplants import transplant_rank
+
+        ours = sorted(
+            ORGANS, key=lambda organ: -stats.national_transplants[organ]
+        )
+        assert ours == transplant_rank()
+
+    def test_paper_intro_deaths_per_day(self, stats):
+        """§I: 'nearly 22 patients die in the USA every day'."""
+        assert stats.deaths_per_day == pytest.approx(22.0, abs=4.0)
+
+    def test_paper_intro_kidney_shortfall(self, stats):
+        """§I: ~60k waiting, ~17k transplanted — less than 1/3."""
+        assert stats.national_waitlist[Organ.KIDNEY] == pytest.approx(
+            60_000, rel=0.15
+        )
+        assert stats.transplant_shortfall(Organ.KIDNEY) > 3.0
+
+    def test_geographic_disparity_exists(self, stats):
+        """Ref [6]: a meaningful share of transplants cross state lines."""
+        assert 0.05 < stats.import_share[Organ.KIDNEY] < 0.6
+
+
+class TestPlantedDonorGeography:
+    def test_kansas_unique_kidney_surplus_over_cao_window(self):
+        """Cao et al. used 2008–2013; over a 6-year horizon Kansas is the
+        unique kidney-donor surplus state, as planted."""
+        outcome = TransplantRegistry(
+            calibrated_2012_config(seed=3, months=72)
+        ).run()
+        stats = summarize_registry(outcome)
+        assert stats.donor_surplus_states(Organ.KIDNEY) == ["KS"]
+
+    def test_no_surplus_for_unboosted_organ(self):
+        outcome = TransplantRegistry(
+            calibrated_2012_config(seed=3, months=72)
+        ).run()
+        stats = summarize_registry(outcome)
+        assert "KS" not in stats.donor_surplus_states(Organ.LIVER)

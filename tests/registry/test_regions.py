@@ -1,0 +1,66 @@
+"""Tests for the OPTN region map and the three-tier allocation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.gazetteer import ALL_REGION_CODES
+from repro.registry.config import calibrated_2012_config
+from repro.registry.model import TransplantRegistry
+from repro.registry.regions import (
+    OPTN_REGIONS,
+    optn_region_of,
+    validate_region_partition,
+)
+
+
+class TestRegionMap:
+    def test_partition_is_exact(self):
+        validate_region_partition()  # raises on any defect
+
+    def test_eleven_regions(self):
+        assert set(OPTN_REGIONS) == set(range(1, 12))
+
+    def test_known_assignments(self):
+        assert optn_region_of("KS") == 8
+        assert optn_region_of("TX") == 4
+        assert optn_region_of("NY") == 9
+        assert optn_region_of("PR") == 3
+        assert optn_region_of("va") == 11  # case-insensitive
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(GeoError):
+            optn_region_of("ZZ")
+
+    def test_every_gazetteer_state_mapped(self):
+        for code in ALL_REGION_CODES:
+            assert 1 <= optn_region_of(code) <= 11
+
+
+class TestThreeTierAllocation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return TransplantRegistry(calibrated_2012_config(seed=3)).run()
+
+    def test_regional_imports_within_total(self, outcome):
+        assert (outcome.regional_imports <= outcome.imports + 1e-9).all()
+        assert (outcome.regional_imports >= 0).all()
+
+    def test_all_three_tiers_used(self, outcome):
+        local = outcome.local_transplants.sum()
+        regional = outcome.regional_imports.sum()
+        national = (outcome.imports - outcome.regional_imports).sum()
+        assert local > 0
+        assert regional > 0
+        assert national > 0
+
+    def test_local_tier_dominates(self, outcome):
+        """Most grafts stay local, as in the real system's era."""
+        assert outcome.local_transplants.sum() > outcome.imports.sum() * 0.8
+
+    def test_transplants_decompose(self, outcome):
+        np.testing.assert_allclose(
+            outcome.transplants,
+            outcome.local_transplants + outcome.imports,
+            atol=1e-9,
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for registry aggregation math on hand-built outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.geo.gazetteer import ALL_REGION_CODES, STATES
+from repro.organs import N_ORGANS, Organ
+from repro.registry.model import RegistryOutcome
+from repro.registry.statistics import summarize_registry
+
+
+def outcome_with(transplants=None, deaths=None, donor_grafts=None,
+                 final_waitlist=None, months=12) -> RegistryOutcome:
+    n = len(ALL_REGION_CODES)
+    zeros = np.zeros((n, N_ORGANS))
+    return RegistryOutcome(
+        states=ALL_REGION_CODES,
+        additions=zeros.copy(),
+        transplants=zeros.copy() if transplants is None else transplants,
+        imports=zeros.copy(),
+        regional_imports=zeros.copy(),
+        local_transplants=zeros.copy(),
+        donor_grafts=zeros.copy() if donor_grafts is None else donor_grafts,
+        deaths=zeros.copy() if deaths is None else deaths,
+        removals=zeros.copy(),
+        final_waitlist=zeros.copy() if final_waitlist is None else final_waitlist,
+        months=months,
+    )
+
+
+class TestNationalAggregates:
+    def test_transplants_annualized(self):
+        transplants = np.zeros((52, N_ORGANS))
+        transplants[:, Organ.KIDNEY.index] = 10.0  # 520 over 24 months
+        stats = summarize_registry(outcome_with(transplants=transplants,
+                                                months=24))
+        assert stats.national_transplants[Organ.KIDNEY] == pytest.approx(260.0)
+
+    def test_deaths_per_day(self):
+        deaths = np.zeros((52, N_ORGANS))
+        deaths[0, 0] = 365.25 / 12 * 30.44  # ≈ one death/day for a month?
+        stats = summarize_registry(outcome_with(deaths=deaths, months=1))
+        assert stats.deaths_per_day == pytest.approx(
+            deaths.sum() / 30.44
+        )
+
+    def test_waitlist_snapshot_not_annualized(self):
+        waitlist = np.zeros((52, N_ORGANS))
+        waitlist[:, Organ.LIVER.index] = 100.0
+        stats = summarize_registry(
+            outcome_with(final_waitlist=waitlist, months=24)
+        )
+        assert stats.national_waitlist[Organ.LIVER] == pytest.approx(5200.0)
+
+
+class TestShortfall:
+    def test_ratio(self):
+        transplants = np.zeros((52, N_ORGANS))
+        transplants[0, Organ.KIDNEY.index] = 100.0
+        waitlist = np.zeros((52, N_ORGANS))
+        waitlist[0, Organ.KIDNEY.index] = 400.0
+        stats = summarize_registry(
+            outcome_with(transplants=transplants, final_waitlist=waitlist)
+        )
+        assert stats.transplant_shortfall(Organ.KIDNEY) == pytest.approx(4.0)
+
+    def test_zero_transplants_infinite(self):
+        waitlist = np.zeros((52, N_ORGANS))
+        waitlist[0, 0] = 10.0
+        stats = summarize_registry(outcome_with(final_waitlist=waitlist))
+        assert stats.transplant_shortfall(Organ.HEART) == float("inf")
+
+
+class TestDonorRates:
+    def test_per_million_math(self):
+        grafts = np.zeros((52, N_ORGANS))
+        ks_row = ALL_REGION_CODES.index("KS")
+        grafts[ks_row, Organ.KIDNEY.index] = 291.2  # KS pop 2912k → 100/M
+        stats = summarize_registry(outcome_with(donor_grafts=grafts))
+        assert stats.donor_rate_per_million["KS"][Organ.KIDNEY] == (
+            pytest.approx(100.0)
+        )
+
+    def test_surplus_threshold(self):
+        grafts = np.zeros((52, N_ORGANS))
+        # Everyone at parity except Kansas at 2× per capita.
+        for row, state in enumerate(STATES):
+            grafts[row, Organ.KIDNEY.index] = state.population * 0.05
+        ks_row = ALL_REGION_CODES.index("KS")
+        grafts[ks_row, Organ.KIDNEY.index] *= 2
+        stats = summarize_registry(outcome_with(donor_grafts=grafts))
+        assert stats.donor_surplus_states(Organ.KIDNEY) == ["KS"]
+
+    def test_import_share(self):
+        transplants = np.zeros((52, N_ORGANS))
+        imports = np.zeros((52, N_ORGANS))
+        transplants[0, 0] = 10.0
+        imports[0, 0] = 4.0
+        outcome = outcome_with(transplants=transplants)
+        outcome = RegistryOutcome(
+            states=outcome.states,
+            additions=outcome.additions,
+            transplants=transplants,
+            imports=imports,
+            regional_imports=imports * 0.5,
+            local_transplants=transplants - imports,
+            donor_grafts=outcome.donor_grafts,
+            deaths=outcome.deaths,
+            removals=outcome.removals,
+            final_waitlist=outcome.final_waitlist,
+            months=12,
+        )
+        stats = summarize_registry(outcome)
+        assert stats.import_share[Organ.HEART] == pytest.approx(0.4)
+
+    def test_zero_transplants_zero_import_share(self):
+        stats = summarize_registry(outcome_with())
+        assert stats.import_share[Organ.LUNG] == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the social-sensor validity analysis."""
+
+import pytest
+
+from repro.core.relative_risk import state_organ_risks
+from repro.organs import Organ
+from repro.registry.config import calibrated_2012_config
+from repro.registry.model import TransplantRegistry
+from repro.registry.statistics import summarize_registry
+from repro.registry.validation import sensor_validity
+
+
+@pytest.fixture(scope="module")
+def registry_stats():
+    outcome = TransplantRegistry(
+        calibrated_2012_config(seed=3, months=72)
+    ).run()
+    return summarize_registry(outcome)
+
+
+@pytest.fixture(scope="module")
+def risks(midsize_corpus):
+    return state_organ_risks(midsize_corpus)
+
+
+class TestSensorValidity:
+    def test_kansas_jointly_flagged(self, risks, registry_stats):
+        """The paper's flagship cross-validation: the state with excess
+        kidney conversation is a kidney-donor surplus state."""
+        validity = sensor_validity(risks, registry_stats, Organ.KIDNEY)
+        assert "KS" in validity.sensor_states
+        assert "KS" in validity.registry_states
+        assert "KS" in validity.jointly_flagged
+        assert validity.agrees
+
+    def test_correlation_computed_over_common_states(self, risks,
+                                                     registry_stats):
+        validity = sensor_validity(risks, registry_stats, Organ.KIDNEY)
+        assert validity.correlation.n >= 40
+
+    def test_unplanted_organ_does_not_flag_kansas(self, risks,
+                                                  registry_stats):
+        validity = sensor_validity(risks, registry_stats, Organ.LIVER)
+        assert "KS" not in validity.jointly_flagged
+
+    def test_surplus_factor_tightens_registry_set(self, risks,
+                                                  registry_stats):
+        loose = sensor_validity(
+            risks, registry_stats, Organ.KIDNEY, surplus_factor=1.1
+        )
+        strict = sensor_validity(
+            risks, registry_stats, Organ.KIDNEY, surplus_factor=1.4
+        )
+        assert set(strict.registry_states) <= set(loose.registry_states)

@@ -1,0 +1,110 @@
+"""Tests for the experiment suite (every paper artifact regenerates)."""
+
+import pytest
+
+from repro.organs import ORGANS, Organ
+from repro.report.experiments import ExperimentSuite
+
+
+class TestTable1:
+    def test_renders(self, suite):
+        text = suite.run_table1().render()
+        assert "TABLE I" in text
+        assert "Tweets collected" in text
+        assert "US yield" in text
+
+    def test_without_report(self, corpus):
+        text = ExperimentSuite(corpus).run_table1().render()
+        assert "provenance" not in text.lower()
+
+
+class TestFig2:
+    def test_popularity_and_correlation(self, suite):
+        result = suite.run_fig2()
+        assert result.popularity_order()[0] is Organ.HEART
+        assert result.popularity_order()[-1] is Organ.INTESTINE
+        assert 0.5 < result.correlation.r <= 1.0
+
+    def test_renders(self, suite):
+        text = suite.run_fig2().render()
+        assert "Fig. 2(a)" in text
+        assert "Spearman" in text
+
+
+class TestFig3:
+    def test_renders_all_panels(self, suite):
+        text = suite.run_fig3().render()
+        for organ in ORGANS:
+            assert f"[{organ.value}]" in text
+
+
+class TestFig4:
+    def test_renders_subset(self, suite):
+        text = suite.run_fig4().render(states=("KS", "MA"))
+        assert "[KS]" in text
+        assert "[MA]" in text
+        assert "[CA]" not in text
+
+
+class TestFig5:
+    def test_structure(self, suite):
+        result = suite.run_fig5()
+        assert set(result.highlights) <= set(
+            suite.region_characterization.states
+        )
+        assert "Fig. 5" in result.render()
+
+    def test_risks_cover_states(self, suite):
+        result = suite.run_fig5()
+        states = {risk.state for risk in result.risks}
+        assert states == set(result.highlights)
+
+
+class TestFig6:
+    def test_renders_heatmap_and_zones(self, suite):
+        text = suite.run_fig6().render(n_clusters=4)
+        assert "Fig. 6" in text
+        assert "zones" in text
+
+
+class TestFig7:
+    def test_renders(self, suite):
+        result = suite.run_fig7()
+        assert result.clustering.k == 12
+        text = result.render()
+        assert "silhouette" in text
+        assert "[cluster" in text
+
+
+class TestFig1:
+    def test_query_set_rendered(self, suite):
+        result = suite.run_fig1()
+        assert result.n_queries == len(result.context_terms) * len(
+            result.subject_terms
+        )
+        text = result.render()
+        assert "Context" in text
+        assert "Subject" in text
+
+
+class TestSecondary:
+    def test_all_sections_render(self, suite):
+        text = suite.run_secondary().render()
+        assert "co-mentions" in text
+        assert "representation" in text.lower()
+        assert "consistency" in text
+
+    def test_components_populated(self, suite):
+        result = suite.run_secondary()
+        assert result.co_occurrence.n_units == suite.corpus.n_users
+        assert result.bias.n_users > 0
+        assert result.consistency.n_clusters == 8
+
+
+class TestSharedIntermediates:
+    def test_attention_cached(self, suite):
+        assert suite.attention is suite.attention
+
+    def test_characterizations_cached(self, suite):
+        assert suite.organ_characterization is suite.organ_characterization
+        assert suite.region_characterization is suite.region_characterization

@@ -1,0 +1,64 @@
+"""Tests for CSV artifact export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.report import export
+
+
+def parse(text: str) -> list[list[str]]:
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestIndividualEmitters:
+    def test_table1(self, suite):
+        rows = parse(export.table1_csv(suite))
+        assert rows[0] == ["statistic", "value"]
+        assert any("Tweets collected" in row[0] for row in rows[1:])
+
+    def test_fig2_sections(self, suite):
+        rows = parse(export.fig2_csv(suite))
+        series = {row[0] for row in rows[1:]}
+        assert series == {
+            "users_per_organ", "mention_histogram", "spearman_vs_transplants",
+        }
+
+    def test_fig3_matrix_rows_sum_to_one(self, suite):
+        rows = parse(export.fig3_csv(suite))
+        for row in rows[1:]:
+            assert sum(map(float, row[1:])) == pytest.approx(1.0)
+
+    def test_fig4_covers_states(self, suite):
+        rows = parse(export.fig4_csv(suite))
+        assert len(rows) - 1 == len(suite.region_characterization.states)
+
+    def test_fig5_columns(self, suite):
+        rows = parse(export.fig5_csv(suite))
+        assert rows[0][:3] == ["state", "organ", "rr"]
+        assert len(rows) > 100  # states × organs
+
+    def test_fig6_upper_triangle(self, suite):
+        rows = parse(export.fig6_csv(suite))
+        n = len(suite.region_characterization.states)
+        assert len(rows) - 1 == n * (n - 1) // 2
+
+    def test_fig7_cluster_count(self, suite):
+        rows = parse(export.fig7_csv(suite))
+        assert len(rows) - 1 == 12
+
+
+class TestExportAll:
+    def test_writes_all_files(self, suite, tmp_path):
+        paths = export.export_all_csv(suite, tmp_path / "csv")
+        assert len(paths) == 7
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 20
+
+    def test_files_parse_as_csv(self, suite, tmp_path):
+        for path in export.export_all_csv(suite, tmp_path):
+            rows = parse(path.read_text())
+            width = len(rows[0])
+            assert all(len(row) == width for row in rows), path

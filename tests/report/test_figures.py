@@ -1,0 +1,120 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.report.figures import bar_chart, heatmap, ranked_bars
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1000.0, 10.0], width=30)
+        logged = bar_chart(["a", "b"], [1000.0, 10.0], width=30, log_scale=True)
+        linear_small = linear.splitlines()[1].count("█")
+        logged_small = logged.splitlines()[1].count("█")
+        assert logged_small > linear_small
+
+    def test_title(self):
+        text = bar_chart(["a"], [1.0], title="Chart")
+        assert text.splitlines()[0] == "Chart"
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], [1.0])
+
+    def test_values_displayed(self):
+        assert "1,234" in bar_chart(["a"], [1234.0])
+
+
+class TestRankedBars:
+    def test_from_profile(self):
+        from repro.organs import Organ
+
+        text = ranked_bars([(Organ.HEART, 0.9), (Organ.KIDNEY, 0.1)])
+        assert "heart" in text
+        assert "kidney" in text
+
+
+class TestDendrogramText:
+    def test_renders_leaves_in_tree_order(self):
+        from repro.report.figures import dendrogram_text
+
+        # Leaves 0,1 merge low; 2 joins high.
+        text = dendrogram_text(
+            ["A", "B", "C"],
+            [(0, 1, 0.1), (3, 2, 1.0)],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].lstrip().startswith("A")
+        assert lines[1].lstrip().startswith("B")
+        assert lines[2].lstrip().startswith("C")
+
+    def test_bar_length_tracks_merge_height(self):
+        from repro.report.figures import dendrogram_text
+
+        text = dendrogram_text(["A", "B", "C"], [(0, 1, 0.1), (3, 2, 1.0)])
+        lines = text.splitlines()
+        assert lines[0].count("─") < lines[2].count("─")
+
+    def test_merge_count_validated(self):
+        from repro.report.figures import dendrogram_text
+
+        with pytest.raises(ValueError):
+            dendrogram_text(["A", "B", "C"], [(0, 1, 0.1)])
+
+    def test_single_leaf(self):
+        from repro.report.figures import dendrogram_text
+
+        text = dendrogram_text(["ONLY"], [])
+        assert "ONLY" in text
+        assert len(text.splitlines()) == 1
+
+    def test_title_line(self):
+        from repro.report.figures import dendrogram_text
+
+        text = dendrogram_text(["A", "B"], [(0, 1, 0.5)], title="Tree")
+        assert text.splitlines()[0] == "Tree"
+
+    def test_works_on_real_clustering(self, suite):
+        from repro.report.figures import dendrogram_text
+
+        clustering = suite.run_fig6().clustering
+        text = dendrogram_text(
+            list(clustering.states),
+            [(m.left, m.right, m.height) for m in clustering.dendrogram.merges],
+        )
+        assert len(text.splitlines()) == len(clustering.states)
+
+
+class TestHeatmap:
+    def test_square_rendering(self):
+        text = heatmap(["A", "B"], [[0.0, 1.0], [1.0, 0.0]])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+
+    def test_extremes_use_extreme_shades(self):
+        text = heatmap(["A", "B"], [[0.0, 9.0], [9.0, 0.0]])
+        assert "@" in text
+        assert " " in text
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(["A", "B"], [[0.0, 1.0]])
+
+    def test_constant_matrix_no_crash(self):
+        heatmap(["A", "B"], [[1.0, 1.0], [1.0, 1.0]])

@@ -1,0 +1,39 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.report.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["name", "count"], [["heart", 10], ["kidney", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "heart" in lines[2]
+        # Numeric column right-aligned: widths line up.
+        assert lines[2].rstrip().endswith("10")
+        assert lines[3].rstrip().endswith("2")
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_commas_and_percent_treated_numeric(self):
+        text = render_table(["v"], [["1,234"], ["56%"]])
+        lines = text.splitlines()
+        assert lines[2].endswith("1,234")
+
+    def test_mixed_column_left_aligned(self):
+        text = render_table(["v"], [["abc"], ["123"]])
+        lines = text.splitlines()
+        assert lines[2].startswith("abc")
+        assert lines[3].startswith("123")

@@ -1,0 +1,47 @@
+"""Tests for the reproduction verdict battery."""
+
+import pytest
+
+from repro.report.verdicts import ReproductionReport, Verdict, evaluate_reproduction
+
+
+class TestEvaluateReproduction:
+    @pytest.fixture(scope="class")
+    def report(self, midsize_suite):
+        return evaluate_reproduction(midsize_suite)
+
+    def test_covers_every_artifact(self, report):
+        artifacts = {verdict.artifact for verdict in report.verdicts}
+        assert artifacts == {
+            "Table I", "Fig.2a", "Fig.2b", "Fig.3", "Fig.4", "Fig.5",
+            "Fig.6", "Fig.7",
+        }
+
+    def test_all_pass_on_calibrated_fixture(self, report):
+        failing = [v.check for v in report.verdicts if not v.passed]
+        assert not failing, failing
+
+    def test_evidence_populated(self, report):
+        assert all(verdict.evidence for verdict in report.verdicts)
+
+    def test_render_contains_summary(self, report):
+        text = report.render()
+        assert "checks passed" in text
+        assert "PASS" in text
+
+
+class TestReproductionReport:
+    def test_counting(self):
+        report = ReproductionReport(verdicts=(
+            Verdict("a", "X", True, "e"),
+            Verdict("b", "X", False, "e"),
+        ))
+        assert report.n_passed == 1
+        assert not report.all_passed
+        assert "FAIL" in report.render()
+
+    def test_all_passed(self):
+        report = ReproductionReport(verdicts=(
+            Verdict("a", "X", True, "e"),
+        ))
+        assert report.all_passed

@@ -1,0 +1,81 @@
+"""Tests for the chi-square independence test."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.contingency import chi_square_independence, state_organ_table
+
+
+class TestChiSquare:
+    def test_matches_scipy_on_random_tables(self):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            table = rng.integers(1, 50, size=(4, 3)).astype(float)
+            ours = chi_square_independence(table)
+            theirs = scipy.stats.chi2_contingency(table, correction=False)
+            assert ours.statistic == pytest.approx(theirs.statistic)
+            assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+            assert ours.dof == theirs.dof
+
+    def test_independent_table_not_significant(self):
+        # Perfectly proportional rows → statistic 0.
+        table = np.outer([10, 20, 30], [1, 2, 3]).astype(float)
+        result = chi_square_independence(table)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+        assert result.cramers_v == pytest.approx(0.0)
+
+    def test_dependent_table_significant(self):
+        table = np.array([[90.0, 10.0], [10.0, 90.0]])
+        result = chi_square_independence(table)
+        assert result.significant
+        assert result.cramers_v > 0.5
+
+    def test_cramers_v_bounded(self):
+        rng = np.random.default_rng(1)
+        for __ in range(10):
+            table = rng.integers(1, 100, size=(3, 4)).astype(float)
+            assert 0.0 <= chi_square_independence(table).cramers_v <= 1.0
+
+    def test_zero_marginals_dropped(self):
+        table = np.array([[10.0, 20.0, 0.0], [30.0, 40.0, 0.0],
+                          [0.0, 0.0, 0.0]])
+        result = chi_square_independence(table)
+        assert result.dof == 1  # effectively 2×2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_independence(np.array([[1.0, -1.0], [1.0, 1.0]]))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_independence(np.array([[1.0, 2.0]]))
+
+
+class TestStateOrganTable:
+    def test_table_shape(self, corpus):
+        table, states = state_organ_table(corpus)
+        assert table.shape == (len(states), 6)
+        assert table.sum() > 0
+
+    def test_planted_geography_rejects_independence(self, midsize_corpus):
+        """The global test agrees with the per-state RR scan: state and
+        organ attention are not independent."""
+        table, __ = state_organ_table(midsize_corpus)
+        result = chi_square_independence(table)
+        assert result.significant
+        assert result.cramers_v > 0.02
+
+    def test_null_world_independent(self):
+        """With nothing planted, the global test should usually accept
+        independence (α-level false positives aside)."""
+        from repro.pipeline.runner import CollectionPipeline
+        from repro.synth.scenarios import null_uniform_scenario
+        from repro.synth.world import SyntheticWorld
+
+        world = SyntheticWorld(null_uniform_scenario(n_users=20000, seed=13))
+        corpus, __ = CollectionPipeline().run(world.firehose())
+        table, __ = state_organ_table(corpus)
+        result = chi_square_independence(table)
+        assert result.p_value > 0.01

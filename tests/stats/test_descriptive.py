@@ -1,0 +1,57 @@
+"""Tests for descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import log_binned_histogram, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_quartiles(self):
+        summary = summarize(list(range(1, 101)))
+        assert summary.q1 == pytest.approx(25.75)
+        assert summary.q3 == pytest.approx(75.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.minimum == summary.maximum == summary.mean == 7.0
+
+
+class TestLogBinnedHistogram:
+    def test_frequencies_cover_all_positive_values(self):
+        counts = [1, 1, 2, 3, 5, 8, 13, 200]
+        bins = log_binned_histogram(counts)
+        assert sum(freq for __, __, freq in bins) == len(counts)
+
+    def test_zeros_excluded(self):
+        bins = log_binned_histogram([0, 0, 1, 2])
+        assert sum(freq for __, __, freq in bins) == 2
+
+    def test_empty_when_no_positive(self):
+        assert log_binned_histogram([0, 0]) == []
+
+    def test_edges_geometric(self):
+        bins = log_binned_histogram([1, 2, 4, 8, 16], base=2.0)
+        lows = [low for low, __, __ in bins]
+        assert lows[:4] == [1, 2, 4, 8]
+
+    def test_bins_disjoint_and_ordered(self):
+        bins = log_binned_histogram(np.arange(1, 500))
+        for (l1, h1, _), (l2, h2, _) in zip(bins, bins[1:]):
+            assert h1 <= l2 or l2 == h1
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            log_binned_histogram([1, 2], base=1.0)

@@ -1,0 +1,103 @@
+"""Tests for prevalence and relative risk."""
+
+import math
+
+import pytest
+
+from repro.stats.proportions import prevalence, relative_risk
+
+
+class TestPrevalence:
+    def test_basic(self):
+        assert prevalence(25, 100) == 0.25
+
+    def test_zero_events(self):
+        assert prevalence(0, 10) == 0.0
+
+    def test_all_events(self):
+        assert prevalence(10, 10) == 1.0
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            prevalence(0, 0)
+
+    def test_events_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            prevalence(11, 10)
+
+    def test_negative_events_rejected(self):
+        with pytest.raises(ValueError):
+            prevalence(-1, 10)
+
+
+class TestRelativeRisk:
+    def test_point_estimate(self):
+        result = relative_risk(30, 100, 10, 100)
+        assert result.rr == pytest.approx(3.0)
+        assert result.log_rr == pytest.approx(math.log(3.0))
+
+    def test_null_effect(self):
+        result = relative_risk(10, 100, 100, 1000)
+        assert result.rr == pytest.approx(1.0)
+        assert not result.significant_excess
+        assert not result.significant_deficit
+
+    def test_standard_error_formula(self):
+        result = relative_risk(30, 100, 10, 100)
+        expected = math.sqrt(1 / 30 - 1 / 100 + 1 / 10 - 1 / 100)
+        assert result.se_log_rr == pytest.approx(expected)
+
+    def test_ci_contains_point_estimate(self):
+        result = relative_risk(40, 200, 30, 300)
+        assert result.ci_low < result.rr < result.ci_high
+
+    def test_significant_excess_with_strong_signal(self):
+        result = relative_risk(80, 100, 100, 1000)
+        assert result.significant_excess
+
+    def test_significant_deficit(self):
+        result = relative_risk(2, 100, 300, 1000)
+        assert result.significant_deficit
+        assert not result.significant_excess
+
+    def test_paper_criterion_equivalence(self):
+        """CI lower limit > 1 ⟺ log(RR) − z·σ > 0 (the paper's Eq. 4 test)."""
+        result = relative_risk(50, 120, 200, 900, alpha=0.05)
+        z = 1.959963984540054
+        manual = result.log_rr - z * result.se_log_rr > 0
+        assert result.significant_excess == manual
+
+    def test_alpha_widens_interval(self):
+        narrow = relative_risk(30, 100, 20, 100, alpha=0.10)
+        wide = relative_risk(30, 100, 20, 100, alpha=0.01)
+        assert wide.ci_low < narrow.ci_low
+        assert wide.ci_high > narrow.ci_high
+
+    def test_zero_exposed_events(self):
+        result = relative_risk(0, 50, 10, 100)
+        assert result.rr == 0.0
+        assert not result.significant_excess
+
+    def test_zero_control_events(self):
+        result = relative_risk(10, 50, 0, 100)
+        assert math.isinf(result.rr)
+        assert not result.significant_excess  # unbounded CI is never sure
+
+    def test_both_zero(self):
+        result = relative_risk(0, 50, 0, 100)
+        assert math.isnan(result.rr)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            relative_risk(1, 10, 1, 10, alpha=0.0)
+
+    def test_scale_invariance_of_point_estimate(self):
+        """RR depends on prevalences, not absolute sample sizes."""
+        small = relative_risk(3, 10, 10, 100)
+        large = relative_risk(300, 1000, 1000, 10000)
+        assert small.rr == pytest.approx(large.rr)
+
+    def test_larger_samples_narrow_ci(self):
+        small = relative_risk(3, 10, 10, 100)
+        large = relative_risk(300, 1000, 1000, 10000)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)

@@ -1,0 +1,44 @@
+"""Tests for the rank transform."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.ranking import rankdata
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata([30, 10, 20]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_average_ties(self):
+        assert rankdata([10, 20, 20, 30]).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_tied(self):
+        assert rankdata([5, 5, 5]).tolist() == [2.0, 2.0, 2.0]
+
+    def test_single_element(self):
+        assert rankdata([42]).tolist() == [1.0]
+
+    def test_matches_scipy_on_random_data(self):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            data = rng.integers(0, 10, size=30).astype(float)
+            np.testing.assert_allclose(
+                rankdata(data), scipy.stats.rankdata(data)
+            )
+
+    def test_matches_scipy_on_floats(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=100)
+        np.testing.assert_allclose(rankdata(data), scipy.stats.rankdata(data))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rankdata(np.zeros((2, 2)))
+
+    def test_ranks_sum_invariant(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 5, size=50).astype(float)
+        n = data.size
+        assert rankdata(data).sum() == pytest.approx(n * (n + 1) / 2)

@@ -1,0 +1,73 @@
+"""Tests for the tweet activity model."""
+
+import numpy as np
+import pytest
+
+from repro.synth.activity import (
+    expected_tweets_per_user,
+    sample_timestamps_days,
+    sample_tweet_counts,
+)
+from repro.synth.config import ActivityConfig
+
+
+class TestTweetCounts:
+    def test_all_users_tweet_at_least_once(self):
+        counts = sample_tweet_counts(
+            5000, ActivityConfig(), np.random.default_rng(0)
+        )
+        assert counts.min() >= 1
+
+    def test_tail_capped(self):
+        config = ActivityConfig(max_tweets_per_user=50)
+        counts = sample_tweet_counts(20000, config, np.random.default_rng(1))
+        assert counts.max() <= 50
+
+    def test_mean_calibrated_to_paper(self):
+        """Table I reports 1.88 tweets/user; the default Zipf exponent is
+        calibrated to land near it."""
+        counts = sample_tweet_counts(
+            200_000, ActivityConfig(), np.random.default_rng(2)
+        )
+        assert counts.mean() == pytest.approx(1.88, abs=0.08)
+
+    def test_heavy_tail_exists(self):
+        counts = sample_tweet_counts(
+            100_000, ActivityConfig(), np.random.default_rng(3)
+        )
+        # The paper motivates user-level modelling with "a few
+        # heavily-active users": the tail must be far above the mean.
+        assert counts.max() > 50 * counts.mean()
+
+    def test_majority_single_tweet(self):
+        counts = sample_tweet_counts(
+            50_000, ActivityConfig(), np.random.default_rng(4)
+        )
+        assert (counts == 1).mean() > 0.75
+
+    def test_analytic_mean_close_to_empirical(self):
+        config = ActivityConfig()
+        analytic = expected_tweets_per_user(config)
+        counts = sample_tweet_counts(300_000, config, np.random.default_rng(5))
+        assert counts.mean() == pytest.approx(analytic, rel=0.1)
+
+
+class TestTimestamps:
+    def test_within_window(self):
+        config = ActivityConfig(days=385)
+        offsets = sample_timestamps_days(1000, config, np.random.default_rng(0))
+        assert offsets.min() >= 0
+        assert offsets.max() < 385
+
+    def test_sorted(self):
+        offsets = sample_timestamps_days(
+            500, ActivityConfig(), np.random.default_rng(1)
+        )
+        assert np.all(np.diff(offsets) >= 0)
+
+    def test_covers_whole_window(self):
+        offsets = sample_timestamps_days(
+            5000, ActivityConfig(days=100), np.random.default_rng(2)
+        )
+        assert offsets.min() < 5
+        assert offsets.max() > 95

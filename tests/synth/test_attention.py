@@ -1,0 +1,111 @@
+"""Tests for the ground-truth attention model."""
+
+import numpy as np
+import pytest
+
+from repro.organs import N_ORGANS, Organ
+from repro.synth.attention import (
+    CO_ATTENTION,
+    Archetype,
+    AttentionModel,
+    UserAttention,
+)
+from repro.synth.config import AttentionConfig
+
+
+@pytest.fixture()
+def model() -> AttentionModel:
+    return AttentionModel(AttentionConfig(), np.random.default_rng(0))
+
+
+class TestCoAttentionMatrix:
+    def test_rows_sum_to_one(self):
+        assert np.allclose(CO_ATTENTION.sum(axis=1), 1.0)
+
+    def test_diagonal_zero(self):
+        assert np.allclose(np.diag(CO_ATTENTION), 0.0)
+
+    def test_plants_paper_fig3_claims(self):
+        """Kidney is top co-organ for heart/liver/pancreas; heart for the
+        kidney/lung/intestine — the §IV-A reading of Fig. 3."""
+        kidney, heart = Organ.KIDNEY.index, Organ.HEART.index
+        for focal in (Organ.HEART, Organ.LIVER, Organ.PANCREAS):
+            assert np.argmax(CO_ATTENTION[focal.index]) == kidney
+        for focal in (Organ.KIDNEY, Organ.LUNG, Organ.INTESTINE):
+            assert np.argmax(CO_ATTENTION[focal.index]) == heart
+
+    def test_non_reciprocal(self):
+        # heart→kidney but kidney→heart is reciprocal; liver→kidney while
+        # kidney→heart is not: at least one pair must be non-reciprocal.
+        liver = Organ.LIVER.index
+        assert np.argmax(CO_ATTENTION[liver]) == Organ.KIDNEY.index
+        assert np.argmax(CO_ATTENTION[Organ.KIDNEY.index]) != liver
+
+
+class TestSampling:
+    def test_distribution_sums_to_one(self, model):
+        for __ in range(100):
+            sample = model.sample("KS")
+            assert sample.distribution.shape == (N_ORGANS,)
+            assert sample.distribution.sum() == pytest.approx(1.0)
+            assert np.all(sample.distribution >= 0)
+
+    def test_focal_is_argmax_for_focused_archetypes(self, model):
+        for __ in range(200):
+            sample = model.sample("CA")
+            if sample.archetype is not Archetype.BROAD:
+                assert int(np.argmax(sample.distribution)) == sample.focal.index
+
+    def test_dual_users_have_secondary(self, model):
+        samples = [model.sample("TX") for __ in range(500)]
+        duals = [s for s in samples if s.archetype is Archetype.DUAL_FOCUS]
+        assert duals, "expected some dual-focus users in 500 samples"
+        for dual in duals:
+            assert dual.secondary is not None
+            assert dual.secondary is not dual.focal
+
+    def test_archetype_mix_roughly_matches_config(self):
+        config = AttentionConfig(archetype_probs=(0.5, 0.3, 0.2))
+        model = AttentionModel(config, np.random.default_rng(1))
+        samples = [model.sample(None) for __ in range(3000)]
+        fractions = {
+            archetype: sum(s.archetype is archetype for s in samples) / 3000
+            for archetype in Archetype
+        }
+        assert fractions[Archetype.SINGLE_FOCUS] == pytest.approx(0.5, abs=0.05)
+        assert fractions[Archetype.DUAL_FOCUS] == pytest.approx(0.3, abs=0.05)
+        assert fractions[Archetype.BROAD] == pytest.approx(0.2, abs=0.05)
+
+
+class TestStatePriors:
+    def test_boost_shifts_focal_distribution(self):
+        kidney = Organ.KIDNEY.index
+        config = AttentionConfig(state_boosts={"KS": {kidney: 2.0}})
+        model = AttentionModel(config, np.random.default_rng(2))
+        assert model.focal_prior("KS")[kidney] > model.focal_prior("TX")[kidney]
+
+    def test_prior_normalized(self):
+        config = AttentionConfig(state_boosts={"KS": {1: 3.0}})
+        model = AttentionModel(config, np.random.default_rng(0))
+        assert model.focal_prior("KS").sum() == pytest.approx(1.0)
+
+    def test_none_state_uses_national_prior(self):
+        model = AttentionModel(AttentionConfig(), np.random.default_rng(0))
+        assert np.allclose(
+            model.focal_prior(None), AttentionConfig().national_prior
+        )
+
+    def test_boosted_state_produces_more_kidney_users(self):
+        kidney = Organ.KIDNEY
+        config = AttentionConfig(state_boosts={"KS": {kidney.index: 3.0}})
+        model = AttentionModel(config, np.random.default_rng(3))
+        ks = sum(model.sample("KS").focal is kidney for __ in range(800)) / 800
+        tx = sum(model.sample("TX").focal is kidney for __ in range(800)) / 800
+        assert ks > tx * 1.5
+
+
+class TestUserAttentionRecord:
+    def test_fields(self, model):
+        sample = model.sample("WA")
+        assert isinstance(sample, UserAttention)
+        assert isinstance(sample.focal, Organ)

@@ -1,0 +1,61 @@
+"""Tests for the Table-I calibration checker."""
+
+import pytest
+
+from repro.synth.calibration import (
+    CalibrationCheck,
+    CalibrationReport,
+    check_calibration,
+)
+
+
+class TestCalibrationCheck:
+    def test_within_tolerance_passes(self):
+        check = CalibrationCheck("x", target=1.0, measured=1.05, tolerance=0.1)
+        assert check.ok
+
+    def test_outside_tolerance_fails(self):
+        check = CalibrationCheck("x", target=1.0, measured=1.2, tolerance=0.1)
+        assert not check.ok
+
+    def test_boundary_inclusive(self):
+        check = CalibrationCheck("x", target=1.0, measured=1.5, tolerance=0.5)
+        assert check.ok
+
+    def test_render_flags(self):
+        good = CalibrationCheck("x", 1.0, 1.0, 0.1)
+        bad = CalibrationCheck("y", 1.0, 9.0, 0.1)
+        assert "ok" in good.render()
+        assert "FAIL" in bad.render()
+
+
+class TestCalibrationReport:
+    def test_all_ok(self):
+        report = CalibrationReport(checks=(
+            CalibrationCheck("a", 1.0, 1.0, 0.1),
+        ))
+        assert report.ok
+        assert "CALIBRATED" in report.render()
+
+    def test_any_failure(self):
+        report = CalibrationReport(checks=(
+            CalibrationCheck("a", 1.0, 1.0, 0.1),
+            CalibrationCheck("b", 1.0, 5.0, 0.1),
+        ))
+        assert not report.ok
+        assert "OUT OF CALIBRATION" in report.render()
+
+
+class TestCheckCalibration:
+    def test_paper_scenario_is_calibrated(self, corpus, report):
+        result = check_calibration(corpus, report)
+        failing = [c.name for c in result.checks if not c.ok]
+        assert result.ok, failing
+
+    def test_checks_cover_table1_ratios(self, corpus, report):
+        result = check_calibration(corpus, report)
+        names = {check.name for check in result.checks}
+        assert names == {
+            "us_yield", "avg_tweets_per_user", "organs_per_tweet",
+            "organs_per_user", "collection_days",
+        }

@@ -1,0 +1,87 @@
+"""Tests for the synthetic population generator."""
+
+import numpy as np
+import pytest
+
+from repro.geo.gazetteer import ALL_REGION_CODES, CensusRegion, STATES
+from repro.synth.config import PopulationConfig
+from repro.synth.population import generate_population, state_weights
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = PopulationConfig(n_users=4000, us_fraction=0.25)
+    return generate_population(config, np.random.default_rng(11)), config
+
+
+class TestPopulationComposition:
+    def test_total_count(self, population):
+        seeds, config = population
+        assert len(seeds) == config.n_users
+
+    def test_us_fraction_exact(self, population):
+        seeds, config = population
+        n_us = sum(seed.is_us for seed in seeds)
+        assert n_us == round(config.n_users * config.us_fraction)
+
+    def test_user_ids_unique_and_dense(self, population):
+        seeds, __ = population
+        assert sorted(seed.user_id for seed in seeds) == list(range(len(seeds)))
+
+    def test_us_users_have_states(self, population):
+        seeds, __ = population
+        valid = set(ALL_REGION_CODES)
+        for seed in seeds:
+            if seed.is_us:
+                assert seed.state in valid
+            else:
+                assert seed.state is None
+
+    def test_foreign_users_have_locations(self, population):
+        seeds, __ = population
+        for seed in seeds:
+            if not seed.is_us:
+                assert seed.location
+
+    def test_screen_names_nonempty(self, population):
+        seeds, __ = population
+        assert all(seed.screen_name for seed in seeds)
+
+    def test_junk_rate_approximate(self):
+        config = PopulationConfig(
+            n_users=8000, us_fraction=1.0, junk_location_rate=0.3
+        )
+        seeds = generate_population(config, np.random.default_rng(5))
+        from repro.geo.geocoder import Geocoder
+
+        geocoder = Geocoder()
+        unresolved = sum(
+            1 for seed in seeds if not geocoder.geocode(seed.location).resolved
+        )
+        assert 0.25 < unresolved / len(seeds) < 0.36
+
+    def test_deterministic_per_seed(self):
+        config = PopulationConfig(n_users=300)
+        first = generate_population(config, np.random.default_rng(1))
+        second = generate_population(config, np.random.default_rng(1))
+        assert first == second
+
+
+class TestStateWeights:
+    def test_weights_sum_to_one(self):
+        assert state_weights(0.8).sum() == pytest.approx(1.0)
+
+    def test_midwest_bias_reduces_midwest_share(self):
+        unbiased = state_weights(1.0)
+        biased = state_weights(0.5)
+        midwest = [
+            i for i, state in enumerate(STATES)
+            if state.region is CensusRegion.MIDWEST
+        ]
+        assert biased[midwest].sum() < unbiased[midwest].sum()
+
+    def test_population_proportionality(self):
+        weights = state_weights(1.0)
+        ca = next(i for i, s in enumerate(STATES) if s.abbrev == "CA")
+        wy = next(i for i, s in enumerate(STATES) if s.abbrev == "WY")
+        assert weights[ca] > 30 * weights[wy]

@@ -1,0 +1,93 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import (
+    AnalysisConfig,
+    CollectionConfig,
+    RelativeRiskConfig,
+    StateClusteringConfig,
+    UserClusteringConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCollectionConfig:
+    def test_defaults_valid(self):
+        config = CollectionConfig()
+        assert config.prefer_geotag
+        assert 0.0 <= config.min_confidence <= 1.0
+
+    def test_empty_context_rejected(self):
+        with pytest.raises(ConfigError, match="context_terms"):
+            CollectionConfig(context_terms=())
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(ConfigError, match="subject_terms"):
+            CollectionConfig(subject_terms=())
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_bad_confidence_rejected(self, bad):
+        with pytest.raises(ConfigError, match="min_confidence"):
+            CollectionConfig(min_confidence=bad)
+
+    def test_frozen(self):
+        config = CollectionConfig()
+        with pytest.raises(AttributeError):
+            config.min_confidence = 0.9
+
+
+class TestRelativeRiskConfig:
+    def test_paper_default_alpha(self):
+        assert RelativeRiskConfig().alpha == 0.05
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_alpha_rejected(self, bad):
+        with pytest.raises(ConfigError, match="alpha"):
+            RelativeRiskConfig(alpha=bad)
+
+    def test_min_users_must_be_positive(self):
+        with pytest.raises(ConfigError, match="min_users"):
+            RelativeRiskConfig(min_users=0)
+
+
+class TestUserClusteringConfig:
+    def test_paper_default_k(self):
+        assert UserClusteringConfig().k == 12
+
+    @pytest.mark.parametrize("field,value", [
+        ("k", 0), ("n_init", 0), ("max_iter", 0),
+    ])
+    def test_non_positive_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            UserClusteringConfig(**{field: value})
+
+
+class TestStateClusteringConfig:
+    def test_paper_default_affinity(self):
+        assert StateClusteringConfig().affinity == "bhattacharyya"
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ConfigError, match="linkage"):
+            StateClusteringConfig(linkage="ward")
+
+    def test_unknown_affinity_rejected(self):
+        with pytest.raises(ConfigError, match="affinity"):
+            StateClusteringConfig(affinity="cosine")
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_valid_linkages(self, linkage):
+        assert StateClusteringConfig(linkage=linkage).linkage == linkage
+
+
+class TestAnalysisConfig:
+    def test_bundles_defaults(self):
+        config = AnalysisConfig()
+        assert config.relative_risk.alpha == 0.05
+        assert config.user_clustering.k == 12
+        assert config.state_clustering.affinity == "bhattacharyya"
+
+    def test_custom_sections(self):
+        config = AnalysisConfig(relative_risk=RelativeRiskConfig(alpha=0.01))
+        assert config.relative_risk.alpha == 0.01
+        assert config.user_clustering.k == 12

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CharacterizationError,
+    ClusteringError,
+    ConfigError,
+    DatasetError,
+    EmptyGroupError,
+    GeoError,
+    PipelineError,
+    ReproError,
+    SerializationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigError, PipelineError, DatasetError, SerializationError,
+        CharacterizationError, EmptyGroupError, ClusteringError, GeoError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        if exc_type is EmptyGroupError:
+            instance = exc_type("group")
+        else:
+            instance = exc_type("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_serialization_is_dataset_error(self):
+        assert issubclass(SerializationError, DatasetError)
+
+    def test_empty_group_is_characterization_error(self):
+        assert issubclass(EmptyGroupError, CharacterizationError)
+
+    def test_empty_group_carries_group(self):
+        error = EmptyGroupError("lung")
+        assert error.group == "lung"
+        assert "lung" in str(error)
+
+    def test_catching_base_at_boundary(self):
+        """The integration-boundary pattern: one except clause."""
+        with pytest.raises(ReproError):
+            raise PipelineError("stage failed")

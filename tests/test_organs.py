@@ -1,0 +1,90 @@
+"""Tests for the organ entity set."""
+
+import pytest
+
+from repro.organs import (
+    ALIASES,
+    N_ORGANS,
+    ORGAN_NAMES,
+    ORGANS,
+    Organ,
+    UnknownOrganError,
+    organ_indices,
+)
+
+
+class TestOrganSet:
+    def test_six_organs(self):
+        assert N_ORGANS == 6
+        assert len(ORGANS) == 6
+
+    def test_canonical_order_matches_paper_popularity(self):
+        # The column order is the paper's Fig. 2a popularity order.
+        assert ORGAN_NAMES == (
+            "heart", "kidney", "liver", "lung", "pancreas", "intestine",
+        )
+
+    def test_index_roundtrip(self):
+        for position, organ in enumerate(ORGANS):
+            assert organ.index == position
+            assert ORGANS[organ.index] is organ
+
+    def test_organs_are_unique(self):
+        assert len(set(ORGANS)) == 6
+
+    def test_str_is_value(self):
+        assert str(Organ.KIDNEY) == "kidney"
+
+
+class TestAliases:
+    def test_every_canonical_name_is_an_alias(self):
+        for organ in ORGANS:
+            assert ALIASES[organ.value] is organ
+
+    @pytest.mark.parametrize(
+        "alias,organ",
+        [
+            ("kidneys", Organ.KIDNEY),
+            ("renal", Organ.KIDNEY),
+            ("cardiac", Organ.HEART),
+            ("hepatic", Organ.LIVER),
+            ("pulmonary", Organ.LUNG),
+            ("pancreatic", Organ.PANCREAS),
+            ("bowel", Organ.INTESTINE),
+        ],
+    )
+    def test_medical_aliases(self, alias, organ):
+        assert ALIASES[alias] is organ
+
+    def test_aliases_are_lowercase_single_tokens(self):
+        for alias in ALIASES:
+            assert alias == alias.lower()
+            assert " " not in alias
+
+
+class TestFromName:
+    def test_resolves_canonical(self):
+        assert Organ.from_name("liver") is Organ.LIVER
+
+    def test_resolves_with_whitespace_and_case(self):
+        assert Organ.from_name("  KiDnEy ") is Organ.KIDNEY
+
+    def test_resolves_alias(self):
+        assert Organ.from_name("lungs") is Organ.LUNG
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownOrganError) as excinfo:
+            Organ.from_name("spleen")
+        assert "spleen" in str(excinfo.value)
+
+    def test_unknown_error_is_keyerror(self):
+        with pytest.raises(KeyError):
+            Organ.from_name("cornea")
+
+
+def test_organ_indices_preserves_order():
+    assert organ_indices([Organ.LUNG, Organ.HEART]) == [3, 0]
+
+
+def test_organ_indices_empty():
+    assert organ_indices([]) == []

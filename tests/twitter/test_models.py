@@ -1,0 +1,85 @@
+"""Tests for tweet/user/place records and their serialization."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.twitter.models import Place, Tweet, UserProfile
+
+
+def make_tweet(**overrides) -> Tweet:
+    defaults = dict(
+        tweet_id=1,
+        user=UserProfile(user_id=7, screen_name="donor_mom_7", location="Wichita, KS"),
+        text="be a kidney donor",
+        created_at=datetime(2015, 6, 1, 12, 30, tzinfo=timezone.utc),
+        place=None,
+    )
+    defaults.update(overrides)
+    return Tweet(**defaults)
+
+
+class TestRoundTrips:
+    def test_tweet_roundtrip(self):
+        tweet = make_tweet()
+        assert Tweet.from_dict(tweet.to_dict()) == tweet
+
+    def test_tweet_with_place_roundtrip(self):
+        tweet = make_tweet(place=Place("Wichita, KS", "US"))
+        restored = Tweet.from_dict(tweet.to_dict())
+        assert restored.place == Place("Wichita, KS", "US")
+
+    def test_user_roundtrip(self):
+        user = UserProfile(user_id=3, screen_name="x", location="")
+        assert UserProfile.from_dict(user.to_dict()) == user
+
+    def test_place_roundtrip(self):
+        place = Place("NOLA", "US")
+        assert Place.from_dict(place.to_dict()) == place
+
+    def test_timestamp_preserves_timezone(self):
+        tweet = make_tweet()
+        restored = Tweet.from_dict(tweet.to_dict())
+        assert restored.created_at == tweet.created_at
+        assert restored.created_at.tzinfo is not None
+
+
+class TestMalformedInput:
+    def test_missing_tweet_field(self):
+        with pytest.raises(SerializationError):
+            Tweet.from_dict({"tweet_id": 1})
+
+    def test_missing_user_field(self):
+        with pytest.raises(SerializationError):
+            UserProfile.from_dict({"screen_name": "x"})
+
+    def test_non_numeric_user_id(self):
+        with pytest.raises(SerializationError):
+            UserProfile.from_dict({"user_id": "abc", "screen_name": "x"})
+
+    def test_missing_place_field(self):
+        with pytest.raises(SerializationError):
+            Place.from_dict({"full_name": "Wichita, KS"})
+
+    def test_bad_timestamp(self):
+        data = make_tweet().to_dict()
+        data["created_at"] = "not-a-date"
+        with pytest.raises(SerializationError):
+            Tweet.from_dict(data)
+
+    def test_location_defaults_to_empty(self):
+        user = UserProfile.from_dict({"user_id": 1, "screen_name": "x"})
+        assert user.location == ""
+
+
+class TestImmutability:
+    def test_tweet_frozen(self):
+        tweet = make_tweet()
+        with pytest.raises(AttributeError):
+            tweet.text = "changed"
+
+    def test_user_frozen(self):
+        user = UserProfile(user_id=1, screen_name="x")
+        with pytest.raises(AttributeError):
+            user.location = "moved"

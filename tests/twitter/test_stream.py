@@ -1,0 +1,93 @@
+"""Tests for the filtered stream and Twitter track semantics."""
+
+import pytest
+
+from repro.twitter.errors import InvalidTrackError, StreamClosedError
+from repro.twitter.models import Tweet, UserProfile
+from repro.twitter.stream import FilteredStream, TrackFilter
+
+
+def tweet(text: str, tweet_id: int = 0) -> Tweet:
+    return Tweet(
+        tweet_id=tweet_id,
+        user=UserProfile(user_id=1, screen_name="u"),
+        text=text,
+    )
+
+
+class TestTrackFilter:
+    def test_single_term_phrase(self):
+        assert TrackFilter(["kidney"]).matches("my kidney hurts")
+
+    def test_phrase_requires_all_terms(self):
+        track = TrackFilter(["kidney donor"])
+        assert track.matches("kidney donor needed")
+        assert not track.matches("kidney stones hurt")
+        assert not track.matches("blood donor drive")
+
+    def test_terms_match_in_any_order(self):
+        assert TrackFilter(["kidney donor"]).matches("donor of a kidney")
+
+    def test_phrase_list_is_or(self):
+        track = TrackFilter(["kidney donor", "liver transplant"])
+        assert track.matches("liver transplant today")
+        assert track.matches("kidney donor today")
+        assert not track.matches("heart donor today")
+
+    def test_case_insensitive(self):
+        assert TrackFilter(["KIDNEY Donor"]).matches("kidney DONOR")
+
+    def test_matches_inside_hashtags(self):
+        assert TrackFilter(["kidney donor"]).matches("#kidneydonor")
+
+    def test_empty_phrase_list_rejected(self):
+        with pytest.raises(InvalidTrackError):
+            TrackFilter([])
+
+    def test_blank_phrase_rejected(self):
+        with pytest.raises(InvalidTrackError):
+            TrackFilter(["kidney", "   "])
+
+    def test_empty_text_no_match(self):
+        assert not TrackFilter(["kidney"]).matches("")
+
+
+class TestFilteredStream:
+    def test_yields_only_matching(self):
+        source = [tweet("kidney donor", 1), tweet("nice weather", 2),
+                  tweet("organ donation", 3)]
+        stream = FilteredStream(source, track=["kidney donor", "organ donation"])
+        delivered = [t.tweet_id for t in stream]
+        assert delivered == [1, 3]
+
+    def test_counters(self):
+        source = [tweet("kidney donor"), tweet("x"), tweet("y")]
+        stream = FilteredStream(source, track=["kidney donor"])
+        list(stream)
+        assert stream.delivered == 1
+        assert stream.dropped == 2
+
+    def test_closed_stream_raises(self):
+        stream = FilteredStream([tweet("kidney donor")], track=["kidney"])
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            next(stream)
+
+    def test_context_manager_closes(self):
+        with FilteredStream([tweet("kidney donor")], track=["kidney"]) as stream:
+            next(stream)
+        with pytest.raises(StreamClosedError):
+            next(stream)
+
+    def test_exhaustion(self):
+        stream = FilteredStream([tweet("kidney")], track=["kidney"])
+        assert len(list(stream)) == 1
+        assert list(stream) == []
+
+    def test_lazy_consumption(self):
+        def generator():
+            yield tweet("kidney donor", 1)
+            raise AssertionError("should not be consumed eagerly")
+
+        stream = FilteredStream(generator(), track=["kidney"])
+        assert next(stream).tweet_id == 1

@@ -1,0 +1,155 @@
+"""Tests for the SVG builder and chart renderers."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.viz.charts import (
+    bar_chart_svg,
+    dendrogram_svg,
+    heatmap_svg,
+    tile_grid_map_svg,
+)
+from repro.viz.svg import ORGAN_COLORS, SvgCanvas, sequential_color
+
+
+def assert_valid_svg(document: str) -> None:
+    xml.dom.minidom.parseString(document)
+    assert document.startswith("<svg")
+
+
+class TestSvgCanvas:
+    def test_render_is_valid_xml(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(1, 2, 3, 4).line(0, 0, 10, 10).text(5, 5, "hi")
+        assert_valid_svg(canvas.render())
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.text(0, 0, "<b>&\"'")
+        assert_valid_svg(canvas.render())
+        assert "<b>" not in canvas.render().split("\n", 2)[2]
+
+    def test_tooltip_title_element(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, tooltip="KS: kidney")
+        assert "<title>KS: kidney</title>" in canvas.render()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_negative_rect_size_clamped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, -5, 3)
+        assert_valid_svg(canvas.render())
+
+
+class TestSequentialColor:
+    def test_endpoints(self):
+        assert sequential_color(0.0) == "#ffffff"
+        assert sequential_color(1.0) != "#ffffff"
+
+    def test_clamped(self):
+        assert sequential_color(-1.0) == sequential_color(0.0)
+        assert sequential_color(2.0) == sequential_color(1.0)
+
+    def test_six_organ_colors(self):
+        assert len(ORGAN_COLORS) == 6
+        assert len(set(ORGAN_COLORS)) == 6
+
+
+class TestBarChart:
+    def test_valid_document(self):
+        assert_valid_svg(
+            bar_chart_svg(["a", "b"], [3.0, 1.0], title="t")
+        )
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], [-1.0])
+
+    def test_zero_values_ok(self):
+        assert_valid_svg(bar_chart_svg(["a", "b"], [0.0, 0.0]))
+
+
+class TestHeatmap:
+    def test_valid_document(self):
+        assert_valid_svg(
+            heatmap_svg(["A", "B"], [[0.0, 1.0], [1.0, 0.0]])
+        )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap_svg(["A", "B"], [[0.0, 1.0]])
+
+    def test_constant_matrix(self):
+        assert_valid_svg(heatmap_svg(["A", "B"], [[1.0, 1.0], [1.0, 1.0]]))
+
+
+class TestTileGridMap:
+    def test_valid_document_with_all_states(self):
+        document = tile_grid_map_svg({"KS": "#ff0000"}, title="map")
+        assert_valid_svg(document)
+        assert ">KS<" in document
+        assert ">CA<" in document
+
+    def test_uncolored_states_gray(self):
+        document = tile_grid_map_svg({})
+        assert "#e8e8e8" in document
+
+
+class TestDendrogram:
+    def test_valid_document(self):
+        assert_valid_svg(
+            dendrogram_svg(["A", "B", "C"], [(0, 1, 0.2), (3, 2, 0.9)])
+        )
+
+    def test_merge_count_validated(self):
+        with pytest.raises(ValueError):
+            dendrogram_svg(["A", "B", "C"], [(0, 1, 0.2)])
+
+    def test_single_leaf(self):
+        assert_valid_svg(dendrogram_svg(["A"], []))
+
+
+class TestTileGridLayout:
+    def test_partition_valid(self):
+        from repro.viz.tilegrid import validate_tile_grid
+
+        validate_tile_grid()
+
+    def test_rough_geography(self):
+        from repro.viz.tilegrid import tile_of
+
+        # West of / east of sanity.
+        assert tile_of("CA")[1] < tile_of("NY")[1]
+        assert tile_of("WA")[0] < tile_of("TX")[0]
+        assert tile_of("ME")[0] == 0
+
+    def test_unknown_state(self):
+        from repro.errors import GeoError
+        from repro.viz.tilegrid import tile_of
+
+        with pytest.raises(GeoError):
+            tile_of("ZZ")
+
+
+class TestArtifactExport:
+    def test_export_all(self, suite, tmp_path):
+        from repro.viz.artifacts import export_all_svg
+
+        paths = export_all_svg(suite, tmp_path / "svg")
+        names = {path.stem for path in paths}
+        assert "fig2" in names
+        assert "fig5" in names
+        assert "fig6_heatmap" in names
+        assert "fig6_dendrogram" in names
+        assert "fig7" in names
+        assert any(name.startswith("fig3_") for name in names)
+        for path in paths:
+            assert_valid_svg(path.read_text())
