@@ -53,8 +53,16 @@ def cmd_collect(args: argparse.Namespace) -> int:
         min_confidence=args.min_confidence,
     )
     pipeline = CollectionPipeline(config=config)
+    fault_plan = None
+    if getattr(args, "chaos", False):
+        from repro.twitter.faults import FaultPlan
+
+        fault_plan = FaultPlan.chaos(seed=args.chaos_seed)
+        print(f"chaos mode: {fault_plan.describe()}")
     try:
-        corpus, report = pipeline.run(read_tweets_jsonl(args.firehose))
+        corpus, report = pipeline.run(
+            read_tweets_jsonl(args.firehose), fault_plan=fault_plan
+        )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")
         return 1

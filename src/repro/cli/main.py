@@ -36,6 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--min-confidence", type=float, default=0.5)
     collect.add_argument("--no-geotag", action="store_true",
                          help="ignore GPS geo-tags (profile geocoding only)")
+    collect.add_argument("--chaos", action="store_true",
+                         help="inject the full Streaming API failure "
+                         "taxonomy (disconnects, 420/503, stalls, "
+                         "duplicates, torn payloads) and collect through "
+                         "the resilient client; the corpus is identical "
+                         "to a fault-free run")
+    collect.add_argument("--chaos-seed", type=int, default=0,
+                         help="seed for the deterministic fault schedule")
     collect.set_defaults(func=commands.cmd_collect)
 
     analyze = subparsers.add_parser(

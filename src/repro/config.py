@@ -45,6 +45,88 @@ class CollectionConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ResiliencePolicy:
+    """Reconnect, dedup, and reorder policy for resilient collection.
+
+    The backoff shape follows Twitter's documented Streaming API
+    reconnect guidance: *linear* backoff for network-level errors
+    (starting at 250 ms, capped at 16 s), *exponential* backoff for HTTP
+    errors (starting at 5 s, doubling, capped at 320 s), and exponential
+    backoff starting at a full minute for HTTP 420 rate limiting.  A
+    deterministic seeded jitter decorrelates reconnect storms without
+    breaking reproducibility.
+
+    Attributes:
+        network_backoff_step: linear increment per consecutive network
+            failure, in (simulated) seconds.
+        network_backoff_cap: ceiling for network backoff.
+        http_backoff_initial: first exponential delay for HTTP errors.
+        http_backoff_cap: ceiling for HTTP-error backoff.
+        rate_limit_backoff_initial: first delay after an HTTP 420.
+        rate_limit_backoff_cap: ceiling for rate-limit backoff.
+        backoff_factor: exponential growth factor for HTTP/420 backoff.
+        jitter: max extra delay as a fraction of the base delay, drawn
+            deterministically from ``seed``; 0 disables jitter.
+        stall_timeout_ticks: consecutive keep-alive frames after which
+            the connection is declared stalled and torn down (the analog
+            of Twitter's 90-second stall timeout).
+        dedup_window: recent tweet ids remembered for suppressing
+            backfill duplicates; must cover the deepest backfill overlap.
+        reorder_window: size of the id-ordered reordering buffer; restores
+            exact stream order whenever out-of-order displacement is
+            bounded by it.
+        seed: RNG seed for the jitter schedule.
+    """
+
+    network_backoff_step: float = 0.25
+    network_backoff_cap: float = 16.0
+    http_backoff_initial: float = 5.0
+    http_backoff_cap: float = 320.0
+    rate_limit_backoff_initial: float = 60.0
+    rate_limit_backoff_cap: float = 960.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    stall_timeout_ticks: int = 6
+    dedup_window: int = 4096
+    reorder_window: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        positive = (
+            "network_backoff_step",
+            "network_backoff_cap",
+            "http_backoff_initial",
+            "http_backoff_cap",
+            "rate_limit_backoff_initial",
+            "rate_limit_backoff_cap",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(
+                    f"{name} must be > 0, got {getattr(self, name)}"
+                )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.stall_timeout_ticks < 1:
+            raise ConfigError(
+                "stall_timeout_ticks must be >= 1, got "
+                f"{self.stall_timeout_ticks}"
+            )
+        if self.dedup_window < 1:
+            raise ConfigError(
+                f"dedup_window must be >= 1, got {self.dedup_window}"
+            )
+        if self.reorder_window < 0:
+            raise ConfigError(
+                f"reorder_window must be >= 0, got {self.reorder_window}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class RelativeRiskConfig:
     """Configuration for highlighted-organ detection (Eq. 4, §IV-B1).
 

@@ -13,12 +13,23 @@ line number.
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import IO, TYPE_CHECKING
 
 from repro.dataset.records import CollectedTweet
 from repro.errors import SerializationError
+
+
+def _is_torn_tail(handle: IO[str]) -> bool:
+    """True when the handle is positioned at end-of-file.
+
+    Called after a malformed line: if nothing but whitespace follows, the
+    failure is a torn trailing line (a crash mid-append), not corpus-wide
+    corruption.
+    """
+    return handle.read().strip() == ""
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.twitter.models import Tweet
@@ -72,8 +83,18 @@ def read_tweets_jsonl(path: str | Path) -> Iterator["Tweet"]:
                 raise SerializationError(f"{path}:{line_number}: {exc}") from exc
 
 
-def read_jsonl(path: str | Path) -> Iterator[CollectedTweet]:
+def read_jsonl(
+    path: str | Path, tolerate_torn_tail: bool = False
+) -> Iterator[CollectedTweet]:
     """Stream records from a JSONL file.
+
+    Args:
+        path: the JSONL file to read.
+        tolerate_torn_tail: when True, a malformed *final* line — the
+            signature of a crash mid-append — is skipped with a warning
+            instead of failing the whole corpus.  Malformed lines with
+            records after them still raise: that is corruption, not a
+            torn tail.
 
     Raises:
         SerializationError: on the first malformed line, reporting its
@@ -87,6 +108,14 @@ def read_jsonl(path: str | Path) -> Iterator[CollectedTweet]:
             try:
                 data = json.loads(line)
             except json.JSONDecodeError as exc:
+                if tolerate_torn_tail and _is_torn_tail(handle):
+                    warnings.warn(
+                        f"{path}:{line_number}: torn trailing record "
+                        "(crash mid-write?); rewound to the last complete "
+                        "line",
+                        stacklevel=2,
+                    )
+                    return
                 raise SerializationError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc

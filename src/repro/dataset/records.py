@@ -54,8 +54,14 @@ class CollectedTweet:
                 "confidence": self.location.confidence,
                 "source": self.location.source,
             },
+            # Sorted so serialization is byte-stable across processes
+            # (mention dicts are built from frozensets, whose iteration
+            # order follows per-process enum hashes).
             "mentions": {
-                organ.value: count for organ, count in self.mentions.items()
+                organ.value: count
+                for organ, count in sorted(
+                    self.mentions.items(), key=lambda item: item[0].value
+                )
             },
         }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.organs import ALIASES, Organ
-from repro.nlp.tokenize import words
+from repro.nlp.tokenize import present_terms
 
 #: Context vocabulary: terms that put a tweet in the organ-donation domain.
 CONTEXT_TERMS: tuple[str, ...] = (
@@ -81,20 +81,16 @@ def matches_query_set(text: str, queries: tuple[KeywordQuery, ...] | None = None
 
     Hashtag bodies count: ``#kidneydonor`` satisfies ``kidney AND donor``
     because both terms appear inside the hashtag, matching Twitter's
-    behaviour of matching terms inside hashtags.
+    behaviour of matching terms inside hashtags.  Substring matching is
+    restricted to hashtag-derived tokens — a term glued inside a longer
+    plain word (``organ`` in ``organized``) does not match, mirroring
+    :class:`repro.nlp.matcher.OrganMatcher`.
     """
-    tokens = set(words(text))
-    if not tokens:
-        return False
-    glued = [token for token in tokens if len(token) > 8]
-
-    def present(term: str) -> bool:
-        if term in tokens:
-            return True
-        return any(term in token for token in glued)
-
     if queries is None:
-        has_context = any(present(term) for term in CONTEXT_TERMS)
-        has_subject = any(present(term) for term in SUBJECT_TERMS)
-        return has_context and has_subject
-    return any(present(q.context) and present(q.subject) for q in queries)
+        present = present_terms(text, CONTEXT_TERMS + SUBJECT_TERMS)
+        return any(term in present for term in CONTEXT_TERMS) and any(
+            term in present for term in SUBJECT_TERMS
+        )
+    vocabulary = {q.context for q in queries} | {q.subject for q in queries}
+    present = present_terms(text, vocabulary)
+    return any(q.context in present and q.subject in present for q in queries)

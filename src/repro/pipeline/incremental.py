@@ -6,25 +6,40 @@ pipeline in an append-only JSONL sink plus a JSON checkpoint (last
 processed tweet id and cumulative counters), so a collection can stop at
 any point and resume exactly where it left off without duplicating or
 dropping records.
+
+Crash safety: the checkpoint is written atomically (temp file +
+``os.replace``), and construction reconciles the checkpoint with the
+corpus file — truncating a torn trailing JSONL line and adopting any
+complete records that were flushed after the last checkpoint — so a kill
+at *any* instant (mid-batch, mid-checkpoint-write, mid-JSONL-line)
+resumes with no duplicated and no dropped records.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from collections.abc import Iterable
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.config import CollectionConfig
+from repro.config import CollectionConfig, ResiliencePolicy
 from repro.dataset.io import read_jsonl
 from repro.dataset.records import CollectedTweet
-from repro.errors import PipelineError
+from repro.errors import PipelineError, SerializationError
 from repro.geo.geocoder import Geocoder
 from repro.nlp.keywords import build_query_set, matches_query_set
 from repro.nlp.matcher import OrganMatcher
 from repro.pipeline.augment import augment_location
 from repro.pipeline.usfilter import is_us_located
+from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Tweet
+from repro.twitter.resilient import (
+    ReliabilityReport,
+    ResilientStream,
+    ensure_compatible,
+)
 
 
 @dataclass(slots=True)
@@ -52,6 +67,8 @@ class IncrementalCollector:
         config: collection configuration (must stay identical across
             resumed runs; changing vocabularies mid-collection would make
             the corpus inconsistent).
+        resilience: reconnect/dedup policy applied when ``run`` is given
+            a fault plan.
 
     Tweets with ids at or below the checkpoint are skipped, so re-feeding
     an overlapping stream slice is safe and idempotent.
@@ -62,6 +79,7 @@ class IncrementalCollector:
         corpus_path: str | Path,
         checkpoint_path: str | Path | None = None,
         config: CollectionConfig | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.corpus_path = Path(corpus_path)
         self.checkpoint_path = (
@@ -72,12 +90,15 @@ class IncrementalCollector:
             )
         )
         self.config = config or CollectionConfig()
+        self.resilience = resilience or ResiliencePolicy()
+        self.reliability: ReliabilityReport | None = None
         self._queries = build_query_set(
             self.config.context_terms, self.config.subject_terms
         )
         self._geocoder = Geocoder()
         self._matcher = OrganMatcher()
         self.checkpoint = self._load_checkpoint()
+        self._recover()
 
     def _load_checkpoint(self) -> Checkpoint:
         if not self.checkpoint_path.exists():
@@ -95,21 +116,132 @@ class IncrementalCollector:
             ) from exc
 
     def _save_checkpoint(self) -> None:
-        self.checkpoint_path.write_text(json.dumps(asdict(self.checkpoint)))
+        """Atomically replace the checkpoint (crash mid-write can never
+        leave a corrupt checkpoint that bricks a resume)."""
+        tmp_path = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(asdict(self.checkpoint)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+
+    def _recover(self) -> None:
+        """Reconcile the checkpoint with the corpus file after a crash.
+
+        Two gaps can open between sink and checkpoint when a run dies:
+
+        * a torn trailing JSONL line (killed mid-write) — truncated away;
+          the record's tweet id is above the checkpoint, so the tweet is
+          simply re-processed on the next run;
+        * complete records flushed after the last checkpoint (killed
+          before the periodic save) — adopted into the checkpoint so
+          re-feeding the stream cannot duplicate them.
+
+        The ``seen`` counter cannot recover tweets that were inspected
+        and rejected after the last checkpoint, so after a crash it is a
+        lower bound.
+        """
+        self._truncate_torn_tail()
+        if not self.corpus_path.exists():
+            return
+        adopted = 0
+        max_id = self.checkpoint.last_tweet_id
+        with open(self.corpus_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    tweet_id = int(json.loads(line)["tweet"]["tweet_id"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise SerializationError(
+                        f"{self.corpus_path}:{line_number}: corrupt record "
+                        f"during crash recovery: {exc}"
+                    ) from exc
+                if tweet_id > max_id:
+                    adopted += 1
+                    max_id = tweet_id
+        if adopted:
+            warnings.warn(
+                f"adopted {adopted} record(s) flushed after the last "
+                f"checkpoint (crash recovery); resuming from tweet id "
+                f"{max_id}",
+                stacklevel=2,
+            )
+            self.checkpoint.retained += adopted
+            self.checkpoint.seen += adopted
+            self.checkpoint.last_tweet_id = max_id
+            self._save_checkpoint()
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a partial trailing line left by a crash mid-append.
+
+        Every complete record ends with a newline, so a file not ending
+        in ``\\n`` was torn by a crash; the tail is cut back to the last
+        complete line (the torn record's tweet is re-processed on the
+        next run because its id is above the checkpoint).
+        """
+        if not self.corpus_path.exists():
+            return
+        with open(self.corpus_path, "rb+") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            # Scan backwards in blocks for the last newline.
+            keep = 0
+            position = size
+            while position > 0:
+                step = min(4096, position)
+                position -= step
+                handle.seek(position)
+                block = handle.read(step)
+                newline = block.rfind(b"\n")
+                if newline != -1:
+                    keep = position + newline + 1
+                    break
+            handle.truncate(keep)
+        warnings.warn(
+            f"{self.corpus_path}: truncated torn trailing record "
+            f"({size - keep} bytes) left by a crash mid-write",
+            stacklevel=2,
+        )
 
     def run(
-        self, source: Iterable[Tweet], checkpoint_every: int = 500
+        self,
+        source: Iterable[Tweet],
+        checkpoint_every: int = 500,
+        fault_plan: FaultPlan | None = None,
     ) -> int:
         """Process a stream slice; returns records written this run.
 
         The checkpoint is saved every ``checkpoint_every`` inspected
         tweets and once at the end, so a crash loses at most one batch of
         progress (and re-processing that batch is idempotent).
+
+        Args:
+            source: tweet iterable (stream slice).
+            checkpoint_every: inspected tweets between checkpoint saves.
+            fault_plan: when given, the slice is consumed through a
+                :class:`ResilientStream` over a fault-injecting wrapper;
+                ``self.reliability`` afterwards reports what the run
+                survived.
         """
         if checkpoint_every < 1:
             raise PipelineError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if fault_plan is not None:
+            ensure_compatible(self.resilience, fault_plan)
+            resilient = ResilientStream(
+                FaultySource(source, fault_plan), self.resilience
+            )
+            self.reliability = resilient.report
+            source = resilient
         written = 0
         since_checkpoint = 0
         with open(self.corpus_path, "a", encoding="utf-8") as sink:
@@ -150,9 +282,14 @@ class IncrementalCollector:
     def load_corpus(self):
         """The accumulated corpus across all runs.
 
+        A torn trailing record (crash mid-write) is skipped with a
+        warning rather than failing the whole corpus.
+
         Raises:
             repro.errors.DatasetError: if nothing has been retained yet.
         """
         from repro.dataset.corpus import TweetCorpus
 
-        return TweetCorpus(read_jsonl(self.corpus_path))
+        return TweetCorpus(
+            read_jsonl(self.corpus_path, tolerate_torn_tail=True)
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.config import CollectionConfig
+from repro.config import CollectionConfig, ResiliencePolicy
 from repro.dataset.corpus import TweetCorpus
 from repro.dataset.records import CollectedTweet
 from repro.errors import PipelineError
@@ -20,7 +20,13 @@ from repro.nlp.matcher import OrganMatcher
 from repro.pipeline.augment import augment_location
 from repro.pipeline.collect import collect
 from repro.pipeline.usfilter import is_us_located
+from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Tweet
+from repro.twitter.resilient import (
+    ReliabilityReport,
+    ResilientStream,
+    ensure_compatible,
+)
 
 
 @dataclass(slots=True)
@@ -38,6 +44,8 @@ class PipelineReport:
         no_mentions: US-located tweets where no organ mention could be
             extracted (keyword matched inside a URL or mention handle).
         retained: tweets surviving the US filter — the analysis dataset.
+        reliability: transport-level counters when the run was resilient
+            (chaos mode); ``None`` for a plain run.
     """
 
     stream_dropped: int = 0
@@ -48,6 +56,7 @@ class PipelineReport:
     non_us: int = 0
     no_mentions: int = 0
     retained: int = 0
+    reliability: ReliabilityReport | None = None
 
     @property
     def us_yield(self) -> float:
@@ -55,7 +64,7 @@ class PipelineReport:
         return self.retained / self.collected if self.collected else 0.0
 
     def as_rows(self) -> list[tuple[str, str]]:
-        return [
+        rows = [
             ("Rejected by keyword filter", f"{self.stream_dropped:,}"),
             ("Collected (keyword-matched)", f"{self.collected:,}"),
             ("Located via GPS geo-tag", f"{self.located_gps:,}"),
@@ -66,6 +75,9 @@ class PipelineReport:
             ("Retained (US analysis set)", f"{self.retained:,}"),
             ("US yield", f"{self.us_yield:.1%}"),
         ]
+        if self.reliability is not None:
+            rows.extend(self.reliability.as_rows())
+        return rows
 
 
 @dataclass(slots=True)
@@ -76,19 +88,42 @@ class CollectionPipeline:
         config: collection configuration.
         geocoder: shared geocoder instance.
         matcher: shared organ-mention matcher.
+        resilience: reconnect/dedup policy used when a run injects faults.
     """
 
     config: CollectionConfig = field(default_factory=CollectionConfig)
     geocoder: Geocoder = field(default_factory=Geocoder)
     matcher: OrganMatcher = field(default_factory=OrganMatcher)
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
-    def run(self, source: Iterable[Tweet]) -> tuple[TweetCorpus, PipelineReport]:
+    def run(
+        self,
+        source: Iterable[Tweet],
+        fault_plan: FaultPlan | None = None,
+    ) -> tuple[TweetCorpus, PipelineReport]:
         """Run the full pipeline over a tweet source.
+
+        Args:
+            source: tweet iterable (firehose).
+            fault_plan: when given, the source is wrapped in a
+                :class:`FaultySource` injecting that plan's faults and
+                consumed through a :class:`ResilientStream`; the chaos
+                run retains exactly the records of a fault-free run and
+                ``report.reliability`` documents what it survived.
 
         Raises:
             PipelineError: if no tweet survives (nothing to analyze).
+            repro.errors.ConfigError: if ``fault_plan`` is incompatible
+                with this pipeline's resilience policy.
         """
         report = PipelineReport()
+        resilient: ResilientStream | None = None
+        if fault_plan is not None:
+            ensure_compatible(self.resilience, fault_plan)
+            resilient = ResilientStream(
+                FaultySource(source, fault_plan), self.resilience
+            )
+            source = resilient
         records: list[CollectedTweet] = []
         stream = collect(source, self.config)
         for tweet in stream:
@@ -115,6 +150,8 @@ class CollectionPipeline:
             )
             report.retained += 1
         report.stream_dropped = stream.dropped
+        if resilient is not None:
+            report.reliability = resilient.report
         if not records:
             raise PipelineError("pipeline retained zero tweets")
         return TweetCorpus(records), report

@@ -3,19 +3,42 @@
 The paper consumes the public Twitter Streaming API, which is no longer
 openly available (and the 2015–16 dataset was never released).  This
 package models the platform surface the paper's pipeline touched: tweet and
-user-profile records (:mod:`repro.twitter.models`) and a filtered stream
-with Twitter ``track`` keyword semantics (:mod:`repro.twitter.stream`).
+user-profile records (:mod:`repro.twitter.models`), a filtered stream
+with Twitter ``track`` keyword semantics (:mod:`repro.twitter.stream`),
+a fault-injecting substrate reproducing the Streaming API failure
+taxonomy (:mod:`repro.twitter.faults`), and a resilient client that
+provably recovers from it (:mod:`repro.twitter.resilient`).
 The content flowing through it comes from :mod:`repro.synth`.
 """
 
-from repro.twitter.errors import StreamClosedError, StreamError
+from repro.twitter.errors import (
+    HTTPStreamError,
+    RateLimitError,
+    StreamClosedError,
+    StreamDisconnectError,
+    StreamError,
+)
+from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Place, Tweet, UserProfile
+from repro.twitter.resilient import (
+    DeadLetter,
+    ReliabilityReport,
+    ResilientStream,
+)
 from repro.twitter.stream import FilteredStream, TrackFilter
 
 __all__ = [
+    "DeadLetter",
+    "FaultPlan",
+    "FaultySource",
     "FilteredStream",
+    "HTTPStreamError",
     "Place",
+    "RateLimitError",
+    "ReliabilityReport",
+    "ResilientStream",
     "StreamClosedError",
+    "StreamDisconnectError",
     "StreamError",
     "TrackFilter",
     "Tweet",

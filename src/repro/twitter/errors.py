@@ -15,3 +15,36 @@ class StreamClosedError(StreamError):
 
 class InvalidTrackError(StreamError):
     """A ``track`` phrase list is empty or malformed."""
+
+
+class StreamDisconnectError(StreamError):
+    """The connection dropped mid-stream (network-level failure).
+
+    Models a TCP reset or half-open connection dying — the dominant
+    failure mode of a 385-day Streaming API collection.  Twitter's
+    reconnect guidance for this class is *linear* backoff.
+    """
+
+
+class HTTPStreamError(StreamError):
+    """An HTTP-level rejection when (re)connecting to the stream.
+
+    Twitter's reconnect guidance for this class is *exponential* backoff.
+
+    Attributes:
+        status: the HTTP status code (e.g. 503).
+    """
+
+    def __init__(self, status: int, message: str | None = None):
+        super().__init__(message or f"stream connect rejected: HTTP {status}")
+        self.status = status
+
+
+class RateLimitError(HTTPStreamError):
+    """HTTP 420 "Enhance Your Calm": the client is being rate limited.
+
+    Twitter's guidance: exponential backoff starting at a full minute.
+    """
+
+    def __init__(self, message: str | None = None):
+        super().__init__(420, message or "stream connect rejected: HTTP 420")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.nlp.tokenize import words
+from repro.nlp.tokenize import present_terms
 from repro.twitter.errors import InvalidTrackError, StreamClosedError
 from repro.twitter.models import Tweet
 
@@ -46,16 +46,14 @@ class TrackFilter:
         return self._phrases
 
     def matches(self, text: str) -> bool:
-        """True when any track phrase fully matches the tweet text."""
-        tokens = set(words(text))
-        if not tokens:
-            return False
-        glued = [token for token in tokens if len(token) > 8]
-        present = {
-            term
-            for term in self._vocabulary
-            if term in tokens or any(term in token for token in glued)
-        }
+        """True when any track phrase fully matches the tweet text.
+
+        Terms match tokens exactly and substring-match only inside
+        hashtag bodies (``#kidneydonor`` matches ``kidney donor``); a
+        term embedded in a longer plain word (``organized``) does not
+        count.
+        """
+        present = present_terms(text, self._vocabulary)
         if not present:
             return False
         return any(terms <= present for terms in self._phrase_sets)

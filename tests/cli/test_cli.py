@@ -71,6 +71,28 @@ class TestCollect:
         assert code == 0
         assert "Located via GPS geo-tag: 0" in capsys.readouterr().out
 
+    def test_chaos_flag_same_corpus(self, firehose, corpus_file, tmp_path,
+                                     capsys):
+        out = tmp_path / "chaos.jsonl"
+        code = main([
+            "collect", str(firehose), str(out), "--chaos", "--chaos-seed", "5",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "chaos mode" in printed
+        assert "Disconnects survived" in printed
+        # The headline guarantee: injected faults never change the corpus.
+        assert out.read_bytes() == corpus_file.read_bytes()
+
+    def test_chaos_seed_changes_fault_schedule(self, firehose, tmp_path,
+                                               capsys):
+        out = tmp_path / "chaos2.jsonl"
+        code = main([
+            "collect", str(firehose), str(out), "--chaos", "--chaos-seed", "9",
+        ])
+        assert code == 0
+        assert "seed=9" in capsys.readouterr().out
+
 
 class TestAnalyze:
     def test_single_artifact(self, corpus_file, capsys):

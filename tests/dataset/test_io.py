@@ -82,3 +82,39 @@ class TestMalformedFiles:
             handle.write("garbage\n")
         reader = read_jsonl(path)
         assert next(reader).tweet.tweet_id == 0  # no error until reached
+
+
+class TestTornTail:
+    def test_tolerant_skips_torn_final_line_with_warning(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_jsonl(records(3), path)
+        with open(path, "a") as handle:
+            handle.write('{"tweet": {"tweet_id": 3, "us')  # no newline
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            loaded = list(read_jsonl(path, tolerate_torn_tail=True))
+        assert [r.tweet.tweet_id for r in loaded] == [0, 1, 2]
+
+    def test_strict_default_still_raises_on_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_jsonl(records(2), path)
+        with open(path, "a") as handle:
+            handle.write('{"tweet":')
+        with pytest.raises(SerializationError, match=":3"):
+            list(read_jsonl(path))
+
+    def test_tolerant_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        write_jsonl(records(3), path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = "{not json\n"
+        path.write_text("".join(lines))
+        with pytest.raises(SerializationError, match=":2"):
+            list(read_jsonl(path, tolerate_torn_tail=True))
+
+    def test_tolerant_whitespace_after_torn_line_ok(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_jsonl(records(1), path)
+        with open(path, "a") as handle:
+            handle.write('{"tweet\n   \n')
+        with pytest.warns(UserWarning, match="torn"):
+            assert len(list(read_jsonl(path, tolerate_torn_tail=True))) == 1

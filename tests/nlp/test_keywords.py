@@ -67,3 +67,12 @@ class TestMatching:
 
     def test_case_insensitive(self):
         assert matches_query_set("KIDNEY DONOR")
+
+    def test_term_glued_inside_plain_word_rejected(self):
+        # Substring matching applies only to hashtag bodies, never to
+        # longer plain words that merely contain a vocabulary term.
+        assert not matches_query_set("reorganized the kidneys conference")
+        assert not matches_query_set("organized heartfelt meetup")
+
+    def test_hyphen_compound_satisfies_subject(self):
+        assert matches_query_set("dad needs a heart-kidney transplant")

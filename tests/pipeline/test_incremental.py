@@ -111,6 +111,109 @@ class TestFailureModes:
         assert collector.run([]) == 0
 
 
+def interrupted(tweets, kill_at: int):
+    """A source that dies (process kill) after yielding ``kill_at`` tweets."""
+    def generator():
+        for index, item in enumerate(tweets):
+            if index == kill_at:
+                raise RuntimeError("killed")
+            yield item
+    return generator()
+
+
+class TestCrashRecovery:
+    """A kill at any instant must resume with no dups and no drops."""
+
+    def baseline_bytes(self, tmp_path, tweets) -> bytes:
+        path = tmp_path / "baseline.jsonl"
+        IncrementalCollector(path).run(iter(tweets), checkpoint_every=10)
+        return path.read_bytes()
+
+    def test_kill_mid_batch(self, tmp_path):
+        tweets = [tweet(i) for i in range(50)]
+        expected = self.baseline_bytes(tmp_path, tweets)
+
+        corpus_path = tmp_path / "corpus.jsonl"
+        with pytest.raises(RuntimeError):
+            IncrementalCollector(corpus_path).run(
+                interrupted(tweets, 37), checkpoint_every=10
+            )
+        # Records 30-36 were flushed on close but never checkpointed:
+        # recovery must adopt them so the replay cannot duplicate them.
+        with pytest.warns(UserWarning, match="adopted"):
+            resumed = IncrementalCollector(corpus_path)
+        assert resumed.checkpoint.last_tweet_id == 36
+        resumed.run(iter(tweets), checkpoint_every=10)
+        assert corpus_path.read_bytes() == expected
+
+    def test_kill_mid_jsonl_line(self, tmp_path):
+        tweets = [tweet(i) for i in range(20)]
+        expected = self.baseline_bytes(tmp_path, tweets)
+
+        corpus_path = tmp_path / "corpus.jsonl"
+        with pytest.raises(RuntimeError):
+            IncrementalCollector(corpus_path).run(
+                interrupted(tweets, 13), checkpoint_every=5
+            )
+        # Tear the final record mid-line, as a kill during the write
+        # syscall would.
+        data = corpus_path.read_bytes()
+        corpus_path.write_bytes(data[:-17])
+        with pytest.warns(UserWarning) as caught:
+            resumed = IncrementalCollector(corpus_path)
+        messages = [str(w.message) for w in caught]
+        assert any("torn" in m for m in messages)
+        assert any("adopted" in m for m in messages)
+        resumed.run(iter(tweets), checkpoint_every=5)
+        assert corpus_path.read_bytes() == expected
+
+    def test_kill_mid_checkpoint_write(self, tmp_path):
+        tweets = [tweet(i) for i in range(20)]
+        expected = self.baseline_bytes(tmp_path, tweets)
+
+        corpus_path = tmp_path / "corpus.jsonl"
+        collector = IncrementalCollector(corpus_path)
+        collector.run(iter(tweets[:10]), checkpoint_every=5)
+        # A kill during checkpoint write leaves a garbage temp file; the
+        # real checkpoint is intact because the replace never happened.
+        tmp_checkpoint = tmp_path / "corpus.jsonl.checkpoint.json.tmp"
+        tmp_checkpoint.write_text('{"last_tweet_id": 9, "se')
+        resumed = IncrementalCollector(corpus_path)
+        assert resumed.checkpoint.last_tweet_id == 9
+        resumed.run(iter(tweets), checkpoint_every=5)
+        assert corpus_path.read_bytes() == expected
+        assert not tmp_checkpoint.exists()  # consumed by os.replace
+
+    def test_failed_checkpoint_replace_preserves_old_state(
+        self, paths, monkeypatch
+    ):
+        corpus_path, checkpoint_path = paths
+        collector = IncrementalCollector(corpus_path)
+        collector.run([tweet(i) for i in range(5)])
+        before = checkpoint_path.read_text()
+
+        def broken_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(
+            "repro.pipeline.incremental.os.replace", broken_replace
+        )
+        with pytest.raises(OSError):
+            collector.run([tweet(i) for i in range(5, 10)])
+        assert checkpoint_path.read_text() == before
+
+    def test_mid_file_corruption_still_raises(self, paths):
+        from repro.errors import SerializationError
+
+        corpus_path, __ = paths
+        IncrementalCollector(corpus_path).run([tweet(i) for i in range(5)])
+        lines = corpus_path.read_text().splitlines(keepends=True)
+        lines[2] = '{"torn": \n'
+        corpus_path.write_text("".join(lines))
+        with pytest.raises(SerializationError, match=":3"):
+            IncrementalCollector(corpus_path)
+
+
 class TestEquivalenceWithBatchPipeline:
     def test_same_records_as_one_shot_pipeline(self, tmp_path, small_world):
         """Incremental collection over the firehose must retain exactly

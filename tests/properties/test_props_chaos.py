@@ -1,0 +1,145 @@
+"""Chaos-equivalence properties.
+
+The headline robustness guarantee: a resilient client over a faulty
+source yields *byte-identical* output to the fault-free stream, for every
+fault class alone and all of them combined, across seeds — and the
+reliability report accounts for every fault the source injected.
+"""
+
+import json
+from itertools import islice
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ResiliencePolicy
+from repro.twitter.faults import FaultPlan, FaultySource
+from repro.twitter.models import Tweet, UserProfile
+from repro.twitter.resilient import ResilientStream, ensure_compatible
+
+SEEDS = (1, 7, 42)
+
+#: One entry per injected fault class, plus everything at once.
+FAULT_CLASSES = {
+    "disconnect": {"disconnect_rate": 0.05},
+    "rate_limit": {"rate_limit_rate": 0.5},
+    "http_error": {"http_error_rate": 0.5},
+    "stall": {"stall_rate": 0.02},
+    "keepalive": {"keepalive_rate": 0.1},
+    "garbage": {"garbage_rate": 0.05},
+    "truncate": {"truncate_rate": 0.05},
+    "combined": {
+        "disconnect_rate": 0.02,
+        "rate_limit_rate": 0.3,
+        "http_error_rate": 0.3,
+        "stall_rate": 0.01,
+        "keepalive_rate": 0.05,
+        "garbage_rate": 0.01,
+        "truncate_rate": 0.01,
+    },
+}
+
+
+def make_tweets(n: int) -> list[Tweet]:
+    return [
+        Tweet(
+            tweet_id=i,
+            user=UserProfile(user_id=i % 7, screen_name="u"),
+            text=f"kidney donor update {i}",
+        )
+        for i in range(n)
+    ]
+
+
+def serialize(stream) -> bytes:
+    return "\n".join(
+        json.dumps(t.to_dict(), ensure_ascii=False) for t in stream
+    ).encode("utf-8")
+
+
+class TestChaosEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("fault", sorted(FAULT_CLASSES))
+    def test_stream_byte_identical(self, fault, seed):
+        items = make_tweets(250)
+        plan = FaultPlan(seed=seed, **FAULT_CLASSES[fault])
+        policy = ResiliencePolicy(seed=seed)
+        ensure_compatible(policy, plan)
+        resilient = ResilientStream(FaultySource(iter(items), plan), policy)
+        assert serialize(resilient) == serialize(items)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_report_accounts_for_every_injected_fault(self, seed):
+        items = make_tweets(300)
+        plan = FaultPlan(seed=seed, stall_ticks=12,
+                         **FAULT_CLASSES["combined"])
+        source = FaultySource(iter(items), plan)
+        stream = ResilientStream(source, ResiliencePolicy(seed=seed))
+        assert [t.tweet_id for t in stream] == [t.tweet_id for t in items]
+
+        report, injected = stream.report, source.injected
+        assert report.delivered == len(items)
+        assert report.connects == injected.connections
+        assert report.disconnects == injected.disconnects
+        assert report.rejections_420 == injected.rate_limited
+        assert report.rejections_503 == injected.http_errors
+        # Every malformed frame (garbage or torn) is dead-lettered.
+        assert report.dead_lettered == (
+            injected.garbage_frames + injected.truncated_frames
+        )
+        # A torn record's intact backfill copy is its first valid arrival,
+        # so it is not a suppressed duplicate.
+        assert report.duplicates_suppressed == (
+            injected.duplicates - injected.truncated_frames
+        )
+        # Each injected stall burst (12 ticks) crosses the 6-tick timeout
+        # exactly once.
+        assert report.stalls_detected == injected.stalls
+        assert report.retries_network == (
+            report.disconnects + report.stalls_detected
+        )
+
+    def test_pipeline_chaos_equivalence(self, small_world):
+        from repro.pipeline.runner import CollectionPipeline
+
+        window = list(islice(small_world.firehose(), 2000))
+        plain_corpus, plain_report = CollectionPipeline().run(iter(window))
+        chaos_corpus, chaos_report = CollectionPipeline().run(
+            iter(window), fault_plan=FaultPlan.chaos(seed=5)
+        )
+        plain_bytes = serialize(r.tweet for r in plain_corpus)
+        chaos_bytes = serialize(r.tweet for r in chaos_corpus)
+        assert chaos_bytes == plain_bytes
+        assert plain_report.reliability is None
+        assert chaos_report.reliability is not None
+        assert chaos_report.reliability.delivered == len(window)
+
+
+@st.composite
+def fault_plans(draw):
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        disconnect_rate=draw(st.floats(0.0, 0.1)),
+        rate_limit_rate=draw(st.floats(0.0, 0.6)),
+        http_error_rate=draw(st.floats(0.0, 0.6)),
+        stall_rate=draw(st.floats(0.0, 0.05)),
+        stall_ticks=draw(st.integers(1, 15)),
+        keepalive_rate=draw(st.floats(0.0, 0.2)),
+        garbage_rate=draw(st.floats(0.0, 0.05)),
+        truncate_rate=draw(st.floats(0.0, 0.05)),
+        backfill_depth=draw(st.integers(1, 12)),
+        reorder_span=draw(st.integers(0, 6)),
+    )
+
+
+class TestArbitraryPlans:
+    @given(plan=fault_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_any_plan_preserves_the_stream(self, plan):
+        items = make_tweets(120)
+        policy = ResiliencePolicy()
+        ensure_compatible(policy, plan)
+        stream = ResilientStream(FaultySource(iter(items), plan), policy)
+        assert [t.tweet_id for t in stream] == list(range(120))
+        assert stream.report.delivered == 120

@@ -6,6 +6,7 @@ from repro.config import (
     AnalysisConfig,
     CollectionConfig,
     RelativeRiskConfig,
+    ResiliencePolicy,
     StateClusteringConfig,
     UserClusteringConfig,
 )
@@ -35,6 +36,51 @@ class TestCollectionConfig:
         config = CollectionConfig()
         with pytest.raises(AttributeError):
             config.min_confidence = 0.9
+
+
+class TestResiliencePolicy:
+    def test_defaults_follow_twitter_guidance(self):
+        policy = ResiliencePolicy()
+        assert policy.network_backoff_step == 0.25
+        assert policy.network_backoff_cap == 16.0
+        assert policy.http_backoff_initial == 5.0
+        assert policy.http_backoff_cap == 320.0
+        assert policy.rate_limit_backoff_initial == 60.0
+
+    @pytest.mark.parametrize("field", [
+        "network_backoff_step", "network_backoff_cap",
+        "http_backoff_initial", "http_backoff_cap",
+        "rate_limit_backoff_initial", "rate_limit_backoff_cap",
+    ])
+    def test_delays_must_be_positive(self, field):
+        with pytest.raises(ConfigError, match=field):
+            ResiliencePolicy(**{field: 0.0})
+
+    def test_backoff_factor_must_grow(self):
+        with pytest.raises(ConfigError, match="backoff_factor"):
+            ResiliencePolicy(backoff_factor=0.5)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0])
+    def test_jitter_must_be_a_fraction(self, bad):
+        with pytest.raises(ConfigError, match="jitter"):
+            ResiliencePolicy(jitter=bad)
+
+    def test_stall_timeout_must_be_positive(self):
+        with pytest.raises(ConfigError, match="stall_timeout_ticks"):
+            ResiliencePolicy(stall_timeout_ticks=0)
+
+    def test_dedup_window_must_be_positive(self):
+        with pytest.raises(ConfigError, match="dedup_window"):
+            ResiliencePolicy(dedup_window=0)
+
+    def test_reorder_window_must_be_nonnegative(self):
+        with pytest.raises(ConfigError, match="reorder_window"):
+            ResiliencePolicy(reorder_window=-1)
+
+    def test_frozen(self):
+        policy = ResiliencePolicy()
+        with pytest.raises(AttributeError):
+            policy.jitter = 0.5
 
 
 class TestRelativeRiskConfig:

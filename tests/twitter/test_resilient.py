@@ -1,0 +1,195 @@
+"""Tests for the resilient stream client: backoff, dedup, dead-letter."""
+
+import pytest
+
+from repro.config import ResiliencePolicy
+from repro.errors import ConfigError
+from repro.twitter.faults import FaultPlan, FaultySource
+from repro.twitter.models import Tweet, UserProfile
+from repro.twitter.resilient import (
+    ResilientStream,
+    ensure_compatible,
+    http_backoff,
+    network_backoff,
+    rate_limit_backoff,
+)
+
+
+def tweets(n: int) -> list[Tweet]:
+    return [
+        Tweet(
+            tweet_id=i,
+            user=UserProfile(user_id=i % 5, screen_name="u"),
+            text=f"kidney donor update {i}",
+        )
+        for i in range(n)
+    ]
+
+
+NO_JITTER = ResiliencePolicy(jitter=0.0)
+
+
+class TestBackoffSchedules:
+    """The documented Streaming API schedule, tested without wall-clock."""
+
+    @pytest.mark.parametrize("attempt,expected", [
+        (1, 0.25), (2, 0.50), (3, 0.75), (64, 16.0), (200, 16.0),
+    ])
+    def test_network_is_linear_capped(self, attempt, expected):
+        assert network_backoff(NO_JITTER, attempt) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("attempt,expected", [
+        (1, 5.0), (2, 10.0), (3, 20.0), (7, 320.0), (20, 320.0),
+    ])
+    def test_http_is_exponential_capped(self, attempt, expected):
+        assert http_backoff(NO_JITTER, attempt) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("attempt,expected", [
+        (1, 60.0), (2, 120.0), (3, 240.0), (5, 960.0), (20, 960.0),
+    ])
+    def test_rate_limit_starts_at_a_minute(self, attempt, expected):
+        assert rate_limit_backoff(NO_JITTER, attempt) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "schedule", [network_backoff, http_backoff, rate_limit_backoff]
+    )
+    def test_attempt_must_be_positive(self, schedule):
+        with pytest.raises(ConfigError):
+            schedule(NO_JITTER, 0)
+
+    def test_schedules_are_pure(self):
+        assert network_backoff(NO_JITTER, 3) == network_backoff(NO_JITTER, 3)
+
+
+class TestCompatibility:
+    def test_default_policy_covers_chaos_plan(self):
+        ensure_compatible(ResiliencePolicy(), FaultPlan.chaos())
+
+    def test_small_reorder_window_rejected(self):
+        plan = FaultPlan(backfill_depth=8, reorder_span=4)
+        with pytest.raises(ConfigError, match="reorder_window"):
+            ensure_compatible(ResiliencePolicy(reorder_window=5), plan)
+
+    def test_small_dedup_window_rejected(self):
+        plan = FaultPlan(backfill_depth=8, reorder_span=4)
+        with pytest.raises(ConfigError, match="dedup_window"):
+            ensure_compatible(
+                ResiliencePolicy(dedup_window=8, reorder_window=64), plan
+            )
+
+
+class TestFaultFreePassthrough:
+    def test_yields_source_verbatim(self):
+        items = tweets(25)
+        stream = ResilientStream(FaultySource(iter(items), FaultPlan.none()))
+        assert list(stream) == items
+
+    def test_report_counts_single_clean_connection(self):
+        stream = ResilientStream(FaultySource(iter(tweets(10)), FaultPlan.none()))
+        list(stream)
+        assert stream.report.connects == 1
+        assert stream.report.delivered == 10
+        assert stream.report.total_retries == 0
+        assert stream.report.backoff_seconds == 0.0
+
+
+class TestRecovery:
+    def test_dedups_backfill_duplicates(self):
+        plan = FaultPlan(seed=4, disconnect_rate=0.2)
+        stream = ResilientStream(FaultySource(iter(tweets(80)), plan))
+        delivered = [t.tweet_id for t in stream]
+        assert delivered == list(range(80))
+        assert stream.report.duplicates_suppressed > 0
+
+    def test_stall_detection_tears_down_connection(self):
+        plan = FaultPlan(seed=6, stall_rate=0.05, stall_ticks=12)
+        policy = ResiliencePolicy(stall_timeout_ticks=6)
+        stream = ResilientStream(FaultySource(iter(tweets(120)), plan), policy)
+        assert [t.tweet_id for t in stream] == list(range(120))
+        assert stream.report.stalls_detected > 0
+
+    def test_short_keepalive_runs_are_benign(self):
+        plan = FaultPlan(seed=6, keepalive_rate=0.3)
+        policy = ResiliencePolicy(stall_timeout_ticks=50)
+        stream = ResilientStream(FaultySource(iter(tweets(60)), plan), policy)
+        list(stream)
+        assert stream.report.stalls_detected == 0
+
+    def test_dead_letters_carry_reasons_not_crashes(self):
+        plan = FaultPlan(seed=8, garbage_rate=0.1)
+        stream = ResilientStream(FaultySource(iter(tweets(100)), plan))
+        assert [t.tweet_id for t in stream] == list(range(100))
+        assert stream.report.dead_lettered > 0
+        assert stream.report.dead_lettered == len(stream.dead_letters)
+        assert {d.reason for d in stream.dead_letters} <= {
+            "invalid-json", "malformed-record"
+        }
+
+    def test_truncated_frames_dead_lettered_and_recovered(self):
+        plan = FaultPlan(seed=9, truncate_rate=0.1, backfill_depth=6)
+        stream = ResilientStream(FaultySource(iter(tweets(100)), plan))
+        assert [t.tweet_id for t in stream] == list(range(100))
+        assert any(d.reason == "invalid-json" for d in stream.dead_letters)
+
+
+class TestSimulatedBackoff:
+    def test_sleep_receives_every_computed_delay(self):
+        plan = FaultPlan(seed=2, disconnect_rate=0.1,
+                         rate_limit_rate=0.3, http_error_rate=0.3)
+        delays: list[float] = []
+        stream = ResilientStream(
+            FaultySource(iter(tweets(120)), plan),
+            ResiliencePolicy(),
+            sleep=delays.append,
+        )
+        list(stream)
+        assert delays
+        assert sum(delays) == pytest.approx(stream.report.backoff_seconds)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def total(seed: int) -> float:
+            plan = FaultPlan(seed=1, disconnect_rate=0.1,
+                             rate_limit_rate=0.3)
+            stream = ResilientStream(
+                FaultySource(iter(tweets(100)), plan),
+                ResiliencePolicy(seed=seed),
+            )
+            list(stream)
+            return stream.report.backoff_seconds
+
+        assert total(5) == total(5)
+
+    def test_no_jitter_gives_exact_schedule(self):
+        plan = FaultPlan(seed=0, rate_limit_rate=1.0, max_connect_failures=2)
+        stream = ResilientStream(
+            FaultySource(iter(tweets(5)), plan), NO_JITTER
+        )
+        list(stream)
+        # Exactly two 420 rejections before the forced success: 60 + 120.
+        assert stream.report.rejections_420 == 2
+        assert stream.report.backoff_seconds == pytest.approx(180.0)
+
+    def test_consecutive_counters_reset_on_success(self):
+        # After a successful connect, the next HTTP failure restarts the
+        # exponential schedule from its initial delay.
+        plan = FaultPlan(seed=7, rate_limit_rate=0.4, max_connect_failures=1)
+        stream = ResilientStream(
+            FaultySource(iter(tweets(60)), plan), NO_JITTER
+        )
+        list(stream)
+        if stream.report.rejections_420 > 1:
+            # Every retry cost exactly the initial delay (cap = 1 failure).
+            assert stream.report.backoff_seconds == pytest.approx(
+                60.0 * stream.report.rejections_420
+            )
+
+
+class TestReportRendering:
+    def test_as_rows_and_dict(self):
+        stream = ResilientStream(FaultySource(iter(tweets(5)), FaultPlan.none()))
+        list(stream)
+        rows = dict(stream.report.as_rows())
+        assert rows["Records delivered"] == "5"
+        data = stream.report.as_dict()
+        assert data["delivered"] == 5
+        assert "dead_letters" not in data

@@ -51,6 +51,19 @@ class TestTrackFilter:
     def test_empty_text_no_match(self):
         assert not TrackFilter(["kidney"]).matches("")
 
+    def test_term_glued_inside_plain_word_no_match(self):
+        # "organ" inside "organized" must not count: Twitter tokenizes
+        # before matching, so only hashtag bodies substring-match.
+        assert not TrackFilter(["organ"]).matches("organized crime meeting")
+        assert not TrackFilter(["donor"]).matches("the donorship gala")
+
+    def test_hyphen_compound_words_split(self):
+        track = TrackFilter(["kidney donor"])
+        assert track.matches("heart-kidney donor needed")
+
+    def test_apostrophe_compound_words_split(self):
+        assert TrackFilter(["donor"]).matches("the donor's family")
+
 
 class TestFilteredStream:
     def test_yields_only_matching(self):
@@ -91,3 +104,37 @@ class TestFilteredStream:
 
         stream = FilteredStream(generator(), track=["kidney"])
         assert next(stream).tweet_id == 1
+
+    def test_close_mid_iteration(self):
+        source = [tweet("kidney", 1), tweet("kidney", 2), tweet("kidney", 3)]
+        stream = FilteredStream(source, track=["kidney"])
+        assert next(stream).tweet_id == 1
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            next(stream)
+
+    def test_close_is_idempotent(self):
+        stream = FilteredStream([tweet("kidney")], track=["kidney"])
+        stream.close()
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            next(stream)
+
+    def test_counters_frozen_after_early_termination(self):
+        source = [tweet("kidney", 1), tweet("x", 2), tweet("kidney", 3)]
+        stream = FilteredStream(source, track=["kidney"])
+        next(stream)
+        stream.close()
+        assert stream.delivered == 1
+        assert stream.dropped == 0
+
+    def test_iter_returns_self(self):
+        stream = FilteredStream([], track=["kidney"])
+        assert iter(stream) is stream
+
+    def test_context_manager_after_exception(self):
+        with pytest.raises(ValueError):
+            with FilteredStream([tweet("kidney")], track=["kidney"]) as stream:
+                raise ValueError("consumer bug")
+        with pytest.raises(StreamClosedError):
+            next(stream)
