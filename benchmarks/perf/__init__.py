@@ -1,0 +1,1 @@
+"""Reproducible performance harness (serial vs sharded pipeline)."""

@@ -1,0 +1,290 @@
+"""Timing harness for the sharded pipeline and parallel clustering.
+
+Produces the ``BENCH_pipeline.json`` artifact: throughput of the
+collect→augment→US-filter pipeline at several corpus sizes and worker
+counts (with a byte-identity check against the serial run), wall time of
+the clustering k-sweep per worker count, and the bounded-memory
+silhouette at paper scale.  Peak RSS is taken from ``getrusage`` for the
+parent and, separately, the worker processes.
+
+Speedups are *measured*, not assumed: on a single-core container the
+sharded run is expected to be slower than serial (process setup plus
+pickling with no extra cores to spend), and the artifact records
+``cpu_count`` so readers can interpret the numbers honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.attention import AttentionMatrix
+from repro.core.user_clusters import sweep_k
+from repro.cluster.silhouette import silhouette_samples
+from repro.config import UserClusteringConfig
+from repro.organs import N_ORGANS
+from repro.pipeline.runner import CollectionPipeline
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+
+SCHEMA_VERSION = 1
+
+#: Firehose tweets emitted per unit of scenario scale (calibrated once;
+#: the artifact records the *actual* count per size).
+_FIREHOSE_PER_SCALE = 1_100_000
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def peak_rss_mb() -> dict[str, float]:
+    """Peak resident set size in MiB for this process and its children.
+
+    ``ru_maxrss`` is kilobytes on Linux; children's peak only reflects
+    workers that have already been reaped.
+    """
+    to_mb = 1.0 / 1024.0
+    return {
+        "self": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * to_mb,
+        "children": (
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * to_mb
+        ),
+    }
+
+
+def make_firehose(size_target: int, seed: int) -> list:
+    scale = max(size_target / _FIREHOSE_PER_SCALE, 1e-4)
+    world = SyntheticWorld(paper2016_scenario(scale=scale, seed=seed))
+    return list(world.firehose())
+
+
+def corpus_fingerprint(corpus) -> bytes:
+    return "\n".join(
+        json.dumps(record.to_dict(), ensure_ascii=False)
+        for record in corpus.records
+    ).encode("utf-8")
+
+
+def bench_pipeline_size(
+    size_target: int, worker_counts: tuple[int, ...], seed: int
+) -> dict[str, Any]:
+    """Time the pipeline at one corpus size across worker counts."""
+    source = make_firehose(size_target, seed)
+    entry: dict[str, Any] = {
+        "size_target": size_target,
+        "firehose_tweets": len(source),
+        "runs": [],
+    }
+    serial_seconds: float | None = None
+    serial_bytes: bytes | None = None
+    for workers in worker_counts:
+        start = time.perf_counter()
+        corpus, report = CollectionPipeline().run(source, workers=workers)
+        seconds = time.perf_counter() - start
+        fingerprint = corpus_fingerprint(corpus)
+        if workers == 1:
+            serial_seconds = seconds
+            serial_bytes = fingerprint
+            entry["collected"] = report.collected
+            entry["retained"] = report.retained
+        entry["runs"].append({
+            "workers": workers,
+            "seconds": round(seconds, 4),
+            "throughput_tweets_per_s": round(len(source) / seconds, 1),
+            "speedup_vs_serial": (
+                round(serial_seconds / seconds, 3)
+                if serial_seconds is not None else None
+            ),
+            "byte_identical_to_serial": (
+                fingerprint == serial_bytes
+                if serial_bytes is not None else None
+            ),
+        })
+    return entry
+
+
+def synthetic_attention(n_users: int, seed: int) -> AttentionMatrix:
+    """A row-normalized Û with organ-skewed rows (clusterable structure)."""
+    rng = np.random.default_rng(seed)
+    counts = rng.poisson(0.4, size=(n_users, N_ORGANS)).astype(float)
+    focus = rng.integers(0, N_ORGANS, size=n_users)
+    counts[np.arange(n_users), focus] += rng.poisson(3.0, size=n_users) + 1
+    normalized = counts / counts.sum(axis=1, keepdims=True)
+    return AttentionMatrix(
+        user_ids=tuple(range(n_users)),
+        states=tuple(None for _ in range(n_users)),
+        counts=counts,
+        normalized=normalized,
+    )
+
+
+def bench_clustering(
+    n_users: int,
+    ks: tuple[int, ...],
+    worker_counts: tuple[int, ...],
+    seed: int,
+    n_init: int = 4,
+    silhouette_rows: int = 8_000,
+    memory_budget_mb: float = 64.0,
+) -> dict[str, Any]:
+    """Time the k-sweep per worker count plus the chunked silhouette."""
+    attention = synthetic_attention(n_users, seed)
+    config = UserClusteringConfig(n_init=n_init, seed=seed)
+    sweep_runs = []
+    serial_seconds: float | None = None
+    for workers in worker_counts:
+        start = time.perf_counter()
+        sweep = sweep_k(attention, ks=ks, config=config, workers=workers)
+        seconds = time.perf_counter() - start
+        if workers == 1:
+            serial_seconds = seconds
+        sweep_runs.append({
+            "workers": workers,
+            "seconds": round(seconds, 4),
+            "speedup_vs_serial": (
+                round(serial_seconds / seconds, 3)
+                if serial_seconds is not None else None
+            ),
+            "best_k_by_silhouette": sweep.best_k_by_silhouette(),
+        })
+
+    rows = attention.normalized[:silhouette_rows]
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, max(ks), size=rows.shape[0])
+    start = time.perf_counter()
+    silhouette_samples(rows, labels, memory_budget_mb=memory_budget_mb)
+    silhouette_seconds = time.perf_counter() - start
+
+    return {
+        "n_users": n_users,
+        "n_organs": N_ORGANS,
+        "ks": list(ks),
+        "n_init": n_init,
+        "sweep": sweep_runs,
+        "silhouette": {
+            "rows": int(rows.shape[0]),
+            "memory_budget_mb": memory_budget_mb,
+            "seconds": round(silhouette_seconds, 4),
+        },
+    }
+
+
+def run_suite(
+    sizes: tuple[int, ...],
+    worker_counts: tuple[int, ...],
+    seed: int = 7,
+    smoke: bool = False,
+    cluster_users_n: int = 20_000,
+    cluster_ks: tuple[int, ...] = (11, 12, 13, 14),
+) -> dict[str, Any]:
+    """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/perf/run_bench.py",
+        "smoke": smoke,
+        "seed": seed,
+        "cpu_count": cpu_count(),
+        "pipeline": [
+            bench_pipeline_size(size, worker_counts, seed) for size in sizes
+        ],
+        "clustering": bench_clustering(
+            cluster_users_n, cluster_ks, worker_counts, seed
+        ),
+    }
+    payload["peak_rss_mb"] = peak_rss_mb()
+    return payload
+
+
+def validate_payload(payload: dict[str, Any]) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+
+    def need(obj: dict, key: str, kind, where: str) -> Any:
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            return None
+        value = obj[key]
+        if kind is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where}.{key}: expected number")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            problems.append(f"{where}.{key}: expected {kind.__name__}")
+        return value
+
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version must be {SCHEMA_VERSION}")
+    need(payload, "cpu_count", int, "payload")
+    need(payload, "seed", int, "payload")
+    if not isinstance(payload.get("smoke"), bool):
+        problems.append("payload.smoke: expected bool")
+
+    pipeline = payload.get("pipeline")
+    if not isinstance(pipeline, list) or not pipeline:
+        problems.append("payload.pipeline: expected non-empty list")
+        pipeline = []
+    for i, entry in enumerate(pipeline):
+        where = f"pipeline[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: expected object")
+            continue
+        need(entry, "size_target", int, where)
+        need(entry, "firehose_tweets", int, where)
+        need(entry, "collected", int, where)
+        need(entry, "retained", int, where)
+        runs = entry.get("runs")
+        if not isinstance(runs, list) or not runs:
+            problems.append(f"{where}.runs: expected non-empty list")
+            continue
+        for j, run in enumerate(runs):
+            run_where = f"{where}.runs[{j}]"
+            need(run, "workers", int, run_where)
+            need(run, "seconds", float, run_where)
+            need(run, "throughput_tweets_per_s", float, run_where)
+            if run.get("workers") != 1 and run.get(
+                "byte_identical_to_serial"
+            ) is not True:
+                problems.append(
+                    f"{run_where}: parallel run is not byte-identical"
+                )
+
+    clustering = payload.get("clustering")
+    if not isinstance(clustering, dict):
+        problems.append("payload.clustering: expected object")
+    else:
+        need(clustering, "n_users", int, "clustering")
+        need(clustering, "ks", list, "clustering")
+        sweep = clustering.get("sweep")
+        if not isinstance(sweep, list) or not sweep:
+            problems.append("clustering.sweep: expected non-empty list")
+        else:
+            for j, run in enumerate(sweep):
+                need(run, "workers", int, f"clustering.sweep[{j}]")
+                need(run, "seconds", float, f"clustering.sweep[{j}]")
+        silhouette = clustering.get("silhouette")
+        if not isinstance(silhouette, dict):
+            problems.append("clustering.silhouette: expected object")
+        else:
+            need(silhouette, "rows", int, "clustering.silhouette")
+            need(silhouette, "seconds", float, "clustering.silhouette")
+            need(
+                silhouette, "memory_budget_mb", float, "clustering.silhouette"
+            )
+
+    rss = payload.get("peak_rss_mb")
+    if not isinstance(rss, dict):
+        problems.append("payload.peak_rss_mb: expected object")
+    else:
+        need(rss, "self", float, "peak_rss_mb")
+        need(rss, "children", float, "peak_rss_mb")
+    return problems

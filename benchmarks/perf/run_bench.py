@@ -1,0 +1,97 @@
+"""CLI entry point for the performance harness.
+
+Usage::
+
+    PYTHONPATH=src:. python -m benchmarks.perf.run_bench            # full
+    PYTHONPATH=src:. python -m benchmarks.perf.run_bench --smoke    # CI
+
+The full run times the pipeline on ~10k/100k/1M-tweet firehoses with
+worker counts 1/2/4 and writes ``BENCH_pipeline.json`` at the repo root;
+``--smoke`` shrinks every axis so the harness plus schema validation
+finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from benchmarks.perf.harness import run_suite, validate_payload
+
+FULL_SIZES = (10_000, 100_000, 1_000_000)
+SMOKE_SIZES = (2_000,)
+FULL_WORKERS = (1, 2, 4)
+SMOKE_WORKERS = (1, 2)
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_pipeline.json"
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes; validates the harness, not the hardware",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="target firehose sizes (overrides the mode default)",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="worker counts to time (must include 1 for the baseline)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"artifact path (default: {DEFAULT_OUTPUT})",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    sizes = tuple(args.sizes or (SMOKE_SIZES if args.smoke else FULL_SIZES))
+    workers = tuple(
+        args.workers or (SMOKE_WORKERS if args.smoke else FULL_WORKERS)
+    )
+    if workers[0] != 1:
+        print("error: --workers must start with 1 (serial baseline)",
+              file=sys.stderr)
+        return 2
+
+    payload = run_suite(
+        sizes=sizes,
+        worker_counts=workers,
+        seed=args.seed,
+        smoke=args.smoke,
+        cluster_users_n=2_000 if args.smoke else 20_000,
+        cluster_ks=(11, 12) if args.smoke else (11, 12, 13, 14),
+    )
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for entry in payload["pipeline"]:
+        for run in entry["runs"]:
+            print(
+                f"  pipeline size={entry['firehose_tweets']:>9,} "
+                f"workers={run['workers']} "
+                f"{run['throughput_tweets_per_s']:>10,.0f} tweets/s "
+                f"speedup={run['speedup_vs_serial']}"
+            )
+    for run in payload["clustering"]["sweep"]:
+        print(
+            f"  k-sweep workers={run['workers']} {run['seconds']:.2f}s "
+            f"speedup={run['speedup_vs_serial']}"
+        )
+    print(f"  cpu_count={payload['cpu_count']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,9 +59,14 @@ def cmd_collect(args: argparse.Namespace) -> int:
 
         fault_plan = FaultPlan.chaos(seed=args.chaos_seed)
         print(f"chaos mode: {fault_plan.describe()}")
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        print(f"sharding across {workers} worker processes")
     try:
         corpus, report = pipeline.run(
-            read_tweets_jsonl(args.firehose), fault_plan=fault_plan
+            read_tweets_jsonl(args.firehose),
+            fault_plan=fault_plan,
+            workers=workers,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")

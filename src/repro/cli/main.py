@@ -44,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "to a fault-free run")
     collect.add_argument("--chaos-seed", type=int, default=0,
                          help="seed for the deterministic fault schedule")
+    collect.add_argument("--workers", type=int, default=1,
+                         help="shard the pipeline across N worker "
+                         "processes; the corpus is byte-identical to a "
+                         "serial run for any N")
     collect.set_defaults(func=commands.cmd_collect)
 
     analyze = subparsers.add_parser(

@@ -4,15 +4,24 @@ From-scratch replacement for ``sklearn.cluster.KMeans`` with the pieces
 the paper's §IV-C model selection needs: inertia, multiple restarts, and
 deterministic seeding.  Fully vectorized; comfortably handles the paper's
 ~72k × 6 user matrix.
+
+Restarts are statistically independent: each draws from its own RNG
+stream spawned from the model seed, so the winning fit is identical
+whether restarts run serially or fan out across worker processes
+(``workers > 1``), and ties on inertia break toward the lowest restart
+index in both modes.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import repeat
 
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.procpool import pool_context, split_chunks
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +59,10 @@ class KMeans:
         n_init: independent restarts; the lowest-inertia fit wins.
         max_iter: Lloyd iteration cap per restart.
         tol: convergence threshold on squared center movement.
-        seed: RNG seed.
+        seed: RNG seed; every restart draws from its own stream spawned
+            from this seed.
+        workers: processes to fan the restarts across; ``1`` runs them
+            serially.  The winning fit is identical for any value.
 
     Raises:
         ClusteringError: on invalid parameters or k > number of rows.
@@ -63,6 +75,7 @@ class KMeans:
         max_iter: int = 200,
         tol: float = 1e-6,
         seed: int = 0,
+        workers: int = 1,
     ):
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -70,11 +83,14 @@ class KMeans:
             raise ClusteringError(f"n_init must be >= 1, got {n_init}")
         if max_iter < 1:
             raise ClusteringError(f"max_iter must be >= 1, got {max_iter}")
+        if workers < 1:
+            raise ClusteringError(f"workers must be >= 1, got {workers}")
         self.k = k
         self.n_init = n_init
         self.max_iter = max_iter
         self.tol = tol
         self.seed = seed
+        self.workers = workers
 
     def fit(self, rows: np.ndarray) -> KMeansResult:
         """Cluster the rows of a (m, n) matrix."""
@@ -84,13 +100,25 @@ class KMeans:
         m = matrix.shape[0]
         if self.k > m:
             raise ClusteringError(f"k={self.k} exceeds number of rows {m}")
-        rng = np.random.default_rng(self.seed)
-        best: KMeansResult | None = None
-        for __ in range(self.n_init):
-            result = self._fit_once(matrix, rng)
-            if best is None or result.inertia < best.inertia:
-                best = result
-        assert best is not None
+        restarts = list(range(self.n_init))
+        if self.workers == 1 or self.n_init == 1:
+            winners = [_fit_restart_chunk(self, matrix, restarts)]
+        else:
+            chunks = split_chunks(restarts, self.workers)
+            with ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=pool_context()
+            ) as pool:
+                winners = list(
+                    pool.map(
+                        _fit_restart_chunk,
+                        repeat(self),
+                        repeat(matrix),
+                        chunks,
+                    )
+                )
+        # Lowest inertia wins; ties break to the lowest restart index so
+        # the outcome never depends on how restarts were chunked.
+        __, best = min(winners, key=lambda item: (item[1].inertia, item[0]))
         return best
 
     def _fit_once(self, matrix: np.ndarray, rng: np.random.Generator) -> KMeansResult:
@@ -102,15 +130,22 @@ class KMeans:
             distances = _squared_distances(matrix, centers)
             labels = np.argmin(distances, axis=1)
             new_centers = centers.copy()
+            empty: list[int] = []
             for cluster in range(self.k):
                 members = matrix[labels == cluster]
                 if members.shape[0] > 0:
                     new_centers[cluster] = members.mean(axis=0)
                 else:
-                    # Re-seed an empty cluster at the worst-fit row, the
-                    # standard remedy that keeps exactly k clusters alive.
-                    worst = int(np.argmax(np.min(distances, axis=1)))
-                    new_centers[cluster] = matrix[worst]
+                    empty.append(cluster)
+            if empty:
+                # Re-seed empty clusters at the worst-fit rows, the
+                # standard remedy that keeps exactly k clusters alive —
+                # one *distinct* row per empty cluster, otherwise two
+                # clusters emptied in the same iteration would collapse
+                # onto the same center and never separate again.
+                worst_first = np.argsort(np.min(distances, axis=1))[::-1]
+                for cluster, row in zip(empty, worst_first):
+                    new_centers[cluster] = matrix[row]
             shift = float(np.sum((new_centers - centers) ** 2))
             centers = new_centers
             if shift <= self.tol:
@@ -145,6 +180,26 @@ class KMeans:
             new_sq = _squared_distances(matrix, centers[index : index + 1]).ravel()
             closest_sq = np.minimum(closest_sq, new_sq)
         return centers
+
+
+def _fit_restart_chunk(
+    model: KMeans, matrix: np.ndarray, restarts: list[int]
+) -> tuple[int, KMeansResult]:
+    """Run a chunk of restarts; return (restart index, result) of the best.
+
+    Module-level so worker processes can unpickle it; restart ``i`` uses
+    the i-th RNG stream spawned from the model seed regardless of which
+    chunk (or process) runs it.
+    """
+    streams = np.random.SeedSequence(model.seed).spawn(model.n_init)
+    best: KMeansResult | None = None
+    best_index = -1
+    for index in restarts:
+        result = model._fit_once(matrix, np.random.default_rng(streams[index]))
+        if best is None or result.inertia < best.inertia:
+            best, best_index = result, index
+    assert best is not None
+    return best_index, best
 
 
 def _squared_distances(matrix: np.ndarray, centers: np.ndarray) -> np.ndarray:

@@ -1,11 +1,15 @@
-"""Silhouette coefficient (Rousseeuw 1987).
+"""Silhouette coefficient (Rousseeuw 1987), in bounded memory.
 
 The paper selects k = 12 for the user clustering by comparing inertia,
 average cluster size, and the silhouette coefficient (reported 0.953).
-The implementation supports Euclidean feature input and subsampling —
-silhouette is O(m²) in distance evaluations, and the paper's matrix has
-~72k rows, so model-selection sweeps evaluate it on a deterministic
-subsample, which is standard practice.
+Silhouette is O(m²) in distance *evaluations*, but it never needs the
+full m×m distance matrix in memory: each row's per-cluster mean distances
+are computed from one row-block of distances at a time.  At the paper's
+~72k rows a full matrix would be ~41 GB; the chunked evaluation here runs
+in a configurable memory budget (default 256 MB) with identical results.
+
+:func:`silhouette_score` additionally supports deterministic subsampling
+for model-selection sweeps, which is standard practice at this scale.
 """
 
 from __future__ import annotations
@@ -14,16 +18,46 @@ import numpy as np
 
 from repro.errors import ClusteringError
 
+#: Default ceiling for the distance-block working set, in MiB.  Chosen so
+#: a paper-scale (72k-row) evaluation fits comfortably alongside the rest
+#: of an analysis process.
+DEFAULT_MEMORY_BUDGET_MB = 256.0
 
-def silhouette_samples(rows: np.ndarray, labels: np.ndarray) -> np.ndarray:
+
+def chunk_rows(m: int, memory_budget_mb: float) -> int:
+    """Rows per distance block under ``memory_budget_mb``.
+
+    A block of ``c`` rows materializes a (c, m) float64 distance matrix;
+    the budget bounds that block (with a 2× margin for the intermediate
+    norm/product buffers).  Always at least 1 row, so any budget makes
+    progress — a tiny budget degrades to row-at-a-time evaluation.
+
+    Raises:
+        ClusteringError: on a non-positive budget.
+    """
+    if memory_budget_mb <= 0:
+        raise ClusteringError(
+            f"memory_budget_mb must be > 0, got {memory_budget_mb}"
+        )
+    budget_bytes = memory_budget_mb * 1024 * 1024
+    return max(1, int(budget_bytes // (2 * 8 * m)))
+
+
+def silhouette_samples(
+    rows: np.ndarray,
+    labels: np.ndarray,
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+) -> np.ndarray:
     """Per-row silhouette values s(i) = (b − a) / max(a, b).
 
     ``a`` is the mean distance to co-members, ``b`` the smallest mean
     distance to another cluster.  Singleton clusters score 0 by convention
-    (sklearn-compatible).
+    (sklearn-compatible).  Distances are evaluated in row blocks sized to
+    ``memory_budget_mb``; the result is independent of the budget.
 
     Raises:
-        ClusteringError: on shape mismatch or fewer than 2 clusters.
+        ClusteringError: on shape mismatch, fewer than 2 clusters, or a
+            non-positive memory budget.
     """
     matrix = np.asarray(rows, dtype=float)
     label_arr = np.asarray(labels)
@@ -34,28 +68,34 @@ def silhouette_samples(rows: np.ndarray, labels: np.ndarray) -> np.ndarray:
             f"labels shape {label_arr.shape} does not match rows "
             f"{matrix.shape[0]}"
         )
-    unique = np.unique(label_arr)
+    unique, label_positions = np.unique(label_arr, return_inverse=True)
     if unique.size < 2:
         raise ClusteringError("silhouette requires at least 2 clusters")
 
     m = matrix.shape[0]
-    # Mean distance from every row to every cluster, vectorized per cluster.
-    cluster_mean_dist = np.empty((m, unique.size))
-    counts = np.empty(unique.size)
-    for index, label in enumerate(unique):
-        members = matrix[label_arr == label]
-        counts[index] = members.shape[0]
-        # ||x−y|| for all x in rows, y in members.
-        cross = _pairwise_euclidean(matrix, members)
-        cluster_mean_dist[:, index] = cross.mean(axis=1)
+    counts = np.bincount(label_positions, minlength=unique.size).astype(float)
+    # Group columns by cluster once so each distance block aggregates to
+    # per-cluster sums with one reduceat instead of a per-cluster pass.
+    order = np.argsort(label_positions, kind="stable")
+    grouped = matrix[order]
+    boundaries = np.searchsorted(
+        label_positions[order], np.arange(unique.size)
+    )
 
-    label_positions = np.searchsorted(unique, label_arr)
+    chunk = chunk_rows(m, memory_budget_mb)
+    cluster_mean_dist = np.empty((m, unique.size))
+    for begin in range(0, m, chunk):
+        block = matrix[begin : begin + chunk]
+        distances = _pairwise_euclidean(block, grouped)
+        sums = np.add.reduceat(distances, boundaries, axis=1)
+        cluster_mean_dist[begin : begin + chunk] = sums / counts[None, :]
+
     own_count = counts[label_positions]
     own_mean = cluster_mean_dist[np.arange(m), label_positions]
     # a(i): exclude self-distance (0) from the own-cluster average.
     with np.errstate(invalid="ignore", divide="ignore"):
         a = own_mean * own_count / np.maximum(own_count - 1, 1)
-    other = cluster_mean_dist.copy()
+    other = cluster_mean_dist
     other[np.arange(m), label_positions] = np.inf
     b = other.min(axis=1)
     denom = np.maximum(a, b)
@@ -73,6 +113,7 @@ def silhouette_score(
     labels: np.ndarray,
     sample_size: int | None = None,
     seed: int = 0,
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
 ) -> float:
     """Mean silhouette, optionally over a deterministic subsample.
 
@@ -94,11 +135,18 @@ def silhouette_score(
             raise ClusteringError(
                 "subsample collapsed to a single cluster; increase sample_size"
             )
-    return float(silhouette_samples(matrix, label_arr).mean())
+    return float(
+        silhouette_samples(
+            matrix, label_arr, memory_budget_mb=memory_budget_mb
+        ).mean()
+    )
 
 
 def _pairwise_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     a_norms = np.einsum("ij,ij->i", a, a)[:, None]
     b_norms = np.einsum("ij,ij->i", b, b)[None, :]
     squared = a_norms + b_norms - 2.0 * (a @ b.T)
-    return np.sqrt(np.clip(squared, 0.0, None))
+    # In-place clamp + sqrt: the (len(a), len(b)) product is the only
+    # large buffer, which is what the memory budget accounts for.
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared, out=squared)

@@ -12,6 +12,7 @@ organ at least once, matching the paper's user-based characterization.
 
 from __future__ import annotations
 
+import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
@@ -53,7 +54,11 @@ def state_organ_risks(
 ) -> list[StateOrganRisk]:
     """Compute RR for every (state, organ) pair in the corpus.
 
-    Results are ordered by state then canonical organ order.
+    Results are ordered by state then canonical organ order.  Every state
+    seen in the corpus yields a row per organ: a single-state corpus has
+    no outside population to compare against, so its rows carry an
+    undefined RR and ``insufficient_data=True`` instead of being silently
+    omitted.
     """
     config = config or RelativeRiskConfig()
     users_by_state: dict[str, int] = Counter()
@@ -74,19 +79,23 @@ def state_organ_risks(
     for state in sorted(users_by_state):
         n_state = users_by_state[state]
         n_outside = total_users - n_state
-        if n_outside <= 0:
-            continue  # single-state corpus: no outside population to compare
-        insufficient = n_state < config.min_users
+        insufficient = n_state < config.min_users or n_outside <= 0
         for organ in ORGANS:
             inside = mentions_by_state[state][organ]
             outside = total_mentions[organ] - inside
-            result = relative_risk(
-                events_exposed=inside,
-                n_exposed=n_state,
-                events_control=outside,
-                n_control=n_outside,
-                alpha=config.alpha,
-            )
+            if n_outside <= 0:
+                # Single-state corpus: RR's denominator population is
+                # empty, so the estimate is undefined — report the pair
+                # rather than dropping the state from the output.
+                result = _undefined_rr(config.alpha)
+            else:
+                result = relative_risk(
+                    events_exposed=inside,
+                    n_exposed=n_state,
+                    events_control=outside,
+                    n_control=n_outside,
+                    alpha=config.alpha,
+                )
             risks.append(
                 StateOrganRisk(
                     state=state,
@@ -98,6 +107,18 @@ def state_organ_risks(
                 )
             )
     return risks
+
+
+def _undefined_rr(alpha: float) -> RelativeRiskResult:
+    """The degenerate RR for a comparison with no control population."""
+    return RelativeRiskResult(
+        rr=math.nan,
+        log_rr=math.nan,
+        se_log_rr=math.inf,
+        ci_low=0.0,
+        ci_high=math.inf,
+        alpha=alpha,
+    )
 
 
 def highlighted_organs(

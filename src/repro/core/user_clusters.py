@@ -4,11 +4,17 @@ Users are clustered by their *full* attention distribution (rows of Û),
 not just the argmax organ.  The paper chooses k = 12 after comparing
 inertia, average cluster size, and silhouette coefficient across k, noting
 k must be at least the number of organs so each organ can own a cluster.
+
+The k-sweep is the model-selection hot path — |ks| independent fits of
+the full matrix — so :func:`sweep_k` can fan the candidate ks across
+worker processes; the sweep result is identical for any worker count.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import repeat
 
 import numpy as np
 
@@ -19,6 +25,7 @@ from repro.core.aggregation import ranked_profile
 from repro.core.attention import AttentionMatrix
 from repro.errors import ClusteringError
 from repro.organs import N_ORGANS, Organ
+from repro.procpool import pool_context
 
 #: Silhouette subsample cap; full silhouette is O(m²) and the paper-scale
 #: matrix has ~72k rows.
@@ -103,12 +110,14 @@ def cluster_users(
         max_iter=config.max_iter,
         tol=config.tol,
         seed=config.seed,
+        workers=config.workers,
     ).fit(attention.normalized)
     score = silhouette_score(
         attention.normalized,
         result.labels,
         sample_size=_SILHOUETTE_SAMPLE,
         seed=config.seed,
+        memory_budget_mb=config.silhouette_memory_mb,
     )
     return UserClustering(
         result=result,
@@ -121,29 +130,62 @@ def sweep_k(
     attention: AttentionMatrix,
     ks: tuple[int, ...] = tuple(range(N_ORGANS, 21)),
     config: UserClusteringConfig | None = None,
+    workers: int = 1,
 ) -> KSelectionSweep:
-    """Evaluate K-Means across candidate k (the paper's selection step)."""
+    """Evaluate K-Means across candidate k (the paper's selection step).
+
+    With ``workers > 1`` the candidate ks fan out across processes, one
+    independent fit per k; each in-process fit then runs its restarts
+    serially (nesting pools would oversubscribe).  The sweep is
+    deterministic and identical for any worker count.
+
+    Raises:
+        ClusteringError: if ``workers`` is not a positive integer.
+    """
     base = config or UserClusteringConfig()
-    inertias: list[float] = []
-    silhouettes: list[float] = []
-    avg_sizes: list[float] = []
-    for k in ks:
-        clustering = cluster_users(
-            attention,
-            UserClusteringConfig(
-                k=k,
-                n_init=base.n_init,
-                max_iter=base.max_iter,
-                tol=base.tol,
-                seed=base.seed,
-            ),
-        )
-        inertias.append(clustering.result.inertia)
-        silhouettes.append(clustering.silhouette)
-        avg_sizes.append(clustering.avg_cluster_size)
+    if workers < 1:
+        raise ClusteringError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        evaluations = [_evaluate_one_k(attention, k, base) for k in ks]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(ks)), mp_context=pool_context()
+        ) as pool:
+            evaluations = list(
+                pool.map(_evaluate_one_k, repeat(attention), ks, repeat(base))
+            )
+    inertias, silhouettes, avg_sizes = (
+        zip(*evaluations) if evaluations else ((), (), ())
+    )
     return KSelectionSweep(
         ks=tuple(ks),
         inertias=tuple(inertias),
         silhouettes=tuple(silhouettes),
         avg_sizes=tuple(avg_sizes),
+    )
+
+
+def _evaluate_one_k(
+    attention: AttentionMatrix, k: int, base: UserClusteringConfig
+) -> tuple[float, float, float]:
+    """One sweep point: (inertia, silhouette, avg size) for one k.
+
+    Module-level so sweep workers can unpickle it.  Restarts stay serial
+    inside a sweep worker — the sweep itself is the fan-out axis.
+    """
+    clustering = cluster_users(
+        attention,
+        UserClusteringConfig(
+            k=k,
+            n_init=base.n_init,
+            max_iter=base.max_iter,
+            tol=base.tol,
+            seed=base.seed,
+            silhouette_memory_mb=base.silhouette_memory_mb,
+        ),
+    )
+    return (
+        clustering.result.inertia,
+        clustering.silhouette,
+        clustering.avg_cluster_size,
     )

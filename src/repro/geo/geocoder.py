@@ -34,8 +34,8 @@ from repro.geo.gazetteer import STATES
 FOREIGN_LOCATIONS: dict[str, str] = {
     "london": "GB", "uk": "GB", "united kingdom": "GB", "england": "GB",
     "manchester uk": "GB", "scotland": "GB", "wales": "GB",
-    "toronto": "CA-ON", "vancouver": "CA-ON", "canada": "CA-ON",
-    "montreal": "CA-ON", "ontario": "CA-ON",
+    "toronto": "CA-ON", "vancouver": "CA-BC", "canada": "CA",
+    "montreal": "CA-QC", "ontario": "CA-ON",
     "sydney": "AU", "melbourne": "AU", "australia": "AU",
     "mumbai": "IN-C", "delhi": "IN-C", "india": "IN-C", "bangalore": "IN-C",
     "lagos": "NG", "nigeria": "NG", "abuja": "NG",
@@ -142,6 +142,10 @@ class Geocoder:
             (code, re.compile(rf"\b{re.escape(nickname)}\b"))
             for nickname, code in self._nicknames.items()
         ]
+        self._metro_patterns = [
+            (code, re.compile(rf"\b{re.escape(metro)}\b"))
+            for metro, code in METRO_AREAS.items()
+        ]
         self._cache: dict[str, GeoMatch] = {}
 
     def geocode(self, location: str | None) -> GeoMatch:
@@ -191,7 +195,9 @@ class Geocoder:
         tail = tail.strip().rstrip(".")
         tail_lower = tail.lower()
         code = self._state_by_code.get(tail.upper())
-        if code is not None and (len(tail) == 2 or tail_lower in _US_COUNTRY_TERMS):
+        if code is not None:
+            # USPS codes are exactly two letters, so a gazetteer hit on
+            # the upcased tail is already a definitive abbrev match.
             return GeoMatch("US", code, 0.95, "comma-abbrev")
         state = self._state_by_name.get(tail_lower)
         if state is not None:
@@ -241,8 +247,8 @@ class Geocoder:
         state = METRO_AREAS.get(lowered)
         if state is not None:
             return GeoMatch("US", state, 0.6, "metro")
-        for metro, code in METRO_AREAS.items():
-            if re.search(rf"\b{re.escape(metro)}\b", lowered):
+        for code, pattern in self._metro_patterns:
+            if pattern.search(lowered):
                 return GeoMatch("US", code, 0.55, "metro-embedded")
         return None
 

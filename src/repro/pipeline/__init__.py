@@ -14,6 +14,7 @@ and keeps provenance counters for every drop reason.
 
 from repro.pipeline.augment import augment_location
 from repro.pipeline.collect import collect
+from repro.pipeline.parallel import process_shard, run_sharded, shard_by_id
 from repro.pipeline.runner import CollectionPipeline, PipelineReport
 from repro.pipeline.usfilter import is_us_located
 
@@ -23,4 +24,7 @@ __all__ = [
     "augment_location",
     "collect",
     "is_us_located",
+    "process_shard",
+    "run_sharded",
+    "shard_by_id",
 ]

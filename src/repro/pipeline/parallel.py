@@ -1,0 +1,124 @@
+"""Sharded parallel execution of the collection pipeline.
+
+The collect → augment → US-filter loop is embarrassingly parallel: every
+tweet is processed independently and the provenance counters are plain
+sums.  This module shards a firehose across worker processes and merges
+the results so that the outcome is *indistinguishable* from a serial run:
+
+* **Deterministic sharding** — tweets are routed to shard
+  ``tweet_id % workers``, so shard membership depends only on the data,
+  never on timing or scheduler interleaving.
+* **Per-worker state** — each worker builds its own
+  :class:`~repro.geo.geocoder.Geocoder` and
+  :class:`~repro.nlp.matcher.OrganMatcher`; nothing is shared, so there
+  is no cross-process cache coherence to reason about.
+* **Ordered merge** — each retained record carries its position in the
+  original stream; the merged corpus is sorted by that position, making
+  it byte-identical to the serial corpus.
+* **Counter merge** — per-shard :class:`PipelineReport` objects are
+  combined with :meth:`PipelineReport.merge`; every counter is a sum over
+  disjoint shards, so totals equal the serial run exactly.
+
+Fault injection / resilient consumption is transport-level and happens in
+the parent *before* sharding (a reconnecting stream is inherently a
+single consumer); see :meth:`CollectionPipeline.run`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+
+from repro.config import CollectionConfig
+from repro.dataset.records import CollectedTweet
+from repro.errors import ConfigError
+from repro.geo.geocoder import Geocoder
+from repro.nlp.keywords import build_query_set, track_phrases
+from repro.nlp.matcher import OrganMatcher
+from repro.pipeline.runner import PipelineReport, process_matched
+from repro.procpool import pool_context
+from repro.twitter.models import Tweet
+from repro.twitter.stream import TrackFilter
+
+#: One shard is a list of (original stream position, tweet).
+Shard = list[tuple[int, Tweet]]
+
+
+def shard_by_id(source: Iterable[Tweet], workers: int) -> list[Shard]:
+    """Partition a tweet stream into ``workers`` deterministic shards.
+
+    Routing is round-robin on ``tweet_id % workers`` — stable across runs
+    and machines — and each tweet keeps its position in the original
+    stream so the merge can restore exact serial order.
+
+    Raises:
+        ConfigError: if ``workers`` is not a positive integer.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    shards: list[Shard] = [[] for __ in range(workers)]
+    for position, tweet in enumerate(source):
+        shards[tweet.tweet_id % workers].append((position, tweet))
+    return shards
+
+
+def process_shard(
+    shard: Shard, config: CollectionConfig
+) -> tuple[list[tuple[int, CollectedTweet]], PipelineReport]:
+    """Run collect → augment → US-filter over one shard.
+
+    Executed inside a worker process: constructs its own geocoder and
+    matcher, returns position-tagged surviving records plus the shard's
+    provenance counters.
+    """
+    geocoder = Geocoder()
+    matcher = OrganMatcher()
+    track = TrackFilter(
+        track_phrases(
+            build_query_set(config.context_terms, config.subject_terms)
+        )
+    )
+    report = PipelineReport()
+    out: list[tuple[int, CollectedTweet]] = []
+    for position, tweet in shard:
+        if not track.matches(tweet.text):
+            report.stream_dropped += 1
+            continue
+        report.collected += 1
+        record = process_matched(tweet, geocoder, matcher, config, report)
+        if record is not None:
+            out.append((position, record))
+    return out, report
+
+
+def run_sharded(
+    source: Iterable[Tweet],
+    config: CollectionConfig,
+    workers: int,
+) -> tuple[list[CollectedTweet], PipelineReport]:
+    """Shard ``source`` across ``workers`` processes and merge the results.
+
+    Returns records in original stream order and the merged report; both
+    are identical to what the serial loop produces.  ``workers=1``
+    processes the single shard in-process (no pool), which keeps the
+    sharded path testable without multiprocessing overhead.
+
+    Raises:
+        ConfigError: if ``workers`` is not a positive integer.
+    """
+    shards = shard_by_id(source, workers)
+    if workers == 1:
+        results = [process_shard(shards[0], config)]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=pool_context()
+        ) as pool:
+            results = list(pool.map(process_shard, shards, repeat(config)))
+    report = PipelineReport()
+    tagged: list[tuple[int, CollectedTweet]] = []
+    for shard_records, shard_report in results:
+        report = report.merge(shard_report)
+        tagged.extend(shard_records)
+    tagged.sort(key=lambda item: item[0])
+    return [record for __, record in tagged], report

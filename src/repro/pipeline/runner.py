@@ -4,17 +4,21 @@ Runs collect → augment → US-filter over a tweet source and produces a
 :class:`repro.dataset.corpus.TweetCorpus`, recording how many tweets each
 stage dropped and why — the numbers behind Table I's footnote ("134,986 out
 of 975,021 tweets could be identified as from USA users").
+
+The per-tweet stage logic lives in :func:`process_matched` so that the
+serial loop here and the sharded workers in
+:mod:`repro.pipeline.parallel` run exactly the same code path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.config import CollectionConfig, ResiliencePolicy
 from repro.dataset.corpus import TweetCorpus
 from repro.dataset.records import CollectedTweet
-from repro.errors import PipelineError
+from repro.errors import ConfigError, PipelineError
 from repro.geo.geocoder import Geocoder
 from repro.nlp.matcher import OrganMatcher
 from repro.pipeline.augment import augment_location
@@ -41,6 +45,9 @@ class PipelineReport:
         unresolved: collected tweets with no resolvable location.
         non_us: collected tweets resolved outside the USA (or to the USA
             without a state).
+        us_located: collected tweets resolved to a US state — the paper's
+            "identified as from USA users" population, regardless of
+            whether an organ mention was extractable afterwards.
         no_mentions: US-located tweets where no organ mention could be
             extracted (keyword matched inside a URL or mention handle).
         retained: tweets surviving the US filter — the analysis dataset.
@@ -54,14 +61,51 @@ class PipelineReport:
     located_profile: int = 0
     unresolved: int = 0
     non_us: int = 0
+    us_located: int = 0
     no_mentions: int = 0
     retained: int = 0
     reliability: ReliabilityReport | None = None
 
     @property
     def us_yield(self) -> float:
-        """Fraction of collected tweets attributable to US users."""
+        """Fraction of collected tweets attributable to US users.
+
+        The paper's 134,986 / 975,021 footnote counts every tweet located
+        to a US state, including ones later dropped because no organ
+        mention survived extraction; retention is reported separately.
+        """
+        return self.us_located / self.collected if self.collected else 0.0
+
+    @property
+    def retention(self) -> float:
+        """Fraction of collected tweets that reached the analysis set."""
         return self.retained / self.collected if self.collected else 0.0
+
+    def merge(self, other: "PipelineReport") -> "PipelineReport":
+        """Combine two shard reports into one (counters sum).
+
+        Reliability counters are transport-level and belong to the single
+        resilient consumer, so at most one side may carry them.
+
+        Raises:
+            PipelineError: if both reports carry a reliability report.
+        """
+        if self.reliability is not None and other.reliability is not None:
+            raise PipelineError(
+                "cannot merge two reports that both carry reliability data"
+            )
+        merged = PipelineReport(
+            reliability=self.reliability or other.reliability
+        )
+        for spec in fields(PipelineReport):
+            if spec.name == "reliability":
+                continue
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return merged
 
     def as_rows(self) -> list[tuple[str, str]]:
         rows = [
@@ -71,13 +115,48 @@ class PipelineReport:
             ("Located via profile geocoding", f"{self.located_profile:,}"),
             ("Unresolvable location", f"{self.unresolved:,}"),
             ("Resolved outside US states", f"{self.non_us:,}"),
+            ("Located in a US state", f"{self.us_located:,}"),
             ("No extractable organ mention", f"{self.no_mentions:,}"),
             ("Retained (US analysis set)", f"{self.retained:,}"),
             ("US yield", f"{self.us_yield:.1%}"),
+            ("Retention", f"{self.retention:.1%}"),
         ]
         if self.reliability is not None:
             rows.extend(self.reliability.as_rows())
         return rows
+
+
+def process_matched(
+    tweet: Tweet,
+    geocoder: Geocoder,
+    matcher: OrganMatcher,
+    config: CollectionConfig,
+    report: PipelineReport,
+) -> CollectedTweet | None:
+    """Augment → US-filter → mention-extraction for one collected tweet.
+
+    Updates ``report`` counters in place and returns the surviving record,
+    or ``None`` when the tweet was dropped.  ``report.collected`` is the
+    caller's responsibility (the keyword filter runs upstream).
+    """
+    match = augment_location(tweet, geocoder, config)
+    if not match.resolved:
+        report.unresolved += 1
+        return None
+    if match.source == "gps":
+        report.located_gps += 1
+    else:
+        report.located_profile += 1
+    if not is_us_located(match, config):
+        report.non_us += 1
+        return None
+    report.us_located += 1
+    mentions = matcher.mentions(tweet.text)
+    if not mentions:
+        report.no_mentions += 1
+        return None
+    report.retained += 1
+    return CollectedTweet(tweet=tweet, location=match, mentions=dict(mentions))
 
 
 @dataclass(slots=True)
@@ -100,6 +179,7 @@ class CollectionPipeline:
         self,
         source: Iterable[Tweet],
         fault_plan: FaultPlan | None = None,
+        workers: int = 1,
     ) -> tuple[TweetCorpus, PipelineReport]:
         """Run the full pipeline over a tweet source.
 
@@ -110,13 +190,21 @@ class CollectionPipeline:
                 consumed through a :class:`ResilientStream`; the chaos
                 run retains exactly the records of a fault-free run and
                 ``report.reliability`` documents what it survived.
+            workers: processes to shard the collect→augment→US-filter
+                loop across.  ``1`` (default) runs serially in-process;
+                any value produces a byte-identical corpus and identical
+                counters (see :mod:`repro.pipeline.parallel`).  Fault
+                recovery is transport-level and always runs in the parent
+                before sharding.
 
         Raises:
             PipelineError: if no tweet survives (nothing to analyze).
             repro.errors.ConfigError: if ``fault_plan`` is incompatible
-                with this pipeline's resilience policy.
+                with this pipeline's resilience policy, or ``workers``
+                is not a positive integer.
         """
-        report = PipelineReport()
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
         resilient: ResilientStream | None = None
         if fault_plan is not None:
             ensure_compatible(self.resilience, fault_plan)
@@ -124,34 +212,30 @@ class CollectionPipeline:
                 FaultySource(source, fault_plan), self.resilience
             )
             source = resilient
-        records: list[CollectedTweet] = []
-        stream = collect(source, self.config)
-        for tweet in stream:
-            report.collected += 1
-            match = augment_location(tweet, self.geocoder, self.config)
-            if not match.resolved:
-                report.unresolved += 1
-                continue
-            if match.source == "gps":
-                report.located_gps += 1
-            else:
-                report.located_profile += 1
-            if not is_us_located(match, self.config):
-                report.non_us += 1
-                continue
-            mentions = self.matcher.mentions(tweet.text)
-            if not mentions:
-                report.no_mentions += 1
-                continue
-            records.append(
-                CollectedTweet(
-                    tweet=tweet, location=match, mentions=dict(mentions)
-                )
-            )
-            report.retained += 1
-        report.stream_dropped = stream.dropped
+        if workers > 1:
+            from repro.pipeline.parallel import run_sharded
+
+            records, report = run_sharded(source, self.config, workers)
+        else:
+            records, report = self._run_serial(source)
         if resilient is not None:
             report.reliability = resilient.report
         if not records:
             raise PipelineError("pipeline retained zero tweets")
         return TweetCorpus(records), report
+
+    def _run_serial(
+        self, source: Iterable[Tweet]
+    ) -> tuple[list[CollectedTweet], PipelineReport]:
+        report = PipelineReport()
+        records: list[CollectedTweet] = []
+        stream = collect(source, self.config)
+        for tweet in stream:
+            report.collected += 1
+            record = process_matched(
+                tweet, self.geocoder, self.matcher, self.config, report
+            )
+            if record is not None:
+                records.append(record)
+        report.stream_dropped = stream.dropped
+        return records, report

@@ -1,0 +1,47 @@
+"""Shared process-pool plumbing for the parallel execution layer.
+
+Used by the sharded collection pipeline
+(:mod:`repro.pipeline.parallel`), parallel K-Means restarts
+(:mod:`repro.cluster.kmeans`), and the parallel k-sweep
+(:mod:`repro.core.user_clusters`).  Centralizing the start-method choice
+keeps every fan-out site consistent: ``fork`` where available (Linux) —
+a worker inherits the parent's imports, so there is no per-process
+re-import cost — falling back to the platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def pick_start_method() -> str:
+    """``fork`` when the platform offers it, else the platform default."""
+    available = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in available else available[0]
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every repro pool should use."""
+    return multiprocessing.get_context(pick_start_method())
+
+
+def split_chunks(items: list[T], parts: int) -> list[list[T]]:
+    """Split items into at most ``parts`` contiguous non-empty chunks.
+
+    Sizes differ by at most one, largest first — the standard balanced
+    partition for fanning a fixed work list across workers.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    parts = min(parts, len(items))
+    size, extra = divmod(len(items), parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for part in range(parts):
+        end = start + size + (1 if part < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks

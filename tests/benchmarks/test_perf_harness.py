@@ -1,0 +1,92 @@
+"""Tests for the performance-benchmark harness and its JSON schema."""
+
+import json
+
+import pytest
+
+from benchmarks.perf.harness import (
+    SCHEMA_VERSION,
+    run_suite,
+    synthetic_attention,
+    validate_payload,
+)
+from benchmarks.perf.run_bench import main as run_bench_main
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_suite(
+        sizes=(1_500,), worker_counts=(1, 2), seed=5, smoke=True,
+        cluster_users_n=300, cluster_ks=(11, 12),
+    )
+
+
+class TestRunSuite:
+    def test_payload_validates(self, smoke_payload):
+        assert validate_payload(smoke_payload) == []
+
+    def test_parallel_runs_byte_identical(self, smoke_payload):
+        runs = smoke_payload["pipeline"][0]["runs"]
+        assert [run["workers"] for run in runs] == [1, 2]
+        assert runs[1]["byte_identical_to_serial"] is True
+
+    def test_throughput_and_speedup_recorded(self, smoke_payload):
+        for run in smoke_payload["pipeline"][0]["runs"]:
+            assert run["throughput_tweets_per_s"] > 0
+            assert run["speedup_vs_serial"] > 0
+
+    def test_cpu_count_recorded(self, smoke_payload):
+        assert smoke_payload["cpu_count"] >= 1
+
+    def test_json_serializable(self, smoke_payload):
+        assert json.loads(json.dumps(smoke_payload)) is not None
+
+
+class TestValidatePayload:
+    def test_rejects_non_object(self):
+        assert validate_payload([]) == ["payload is not an object"]
+
+    def test_rejects_wrong_schema_version(self, smoke_payload):
+        bad = dict(smoke_payload, schema_version=SCHEMA_VERSION + 1)
+        assert any("schema_version" in p for p in validate_payload(bad))
+
+    def test_rejects_missing_pipeline(self, smoke_payload):
+        bad = {k: v for k, v in smoke_payload.items() if k != "pipeline"}
+        assert any("pipeline" in p for p in validate_payload(bad))
+
+    def test_rejects_non_identical_parallel_run(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["pipeline"][0]["runs"][1]["byte_identical_to_serial"] = False
+        assert any("byte-identical" in p for p in validate_payload(bad))
+
+
+class TestSyntheticAttention:
+    def test_rows_normalized(self):
+        attention = synthetic_attention(50, seed=0)
+        sums = attention.normalized.sum(axis=1)
+        assert abs(sums - 1.0).max() < 1e-9
+
+    def test_deterministic(self):
+        a = synthetic_attention(30, seed=1)
+        b = synthetic_attention(30, seed=1)
+        assert (a.counts == b.counts).all()
+
+
+class TestCli:
+    def test_smoke_writes_artifact(self, tmp_path):
+        output = tmp_path / "BENCH_pipeline.json"
+        code = run_bench_main([
+            "--smoke", "--sizes", "1500", "--workers", "1", "2",
+            "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert validate_payload(payload) == []
+        assert payload["smoke"] is True
+
+    def test_workers_must_start_with_serial(self, tmp_path, capsys):
+        code = run_bench_main([
+            "--smoke", "--workers", "2",
+            "--output", str(tmp_path / "x.json"),
+        ])
+        assert code == 2

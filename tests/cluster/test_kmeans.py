@@ -74,6 +74,61 @@ class TestDeterminismAndRestarts:
         many = KMeans(k=8, n_init=10, seed=3).fit(points)
         assert many.inertia <= one.inertia + 1e-9
 
+    def test_parallel_restarts_match_serial(self):
+        """The winning fit is identical for any worker count."""
+        rng = np.random.default_rng(11)
+        points = rng.random((120, 4))
+        serial = KMeans(k=6, n_init=8, seed=3, workers=1).fit(points)
+        for workers in (2, 4):
+            parallel = KMeans(k=6, n_init=8, seed=3, workers=workers).fit(points)
+            assert np.array_equal(serial.labels, parallel.labels)
+            np.testing.assert_array_equal(serial.centers, parallel.centers)
+            assert serial.inertia == parallel.inertia
+            assert serial.n_iter == parallel.n_iter
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ClusteringError):
+            KMeans(k=2, workers=0)
+
+
+class TestEmptyClusterReseeding:
+    def test_simultaneous_empty_clusters_get_distinct_centers(self):
+        """Regression: two clusters emptied in the same Lloyd iteration
+        used to be re-seeded at the *same* worst-fit row, collapsing to
+        duplicate centers and effectively fewer than k clusters."""
+        rng = np.random.default_rng(0)
+        # Four tight blobs, far apart, so each deserves its own center.
+        blobs = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0], [40.0, 40.0]])
+        points = np.vstack([
+            blob + rng.normal(scale=0.05, size=(25, 2)) for blob in blobs
+        ])
+        model = KMeans(k=4, n_init=1, max_iter=100, seed=0)
+        # Force the degenerate start: all k centers identical, so k−1
+        # clusters are empty in the very first iteration.
+        model._init_centers = lambda matrix, rng: np.tile(points[0], (4, 1))
+        result = model.fit(points)
+        distinct = {tuple(np.round(center, 6)) for center in result.centers}
+        assert len(distinct) == 4
+        assert (result.cluster_sizes() > 0).all()
+
+    def test_reseeded_fit_still_usable(self):
+        """After reseeding, the fit must be a genuine k-way partition —
+        every cluster populated and strictly better than a single-cluster
+        fit (reseeding repairs degenerate starts; it does not promise the
+        global optimum)."""
+        rng = np.random.default_rng(1)
+        blobs = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]])
+        points = np.vstack([
+            blob + rng.normal(scale=0.05, size=(30, 2)) for blob in blobs
+        ])
+        model = KMeans(k=3, n_init=1, max_iter=100, seed=0)
+        model._init_centers = lambda matrix, rng: np.tile(points[0], (3, 1))
+        result = model.fit(points)
+        assert (result.cluster_sizes() > 0).all()
+        assert len({tuple(np.round(c, 6)) for c in result.centers}) == 3
+        baseline = KMeans(k=1, seed=0).fit(points).inertia
+        assert result.inertia < baseline
+
 
 class TestEdgeCases:
     def test_k_larger_than_m_rejected(self):

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.cluster.silhouette import silhouette_samples, silhouette_score
+from repro.cluster.silhouette import (
+    chunk_rows,
+    silhouette_samples,
+    silhouette_score,
+)
 from repro.errors import ClusteringError
 
 
@@ -86,6 +90,71 @@ class TestSubsampling:
         rows, labels = blobs(5.0)
         with pytest.raises(ClusteringError):
             silhouette_score(rows, labels, sample_size=1)
+
+
+class TestChunkedEvaluation:
+    """The chunked (bounded-memory) path must match the direct one."""
+
+    @staticmethod
+    def direct_samples(rows: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Reference implementation via the full m×m distance matrix."""
+        m = rows.shape[0]
+        diff = rows[:, None, :] - rows[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=2))
+        unique = np.unique(labels)
+        out = np.empty(m)
+        for i in range(m):
+            own = labels[i]
+            mates = (labels == own) & (np.arange(m) != i)
+            if not mates.any():
+                out[i] = 0.0
+                continue
+            a = dist[i, mates].mean()
+            b = min(
+                dist[i, labels == other].mean()
+                for other in unique
+                if other != own
+            )
+            denom = max(a, b)
+            out[i] = 0.0 if denom == 0.0 else (b - a) / denom
+        return out
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_direct_computation(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.normal(size=(90, 3))
+        labels = rng.integers(0, 4, size=90)
+        expected = self.direct_samples(rows, labels)
+        got = silhouette_samples(rows, labels)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_budget_independent(self):
+        """Any memory budget gives the same silhouette values."""
+        rows, labels = blobs(3.0, seed=5)
+        reference = silhouette_samples(rows, labels)
+        for budget_mb in (1e-5, 1e-4, 1e-3, 256.0):
+            chunked = silhouette_samples(
+                rows, labels, memory_budget_mb=budget_mb
+            )
+            np.testing.assert_allclose(chunked, reference, atol=1e-12)
+
+    def test_tiny_budget_degrades_to_row_at_a_time(self):
+        assert chunk_rows(80, 1e-9) == 1
+
+    def test_chunk_rows_within_budget(self):
+        m = 72_000
+        budget_mb = 256.0
+        rows_per_block = chunk_rows(m, budget_mb)
+        block_bytes = rows_per_block * m * 8
+        assert 0 < block_bytes <= budget_mb * 1024 * 1024
+        # The full m×m matrix would be ~41 GB; the block must be far
+        # smaller, which is the whole point of chunking.
+        assert rows_per_block < m
+
+    def test_invalid_budget_rejected(self):
+        rows, labels = blobs(3.0)
+        with pytest.raises(ClusteringError):
+            silhouette_samples(rows, labels, memory_budget_mb=0.0)
 
 
 class TestValidation:

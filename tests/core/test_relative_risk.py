@@ -83,12 +83,23 @@ class TestStateOrganRisks:
         assert all(r.insufficient_data for r in ks)
         assert not any(r.highlighted for r in ks)
 
-    def test_single_state_corpus_yields_nothing(self):
+    def test_single_state_corpus_reports_insufficient_data(self):
+        """Regression: a single-state corpus used to vanish entirely from
+        the output instead of surfacing as insufficient data."""
+        import math
+
         corpus = TweetCorpus([
             record(1, {Organ.KIDNEY: 1}, "KS", 1),
             record(2, {Organ.HEART: 1}, "KS", 2),
         ])
-        assert state_organ_risks(corpus) == []
+        risks = state_organ_risks(corpus)
+        assert len(risks) == len(ORGANS)
+        assert {r.state for r in risks} == {"KS"}
+        for risk in risks:
+            assert risk.insufficient_data
+            assert not risk.highlighted
+            assert risk.n_outside_users == 0
+            assert math.isnan(risk.result.rr)
 
 
 class TestHighlightedOrgans:
@@ -106,6 +117,15 @@ class TestHighlightedOrgans:
     def test_all_states_in_mapping(self):
         highlights = highlighted_organs(synthetic_excess_corpus())
         assert set(highlights) == {"KS", "CA", "TX", "NY"}
+
+    def test_single_state_corpus_maps_to_empty_tuple(self):
+        """Regression: the docstring promises every seen state maps to a
+        tuple, but a single-state corpus used to drop the state."""
+        corpus = TweetCorpus([
+            record(1, {Organ.KIDNEY: 1}, "KS", 1),
+            record(2, {Organ.HEART: 1}, "KS", 2),
+        ])
+        assert highlighted_organs(corpus) == {"KS": ()}
 
     def test_alpha_tightening_reduces_highlights(self, midsize_corpus):
         loose = highlighted_organs(

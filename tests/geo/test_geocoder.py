@@ -146,6 +146,38 @@ class TestCountryAndForeign:
         match = geocoder.geocode("Somewhere, Canada")
         assert match.country and match.country != "US"
 
+    @pytest.mark.parametrize(
+        "city,code",
+        [
+            ("Vancouver", "CA-BC"),
+            ("Montreal", "CA-QC"),
+            ("Toronto", "CA-ON"),
+        ],
+    )
+    def test_canadian_cities_get_province_accurate_codes(
+        self, geocoder, city, code
+    ):
+        """Regression: Vancouver and Montreal were mapped to Ontario."""
+        match = geocoder.geocode(city)
+        assert match.country == code
+        assert not match.is_us_state
+
+    def test_comma_abbrev_matches_without_country_term(self, geocoder):
+        # The abbrev branch must fire on the gazetteer hit alone; the old
+        # `tail in US-country-terms` clause was dead (no state code is a
+        # country term) and is gone.
+        match = geocoder.geocode("Wichita, KS")
+        assert match.state == "KS"
+        assert match.source == "comma-abbrev"
+
+    def test_metro_patterns_precompiled(self, geocoder):
+        # The embedded-metro path must use patterns built at construction
+        # time (the hot path must not compile per call).
+        assert geocoder._metro_patterns
+        match = geocoder.geocode("deep in the pacific northwest somewhere")
+        assert match.state == "WA"
+        assert match.source == "metro-embedded"
+
 
 class TestUnresolved:
     @pytest.mark.parametrize(

@@ -97,11 +97,47 @@ class TestPipelineComposition:
         __, report = CollectionPipeline().run(source)
         assert report.us_yield == pytest.approx(0.5)
 
+    def test_us_yield_counts_us_located_without_mentions(self):
+        """Regression: us_yield divided `retained`/`collected`, excluding
+        US-located tweets whose keyword match had no extractable organ
+        mention — but the paper's 134,986/975,021 footnote counts every
+        tweet identified as from a USA user."""
+        from repro.nlp.matcher import OrganMatcher
+        from repro.organs import Organ
+
+        # A matcher that knows fewer aliases than the track vocabulary:
+        # "kidney donor" is collected but yields no extractable mention.
+        pipeline = CollectionPipeline(
+            matcher=OrganMatcher(aliases={"liver": Organ.LIVER})
+        )
+        source = [
+            tweet("liver donor", "Wichita, KS", 1),
+            tweet("kidney donor", "Topeka, KS", 2),
+            tweet("liver donor", "London", 3),
+        ]
+        __, report = pipeline.run(source)
+        assert report.no_mentions == 1
+        assert report.us_located == 2
+        assert report.retained == 1
+        assert report.us_yield == pytest.approx(2 / 3)
+        assert report.retention == pytest.approx(1 / 3)
+
+    def test_us_located_identity(self):
+        source = [
+            tweet("kidney donor", "Wichita, KS", 1),
+            tweet("liver transplant", "London", 2),
+            tweet("heart donor", "the moon", 3),
+        ]
+        __, report = CollectionPipeline().run(source)
+        assert report.us_located == report.retained + report.no_mentions
+
     def test_report_renders_rows(self):
         source = [tweet("kidney donor", "Wichita, KS", 1)]
         __, report = CollectionPipeline().run(source)
         labels = [label for label, __ in report.as_rows()]
         assert "US yield" in labels
+        assert "Retention" in labels
+        assert "Located in a US state" in labels
 
 
 class TestPipelineOnSyntheticWorld:

@@ -1,0 +1,76 @@
+"""Parallel-equivalence properties.
+
+The headline guarantee of the sharded pipeline: for any worker count the
+corpus is *byte-identical* to the serial run and the merged report agrees
+on every counter — including when the transport is under chaos-mode fault
+injection, since recovery happens in the parent before sharding.
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline.runner import CollectionPipeline, PipelineReport
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+from repro.twitter.faults import FaultPlan
+
+SEEDS = (3, 11, 42)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_firehose(seed: int) -> list:
+    world = SyntheticWorld(paper2016_scenario(scale=0.004, seed=seed))
+    return list(world.firehose())
+
+
+def corpus_bytes(corpus) -> bytes:
+    return "\n".join(
+        json.dumps(record.to_dict(), ensure_ascii=False)
+        for record in corpus.records
+    ).encode("utf-8")
+
+
+def counters(report: PipelineReport) -> dict[str, int]:
+    return {
+        name: getattr(report, name)
+        for name in (
+            "stream_dropped", "collected", "located_gps", "located_profile",
+            "unresolved", "non_us", "us_located", "no_mentions", "retained",
+        )
+    }
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_corpus_and_counters_identical(self, seed, workers):
+        source = make_firehose(seed)
+        serial_corpus, serial_report = CollectionPipeline().run(source)
+        corpus, report = CollectionPipeline().run(source, workers=workers)
+        assert corpus_bytes(corpus) == corpus_bytes(serial_corpus)
+        assert counters(report) == counters(serial_report)
+        assert report.us_yield == serial_report.us_yield
+        assert report.retention == serial_report.retention
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_run_survives_sharding(self, seed):
+        """Fault recovery is transport-level (parent side), so chaos plus
+        sharding must still reproduce the fault-free serial corpus."""
+        source = make_firehose(seed)
+        serial_corpus, serial_report = CollectionPipeline().run(source)
+        corpus, report = CollectionPipeline().run(
+            source, fault_plan=FaultPlan.chaos(seed=seed), workers=2
+        )
+        assert corpus_bytes(corpus) == corpus_bytes(serial_corpus)
+        assert counters(report) == counters(serial_report)
+        assert report.reliability is not None
+        assert report.reliability.total_retries > 0
+
+    def test_worker_counts_agree_with_each_other(self):
+        source = make_firehose(SEEDS[0])
+        outputs = [
+            corpus_bytes(CollectionPipeline().run(source, workers=w)[0])
+            for w in WORKER_COUNTS
+        ]
+        assert len(set(outputs)) == 1
