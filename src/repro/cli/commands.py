@@ -194,6 +194,41 @@ def cmd_replicate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint; exit non-zero when any finding survives."""
+    import json
+
+    from repro.lint import ALL_RULES, UnknownRuleError, run_lint, select_rules
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        rules = select_rules(
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules
+            else None
+        )
+    except UnknownRuleError as exc:
+        print(f"error: {exc}")
+        return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}")
+        return 2
+    findings = run_lint(args.paths, rules=rules)
+    if args.format == "json":
+        print(json.dumps([finding.to_dict() for finding in findings],
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"reprolint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     """Generate a world and verify Table I calibration."""
     world = SyntheticWorld(paper2016_scenario(scale=args.scale, seed=args.seed))

@@ -106,6 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--scale", type=float, default=0.12)
     replicate.set_defaults(func=commands.cmd_replicate)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the reprolint determinism/reliability analyzer "
+        "(RPL001–RPL006) over the source tree",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to analyze "
+                      "(default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run "
+                      "(default: all rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=commands.cmd_lint)
+
     return parser
 
 

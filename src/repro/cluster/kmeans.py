@@ -198,7 +198,11 @@ def _fit_restart_chunk(
         result = model._fit_once(matrix, np.random.default_rng(streams[index]))
         if best is None or result.inertia < best.inertia:
             best, best_index = result, index
-    assert best is not None
+    if best is None:
+        raise ClusteringError(
+            "restart chunk is empty: no restarts were assigned to this "
+            "worker"
+        )
     return best_index, best
 
 

@@ -53,7 +53,9 @@ class StateClustering:
         groups: dict[int, list[str]] = {}
         for state in self.leaf_order():
             groups.setdefault(assignment[state], []).append(state)
-        return [tuple(members) for members in groups.values()]
+        # groups is inserted in leaf order, so .values() iteration is
+        # deterministic here (insertion-ordered by construction).
+        return [tuple(members) for members in groups.values()]  # reprolint: disable=RPL003
 
 
 def cluster_states(

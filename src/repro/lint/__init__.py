@@ -1,0 +1,51 @@
+"""reprolint — AST-based determinism & reliability analyzer.
+
+The repo's headline guarantees (byte-identical corpora and cluster
+assignments for any worker count, under chaos injection) rest on coding
+conventions no generic linter checks.  This package enforces them as
+named rules over the whole ``src/repro`` tree:
+
+======  ==============================================================
+RPL001  unseeded or implicit RNG (hidden global state)
+RPL002  wall-clock read outside benchmarks/CLI/tests
+RPL003  unordered set/dict-view iteration feeding ordered output
+RPL004  bare/over-broad except that can swallow injected faults
+RPL005  mutable default argument (shared across calls)
+RPL006  assert for runtime validation (stripped under ``python -O``)
+RPL007  unused ``# reprolint: disable=`` suppression
+RPL900  file does not parse
+======  ==============================================================
+
+Use :func:`run_lint` as a library, ``repro lint`` from the shell, and
+``tests/lint/test_self_clean.py`` as the CI gate that keeps the repo
+clean against its own analyzer.  Silence a deliberate violation inline
+with ``# reprolint: disable=RPL00x`` on the reported line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    PARSE_ERROR,
+    UnknownRuleError,
+    iter_python_files,
+    lint_source,
+    run_lint,
+    select_rules,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.lint.suppress import UNUSED_SUPPRESSION
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "PARSE_ERROR",
+    "UNUSED_SUPPRESSION",
+    "Finding",
+    "Rule",
+    "UnknownRuleError",
+    "iter_python_files",
+    "lint_source",
+    "run_lint",
+    "select_rules",
+]

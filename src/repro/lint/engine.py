@@ -1,0 +1,110 @@
+"""reprolint engine: file discovery, rule execution, suppression.
+
+``run_lint(paths)`` is the library entry point the CLI and the self-clean
+pytest gate share.  The engine is deterministic end to end: files are
+visited in sorted order, and findings are sorted by location before being
+returned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.lint.suppress import apply_suppressions, collect_suppressions
+
+#: Rule id reported when a file cannot be parsed at all.
+PARSE_ERROR = "RPL900"
+
+
+class UnknownRuleError(ValueError):
+    """A rule id was requested that no rule provides."""
+
+
+def select_rules(rule_ids: Sequence[str] | None) -> tuple[Rule, ...]:
+    """Resolve ``--rules`` ids to rule objects; ``None`` means all."""
+    if rule_ids is None:
+        return ALL_RULES
+    rules = []
+    for rule_id in rule_ids:
+        if rule_id not in RULES_BY_ID:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise UnknownRuleError(
+                f"unknown rule {rule_id!r}; known rules: {known}"
+            )
+        rules.append(RULES_BY_ID[rule_id])
+    return tuple(rules)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            seen.update(path.rglob("*.py"))
+        else:
+            seen.add(path)
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    path: Path | str,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one file's source under a (possibly virtual) path.
+
+    The path decides role exemptions (tests/CLI/benchmarks), so fixture
+    tests can lint snippets as if they lived anywhere in the tree.
+    """
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext.build(path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        findings.extend(rule.check(ctx))
+    findings = apply_suppressions(
+        findings, collect_suppressions(source), str(path)
+    )
+    return sorted(findings)
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; return sorted findings."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule=PARSE_ERROR,
+                    message=f"file could not be read: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path, rules=rules))
+    return sorted(findings)

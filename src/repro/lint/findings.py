@@ -1,0 +1,45 @@
+"""The :class:`Finding` record emitted by every reprolint rule.
+
+A finding pins one rule violation to one source location.  Findings sort
+by ``(path, line, col, rule)`` so reports are deterministic regardless of
+rule execution order — the analyzer holds itself to the same ordering
+discipline it enforces (RPL003).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File the finding is in, as given to the engine.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: Rule identifier, e.g. ``"RPL001"``.
+        message: Human-readable explanation with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RPLxxx message`` — the text report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form for ``repro lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

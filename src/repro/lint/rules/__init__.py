@@ -1,0 +1,56 @@
+"""Rule registry for reprolint.
+
+Each rule is a small object with a ``rule_id``, a one-line ``summary``
+(shown by ``repro lint --list-rules``), and a ``check(ctx)`` method that
+yields :class:`~repro.lint.findings.Finding` objects for one file.  Rules
+never see each other's output; the engine handles suppression and merging.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Protocol
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules.asserts import RuntimeAssertRule
+from repro.lint.rules.defaults import MutableDefaultRule
+from repro.lint.rules.exceptions import BroadExceptRule
+from repro.lint.rules.ordering import UnorderedIterationRule
+from repro.lint.rules.rng import ImplicitRngRule
+from repro.lint.rules.wallclock import WallClockRule
+
+
+class Rule(Protocol):
+    """Interface every reprolint rule implements."""
+
+    rule_id: str
+    summary: str
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]: ...
+
+
+#: All rules, in id order.  The engine runs every rule on every file;
+#: per-file exemptions (tests, CLI, benchmarks) live inside the rules.
+ALL_RULES: tuple[Rule, ...] = (
+    ImplicitRngRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    BroadExceptRule(),
+    MutableDefaultRule(),
+    RuntimeAssertRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "BroadExceptRule",
+    "ImplicitRngRule",
+    "MutableDefaultRule",
+    "RuntimeAssertRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]

@@ -1,0 +1,39 @@
+"""RPL006 — ``assert`` used for runtime validation in non-test code.
+
+``python -O`` strips assert statements.  An invariant guarded only by
+``assert`` (``assert place is not None``) silently becomes a pass-through
+under optimization, and the failure surfaces later as an unrelated
+``AttributeError`` far from the broken invariant.  Non-test code must
+raise explicit exceptions; tests keep ``assert`` (pytest rewrites it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class RuntimeAssertRule:
+    rule_id = "RPL006"
+    summary = "assert for runtime validation (stripped under python -O)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield Finding(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule_id,
+                    message=(
+                        "assert is stripped under python -O; raise an "
+                        "explicit exception (ValueError/ReproError) for "
+                        "runtime validation"
+                    ),
+                )

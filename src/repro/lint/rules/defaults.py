@@ -1,0 +1,62 @@
+"""RPL005 — mutable default arguments.
+
+A mutable default is evaluated once at definition time and shared across
+every call.  In a pipeline that reuses stage objects across shards, state
+leaking through a shared ``[]``/``{}`` default silently couples workers —
+exactly the cross-shard coupling the parallel-equivalence property
+forbids.  Use ``None`` and construct inside the body.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule:
+    rule_id = "RPL005"
+    summary = "mutable default argument (shared across calls)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults: list[ast.expr] = list(node.args.defaults)
+            defaults.extend(
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            )
+            for default in defaults:
+                if _is_mutable(default):
+                    yield Finding(
+                        path=str(ctx.path),
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule=self.rule_id,
+                        message=(
+                            "mutable default is created once and shared "
+                            "by every call; default to None and build "
+                            "the value inside the function"
+                        ),
+                    )

@@ -1,0 +1,65 @@
+"""RPL004 — over-broad exception handlers that can swallow injected faults.
+
+The chaos harness (``repro.twitter.faults``) proves resilience by
+injecting disconnects, torn frames, and HTTP errors and asserting the
+corpus is still byte-identical.  A bare ``except:`` (or ``except
+Exception``/``BaseException``) between the fault source and the resilient
+client can silently absorb an injected fault, turning a real bug into a
+passed test.  Handlers that re-raise (contain any ``raise``) are allowed:
+they observe, they do not swallow.
+
+Test code is exempt.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad class caught by this handler clause, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            found = _broad_name(element)
+            if found is not None:
+                return found
+    return None
+
+
+class BroadExceptRule:
+    rule_id = "RPL004"
+    summary = "bare/over-broad except that can swallow injected faults"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_name(node.type)
+            if caught is None:
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            yield Finding(
+                path=str(ctx.path),
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule_id,
+                message=(
+                    f"{caught} swallows every error, including injected "
+                    "chaos faults; catch the specific exceptions you can "
+                    "handle, or re-raise"
+                ),
+            )

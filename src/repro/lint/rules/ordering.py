@@ -1,0 +1,236 @@
+"""RPL003 — unordered iteration flowing into ordered output.
+
+The parallel merge produces byte-identical JSONL for any worker count
+because every ordered output is built from a deterministic order.  ``set``
+iteration order depends on insertion history and string hash seeding, and
+``dict.keys()``/``.values()`` order depends on insertion order — which
+differs between workers.  This rule flags unordered sources reaching three
+ordered sinks without an enclosing ``sorted()``:
+
+* **returned sequences** — ``return list(s)``, ``return [f(x) for x in s]``
+  (returning the raw ``set`` itself is fine: the consumer decides);
+* **string joins** — ``", ".join(s)`` and joins over comprehensions whose
+  iteration source is unordered;
+* **write loops** — ``for x in s:`` whose body calls ``.write()`` /
+  ``.writelines()`` / ``json.dump`` (the JSONL emission shape).
+
+Taint is tracked per scope for simple assignments (``names = d.keys()``
+… ``"".join(names)``) so a one-variable indirection cannot hide a hazard.
+The analysis is deliberately syntactic: it has no type information, so a
+``.keys()``/``.values()`` call on *any* receiver counts as unordered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+#: Builtins whose output order is the input order (taint propagates).
+_ORDER_PRESERVING = frozenset({"list", "tuple", "reversed", "iter"})
+#: Builtins/calls that establish a deterministic order (taint cleared).
+_ORDER_FIXING = frozenset({"sorted"})
+#: Constructors of unordered collections.
+_UNORDERED_CONSTRUCTORS = frozenset({"set", "frozenset"})
+#: Methods returning dict views / set combinations with unordered order.
+_UNORDERED_METHODS = frozenset(
+    {"keys", "values", "union", "intersection", "difference",
+     "symmetric_difference"}
+)
+#: Method names that mark a for-loop body as an output writer.
+_WRITE_METHODS = frozenset({"write", "writelines", "dump"})
+
+
+class _Scope:
+    """Names currently known to hold unordered collections."""
+
+    __slots__ = ("tainted",)
+
+    def __init__(self) -> None:
+        self.tainted: set[str] = set()
+
+
+class _OrderingVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.scopes: list[_Scope] = [_Scope()]
+
+    # -- taint bookkeeping -------------------------------------------------
+
+    def _is_tainted_name(self, name: str) -> bool:
+        return any(name in scope.tainted for scope in reversed(self.scopes))
+
+    def _is_unordered(self, node: ast.expr) -> bool:
+        """Does this expression iterate in a nondeterministic order?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self._is_tainted_name(node.id)
+        if isinstance(node, ast.IfExp):
+            return self._is_unordered(node.body) or self._is_unordered(
+                node.orelse
+            )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: s | t, s & t, s - t, s ^ t
+            return self._is_unordered(node.left) or self._is_unordered(
+                node.right
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _UNORDERED_CONSTRUCTORS:
+                    return True
+                if func.id in _ORDER_FIXING:
+                    return False
+                if func.id in _ORDER_PRESERVING and node.args:
+                    return self._is_unordered(node.args[0])
+                return False
+            if isinstance(func, ast.Attribute):
+                if func.attr in _UNORDERED_METHODS and not node.args:
+                    return True
+                if func.attr in _UNORDERED_METHODS and node.args:
+                    # s.union(t) and friends take arguments.
+                    return True
+                return False
+        return False
+
+    def _comprehension_unordered(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return any(
+                self._is_unordered(gen.iter) for gen in node.generators
+            )
+        return False
+
+    # -- scope management --------------------------------------------------
+
+    def _visit_in_new_scope(self, node: ast.AST) -> None:
+        self.scopes.append(_Scope())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_in_new_scope(node)
+
+    def _record_assignment(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        scope = self.scopes[-1]
+        if self._is_unordered(value):
+            scope.tainted.add(target.id)
+        else:
+            scope.tainted.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._record_assignment(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._record_assignment(node.target, node.value)
+
+    # -- sinks -------------------------------------------------------------
+
+    def _emit(self, node: ast.stmt | ast.expr, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=str(self.ctx.path),
+                line=node.lineno,
+                col=node.col_offset,
+                rule=UnorderedIterationRule.rule_id,
+                message=message,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+        ):
+            arg = node.args[0]
+            if self._is_unordered(arg) or self._comprehension_unordered(arg):
+                self._emit(
+                    node,
+                    "string join over an unordered collection produces "
+                    "nondeterministic output; wrap the source in sorted()",
+                )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        value = node.value
+        if value is not None and not self._returns_collection_itself(value):
+            if self._comprehension_unordered(value) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _ORDER_PRESERVING
+                and value.args
+                and self._is_unordered(value.args[0])
+            ):
+                self._emit(
+                    node,
+                    "returned sequence is built by iterating an unordered "
+                    "collection; wrap the source in sorted() so callers "
+                    "see a deterministic order",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _returns_collection_itself(value: ast.expr) -> bool:
+        """Returning a set/frozenset *as a set* is not an ordered sink."""
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _UNORDERED_CONSTRUCTORS
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_unordered(node.iter) and self._body_writes(node):
+            self._emit(
+                node,
+                "write loop iterates an unordered collection, so records "
+                "land in nondeterministic order; wrap the source in "
+                "sorted()",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _body_writes(node: ast.For) -> bool:
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _WRITE_METHODS
+                ):
+                    return True
+        return False
+
+
+class UnorderedIterationRule:
+    rule_id = "RPL003"
+    summary = "unordered set/dict-view iteration feeding ordered output"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        visitor = _OrderingVisitor(ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

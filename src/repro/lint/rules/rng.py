@@ -1,0 +1,141 @@
+"""RPL001 — unseeded or implicit RNG.
+
+Parallel-equivalence (byte-identical corpora for any worker count) holds
+only because every random draw flows from an explicitly seeded
+``np.random.Generator`` or ``random.Random``.  This rule flags the ways a
+nondeterministic stream can sneak in:
+
+* ``np.random.default_rng()`` with no seed argument — seeds from the OS;
+* legacy module-level draws (``np.random.seed``, ``np.random.normal``, …)
+  — share hidden global state across modules and processes;
+* stdlib module-level draws (``random.random()``, ``random.choice``, …)
+  — same hidden-global problem;
+* ``random.Random()`` with no seed, and ``random.SystemRandom`` (which is
+  nondeterministic by design).
+
+Test code is exempt: tests may use whatever randomness they like.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+#: Legacy draw/seed functions on the hidden numpy global RNG.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "exponential",
+        "bytes",
+    }
+)
+
+#: Module-level draw functions on the hidden stdlib global RNG.
+_STDLIB_GLOBAL_DRAWS = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+
+class ImplicitRngRule:
+    rule_id = "RPL001"
+    summary = "unseeded or implicit RNG (hidden global state)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name is None:
+                continue
+            message = self._diagnose(name, node)
+            if message is not None:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule_id,
+                    message=message,
+                )
+
+    def _diagnose(self, name: str, node: ast.Call) -> str | None:
+        if name == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                return (
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; pass an explicit seed or SeedSequence"
+                )
+            return None
+        if name.startswith("numpy.random."):
+            tail = name.rsplit(".", 1)[1]
+            if tail in _NUMPY_GLOBAL_DRAWS:
+                return (
+                    f"np.random.{tail} uses the hidden numpy global RNG; "
+                    "draw from an explicitly seeded np.random.Generator"
+                )
+            return None
+        if name == "random.Random":
+            if not node.args and not node.keywords:
+                return (
+                    "random.Random() without a seed draws OS entropy; "
+                    "pass an explicit seed"
+                )
+            return None
+        if name == "random.SystemRandom":
+            return (
+                "random.SystemRandom is nondeterministic by design and "
+                "can never reproduce a run; use a seeded random.Random"
+            )
+        if name.startswith("random."):
+            tail = name.rsplit(".", 1)[1]
+            if tail in _STDLIB_GLOBAL_DRAWS:
+                return (
+                    f"random.{tail} uses the hidden stdlib global RNG; "
+                    "draw from an explicitly seeded random.Random instance"
+                )
+        return None

@@ -1,0 +1,64 @@
+"""RPL002 — wall-clock reads in core logic.
+
+A corpus built at 14:02 must be byte-identical to one built at 14:03.
+Any ``time.time()`` / ``datetime.now()`` that leaks into collection,
+clustering, or stats logic breaks replayability and makes the chaos- and
+parallel-equivalence properties flaky.  Simulated time (the synthetic
+world's clock) is the only clock core code may consult.
+
+Benchmarks, the CLI, and tests are exempt: measuring elapsed wall time is
+their job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+#: Fully qualified callables that read the host clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule:
+    rule_id = "RPL002"
+    summary = "wall-clock read outside benchmarks/CLI/tests"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        role = ctx.role
+        if role.is_test or role.is_cli or role.is_bench:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule_id,
+                    message=(
+                        f"{name}() reads the host clock; core logic must "
+                        "derive all timestamps from its inputs "
+                        "(simulated time) to stay replayable"
+                    ),
+                )

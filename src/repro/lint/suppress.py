@@ -1,0 +1,100 @@
+"""Inline suppression comments: ``# reprolint: disable=RPL001[,RPL003]``.
+
+A suppression silences the named rules **on its own line only** — for a
+multi-line statement, place the comment on the line the finding reports
+(the statement's first line).  Every suppression must earn its keep: one
+that silences nothing is itself reported as :data:`UNUSED_SUPPRESSION`
+so stale escapes cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+#: Rule id reported for a suppression that silenced no finding.
+UNUSED_SUPPRESSION = "RPL007"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One disable directive and the rules it has silenced so far."""
+
+    line: int
+    rules: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Scan comment tokens for disable directives.
+
+    Tokenizing (rather than regexing raw lines) means a directive inside a
+    string literal is not mistaken for a real suppression.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",")
+            )
+            suppressions.append(Suppression(line=token.start[0], rules=rules))
+    except tokenize.TokenizeError:
+        # The engine reports the parse failure separately (RPL900);
+        # suppression scanning just yields what it saw up to the error.
+        pass
+    return suppressions
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression], path: str
+) -> list[Finding]:
+    """Drop suppressed findings and report unused directives.
+
+    A finding is suppressed when a directive on the same line names its
+    rule.  Directives naming rules that never fired on their line yield an
+    :data:`UNUSED_SUPPRESSION` finding per unused rule id.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    kept: list[Finding] = []
+    for finding in findings:
+        silenced = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+
+    for suppression in suppressions:
+        for rule in suppression.rules:
+            if rule not in suppression.used:
+                kept.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        rule=UNUSED_SUPPRESSION,
+                        message=(
+                            f"suppression of {rule} silences nothing on "
+                            "this line; remove the stale directive"
+                        ),
+                    )
+                )
+    return kept

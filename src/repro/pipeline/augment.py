@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.config import CollectionConfig
 from repro.geo.geocoder import GeoMatch, Geocoder
-from repro.twitter.models import Tweet
+from repro.twitter.models import Place, Tweet
 
 
 def augment_location(
@@ -18,16 +18,14 @@ def augment_location(
 ) -> GeoMatch:
     """Resolve the best-available location for one tweet."""
     if config.prefer_geotag and tweet.place is not None:
-        match = _from_place(tweet, geocoder)
+        match = _from_place(tweet.place, geocoder)
         if match.resolved:
             return match
     return geocoder.geocode(tweet.user.location)
 
 
-def _from_place(tweet: Tweet, geocoder: Geocoder) -> GeoMatch:
+def _from_place(place: Place, geocoder: Geocoder) -> GeoMatch:
     """Resolve the geo-tag place; GPS matches carry top confidence."""
-    place = tweet.place
-    assert place is not None
     if place.country_code != "US":
         return GeoMatch(
             country=place.country_code, state=None, confidence=1.0, source="gps"

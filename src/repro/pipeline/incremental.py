@@ -23,6 +23,10 @@ import warnings
 from collections.abc import Iterable
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.dataset.corpus import TweetCorpus
 
 from repro.config import CollectionConfig, ResiliencePolicy
 from repro.dataset.io import read_jsonl
@@ -279,7 +283,7 @@ class IncrementalCollector:
             tweet=tweet, location=match, mentions=dict(mentions)
         )
 
-    def load_corpus(self):
+    def load_corpus(self) -> TweetCorpus:
         """The accumulated corpus across all runs.
 
         A torn trailing record (crash mid-write) is skipped with a

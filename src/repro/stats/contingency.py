@@ -10,9 +10,13 @@ not — the pairing exercised by the RR-vs-chi-square ablation test.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.special import gammaincc
+
+if TYPE_CHECKING:
+    from repro.dataset.corpus import TweetCorpus
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,7 +80,7 @@ def chi_square_independence(table: np.ndarray) -> ChiSquareResult:
     )
 
 
-def state_organ_table(corpus) -> tuple[np.ndarray, list[str]]:
+def state_organ_table(corpus: TweetCorpus) -> tuple[np.ndarray, list[str]]:
     """The state × organ user-mention contingency table.
 
     Returns the table (users mentioning each organ per state) and its row

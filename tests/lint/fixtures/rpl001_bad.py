@@ -1,0 +1,16 @@
+"""RPL001 fixture: every flavor of implicit/unseeded RNG."""
+
+import random
+from random import choice
+
+import numpy as np
+from numpy.random import default_rng
+
+rng = np.random.default_rng()  # expect: RPL001
+rng2 = default_rng()  # expect: RPL001
+np.random.seed(42)  # expect: RPL001
+sample = np.random.normal(0.0, 1.0)  # expect: RPL001
+roll = random.random()  # expect: RPL001
+pick = choice([1, 2, 3])  # expect: RPL001
+unseeded = random.Random()  # expect: RPL001
+system = random.SystemRandom()  # expect: RPL001

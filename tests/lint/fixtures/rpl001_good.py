@@ -1,0 +1,14 @@
+"""RPL001 fixture: explicitly seeded RNG is the project convention."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+rng = np.random.default_rng(7)
+spawned = default_rng(np.random.SeedSequence(3))
+seeded = random.Random(13)
+
+value = rng.normal(0.0, 1.0)
+pair = seeded.sample([1, 2, 3], 2)
+streams = np.random.SeedSequence(0).spawn(4)

@@ -1,0 +1,12 @@
+"""RPL002 fixture: wall-clock reads in core logic."""
+
+import datetime
+import time
+from datetime import datetime as dt
+from time import perf_counter
+
+started = time.time()  # expect: RPL002
+tick = perf_counter()  # expect: RPL002
+now = dt.now()  # expect: RPL002
+stamp = datetime.datetime.utcnow()  # expect: RPL002
+today = datetime.date.today()  # expect: RPL002

@@ -1,0 +1,9 @@
+"""RPL002 fixture: the CLI may read the clock (progress reporting).
+
+Linted under a virtual ``src/repro/cli/`` path, so no findings.
+"""
+
+import time
+
+started = time.time()
+elapsed = time.perf_counter()

@@ -1,0 +1,11 @@
+"""RPL002 fixture: time derived from inputs (simulated clock) is fine."""
+
+from datetime import datetime, timedelta
+
+
+def window_end(start: datetime) -> datetime:
+    return start + timedelta(days=60)
+
+
+def bucket(stamp: datetime) -> str:
+    return f"{stamp:%Y-%m-%d}"

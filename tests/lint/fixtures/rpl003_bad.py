@@ -1,0 +1,34 @@
+"""RPL003 fixture: unordered iteration reaching ordered sinks."""
+
+from typing import TextIO
+
+
+def join_set(values: list[str]) -> str:
+    unique = set(values)
+    return ", ".join(unique)  # expect: RPL003
+
+
+def join_keys(mapping: dict[str, int]) -> str:
+    return " ".join(mapping.keys())  # expect: RPL003
+
+
+def join_comp(mapping: dict[str, int]) -> str:
+    return ",".join(str(v) for v in mapping.values())  # expect: RPL003
+
+
+def returned_list(values: list[int]) -> list[int]:
+    return list({v for v in values})  # expect: RPL003
+
+
+def returned_comp(mapping: dict[str, int]) -> list[int]:
+    return [value for value in mapping.values()]  # expect: RPL003
+
+
+def union_join(a: list[str], b: list[str]) -> str:
+    merged = set(a) | set(b)
+    return ",".join(merged)  # expect: RPL003
+
+
+def write_records(handle: TextIO, records: list[str]) -> None:
+    for record in set(records):  # expect: RPL003
+        handle.write(record + "\n")

@@ -1,0 +1,30 @@
+"""RPL003 fixture: sorted() fixes the order; returning sets is fine."""
+
+from typing import TextIO
+
+
+def join_sorted(values: list[str]) -> str:
+    return ", ".join(sorted(set(values)))
+
+
+def keys_sorted(mapping: dict[str, int]) -> list[str]:
+    return sorted(mapping.keys())
+
+
+def return_the_set(values: list[int]) -> set[int]:
+    return {v for v in values}
+
+
+def write_sorted(handle: TextIO, records: list[str]) -> None:
+    for record in sorted(set(records)):
+        handle.write(record + "\n")
+
+
+def reassigned(values: list[str]) -> str:
+    unique = set(values)
+    ordered = sorted(unique)
+    return ", ".join(ordered)
+
+
+def aggregation_is_order_free(mapping: dict[str, int]) -> int:
+    return sum(mapping.values())

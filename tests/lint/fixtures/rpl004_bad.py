@@ -1,0 +1,24 @@
+"""RPL004 fixture: handlers that can swallow injected faults."""
+
+from typing import IO
+
+
+def swallow_exception(handle: IO[str]) -> str:
+    try:
+        return handle.read()
+    except Exception:  # expect: RPL004
+        return ""
+
+
+def swallow_bare(handle: IO[str]) -> str:
+    try:
+        return handle.read()
+    except:  # noqa: E722  expect: RPL004
+        return ""
+
+
+def swallow_in_tuple(handle: IO[str]) -> str:
+    try:
+        return handle.read()
+    except (ValueError, BaseException):  # expect: RPL004
+        return ""

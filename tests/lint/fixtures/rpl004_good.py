@@ -1,0 +1,18 @@
+"""RPL004 fixture: narrow handlers, or broad handlers that re-raise."""
+
+from typing import IO
+
+
+def narrow(handle: IO[str]) -> str:
+    try:
+        return handle.read()
+    except (ValueError, OSError):
+        return ""
+
+
+def observe_and_reraise(handle: IO[str], log: list[str]) -> str:
+    try:
+        return handle.read()
+    except Exception:
+        log.append("read failed")
+        raise

@@ -1,0 +1,18 @@
+"""RPL005 fixture: mutable defaults shared across calls."""
+
+
+def collect(item: int, into: list[int] = []) -> list[int]:  # expect: RPL005
+    into.append(item)
+    return into
+
+
+def tally(key: str, counts: dict[str, int] = {}) -> dict[str, int]:  # expect: RPL005
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dedupe(item: str, *, seen: set[str] = set()) -> bool:  # expect: RPL005
+    if item in seen:
+        return False
+    seen.add(item)
+    return True

@@ -1,0 +1,11 @@
+"""RPL005 fixture: None defaults, built fresh per call."""
+
+
+def collect(item: int, into: list[int] | None = None) -> list[int]:
+    result = [] if into is None else into
+    result.append(item)
+    return result
+
+
+def label(name: str, prefix: str = "state:") -> str:
+    return prefix + name

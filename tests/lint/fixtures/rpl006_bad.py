@@ -1,0 +1,14 @@
+"""RPL006 fixture: asserts doing runtime validation."""
+
+
+def resolve(value: int | None) -> int:
+    assert value is not None  # expect: RPL006
+    return value
+
+
+def merge(chunks: list[list[int]]) -> list[int]:
+    assert chunks, "need at least one chunk"  # expect: RPL006
+    merged: list[int] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    return merged

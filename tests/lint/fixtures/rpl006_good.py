@@ -1,0 +1,16 @@
+"""RPL006 fixture: explicit raises survive ``python -O``."""
+
+
+def resolve(value: int | None) -> int:
+    if value is None:
+        raise ValueError("value is required")
+    return value
+
+
+def merge(chunks: list[list[int]]) -> list[int]:
+    if not chunks:
+        raise ValueError("need at least one chunk")
+    merged: list[int] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    return merged

@@ -1,0 +1,6 @@
+"""Suppression fixture: one earned directive, one stale one."""
+
+import numpy as np
+
+entropy = np.random.default_rng()  # reprolint: disable=RPL001
+seeded = np.random.default_rng(3)  # reprolint: disable=RPL001 (expect: RPL007)

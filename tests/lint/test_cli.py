@@ -1,0 +1,71 @@
+"""``repro lint`` CLI: exit codes, formats, rule listing, bad input."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "rpl006_bad.py"
+GOOD = FIXTURES / "rpl006_good.py"
+
+
+def test_findings_exit_nonzero_with_locations(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", str(BAD)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL006" in out
+    assert f"{BAD}:5:" in out
+    assert "2 findings" in out
+
+
+def test_clean_file_exits_zero(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["lint", str(GOOD)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", str(BAD), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["rule"] for entry in payload] == ["RPL006", "RPL006"]
+    assert payload[0]["line"] == 5
+    assert payload[0]["path"] == str(BAD)
+
+
+def test_rules_flag_restricts_the_run(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", str(BAD), "--rules", "RPL001"]) == 0
+    assert main(["lint", str(BAD), "--rules", "RPL001,RPL006"]) == 1
+    capsys.readouterr()
+
+
+def test_list_rules_prints_catalog(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                    "RPL006"):
+        assert rule_id in out
+
+
+def test_unknown_rule_is_a_usage_error(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", str(GOOD), "--rules", "RPL042"]) == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_missing_path_is_a_usage_error(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().out

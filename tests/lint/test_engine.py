@@ -1,0 +1,81 @@
+"""Engine behavior: discovery, rule selection, parse failures, ordering."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR,
+    UnknownRuleError,
+    iter_python_files,
+    lint_source,
+    run_lint,
+    select_rules,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def test_syntax_error_is_a_finding_not_a_crash() -> None:
+    findings = lint_source("def broken(:\n", Path("src/repro/mod.py"))
+    assert [f.rule for f in findings] == [PARSE_ERROR]
+    assert findings[0].line == 1
+
+
+def test_iter_python_files_sorted_and_deduplicated(tmp_path: Path) -> None:
+    (tmp_path / "pkg").mkdir()
+    b = tmp_path / "pkg" / "b.py"
+    a = tmp_path / "pkg" / "a.py"
+    b.write_text("B = 2\n")
+    a.write_text("A = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+    files = iter_python_files([tmp_path, a])
+    assert files == [a, b]
+
+
+def test_run_lint_aggregates_files_in_deterministic_order(
+    tmp_path: Path,
+) -> None:
+    (tmp_path / "z.py").write_text(
+        "import numpy as np\nrng = np.random.default_rng()\n"
+    )
+    (tmp_path / "a.py").write_text("def f(x=[]):\n    return x\n")
+    findings = run_lint([tmp_path])
+    assert [(Path(f.path).name, f.rule) for f in findings] == [
+        ("a.py", "RPL005"),
+        ("z.py", "RPL001"),
+    ]
+
+
+def test_select_rules_defaults_to_all() -> None:
+    assert select_rules(None) == ALL_RULES
+
+
+def test_select_rules_resolves_subset() -> None:
+    rules = select_rules(["RPL006", "RPL001"])
+    assert [rule.rule_id for rule in rules] == ["RPL006", "RPL001"]
+
+
+def test_select_rules_rejects_unknown_id() -> None:
+    with pytest.raises(UnknownRuleError, match="RPL042"):
+        select_rules(["RPL042"])
+
+
+def test_rule_subset_only_runs_requested_rules() -> None:
+    source = (
+        "import numpy as np\n"
+        "def f(x=[]):\n"
+        "    return np.random.default_rng()\n"
+    )
+    only_defaults = lint_source(
+        source, Path("src/repro/mod.py"), rules=select_rules(["RPL005"])
+    )
+    assert [f.rule for f in only_defaults] == ["RPL005"]
+
+
+def test_registry_ids_are_unique_and_sorted() -> None:
+    ids = [rule.rule_id for rule in ALL_RULES]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+    assert set(RULES_BY_ID) == set(ids)

@@ -1,0 +1,30 @@
+"""The CI gate: the repo must stay clean against its own analyzer.
+
+Any new unseeded RNG, wall-clock read, unordered-iteration hazard, broad
+except, mutable default, runtime assert, or stale suppression anywhere in
+``src/repro`` fails this test — which is the point: the determinism
+conventions the parallel/chaos property tests rely on are enforced
+deterministically, not probabilistically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.lint import iter_python_files, run_lint
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def test_analyzer_sees_the_whole_package() -> None:
+    """Guard against the gate silently linting nothing."""
+    files = iter_python_files([PACKAGE_ROOT])
+    assert len(files) > 100
+    assert any(path.name == "kmeans.py" for path in files)
+
+
+def test_src_repro_is_reprolint_clean() -> None:
+    findings = run_lint([PACKAGE_ROOT])
+    report = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"reprolint findings in src/repro:\n{report}"

@@ -1,0 +1,62 @@
+"""Inline suppression semantics: same-line scope, earned-or-reported."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import UNUSED_SUPPRESSION, lint_source
+
+SRC = Path("src/repro/mod.py")
+
+
+def test_suppression_silences_finding_on_its_line() -> None:
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=RPL001\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_suppression_on_other_line_does_not_silence() -> None:
+    source = (
+        "import numpy as np\n"
+        "# reprolint: disable=RPL001\n"
+        "rng = np.random.default_rng()\n"
+    )
+    rules = sorted(f.rule for f in lint_source(source, SRC))
+    # The finding survives AND the stale directive is reported.
+    assert rules == ["RPL001", UNUSED_SUPPRESSION]
+
+
+def test_unused_suppression_is_reported_at_its_line() -> None:
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)  # reprolint: disable=RPL001\n"
+    )
+    findings = lint_source(source, SRC)
+    assert [(f.rule, f.line) for f in findings] == [(UNUSED_SUPPRESSION, 2)]
+    assert "RPL001" in findings[0].message
+
+
+def test_one_directive_can_name_several_rules() -> None:
+    source = (
+        "import numpy as np\n"
+        "def f(x=[]):\n"
+        "    rng = np.random.default_rng()  # reprolint: disable=RPL001,RPL006\n"
+        "    assert x  # reprolint: disable=RPL006\n"
+        "    return rng\n"
+    )
+    rules = sorted(f.rule for f in lint_source(source, SRC))
+    # RPL001 earned, line-3 RPL006 unused (assert is on line 4),
+    # line-4 RPL006 earned, and the mutable default still fires.
+    assert rules == ["RPL005", UNUSED_SUPPRESSION]
+
+
+def test_directive_inside_string_literal_is_not_a_suppression() -> None:
+    source = (
+        "import numpy as np\n"
+        'text = "# reprolint: disable=RPL001"\n'
+        "rng = np.random.default_rng()\n"
+    )
+    rules = [f.rule for f in lint_source(source, SRC)]
+    assert rules == ["RPL001"]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.network.graph import FollowerGraph, GraphConfig, build_follower_graph
+from repro.network.graph import GraphConfig, build_follower_graph
 from repro.organs import ORGANS
 from repro.synth.config import PopulationConfig, SynthConfig
 from repro.synth.world import SyntheticWorld

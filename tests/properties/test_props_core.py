@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.aggregation import aggregate
 from repro.core.attention import build_attention_matrix
-from repro.core.membership import Membership, by_most_cited_organ, by_region
+from repro.core.membership import by_most_cited_organ, by_region
 from repro.dataset.corpus import TweetCorpus
 from repro.dataset.records import CollectedTweet
 from repro.geo.geocoder import GeoMatch

@@ -1,6 +1,5 @@
 """Tests for the experiment suite (every paper artifact regenerates)."""
 
-import pytest
 
 from repro.organs import ORGANS, Organ
 from repro.report.experiments import ExperimentSuite

@@ -1,6 +1,5 @@
 """Tests for the Table-I calibration checker."""
 
-import pytest
 
 from repro.synth.calibration import (
     CalibrationCheck,

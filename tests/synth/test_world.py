@@ -1,6 +1,5 @@
 """Tests for the synthetic world and its firehose."""
 
-import numpy as np
 import pytest
 
 from repro.nlp.keywords import matches_query_set
