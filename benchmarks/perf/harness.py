@@ -11,6 +11,13 @@ Speedups are *measured*, not assumed: on a single-core container the
 sharded run is expected to be slower than serial (process setup plus
 pickling with no extra cores to spend), and the artifact records
 ``cpu_count`` so readers can interpret the numbers honestly.
+
+Schema v2 adds a ``supervision`` section: the cost of the supervised
+pool (process-per-task isolation, heartbeat polling, retries) on the
+fault-free path, measured against the plain in-process run of the same
+workload, plus the cost under the chaos fault plan.  Every supervised
+run is checked byte-identical to the in-process baseline — overhead is
+only reported for runs that produce the same corpus.
 """
 
 from __future__ import annotations
@@ -26,13 +33,16 @@ import numpy as np
 from repro.core.attention import AttentionMatrix
 from repro.core.user_clusters import sweep_k
 from repro.cluster.silhouette import silhouette_samples
-from repro.config import UserClusteringConfig
+from repro.config import CollectionConfig, UserClusteringConfig
+from repro.faults.compute import WorkerFaultPlan
 from repro.organs import N_ORGANS
+from repro.pipeline.parallel import run_sharded
 from repro.pipeline.runner import CollectionPipeline
+from repro.supervise import SupervisorPolicy
 from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
@@ -112,6 +122,61 @@ def bench_pipeline_size(
     return entry
 
 
+def bench_supervision(size_target: int, seed: int) -> dict[str, Any]:
+    """Cost of the supervised pool against the plain in-process run.
+
+    Four runs over the same firehose: the in-process baseline, the
+    supervised pool at workers=1 (isolates the process-per-task and
+    heartbeat cost with no parallelism in play), the supervised pool at
+    workers=2 fault-free, and workers=2 under ``WorkerFaultPlan.chaos``
+    (crashes, exception storms, slow tasks — the retry cost).  Each
+    supervised corpus must be byte-identical to the baseline.
+    """
+    source = make_firehose(size_target, seed)
+    config = CollectionConfig()
+    policy = SupervisorPolicy()
+    entry: dict[str, Any] = {
+        "size_target": size_target,
+        "firehose_tweets": len(source),
+        "runs": [],
+    }
+
+    def fingerprint(records: list) -> bytes:
+        return "\n".join(
+            json.dumps(record.to_dict(), ensure_ascii=False)
+            for record in records
+        ).encode("utf-8")
+
+    baseline_seconds: float | None = None
+    baseline_bytes: bytes | None = None
+    cases: list[tuple[str, int, dict[str, Any]]] = [
+        ("in-process", 1, {}),
+        ("supervised", 1, {"policy": policy}),
+        ("supervised", 2, {"policy": policy}),
+        ("supervised+chaos", 2, {
+            "policy": policy,
+            "worker_faults": WorkerFaultPlan.chaos(seed=seed),
+        }),
+    ]
+    for mode, workers, kwargs in cases:
+        start = time.perf_counter()
+        records, __ = run_sharded(source, config, workers, **kwargs)
+        seconds = time.perf_counter() - start
+        digest = fingerprint(records)
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+            baseline_bytes = digest
+        entry["runs"].append({
+            "mode": mode,
+            "workers": workers,
+            "faulted": "worker_faults" in kwargs,
+            "seconds": round(seconds, 4),
+            "overhead_vs_inprocess": round(seconds / baseline_seconds, 3),
+            "byte_identical_to_inprocess": digest == baseline_bytes,
+        })
+    return entry
+
+
 def synthetic_attention(n_users: int, seed: int) -> AttentionMatrix:
     """A row-normalized Û with organ-skewed rows (clusterable structure)."""
     rng = np.random.default_rng(seed)
@@ -185,6 +250,7 @@ def run_suite(
     smoke: bool = False,
     cluster_users_n: int = 20_000,
     cluster_ks: tuple[int, ...] = (11, 12, 13, 14),
+    supervision_size: int = 20_000,
 ) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
     payload: dict[str, Any] = {
@@ -199,6 +265,7 @@ def run_suite(
         "clustering": bench_clustering(
             cluster_users_n, cluster_ks, worker_counts, seed
         ),
+        "supervision": bench_supervision(supervision_size, seed),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
     return payload
@@ -280,6 +347,27 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
             need(
                 silhouette, "memory_budget_mb", float, "clustering.silhouette"
             )
+
+    supervision = payload.get("supervision")
+    if not isinstance(supervision, dict):
+        problems.append("payload.supervision: expected object")
+    else:
+        need(supervision, "size_target", int, "supervision")
+        need(supervision, "firehose_tweets", int, "supervision")
+        sup_runs = supervision.get("runs")
+        if not isinstance(sup_runs, list) or not sup_runs:
+            problems.append("supervision.runs: expected non-empty list")
+        else:
+            for j, run in enumerate(sup_runs):
+                run_where = f"supervision.runs[{j}]"
+                need(run, "mode", str, run_where)
+                need(run, "workers", int, run_where)
+                need(run, "seconds", float, run_where)
+                need(run, "overhead_vs_inprocess", float, run_where)
+                if run.get("byte_identical_to_inprocess") is not True:
+                    problems.append(
+                        f"{run_where}: supervised run is not byte-identical"
+                    )
 
     rss = payload.get("peak_rss_mb")
     if not isinstance(rss, dict):

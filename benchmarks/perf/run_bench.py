@@ -67,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         smoke=args.smoke,
         cluster_users_n=2_000 if args.smoke else 20_000,
         cluster_ks=(11, 12) if args.smoke else (11, 12, 13, 14),
+        supervision_size=2_000 if args.smoke else 20_000,
     )
     problems = validate_payload(payload)
     if problems:
@@ -88,6 +89,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  k-sweep workers={run['workers']} {run['seconds']:.2f}s "
             f"speedup={run['speedup_vs_serial']}"
+        )
+    for run in payload["supervision"]["runs"]:
+        print(
+            f"  supervision {run['mode']:<16} workers={run['workers']} "
+            f"{run['seconds']:.2f}s "
+            f"overhead={run['overhead_vs_inprocess']}x"
         )
     print(f"  cpu_count={payload['cpu_count']}")
     return 0

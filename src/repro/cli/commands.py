@@ -59,6 +59,15 @@ def cmd_collect(args: argparse.Namespace) -> int:
 
         fault_plan = FaultPlan.chaos(seed=args.chaos_seed)
         print(f"chaos mode: {fault_plan.describe()}")
+    worker_faults = None
+    supervisor = None
+    if getattr(args, "worker_chaos", False):
+        from repro.faults.compute import WorkerFaultPlan
+        from repro.supervise import SupervisorPolicy
+
+        worker_faults = WorkerFaultPlan.chaos(seed=args.worker_chaos_seed)
+        supervisor = SupervisorPolicy()
+        print(f"worker chaos mode: {worker_faults.describe()}")
     workers = getattr(args, "workers", 1)
     if workers > 1:
         print(f"sharding across {workers} worker processes")
@@ -67,6 +76,8 @@ def cmd_collect(args: argparse.Namespace) -> int:
             read_tweets_jsonl(args.firehose),
             fault_plan=fault_plan,
             workers=workers,
+            supervisor=supervisor,
+            worker_faults=worker_faults,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")
@@ -75,6 +86,40 @@ def cmd_collect(args: argparse.Namespace) -> int:
     for label, value in report.as_rows():
         print(f"{label}: {value}")
     print(f"wrote {count:,} records to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute (or resume) a journaled end-to-end analysis run."""
+    from repro.pipeline.journal import RunParams, run_stages
+
+    params = RunParams(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        k=args.k,
+        alpha=args.alpha,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        worker_chaos=args.worker_chaos,
+        worker_chaos_seed=args.worker_chaos_seed,
+    )
+    try:
+        summary = run_stages(
+            Path(args.run_dir), params, resume=args.resume, log=print
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(
+        f"run complete: {len(summary.stages_run)} stages run, "
+        f"{len(summary.stages_skipped)} skipped, artifacts in "
+        f"{summary.run_dir}/"
+    )
+    for health in (summary.report.reliability, summary.report.compute):
+        if health is not None:
+            for line in health.summary_lines():
+                print(line)
     return 0
 
 

@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard the pipeline across N worker "
                          "processes; the corpus is byte-identical to a "
                          "serial run for any N")
+    collect.add_argument("--worker-chaos", action="store_true",
+                         help="inject compute faults (worker crashes, "
+                         "exception storms, slow tasks) into the "
+                         "supervised pool; the corpus is byte-identical "
+                         "to a fault-free run")
+    collect.add_argument("--worker-chaos-seed", type=int, default=0,
+                         help="seed for the deterministic worker-fault "
+                         "schedule")
     collect.set_defaults(func=commands.cmd_collect)
 
     analyze = subparsers.add_parser(
@@ -69,6 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--svg", default=None,
                          help="directory for SVG figures of all artifacts")
     analyze.set_defaults(func=commands.cmd_analyze)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute the full generate→collect→analyze run into a "
+        "journaled directory; kill it at any instant and --resume "
+        "completes it with byte-identical artifacts",
+    )
+    run.add_argument("run_dir", help="run directory (artifacts + journal)")
+    run.add_argument("--resume", action="store_true",
+                     help="continue an interrupted run: journaled stages "
+                     "are verified and skipped, the rest re-run")
+    run.add_argument("--scale", type=float, default=0.02,
+                     help="size relative to the paper (1.0 ≈ Table I)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the sharded collect")
+    run.add_argument("--k", type=int, default=12,
+                     help="number of user clusters for Fig. 7")
+    run.add_argument("--alpha", type=float, default=0.05,
+                     help="significance level for Fig. 5")
+    run.add_argument("--chaos", action="store_true",
+                     help="inject transport faults (resilient stream)")
+    run.add_argument("--chaos-seed", type=int, default=0)
+    run.add_argument("--worker-chaos", action="store_true",
+                     help="inject compute faults (supervised pool)")
+    run.add_argument("--worker-chaos-seed", type=int, default=0)
+    run.set_defaults(func=commands.cmd_run)
 
     monitor = subparsers.add_parser(
         "monitor", help="replay a firehose through the rolling sensor"

@@ -10,18 +10,25 @@ stream spawned from the model seed, so the winning fit is identical
 whether restarts run serially or fan out across worker processes
 (``workers > 1``), and ties on inertia break toward the lowest restart
 index in both modes.
+
+Parallel restarts run under the supervised pool (:mod:`repro.supervise`):
+a worker that crashes, hangs, or raises mid-restart is retried
+deterministically and the winning fit is unchanged.  Unlike the sharded
+collection pipeline, a model fit must never *degrade* — a restart chunk
+quarantined after exhausting its retries raises :class:`ClusteringError`
+rather than silently fitting with fewer restarts.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from itertools import repeat
 
 import numpy as np
 
 from repro.errors import ClusteringError
-from repro.procpool import pool_context, split_chunks
+from repro.faults.compute import WorkerFaultPlan
+from repro.procpool import split_chunks
+from repro.supervise import SupervisorPolicy, run_supervised
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,9 +70,16 @@ class KMeans:
             from this seed.
         workers: processes to fan the restarts across; ``1`` runs them
             serially.  The winning fit is identical for any value.
+        supervisor: retry/deadline policy for the supervised pool;
+            forces the supervised path even at ``workers=1``.
+        fault_plan: compute-fault plan injected into restart workers
+            (chaos testing); forces the supervised path even at
+            ``workers=1``.
 
     Raises:
-        ClusteringError: on invalid parameters or k > number of rows.
+        ClusteringError: on invalid parameters, k > number of rows, or a
+            restart chunk quarantined by the supervisor (a fit must
+            never silently use fewer restarts).
     """
 
     def __init__(
@@ -76,6 +90,8 @@ class KMeans:
         tol: float = 1e-6,
         seed: int = 0,
         workers: int = 1,
+        supervisor: SupervisorPolicy | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
     ):
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -91,6 +107,8 @@ class KMeans:
         self.tol = tol
         self.seed = seed
         self.workers = workers
+        self.supervisor = supervisor
+        self.fault_plan = fault_plan
 
     def fit(self, rows: np.ndarray) -> KMeansResult:
         """Cluster the rows of a (m, n) matrix."""
@@ -101,21 +119,31 @@ class KMeans:
         if self.k > m:
             raise ClusteringError(f"k={self.k} exceeds number of rows {m}")
         restarts = list(range(self.n_init))
-        if self.workers == 1 or self.n_init == 1:
+        supervised = self.supervisor is not None or self.fault_plan is not None
+        if not supervised and (self.workers == 1 or self.n_init == 1):
             winners = [_fit_restart_chunk(self, matrix, restarts)]
         else:
             chunks = split_chunks(restarts, self.workers)
-            with ProcessPoolExecutor(
-                max_workers=len(chunks), mp_context=pool_context()
-            ) as pool:
-                winners = list(
-                    pool.map(
-                        _fit_restart_chunk,
-                        repeat(self),
-                        repeat(matrix),
-                        chunks,
-                    )
+            outcomes, health = run_supervised(
+                _restart_chunk_task,
+                [(self, matrix, chunk) for chunk in chunks],
+                workers=min(self.workers, len(chunks)),
+                policy=self.supervisor,
+                fault_plan=self.fault_plan,
+                labels=[
+                    f"restarts {chunk[0]}..{chunk[-1]}" for chunk in chunks
+                ],
+            )
+            if health.degraded:
+                lost = ", ".join(
+                    letter.label for letter in health.dead_letters
                 )
+                raise ClusteringError(
+                    "K-Means restart chunks were quarantined after "
+                    f"exhausting retries ({lost}); refusing to fit with "
+                    "fewer restarts"
+                )
+            winners = [outcome for outcome in outcomes if outcome is not None]
         # Lowest inertia wins; ties break to the lowest restart index so
         # the outcome never depends on how restarts were chunked.
         __, best = min(winners, key=lambda item: (item[1].inertia, item[0]))
@@ -180,6 +208,14 @@ class KMeans:
             new_sq = _squared_distances(matrix, centers[index : index + 1]).ravel()
             closest_sq = np.minimum(closest_sq, new_sq)
         return centers
+
+
+def _restart_chunk_task(
+    payload: tuple[KMeans, np.ndarray, list[int]],
+) -> tuple[int, KMeansResult]:
+    """Worker entry point: unpack one supervised-pool restart chunk."""
+    model, matrix, restarts = payload
+    return _fit_restart_chunk(model, matrix, restarts)
 
 
 def _fit_restart_chunk(

@@ -12,9 +12,7 @@ worker processes; the sweep result is identical for any worker count.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from itertools import repeat
 
 import numpy as np
 
@@ -24,8 +22,9 @@ from repro.config import UserClusteringConfig
 from repro.core.aggregation import ranked_profile
 from repro.core.attention import AttentionMatrix
 from repro.errors import ClusteringError
+from repro.faults.compute import WorkerFaultPlan
 from repro.organs import N_ORGANS, Organ
-from repro.procpool import pool_context
+from repro.supervise import SupervisorPolicy, run_supervised
 
 #: Silhouette subsample cap; full silhouette is O(m²) and the paper-scale
 #: matrix has ~72k rows.
@@ -131,29 +130,53 @@ def sweep_k(
     ks: tuple[int, ...] = tuple(range(N_ORGANS, 21)),
     config: UserClusteringConfig | None = None,
     workers: int = 1,
+    supervisor: SupervisorPolicy | None = None,
+    worker_faults: WorkerFaultPlan | None = None,
 ) -> KSelectionSweep:
     """Evaluate K-Means across candidate k (the paper's selection step).
 
-    With ``workers > 1`` the candidate ks fan out across processes, one
-    independent fit per k; each in-process fit then runs its restarts
-    serially (nesting pools would oversubscribe).  The sweep is
-    deterministic and identical for any worker count.
+    With ``workers > 1`` the candidate ks fan out across supervised
+    worker processes, one independent fit per k; each in-process fit then
+    runs its restarts serially (nesting pools would oversubscribe).  The
+    sweep is deterministic and identical for any worker count and any
+    recoverable fault schedule; a candidate k quarantined after
+    exhausting its retries raises — a model-selection curve with silent
+    holes would bias the chosen k.
+
+    Args:
+        supervisor: retry/deadline policy for the supervised pool; forces
+            the supervised path even at ``workers=1``.
+        worker_faults: compute-fault plan injected into sweep workers
+            (chaos testing); forces the supervised path even at
+            ``workers=1``.
 
     Raises:
-        ClusteringError: if ``workers`` is not a positive integer.
+        ClusteringError: if ``workers`` is not a positive integer, or a
+            candidate k was quarantined by the supervisor.
     """
     base = config or UserClusteringConfig()
     if workers < 1:
         raise ClusteringError(f"workers must be >= 1, got {workers}")
-    if workers == 1:
+    supervised = supervisor is not None or worker_faults is not None
+    if workers == 1 and not supervised:
         evaluations = [_evaluate_one_k(attention, k, base) for k in ks]
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(ks)), mp_context=pool_context()
-        ) as pool:
-            evaluations = list(
-                pool.map(_evaluate_one_k, repeat(attention), ks, repeat(base))
+        outcomes, health = run_supervised(
+            _sweep_point_task,
+            [(attention, k, base) for k in ks],
+            workers=min(workers, max(len(ks), 1)),
+            policy=supervisor,
+            fault_plan=worker_faults,
+            labels=[f"k={k}" for k in ks],
+        )
+        if health.degraded:
+            lost = ", ".join(letter.label for letter in health.dead_letters)
+            raise ClusteringError(
+                "k-sweep candidates were quarantined after exhausting "
+                f"retries ({lost}); refusing to select k from a curve "
+                "with holes"
             )
+        evaluations = [outcome for outcome in outcomes if outcome is not None]
     inertias, silhouettes, avg_sizes = (
         zip(*evaluations) if evaluations else ((), (), ())
     )
@@ -163,6 +186,14 @@ def sweep_k(
         silhouettes=tuple(silhouettes),
         avg_sizes=tuple(avg_sizes),
     )
+
+
+def _sweep_point_task(
+    payload: tuple[AttentionMatrix, int, UserClusteringConfig],
+) -> tuple[float, float, float]:
+    """Worker entry point: unpack one supervised-pool sweep point."""
+    attention, k, base = payload
+    return _evaluate_one_k(attention, k, base)
 
 
 def _evaluate_one_k(

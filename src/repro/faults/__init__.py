@@ -1,0 +1,17 @@
+"""Fault-injection plans for the compute layer.
+
+The transport-level fault taxonomy lives in :mod:`repro.twitter.faults`;
+this package carries its compute-layer sibling:
+:class:`repro.faults.compute.WorkerFaultPlan` injects worker crashes,
+hangs, exception storms, and slow tasks into the supervised process pool
+(:mod:`repro.supervise`), so chaos-equivalence can be asserted one layer
+down from the stream.
+"""
+
+from repro.faults.compute import (
+    InjectedComputeError,
+    WorkerFault,
+    WorkerFaultPlan,
+)
+
+__all__ = ["InjectedComputeError", "WorkerFault", "WorkerFaultPlan"]

@@ -1,0 +1,191 @@
+"""Deterministic worker-fault injection for the supervised process pool.
+
+Mirror of :class:`repro.twitter.faults.FaultPlan`, one layer down: where
+that plan makes the *stream* able to fail the way the real Streaming API
+does, this plan makes the *compute pool* able to fail the way production
+clusters do — a worker segfaults or is OOM-killed mid-shard, a worker
+wedges on a lock and never returns, a flaky dependency throws for a
+while, a task lands on an overloaded machine and merely runs slow.
+
+Injected failure taxonomy (applied inside the worker, per task attempt):
+
+* **Crash** — the worker calls ``os._exit`` before touching the task,
+  modeling a segfault/OOM kill; the supervisor sees a dead process with
+  no result and a non-zero exit code.
+* **Hang** — the worker sleeps far past the supervisor's per-task
+  deadline; only deadline detection can recover it.
+* **Exception storm** — the task raises
+  :class:`InjectedComputeError`; the traceback travels back to the
+  supervisor like any real task bug.
+* **Slow task** — the task is delayed but completes; recovery must not
+  mistake slowness for death when the delay fits the deadline.
+
+Every decision is a pure function of ``(seed, task_index, attempt)`` —
+never of which worker runs the task or when — so a fault schedule
+replays exactly, on any machine, for any worker count.  By default a
+task is only faulted on its first ``max_faulted_attempts`` attempts, so
+bounded retries always converge; ``poison_tasks`` marks tasks that crash
+on *every* attempt, exercising the quarantine path.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_RATE_FIELDS = ("crash_rate", "hang_rate", "exception_rate", "slow_rate")
+
+
+class InjectedComputeError(RuntimeError):
+    """The exception an injected exception-storm fault raises in a worker.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: an injected
+    worker bug models arbitrary third-party failure, and nothing in the
+    supervisor may special-case it.
+    """
+
+
+class WorkerFault(enum.Enum):
+    """One injected compute-fault class."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    EXCEPTION = "exception"
+    SLOW = "slow"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFaultPlan:
+    """Per-class worker-fault rates and shapes for one chaos run.
+
+    Rates are per-(task, attempt) probabilities, drawn in a fixed class
+    order (crash, hang, exception, slow) from an RNG seeded by
+    ``(seed, task_index, attempt)``; at most one fault fires per attempt.
+
+    Attributes:
+        seed: base seed; the whole fault schedule derives from it.
+        crash_rate: probability the worker dies (``os._exit``) before
+            running the task.
+        hang_rate: probability the worker wedges for ``hang_seconds``.
+        exception_rate: probability the task raises
+            :class:`InjectedComputeError`.
+        slow_rate: probability the task is delayed by ``slow_seconds``
+            but still completes.
+        crash_exit_code: exit code of injected crashes (distinguishable
+            from clean exits in dead-letter records).
+        hang_seconds: how long a hung worker sleeps; must exceed the
+            supervisor's task deadline for the hang to be a hang.
+        slow_seconds: delay of a slow task; must fit inside the deadline
+            or slowness becomes indistinguishable from death.
+        max_faulted_attempts: attempts (per task) that may draw a fault;
+            later attempts run clean, so retries are guaranteed to
+            converge for non-poison tasks.
+        poison_tasks: task indices that crash on *every* attempt — the
+            quarantine path's test vector.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    exception_rate: float = 0.0
+    slow_rate: float = 0.0
+    crash_exit_code: int = 23
+    hang_seconds: float = 30.0
+    slow_seconds: float = 0.01
+    max_faulted_attempts: int = 1
+    poison_tasks: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if not 1 <= self.crash_exit_code <= 255:
+            raise ConfigError(
+                f"crash_exit_code must be in [1, 255], got {self.crash_exit_code}"
+            )
+        if self.hang_seconds <= 0.0:
+            raise ConfigError(
+                f"hang_seconds must be > 0, got {self.hang_seconds}"
+            )
+        if self.slow_seconds < 0.0:
+            raise ConfigError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds}"
+            )
+        if self.max_faulted_attempts < 0:
+            raise ConfigError(
+                "max_faulted_attempts must be >= 0, got "
+                f"{self.max_faulted_attempts}"
+            )
+        for index in self.poison_tasks:
+            if index < 0:
+                raise ConfigError(
+                    f"poison task indices must be >= 0, got {index}"
+                )
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.poison_tasks) or any(
+            getattr(self, name) > 0.0 for name in _RATE_FIELDS
+        )
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "WorkerFaultPlan":
+        """A perfectly reliable compute plan (no faults)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def chaos(cls, seed: int = 0) -> "WorkerFaultPlan":
+        """Crashes, exception storms, and slow tasks at moderate rates —
+        the default for ``--worker-chaos``.
+
+        Hangs stay off by default because recovering one costs a full
+        task deadline of wall time; enable ``hang_rate`` explicitly when
+        a deadline is configured.
+        """
+        return cls(
+            seed=seed,
+            crash_rate=0.25,
+            exception_rate=0.2,
+            slow_rate=0.2,
+        )
+
+    def fault_for(self, task_index: int, attempt: int) -> WorkerFault | None:
+        """The fault (if any) injected into this (task, attempt).
+
+        Pure and deterministic: the same triple always yields the same
+        fault, regardless of worker identity, scheduling, or host.
+        """
+        if task_index < 0:
+            raise ConfigError(f"task_index must be >= 0, got {task_index}")
+        if attempt < 0:
+            raise ConfigError(f"attempt must be >= 0, got {attempt}")
+        if task_index in self.poison_tasks:
+            return WorkerFault.CRASH
+        if attempt >= self.max_faulted_attempts:
+            return None
+        rng = random.Random(f"{self.seed}:{task_index}:{attempt}")
+        for rate_name, fault in (
+            ("crash_rate", WorkerFault.CRASH),
+            ("hang_rate", WorkerFault.HANG),
+            ("exception_rate", WorkerFault.EXCEPTION),
+            ("slow_rate", WorkerFault.SLOW),
+        ):
+            rate = getattr(self, rate_name)
+            if rate and rng.random() < rate:
+                return fault
+        return None
+
+    def describe(self) -> str:
+        active = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        )
+        if self.poison_tasks:
+            poison = f"poison_tasks={self.poison_tasks}"
+            active = f"{active}, {poison}" if active else poison
+        return f"WorkerFaultPlan(seed={self.seed}, {active or 'no faults'})"

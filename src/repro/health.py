@@ -1,0 +1,38 @@
+"""Shared shape for "what did this run live through" reports.
+
+Two layers of the system produce health reports: the resilient stream
+client (:class:`repro.twitter.resilient.ReliabilityReport`, transport
+faults) and the supervised compute pool
+(:class:`repro.supervise.RunHealth`, worker faults).  They count
+different things but are consumed the same way — rendered under a run's
+output so degradation is explicit, never silent.  This module pins that
+common surface down as a :class:`typing.Protocol` plus the one shared
+formatting helper, so the CLI and the journal can treat any health
+report uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class HealthReport(Protocol):
+    """What every layer-health report must expose.
+
+    ``as_rows`` feeds table renderers; ``summary_lines`` is the uniform
+    text surface printed by ``repro collect`` / ``repro run``.
+    """
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """(label, value) pairs for table rendering."""
+        ...  # pragma: no cover - protocol
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable ``label: value`` lines."""
+        ...  # pragma: no cover - protocol
+
+
+def rows_to_lines(rows: list[tuple[str, str]]) -> list[str]:
+    """The canonical ``summary_lines`` rendering of ``as_rows`` output."""
+    return [f"{label}: {value}" for label, value in rows]

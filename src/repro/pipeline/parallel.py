@@ -19,25 +19,29 @@ the results so that the outcome is *indistinguishable* from a serial run:
   combined with :meth:`PipelineReport.merge`; every counter is a sum over
   disjoint shards, so totals equal the serial run exactly.
 
-Fault injection / resilient consumption is transport-level and happens in
-the parent *before* sharding (a reconnecting stream is inherently a
-single consumer); see :meth:`CollectionPipeline.run`.
+*Transport*-level fault injection / resilient consumption happens in the
+parent *before* sharding (a reconnecting stream is inherently a single
+consumer); see :meth:`CollectionPipeline.run`.  *Compute*-level faults —
+workers crashing, hanging, or erroring mid-shard — are absorbed by the
+supervised pool (:mod:`repro.supervise`) this module fans out through:
+failed shards are retried deterministically, and a shard that exhausts
+its retries is quarantined, leaving a run that completes *degraded* with
+the gap named in ``report.compute`` rather than aborting or hanging.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor
-from itertools import repeat
 
 from repro.config import CollectionConfig
 from repro.dataset.records import CollectedTweet
 from repro.errors import ConfigError
+from repro.faults.compute import WorkerFaultPlan
 from repro.geo.geocoder import Geocoder
 from repro.nlp.keywords import build_query_set, track_phrases
 from repro.nlp.matcher import OrganMatcher
 from repro.pipeline.runner import PipelineReport, process_matched
-from repro.procpool import pool_context
+from repro.supervise import SupervisorPolicy, run_supervised
 from repro.twitter.models import Tweet
 from repro.twitter.stream import TrackFilter
 
@@ -92,30 +96,56 @@ def process_shard(
     return out, report
 
 
+def _shard_task(
+    payload: tuple[Shard, CollectionConfig],
+) -> tuple[list[tuple[int, CollectedTweet]], PipelineReport]:
+    """Worker entry point: unpack one supervised-pool task payload."""
+    shard, config = payload
+    return process_shard(shard, config)
+
+
 def run_sharded(
     source: Iterable[Tweet],
     config: CollectionConfig,
     workers: int,
+    *,
+    policy: SupervisorPolicy | None = None,
+    worker_faults: WorkerFaultPlan | None = None,
 ) -> tuple[list[CollectedTweet], PipelineReport]:
-    """Shard ``source`` across ``workers`` processes and merge the results.
+    """Shard ``source`` across supervised workers and merge the results.
 
     Returns records in original stream order and the merged report; both
-    are identical to what the serial loop produces.  ``workers=1``
-    processes the single shard in-process (no pool), which keeps the
-    sharded path testable without multiprocessing overhead.
+    are identical to what the serial loop produces, for any worker count
+    and any recoverable fault schedule.  ``workers=1`` with no policy and
+    no fault plan processes the single shard in-process (no pool), which
+    keeps the sharded path testable without multiprocessing overhead;
+    otherwise shards run under :func:`repro.supervise.run_supervised` and
+    ``report.compute`` records what the pool survived.
+
+    A shard quarantined after exhausting its retries (a poison shard) is
+    an explicit, named gap: its records are absent, the merged counters
+    cover the surviving shards only, and ``report.compute.dead_letters``
+    identifies the shard — the run never aborts and never hides the loss.
 
     Raises:
-        ConfigError: if ``workers`` is not a positive integer.
+        ConfigError: if ``workers`` is not a positive integer or the
+            fault plan is not absorbable by the policy.
     """
     shards = shard_by_id(source, workers)
-    if workers == 1:
+    report = PipelineReport()
+    if workers == 1 and policy is None and worker_faults is None:
         results = [process_shard(shards[0], config)]
     else:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=pool_context()
-        ) as pool:
-            results = list(pool.map(process_shard, shards, repeat(config)))
-    report = PipelineReport()
+        outcomes, health = run_supervised(
+            _shard_task,
+            [(shard, config) for shard in shards],
+            workers=workers,
+            policy=policy,
+            fault_plan=worker_faults,
+            labels=[f"shard {index}" for index in range(len(shards))],
+        )
+        results = [outcome for outcome in outcomes if outcome is not None]
+        report.compute = health
     tagged: list[tuple[int, CollectedTweet]] = []
     for shard_records, shard_report in results:
         report = report.merge(shard_report)

@@ -26,6 +26,8 @@ from repro.pipeline.collect import collect
 from repro.pipeline.usfilter import is_us_located
 from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Tweet
+from repro.faults.compute import WorkerFaultPlan
+from repro.supervise import RunHealth, SupervisorPolicy
 from repro.twitter.resilient import (
     ReliabilityReport,
     ResilientStream,
@@ -53,6 +55,9 @@ class PipelineReport:
         retained: tweets surviving the US filter — the analysis dataset.
         reliability: transport-level counters when the run was resilient
             (chaos mode); ``None`` for a plain run.
+        compute: supervised-pool counters when the run fanned out through
+            :func:`repro.supervise.run_supervised`; ``None`` for an
+            in-process run.
     """
 
     stream_dropped: int = 0
@@ -65,6 +70,7 @@ class PipelineReport:
     no_mentions: int = 0
     retained: int = 0
     reliability: ReliabilityReport | None = None
+    compute: RunHealth | None = None
 
     @property
     def us_yield(self) -> float:
@@ -85,20 +91,27 @@ class PipelineReport:
         """Combine two shard reports into one (counters sum).
 
         Reliability counters are transport-level and belong to the single
-        resilient consumer, so at most one side may carry them.
+        resilient consumer, and compute counters belong to the single
+        supervising parent, so at most one side may carry each.
 
         Raises:
-            PipelineError: if both reports carry a reliability report.
+            PipelineError: if both reports carry a reliability or a
+                compute report.
         """
         if self.reliability is not None and other.reliability is not None:
             raise PipelineError(
                 "cannot merge two reports that both carry reliability data"
             )
+        if self.compute is not None and other.compute is not None:
+            raise PipelineError(
+                "cannot merge two reports that both carry compute health"
+            )
         merged = PipelineReport(
-            reliability=self.reliability or other.reliability
+            reliability=self.reliability or other.reliability,
+            compute=self.compute or other.compute,
         )
         for spec in fields(PipelineReport):
-            if spec.name == "reliability":
+            if spec.name in ("reliability", "compute"):
                 continue
             setattr(
                 merged,
@@ -123,7 +136,41 @@ class PipelineReport:
         ]
         if self.reliability is not None:
             rows.extend(self.reliability.as_rows())
+        if self.compute is not None:
+            rows.extend(self.compute.as_rows())
         return rows
+
+    def to_dict(self) -> dict[str, object]:
+        """Round-trippable form, including any attached health reports."""
+        data: dict[str, object] = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(PipelineReport)
+            if spec.name not in ("reliability", "compute")
+        }
+        data["reliability"] = (
+            self.reliability.to_dict() if self.reliability is not None else None
+        )
+        data["compute"] = (
+            self.compute.to_dict() if self.compute is not None else None
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "PipelineReport":
+        report = cls()
+        for spec in fields(cls):
+            if spec.name in ("reliability", "compute"):
+                continue
+            setattr(report, spec.name, int(data[spec.name]))  # type: ignore[call-overload]
+        if data.get("reliability") is not None:
+            report.reliability = ReliabilityReport.from_dict(
+                data["reliability"]  # type: ignore[arg-type]
+            )
+        if data.get("compute") is not None:
+            report.compute = RunHealth.from_dict(
+                data["compute"]  # type: ignore[arg-type]
+            )
+        return report
 
 
 def process_matched(
@@ -180,6 +227,8 @@ class CollectionPipeline:
         source: Iterable[Tweet],
         fault_plan: FaultPlan | None = None,
         workers: int = 1,
+        supervisor: SupervisorPolicy | None = None,
+        worker_faults: WorkerFaultPlan | None = None,
     ) -> tuple[TweetCorpus, PipelineReport]:
         """Run the full pipeline over a tweet source.
 
@@ -196,12 +245,19 @@ class CollectionPipeline:
                 counters (see :mod:`repro.pipeline.parallel`).  Fault
                 recovery is transport-level and always runs in the parent
                 before sharding.
+            supervisor: retry/deadline policy for the supervised pool;
+                forces the sharded path even at ``workers=1``.
+            worker_faults: compute-fault plan injected into the workers
+                (chaos testing); forces the sharded path even at
+                ``workers=1``.  ``report.compute`` documents what the
+                pool survived.
 
         Raises:
             PipelineError: if no tweet survives (nothing to analyze).
             repro.errors.ConfigError: if ``fault_plan`` is incompatible
-                with this pipeline's resilience policy, or ``workers``
-                is not a positive integer.
+                with this pipeline's resilience policy, ``worker_faults``
+                is not absorbable by ``supervisor``, or ``workers`` is
+                not a positive integer.
         """
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -212,10 +268,16 @@ class CollectionPipeline:
                 FaultySource(source, fault_plan), self.resilience
             )
             source = resilient
-        if workers > 1:
+        if workers > 1 or supervisor is not None or worker_faults is not None:
             from repro.pipeline.parallel import run_sharded
 
-            records, report = run_sharded(source, self.config, workers)
+            records, report = run_sharded(
+                source,
+                self.config,
+                workers,
+                policy=supervisor,
+                worker_faults=worker_faults,
+            )
         else:
             records, report = self._run_serial(source)
         if resilient is not None:

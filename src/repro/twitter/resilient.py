@@ -36,9 +36,11 @@ import random
 from collections import deque
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field, fields
+from typing import Any
 
 from repro.config import ResiliencePolicy
 from repro.errors import ConfigError, SerializationError
+from repro.health import rows_to_lines
 from repro.twitter.errors import (
     HTTPStreamError,
     RateLimitError,
@@ -121,6 +123,21 @@ class DeadLetter:
     reason: str
     sequence: int
 
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "payload": self.payload,
+            "reason": self.reason,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DeadLetter":
+        return cls(
+            payload=str(data["payload"]),
+            reason=str(data["reason"]),
+            sequence=int(data["sequence"]),
+        )
+
 
 @dataclass(slots=True)
 class ReliabilityReport:
@@ -128,6 +145,9 @@ class ReliabilityReport:
 
     Exposed alongside :class:`repro.pipeline.runner.PipelineReport` so a
     chaos run documents both what it kept and what it lived through.
+    Implements the :class:`repro.health.HealthReport` protocol, the same
+    surface as the compute layer's
+    :class:`repro.supervise.RunHealth` — one rendering path serves both.
     """
 
     connects: int = 0
@@ -166,12 +186,38 @@ class ReliabilityReport:
             ("Records delivered", f"{self.delivered:,}"),
         ]
 
+    def summary_lines(self) -> list[str]:
+        return rows_to_lines(self.as_rows())
+
     def as_dict(self) -> dict[str, object]:
         return {
             f.name: getattr(self, f.name)
             for f in fields(self)
             if f.name != "dead_letters"
         }
+
+    def to_dict(self) -> dict[str, object]:
+        """Full round-trippable form (counters plus dead letters) —
+        the same shape contract as
+        :meth:`repro.supervise.RunHealth.to_dict`."""
+        data = self.as_dict()
+        data["dead_letters"] = [
+            letter.to_dict() for letter in self.dead_letters
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReliabilityReport":
+        report = cls()
+        for spec in fields(cls):
+            if spec.name == "dead_letters":
+                continue
+            kind = type(getattr(report, spec.name))
+            setattr(report, spec.name, kind(data[spec.name]))
+        report.dead_letters = [
+            DeadLetter.from_dict(item) for item in data["dead_letters"]
+        ]
+        return report
 
 
 class _SeenWindow:

@@ -94,6 +94,53 @@ class TestCollect:
         assert "seed=9" in capsys.readouterr().out
 
 
+class TestWorkerChaos:
+    def test_worker_chaos_flag_same_corpus(self, firehose, corpus_file,
+                                           tmp_path, capsys):
+        out = tmp_path / "wchaos.jsonl"
+        code = main([
+            "collect", str(firehose), str(out),
+            "--workers", "2", "--worker-chaos", "--worker-chaos-seed", "5",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "worker chaos mode" in printed
+        assert "Worker crashes survived" in printed
+        assert "Tasks quarantined: 0" in printed
+        # Injected worker faults never change the corpus either.
+        assert out.read_bytes() == corpus_file.read_bytes()
+
+
+class TestRun:
+    def test_run_then_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        argv = [
+            "run", str(run_dir), "--scale", "0.01", "--seed", "7", "--k", "6",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "10 stages run, 0 skipped" in out
+        assert (run_dir / "journal.json").exists()
+        assert (run_dir / "fig7.txt").exists()
+        assert main(argv + ["--resume"]) == 0
+        assert "0 stages run, 10 skipped" in capsys.readouterr().out
+
+    def test_run_refuses_existing_directory(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        argv = [
+            "run", str(run_dir), "--scale", "0.01", "--seed", "7", "--k", "6",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 1
+        assert "already contains" in capsys.readouterr().out
+
+    def test_resume_without_journal_errors(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "missing"), "--resume"])
+        assert code == 1
+        assert "no journal" in capsys.readouterr().out
+
+
 class TestAnalyze:
     def test_single_artifact(self, corpus_file, capsys):
         code = main([

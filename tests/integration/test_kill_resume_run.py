@@ -1,0 +1,97 @@
+"""SIGKILL a journaled run mid-stage and prove resume is byte-identical.
+
+The run is executed in a subprocess that kills itself (``SIGKILL``, no
+cleanup, no atexit) inside the torn window of a late stage — after the
+stage's artifact is written but *before* the journal records it.  The
+resumed run must skip every journaled stage and regenerate the rest so
+that the final artifacts are byte-for-byte identical to a run that was
+never interrupted.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.journal import STAGES, RunParams, run_stages
+
+PARAMS = RunParams(scale=0.01, seed=7, k=6)
+
+#: Late enough that the kill interrupts real analysis work, early enough
+#: that several stages remain for the resume to run.
+KILL_STAGE = "fig4"
+
+_KILLER_SCRIPT = """
+import os, signal, sys
+from pathlib import Path
+sys.path.insert(0, {src!r})
+from repro.pipeline.journal import RunParams, run_stages
+
+def kill_in_torn_window(stage):
+    if stage == {kill_stage!r}:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+run_stages(
+    Path({run_dir!r}),
+    RunParams(scale=0.01, seed=7, k=6),
+    fault_hook=kill_in_torn_window,
+)
+"""
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("uninterrupted")
+    run_stages(run_dir, PARAMS)
+    return run_dir
+
+
+class TestKillAndResume:
+    @pytest.fixture(scope="class")
+    def killed_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("killed")
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = _KILLER_SCRIPT.format(
+            src=src, kill_stage=KILL_STAGE, run_dir=str(run_dir)
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            timeout=600,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        return run_dir
+
+    def test_kill_lands_in_the_torn_window(self, killed_dir):
+        """The artifact exists but the journal does not record the stage
+        — exactly the crash state resume must repair."""
+        assert (killed_dir / f"{KILL_STAGE}.txt").exists()
+        journal = json.loads((killed_dir / "journal.json").read_text())
+        assert KILL_STAGE not in journal["stages"]
+        kill_at = STAGES.index(KILL_STAGE)
+        assert set(journal["stages"]) == set(STAGES[:kill_at])
+
+    def test_resume_completes_with_byte_identical_artifacts(
+        self, killed_dir, uninterrupted
+    ):
+        summary = run_stages(killed_dir, PARAMS, resume=True)
+        kill_at = STAGES.index(KILL_STAGE)
+        assert summary.stages_skipped == STAGES[:kill_at]
+        assert summary.stages_run == STAGES[kill_at:]
+        names = sorted(
+            p.name for p in uninterrupted.iterdir() if p.name != "journal.json"
+        )
+        assert names == sorted(
+            p.name for p in killed_dir.iterdir() if p.name != "journal.json"
+        )
+        for name in names:
+            assert (killed_dir / name).read_bytes() == (
+                uninterrupted / name
+            ).read_bytes(), f"{name} differs after kill+resume"
+
+    def test_resumed_journal_records_every_stage(self, killed_dir):
+        journal = json.loads((killed_dir / "journal.json").read_text())
+        assert set(journal["stages"]) == set(STAGES)

@@ -86,6 +86,33 @@ class TestReportMerge:
         with pytest.raises(PipelineError):
             a.merge(b)
 
+    def test_single_compute_health_carried(self):
+        from repro.supervise import RunHealth
+
+        health = RunHealth(tasks=2, completed=2)
+        a = PipelineReport(compute=health)
+        b = PipelineReport()
+        assert a.merge(b).compute is health
+        assert b.merge(a).compute is health
+
+    def test_two_compute_reports_rejected(self):
+        from repro.supervise import RunHealth
+
+        a = PipelineReport(compute=RunHealth())
+        b = PipelineReport(compute=RunHealth())
+        with pytest.raises(PipelineError):
+            a.merge(b)
+
+    def test_report_round_trips_with_both_health_layers(self):
+        from repro.supervise import RunHealth
+
+        report = PipelineReport(
+            collected=10, retained=4,
+            reliability=ReliabilityReport(delivered=10, connects=2),
+            compute=RunHealth(tasks=2, completed=2),
+        )
+        assert PipelineReport.from_dict(report.to_dict()) == report
+
 
 class TestProcessShard:
     def test_counts_and_records(self):
@@ -118,6 +145,11 @@ class TestRunSharded:
         for workers in (1, 2, 4):
             corpus, report = CollectionPipeline().run(source, workers=workers)
             assert corpus_bytes(corpus) == corpus_bytes(serial_corpus)
+            if workers > 1:
+                # Supervised runs additionally document pool health.
+                assert report.compute is not None
+                assert not report.compute.degraded
+                report.compute = None
             assert report == serial_report
 
     def test_empty_result_raises(self):
