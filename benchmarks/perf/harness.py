@@ -18,6 +18,13 @@ fault-free path, measured against the plain in-process run of the same
 workload, plus the cost under the chaos fault plan.  Every supervised
 run is checked byte-identical to the in-process baseline — overhead is
 only reported for runs that produce the same corpus.
+
+Schema v3 adds a ``durability`` section: the cost of the atomic write
+path (temp sibling, fsyncs, rename, directory fsync) plus the
+streaming integrity sidecar, measured against a plain buffered write
+of the same records.  Both paths must produce byte-identical corpora
+and the sidecar must verify, so the overhead number prices exactly the
+crash-safety and bitrot-detection guarantees and nothing else.
 """
 
 from __future__ import annotations
@@ -25,7 +32,9 @@ from __future__ import annotations
 import json
 import os
 import resource
+import tempfile
 import time
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -34,15 +43,20 @@ from repro.core.attention import AttentionMatrix
 from repro.core.user_clusters import sweep_k
 from repro.cluster.silhouette import silhouette_samples
 from repro.config import CollectionConfig, UserClusteringConfig
+from repro.dataset.io import write_jsonl
+from repro.dataset.records import CollectedTweet
 from repro.faults.compute import WorkerFaultPlan
-from repro.organs import N_ORGANS
+from repro.geo.geocoder import GeoMatch
+from repro.organs import N_ORGANS, Organ
 from repro.pipeline.parallel import run_sharded
 from repro.pipeline.runner import CollectionPipeline
+from repro.storage.manifest import verify_file
 from repro.supervise import SupervisorPolicy
 from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
+from repro.twitter.models import Tweet, UserProfile
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
@@ -177,6 +191,82 @@ def bench_supervision(size_target: int, seed: int) -> dict[str, Any]:
     return entry
 
 
+def make_collected(n_records: int) -> list[CollectedTweet]:
+    """Synthetic pipeline-surviving records sized for write benchmarks."""
+    location = GeoMatch(
+        country="US", state="KS", confidence=0.9, source="profile"
+    )
+    organs = tuple(Organ)
+    return [
+        CollectedTweet(
+            tweet=Tweet(
+                tweet_id=i,
+                user=UserProfile(
+                    user_id=i % 997,
+                    screen_name=f"user{i % 997}",
+                    location="Wichita, KS",
+                ),
+                text=f"{organs[i % len(organs)].value} donor update {i}",
+            ),
+            location=location,
+            mentions={organs[i % len(organs)]: 1},
+        )
+        for i in range(n_records)
+    ]
+
+
+def bench_durability(
+    record_counts: tuple[int, ...], seed: int
+) -> dict[str, Any]:
+    """Price the atomic+manifest write path against a plain buffered write.
+
+    For each record count the same corpus is written twice: once with a
+    bare buffered ``open`` (what the repo used before the storage layer
+    — no crash safety, no integrity evidence) and once through
+    :func:`repro.dataset.io.write_jsonl` (temp sibling, fsync, rename,
+    directory fsync, plus the streaming SHA-256/CRC32 sidecar).  The
+    two corpora must be byte-identical and the sidecar must verify, so
+    ``overhead_vs_plain`` measures only the durability guarantees.
+    """
+    entry: dict[str, Any] = {"seed": seed, "runs": []}
+    for n_records in record_counts:
+        records = make_collected(n_records)
+        with tempfile.TemporaryDirectory() as tmp:
+            plain_path = Path(tmp) / "plain.jsonl"
+            start = time.perf_counter()
+            # The pre-storage-layer baseline, serializing per record
+            # exactly as write_jsonl does so the ratio prices only the
+            # durability work; bench code is exempt from RPL008
+            # precisely so this comparison can exist.
+            with open(plain_path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(record.to_dict(), ensure_ascii=False)
+                    )
+                    handle.write("\n")
+            plain_seconds = time.perf_counter() - start
+
+            atomic_path = Path(tmp) / "atomic.jsonl"
+            start = time.perf_counter()
+            write_jsonl(records, atomic_path)
+            atomic_seconds = time.perf_counter() - start
+
+            entry["runs"].append({
+                "records": n_records,
+                "bytes": plain_path.stat().st_size,
+                "plain_seconds": round(plain_seconds, 4),
+                "atomic_manifest_seconds": round(atomic_seconds, 4),
+                "overhead_vs_plain": round(
+                    atomic_seconds / plain_seconds, 3
+                ),
+                "byte_identical_to_plain": (
+                    atomic_path.read_bytes() == plain_path.read_bytes()
+                ),
+                "manifest_verified": verify_file(atomic_path).ok,
+            })
+    return entry
+
+
 def synthetic_attention(n_users: int, seed: int) -> AttentionMatrix:
     """A row-normalized Û with organ-skewed rows (clusterable structure)."""
     rng = np.random.default_rng(seed)
@@ -251,6 +341,7 @@ def run_suite(
     cluster_users_n: int = 20_000,
     cluster_ks: tuple[int, ...] = (11, 12, 13, 14),
     supervision_size: int = 20_000,
+    durability_counts: tuple[int, ...] = (10_000, 100_000),
 ) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
     payload: dict[str, Any] = {
@@ -266,6 +357,7 @@ def run_suite(
             cluster_users_n, cluster_ks, worker_counts, seed
         ),
         "supervision": bench_supervision(supervision_size, seed),
+        "durability": bench_durability(durability_counts, seed),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
     return payload
@@ -367,6 +459,30 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                 if run.get("byte_identical_to_inprocess") is not True:
                     problems.append(
                         f"{run_where}: supervised run is not byte-identical"
+                    )
+
+    durability = payload.get("durability")
+    if not isinstance(durability, dict):
+        problems.append("payload.durability: expected object")
+    else:
+        dur_runs = durability.get("runs")
+        if not isinstance(dur_runs, list) or not dur_runs:
+            problems.append("durability.runs: expected non-empty list")
+        else:
+            for j, run in enumerate(dur_runs):
+                run_where = f"durability.runs[{j}]"
+                need(run, "records", int, run_where)
+                need(run, "bytes", int, run_where)
+                need(run, "plain_seconds", float, run_where)
+                need(run, "atomic_manifest_seconds", float, run_where)
+                need(run, "overhead_vs_plain", float, run_where)
+                if run.get("byte_identical_to_plain") is not True:
+                    problems.append(
+                        f"{run_where}: atomic corpus is not byte-identical"
+                    )
+                if run.get("manifest_verified") is not True:
+                    problems.append(
+                        f"{run_where}: integrity sidecar failed to verify"
                     )
 
     rss = payload.get("peak_rss_mb")

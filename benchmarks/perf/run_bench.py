@@ -68,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         cluster_users_n=2_000 if args.smoke else 20_000,
         cluster_ks=(11, 12) if args.smoke else (11, 12, 13, 14),
         supervision_size=2_000 if args.smoke else 20_000,
+        durability_counts=(1_000,) if args.smoke else (10_000, 100_000),
     )
     problems = validate_payload(payload)
     if problems:
@@ -95,6 +96,13 @@ def main(argv: list[str] | None = None) -> int:
             f"  supervision {run['mode']:<16} workers={run['workers']} "
             f"{run['seconds']:.2f}s "
             f"overhead={run['overhead_vs_inprocess']}x"
+        )
+    for run in payload["durability"]["runs"]:
+        print(
+            f"  durability  records={run['records']:>7,} "
+            f"plain={run['plain_seconds']:.3f}s "
+            f"atomic+manifest={run['atomic_manifest_seconds']:.3f}s "
+            f"overhead={run['overhead_vs_plain']}x"
         )
     print(f"  cpu_count={payload['cpu_count']}")
     return 0

@@ -68,6 +68,13 @@ def cmd_collect(args: argparse.Namespace) -> int:
         worker_faults = WorkerFaultPlan.chaos(seed=args.worker_chaos_seed)
         supervisor = SupervisorPolicy()
         print(f"worker chaos mode: {worker_faults.describe()}")
+    fs = None
+    if getattr(args, "disk_chaos", False):
+        from repro.faults.storage import StorageFaultPlan
+        from repro.storage.fs import FaultyFS
+
+        fs = FaultyFS(StorageFaultPlan.chaos(seed=args.disk_chaos_seed))
+        print(f"disk chaos mode: {fs.plan.describe()}")
     workers = getattr(args, "workers", 1)
     if workers > 1:
         print(f"sharding across {workers} worker processes")
@@ -79,14 +86,42 @@ def cmd_collect(args: argparse.Namespace) -> int:
             supervisor=supervisor,
             worker_faults=worker_faults,
         )
+        count = write_jsonl(corpus.records, args.output, fs=fs)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")
         return 1
-    count = write_jsonl(corpus.records, args.output)
     for label, value in report.as_rows():
         print(f"{label}: {value}")
+    if fs is not None:
+        for line in fs.injected.summary_lines():
+            print(line)
     print(f"wrote {count:,} records to {args.output}")
     return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify manifested files; quarantine bitrot, repair from replicas."""
+    from repro.storage.scrub import scrub_paths
+
+    try:
+        report = scrub_paths(
+            list(args.paths),
+            repair_from=args.repair_from,
+            quarantine=not args.no_quarantine,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    for result in report.results:
+        detail = f" ({result.detail})" if result.detail else ""
+        print(f"{result.path}: {result.status}{detail}")
+    for line in report.summary_lines():
+        print(line)
+    # Exit 0 only when no data was lost: clean, repaired, or a rebuilt
+    # stale sidecar.  Quarantined records are preserved evidence, but
+    # the corpus did lose them — operators must see that.
+    ok = report.all_clean and report.records_quarantined == 0
+    return 0 if ok else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -161,7 +196,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             print(f"\n===== {name} =====")
             print(text)
             if out_dir is not None:
-                (out_dir / f"{name}.txt").write_text(text + "\n")
+                from repro.storage.atomic import atomic_write_text
+
+                atomic_write_text(out_dir / f"{name}.txt", text + "\n")
         if out_dir is not None:
             print(f"\nwrote {len(wanted)} artifacts to {out_dir}/")
         if args.csv is not None:

@@ -56,7 +56,36 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--worker-chaos-seed", type=int, default=0,
                          help="seed for the deterministic worker-fault "
                          "schedule")
+    collect.add_argument("--disk-chaos", action="store_true",
+                         help="write the corpus through a fault-injecting "
+                         "filesystem (transient EIO, lying fsyncs); the "
+                         "atomic-durable writer absorbs every fault and "
+                         "the corpus is byte-identical to a fault-free "
+                         "run")
+    collect.add_argument("--disk-chaos-seed", type=int, default=0,
+                         help="seed for the deterministic disk-fault "
+                         "schedule")
     collect.set_defaults(func=commands.cmd_collect)
+
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="verify manifested files (corpora, checkpoints, run "
+        "artifacts) against their integrity sidecars; quarantine "
+        "bitrot-damaged records into a dead-letter, repair whole files "
+        "from replicas",
+    )
+    scrub.add_argument("paths", nargs="+",
+                       help="files or directories to scrub (directories "
+                       "are searched recursively for *.manifest.json "
+                       "sidecars)")
+    scrub.add_argument("--repair-from", default=None,
+                       help="directory holding known-good replicas by "
+                       "file name (e.g. a journaled run directory); "
+                       "tried before quarantining")
+    scrub.add_argument("--no-quarantine", action="store_true",
+                       help="detect and report damage without modifying "
+                       "any file")
+    scrub.set_defaults(func=commands.cmd_scrub)
 
     analyze = subparsers.add_parser(
         "analyze", help="regenerate paper artifacts from a corpus"
@@ -144,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint determinism/reliability analyzer "
-        "(RPL001–RPL006) over the source tree",
+        "(RPL001–RPL008) over the source tree",
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to analyze "

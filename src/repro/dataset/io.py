@@ -8,6 +8,13 @@ pipeline-surviving :class:`~repro.dataset.records.CollectedTweet` corpora
 (:func:`write_jsonl` / :func:`read_jsonl`).  Reading is strict: a
 malformed line raises :class:`repro.errors.SerializationError` with the
 line number.
+
+Writing goes through :class:`repro.storage.atomic.AtomicWriter`: the
+new file is streamed to a temp sibling, fsynced, and renamed over the
+destination — a crash mid-write can never destroy an existing corpus.
+Each write also leaves a :mod:`repro.storage.manifest` integrity
+sidecar (whole-file SHA-256 + per-record CRC32), built in the same
+streaming pass, so ``repro scrub`` can detect bitrot later.
 """
 
 from __future__ import annotations
@@ -20,45 +27,113 @@ from typing import IO, TYPE_CHECKING
 
 from repro.dataset.records import CollectedTweet
 from repro.errors import SerializationError
+from repro.storage.atomic import AtomicWriter
+from repro.storage.fs import FileSystem
+from repro.storage.manifest import Manifest, record_crc, write_manifest
+
+#: Chunk size for the torn-tail probe: large enough to cross any
+#: plausible run of trailing whitespace in one or two reads, small
+#: enough never to slurp a multi-GB remainder.
+_TAIL_PROBE_BYTES = 64 * 1024
 
 
 def _is_torn_tail(handle: IO[str]) -> bool:
-    """True when the handle is positioned at end-of-file.
+    """True when only whitespace follows the handle's position.
 
-    Called after a malformed line: if nothing but whitespace follows, the
-    failure is a torn trailing line (a crash mid-append), not corpus-wide
-    corruption.
+    Called after a malformed line: if nothing but whitespace follows,
+    the failure is a torn trailing line (a crash mid-append), not
+    corpus-wide corruption.  Reads in bounded chunks so a malformed
+    line early in a huge corpus does not pull the whole remainder into
+    memory just to learn it is mid-file.
     """
-    return handle.read().strip() == ""
+    while True:
+        chunk = handle.read(_TAIL_PROBE_BYTES)
+        if not chunk:
+            return True
+        if chunk.strip():
+            return False
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.twitter.models import Tweet
 
 
-def write_jsonl(records: Iterable[CollectedTweet], path: str | Path) -> int:
-    """Write records to a JSONL file; returns the number written."""
+def _write_records_jsonl(
+    dicts: Iterable[dict[str, object]],
+    path: str | Path,
+    *,
+    fs: FileSystem | None,
+    manifest: bool,
+) -> int:
+    """Stream dicts as JSONL through one atomic write; returns the count.
+
+    Hashes and CRCs are accumulated during the same single iteration
+    (sources may be one-shot generators), so the sidecar costs no
+    second pass over the data.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
-            handle.write("\n")
+    crcs: list[int] = []
+    with AtomicWriter(path, fs=fs) as writer:
+        for data in dicts:
+            line = json.dumps(data, ensure_ascii=False)
+            writer.write(line)
+            writer.write("\n")
+            if manifest:
+                crcs.append(record_crc(line))
             count += 1
+    if manifest:
+        write_manifest(
+            path,
+            Manifest(
+                file=Path(path).name,
+                sha256=writer.sha256_hex,
+                size_bytes=writer.bytes_written,
+                record_crcs=tuple(crcs),
+            ),
+            fs=fs,
+        )
     return count
 
 
-def write_tweets_jsonl(tweets: Iterable["Tweet"], path: str | Path) -> int:
-    """Write raw tweets (a firehose) to JSONL; returns the count."""
-    count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for tweet in tweets:
-            handle.write(json.dumps(tweet.to_dict(), ensure_ascii=False))
-            handle.write("\n")
-            count += 1
-    return count
+def write_jsonl(
+    records: Iterable[CollectedTweet],
+    path: str | Path,
+    *,
+    fs: FileSystem | None = None,
+    manifest: bool = True,
+) -> int:
+    """Atomically write records to a JSONL file; returns the number written.
+
+    An existing file at ``path`` survives any crash mid-write: the old
+    content is only replaced once the new content is fully on disk.
+    """
+    return _write_records_jsonl(
+        (record.to_dict() for record in records), path, fs=fs, manifest=manifest
+    )
 
 
-def read_tweets_jsonl(path: str | Path) -> Iterator["Tweet"]:
+def write_tweets_jsonl(
+    tweets: Iterable["Tweet"],
+    path: str | Path,
+    *,
+    fs: FileSystem | None = None,
+    manifest: bool = True,
+) -> int:
+    """Atomically write raw tweets (a firehose) to JSONL; returns the count."""
+    return _write_records_jsonl(
+        (tweet.to_dict() for tweet in tweets), path, fs=fs, manifest=manifest
+    )
+
+
+def read_tweets_jsonl(
+    path: str | Path, tolerate_torn_tail: bool = False
+) -> Iterator["Tweet"]:
     """Stream raw tweets from a JSONL firehose file.
+
+    Args:
+        path: the JSONL file to read.
+        tolerate_torn_tail: when True, a malformed *final* line — the
+            signature of a crash mid-append — is skipped with a warning
+            instead of failing the whole firehose.
 
     Raises:
         SerializationError: on the first malformed line, with its 1-based
@@ -74,6 +149,14 @@ def read_tweets_jsonl(path: str | Path) -> Iterator["Tweet"]:
             try:
                 data = json.loads(line)
             except json.JSONDecodeError as exc:
+                if tolerate_torn_tail and _is_torn_tail(handle):
+                    warnings.warn(
+                        f"{path}:{line_number}: torn trailing record "
+                        "(crash mid-write?); rewound to the last complete "
+                        "line",
+                        stacklevel=2,
+                    )
+                    return
                 raise SerializationError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc

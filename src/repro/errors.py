@@ -29,6 +29,16 @@ class SerializationError(DatasetError):
     """A record could not be encoded to or decoded from JSONL."""
 
 
+class StorageError(ReproError):
+    """A durable-storage operation failed (atomic write, manifest, scrub).
+
+    Raised when the storage layer cannot uphold its durability contract —
+    persistent I/O errors past the retry budget, out-of-disk during an
+    atomic replace, or an unreadable integrity sidecar.  A transient fault
+    that the bounded retry absorbed is *not* an error.
+    """
+
+
 class CharacterizationError(ReproError):
     """A characterization (attention/membership/aggregation) step failed."""
 

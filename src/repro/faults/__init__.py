@@ -1,11 +1,14 @@
-"""Fault-injection plans for the compute layer.
+"""Fault-injection plans for the compute and storage layers.
 
 The transport-level fault taxonomy lives in :mod:`repro.twitter.faults`;
-this package carries its compute-layer sibling:
+this package carries its siblings one and two layers down:
 :class:`repro.faults.compute.WorkerFaultPlan` injects worker crashes,
 hangs, exception storms, and slow tasks into the supervised process pool
-(:mod:`repro.supervise`), so chaos-equivalence can be asserted one layer
-down from the stream.
+(:mod:`repro.supervise`), and
+:class:`repro.faults.storage.StorageFaultPlan` injects EIO/ENOSPC, torn
+writes, crash windows, fsync lies, and bitrot into the durable storage
+layer (:mod:`repro.storage`), so chaos-equivalence can be asserted all
+the way down to the disk.
 """
 
 from repro.faults.compute import (
@@ -13,5 +16,19 @@ from repro.faults.compute import (
     WorkerFault,
     WorkerFaultPlan,
 )
+from repro.faults.storage import (
+    InjectedStorageFaults,
+    SimulatedCrash,
+    StorageFaultPlan,
+    flip_bits,
+)
 
-__all__ = ["InjectedComputeError", "WorkerFault", "WorkerFaultPlan"]
+__all__ = [
+    "InjectedComputeError",
+    "InjectedStorageFaults",
+    "SimulatedCrash",
+    "StorageFaultPlan",
+    "WorkerFault",
+    "WorkerFaultPlan",
+    "flip_bits",
+]

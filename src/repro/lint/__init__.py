@@ -13,6 +13,7 @@ RPL004  bare/over-broad except that can swallow injected faults
 RPL005  mutable default argument (shared across calls)
 RPL006  assert for runtime validation (stripped under ``python -O``)
 RPL007  unused ``# reprolint: disable=`` suppression
+RPL008  raw filesystem write outside ``repro/storage``
 RPL900  file does not parse
 ======  ==============================================================
 

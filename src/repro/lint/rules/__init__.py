@@ -18,6 +18,7 @@ from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.exceptions import BroadExceptRule
 from repro.lint.rules.ordering import UnorderedIterationRule
 from repro.lint.rules.rng import ImplicitRngRule
+from repro.lint.rules.storage import RawStorageWriteRule
 from repro.lint.rules.wallclock import WallClockRule
 
 
@@ -39,6 +40,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BroadExceptRule(),
     MutableDefaultRule(),
     RuntimeAssertRule(),
+    RawStorageWriteRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -50,6 +52,7 @@ __all__ = [
     "BroadExceptRule",
     "ImplicitRngRule",
     "MutableDefaultRule",
+    "RawStorageWriteRule",
     "RuntimeAssertRule",
     "UnorderedIterationRule",
     "WallClockRule",

@@ -1,0 +1,109 @@
+"""RPL008 — raw durable writes outside the storage layer.
+
+Every byte this project persists must flow through
+:mod:`repro.storage` — the atomic-durable writer (temp sibling →
+fsync → rename → directory fsync) plus integrity sidecars.  A raw
+``open(path, "w")``, ``Path.write_text``, or ``os.replace`` sprinkled
+elsewhere reopens the exact crash windows the storage subsystem was
+built to close: a kill mid-write tears the file, an unfsynced rename
+silently reverts on power loss, and no manifest means bitrot is
+invisible to ``repro scrub``.
+
+The rule flags three shapes in core code:
+
+* builtin ``open`` (or ``io.open``) whose *constant* mode string
+  contains any of ``w``/``a``/``x``/``+`` — non-constant modes are not
+  judged (the caller decides; the reviewer decides);
+* ``.write_text(...)`` / ``.write_bytes(...)`` method calls (the
+  one-shot ``pathlib`` writers have no durability story at all);
+* resolved ``os.replace`` / ``os.rename`` calls (renames are only
+  crash-safe inside the writer, which fsyncs the parent directory).
+
+Tests and benchmarks are exempt — they stage scratch files and
+deliberately corrupt them.  Files inside a ``storage`` package
+directory are exempt by construction: that is where the raw syscalls
+are supposed to live.  The rare legitimate escape hatch elsewhere
+(e.g. the in-place torn-tail truncation in the incremental collector)
+carries an inline ``# reprolint: disable=RPL008`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+#: Mode characters that make an ``open`` call a write (or writable) open.
+_WRITE_MODE_CHARS = frozenset("wax+")
+#: Fully qualified rename calls that bypass the atomic writer.
+_RENAME_CALLS = frozenset({"os.replace", "os.rename"})
+#: One-shot pathlib-style writers with no fsync/atomicity story.
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+class RawStorageWriteRule:
+    rule_id = "RPL008"
+    summary = "raw filesystem write outside repro/storage"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        role = ctx.role
+        if role.is_test or role.is_bench:
+            return
+        if "storage" in ctx.path.parent.parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = self._classify(ctx, node)
+            if reason is not None:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule_id,
+                    message=(
+                        f"{reason}; persisted bytes must go through "
+                        "repro.storage (AtomicWriter / atomic_write_text) "
+                        "so a crash can never tear or destroy them"
+                    ),
+                )
+
+    def _classify(self, ctx: FileContext, node: ast.Call) -> str | None:
+        func = node.func
+        name = ctx.resolve(func)
+        if name in _RENAME_CALLS:
+            return f"{name}() renames without a parent-directory fsync"
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            return (
+                f".{func.attr}() writes in place with no fsync or "
+                "atomic replace"
+            )
+        is_open = (
+            isinstance(func, ast.Name) and func.id == "open"
+        ) or name == "io.open"
+        if is_open:
+            mode = self._constant_mode(node)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                return f"open(..., {mode!r}) opens a file for writing"
+        return None
+
+    @staticmethod
+    def _constant_mode(node: ast.Call) -> str | None:
+        """The call's mode argument, when it is a string constant."""
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+                return None
+        if len(node.args) >= 2:
+            value = node.args[1]
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                return value.value
+        return None

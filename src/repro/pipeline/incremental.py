@@ -7,12 +7,23 @@ processed tweet id and cumulative counters), so a collection can stop at
 any point and resume exactly where it left off without duplicating or
 dropping records.
 
-Crash safety: the checkpoint is written atomically (temp file +
-``os.replace``), and construction reconciles the checkpoint with the
-corpus file — truncating a torn trailing JSONL line and adopting any
-complete records that were flushed after the last checkpoint — so a kill
-at *any* instant (mid-batch, mid-checkpoint-write, mid-JSONL-line)
-resumes with no duplicated and no dropped records.
+Crash safety: all writes go through :mod:`repro.storage` — the sink is
+fsynced *before* every checkpoint save (so a durable checkpoint always
+describes a durable corpus prefix), the checkpoint itself is written
+atomically-durably with an integrity sidecar, and construction
+reconciles the checkpoint with the corpus file in both directions:
+
+* corpus ahead of checkpoint (killed before the periodic save, or a
+  torn trailing JSONL line) — the tail is truncated/adopted, exactly as
+  before;
+* checkpoint ahead of corpus (a lying fsync acknowledged bytes that a
+  later power loss dropped) — the checkpoint is *rewound* to the
+  surviving corpus, so the lost tweets are re-processed instead of
+  silently skipped.
+
+Either way a kill at *any* instant — mid-batch, mid-checkpoint-write,
+mid-JSONL-line, even under injected disk faults — resumes to a
+byte-identical corpus.
 """
 
 from __future__ import annotations
@@ -37,6 +48,12 @@ from repro.nlp.keywords import build_query_set, matches_query_set
 from repro.nlp.matcher import OrganMatcher
 from repro.pipeline.augment import augment_location
 from repro.pipeline.usfilter import is_us_located
+from repro.storage.fs import LOCAL_FS, FileSystem
+from repro.storage.manifest import (
+    build_manifest,
+    write_manifest,
+    write_text_with_manifest,
+)
 from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Tweet
 from repro.twitter.resilient import (
@@ -52,7 +69,7 @@ class Checkpoint:
 
     Attributes:
         last_tweet_id: highest tweet id fully processed (−1 initially).
-        seen: tweets inspected, cumulative.
+        seen: tweets inspected, cumulative (a lower bound after a crash).
         retained: records written, cumulative.
     """
 
@@ -73,6 +90,9 @@ class IncrementalCollector:
             the corpus inconsistent).
         resilience: reconnect/dedup policy applied when ``run`` is given
             a fault plan.
+        fs: filesystem all persistence goes through; a
+            :class:`repro.storage.fs.FaultyFS` here subjects the whole
+            collection to injected disk faults.
 
     Tweets with ids at or below the checkpoint are skipped, so re-feeding
     an overlapping stream slice is safe and idempotent.
@@ -84,6 +104,7 @@ class IncrementalCollector:
         checkpoint_path: str | Path | None = None,
         config: CollectionConfig | None = None,
         resilience: ResiliencePolicy | None = None,
+        fs: FileSystem | None = None,
     ):
         self.corpus_path = Path(corpus_path)
         self.checkpoint_path = (
@@ -93,6 +114,7 @@ class IncrementalCollector:
                 self.corpus_path.suffix + ".checkpoint.json"
             )
         )
+        self.fs: FileSystem = fs if fs is not None else LOCAL_FS
         self.config = config or CollectionConfig()
         self.resilience = resilience or ResiliencePolicy()
         self.reliability: ReliabilityReport | None = None
@@ -115,33 +137,53 @@ class IncrementalCollector:
                 retained=int(data["retained"]),
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if self.corpus_path.exists():
+                # The corpus itself is the ground truth; a garbage
+                # checkpoint (bitrot, torn write on a legacy layout) is
+                # rebuilt from it instead of bricking the resume.
+                warnings.warn(
+                    f"corrupt checkpoint {self.checkpoint_path} ({exc}); "
+                    "rebuilding it from a corpus scan",
+                    stacklevel=3,
+                )
+                return Checkpoint()
             raise PipelineError(
                 f"corrupt checkpoint {self.checkpoint_path}: {exc}"
             ) from exc
 
     def _save_checkpoint(self) -> None:
-        """Atomically replace the checkpoint (crash mid-write can never
-        leave a corrupt checkpoint that bricks a resume)."""
-        tmp_path = self.checkpoint_path.with_suffix(
-            self.checkpoint_path.suffix + ".tmp"
+        """Atomically-durably replace the checkpoint (crash mid-write can
+        never leave a corrupt checkpoint that bricks a resume), leaving
+        an integrity sidecar for ``repro scrub``."""
+        write_text_with_manifest(
+            self.checkpoint_path,
+            json.dumps(asdict(self.checkpoint)) + "\n",
+            fs=self.fs,
         )
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(asdict(self.checkpoint)))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.checkpoint_path)
+
+    def _write_corpus_manifest(self) -> None:
+        if self.corpus_path.exists():
+            write_manifest(
+                self.corpus_path,
+                build_manifest(self.corpus_path, fs=self.fs),
+                fs=self.fs,
+            )
 
     def _recover(self) -> None:
         """Reconcile the checkpoint with the corpus file after a crash.
 
-        Two gaps can open between sink and checkpoint when a run dies:
+        Three gaps can open between sink and checkpoint when a run dies:
 
         * a torn trailing JSONL line (killed mid-write) — truncated away;
           the record's tweet id is above the checkpoint, so the tweet is
           simply re-processed on the next run;
         * complete records flushed after the last checkpoint (killed
           before the periodic save) — adopted into the checkpoint so
-          re-feeding the stream cannot duplicate them.
+          re-feeding the stream cannot duplicate them;
+        * records the checkpoint counts but the corpus no longer holds
+          (an fsync lie followed by power loss) — the checkpoint is
+          rewound to the surviving corpus so the lost tweets are
+          re-processed instead of silently skipped.
 
         The ``seen`` counter cannot recover tweets that were inspected
         and rejected after the last checkpoint, so after a crash it is a
@@ -149,7 +191,17 @@ class IncrementalCollector:
         """
         self._truncate_torn_tail()
         if not self.corpus_path.exists():
+            if self.checkpoint.retained > 0:
+                warnings.warn(
+                    f"checkpoint claims {self.checkpoint.retained} retained "
+                    f"record(s) but {self.corpus_path} is gone; rewound to "
+                    "an empty corpus (lost unsynced writes?)",
+                    stacklevel=2,
+                )
+                self.checkpoint = Checkpoint()
+                self._save_checkpoint()
             return
+        total = 0
         adopted = 0
         max_id = self.checkpoint.last_tweet_id
         with open(self.corpus_path, encoding="utf-8") as handle:
@@ -164,9 +216,24 @@ class IncrementalCollector:
                         f"{self.corpus_path}:{line_number}: corrupt record "
                         f"during crash recovery: {exc}"
                     ) from exc
+                total += 1
                 if tweet_id > max_id:
                     adopted += 1
                     max_id = tweet_id
+        if total < self.checkpoint.retained:
+            warnings.warn(
+                f"corpus holds {total} record(s) but the checkpoint claims "
+                f"{self.checkpoint.retained}; rewound the checkpoint to the "
+                "surviving corpus (an acknowledged write was lost?)",
+                stacklevel=2,
+            )
+            self.checkpoint = Checkpoint(
+                last_tweet_id=max_id if total else -1,
+                seen=total,
+                retained=total,
+            )
+            self._save_checkpoint()
+            return
         if adopted:
             warnings.warn(
                 f"adopted {adopted} record(s) flushed after the last "
@@ -189,7 +256,9 @@ class IncrementalCollector:
         """
         if not self.corpus_path.exists():
             return
-        with open(self.corpus_path, "rb+") as handle:
+        # In-place surgical truncation of an existing file — the one
+        # repair that atomic replacement cannot express.
+        with open(self.corpus_path, "rb+") as handle:  # reprolint: disable=RPL008
             size = handle.seek(0, os.SEEK_END)
             if size == 0:
                 return
@@ -223,9 +292,12 @@ class IncrementalCollector:
     ) -> int:
         """Process a stream slice; returns records written this run.
 
-        The checkpoint is saved every ``checkpoint_every`` inspected
-        tweets and once at the end, so a crash loses at most one batch of
-        progress (and re-processing that batch is idempotent).
+        The sink is fsynced and the checkpoint saved every
+        ``checkpoint_every`` inspected tweets and once at the end, so a
+        crash loses at most one batch of progress (and re-processing
+        that batch is idempotent).  The fsync strictly precedes the
+        checkpoint save: a durable checkpoint therefore always describes
+        a durable corpus prefix, which is what recovery relies on.
 
         Args:
             source: tweet iterable (stream slice).
@@ -248,7 +320,7 @@ class IncrementalCollector:
             source = resilient
         written = 0
         since_checkpoint = 0
-        with open(self.corpus_path, "a", encoding="utf-8") as sink:
+        with self.fs.open(self.corpus_path, "a") as sink:
             for tweet in source:
                 if tweet.tweet_id <= self.checkpoint.last_tweet_id:
                     continue  # already processed in a previous run
@@ -264,10 +336,12 @@ class IncrementalCollector:
                 self.checkpoint.last_tweet_id = tweet.tweet_id
                 since_checkpoint += 1
                 if since_checkpoint >= checkpoint_every:
-                    sink.flush()
+                    self.fs.fsync(sink)
                     self._save_checkpoint()
                     since_checkpoint = 0
+            self.fs.fsync(sink)
         self._save_checkpoint()
+        self._write_corpus_manifest()
         return written
 
     def _process(self, tweet: Tweet) -> CollectedTweet | None:

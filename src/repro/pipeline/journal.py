@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from collections.abc import Callable
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -56,6 +55,9 @@ from repro.dataset.io import (
 from repro.errors import PipelineError
 from repro.faults.compute import WorkerFaultPlan
 from repro.pipeline.runner import CollectionPipeline, PipelineReport
+from repro.storage.atomic import atomic_write_text
+from repro.storage.fs import LOCAL_FS, FileSystem
+from repro.storage.manifest import write_text_with_manifest
 from repro.supervise import SupervisorPolicy
 
 
@@ -140,16 +142,20 @@ class RunJournal:
         run_dir: directory holding ``journal.json`` and all artifacts.
         params: the run's parameters; their fingerprint binds the
             journal to exactly one configuration.
+        fs: filesystem the journal file is written through.
     """
 
-    def __init__(self, run_dir: Path, params: RunParams):
+    def __init__(
+        self, run_dir: Path, params: RunParams, fs: FileSystem | None = None
+    ):
         self.run_dir = Path(run_dir)
         self.params = params
+        self.fs: FileSystem = fs if fs is not None else LOCAL_FS
         self.path = self.run_dir / "journal.json"
         self._stages: dict[str, dict[str, str]] = {}
 
     @classmethod
-    def load(cls, run_dir: Path) -> "RunJournal":
+    def load(cls, run_dir: Path, fs: FileSystem | None = None) -> "RunJournal":
         """Load an existing journal from a run directory.
 
         Raises:
@@ -164,7 +170,7 @@ class RunJournal:
             ) from None
         except (OSError, json.JSONDecodeError) as exc:
             raise PipelineError(f"unreadable journal at {path}: {exc}") from exc
-        journal = cls(Path(run_dir), RunParams.from_dict(data["params"]))
+        journal = cls(Path(run_dir), RunParams.from_dict(data["params"]), fs=fs)
         if data["fingerprint"] != journal.params.fingerprint():
             raise PipelineError(
                 f"journal at {path} is internally inconsistent: recorded "
@@ -219,6 +225,9 @@ class RunJournal:
         self._write()
 
     def _write(self) -> None:
+        """Atomic-durable journal replace; no sidecar for the journal
+        itself — it *is* the integrity record for the artifacts, and the
+        resume tests hand-edit it to simulate crashes."""
         payload = {
             "fingerprint": self.params.fingerprint(),
             "params": self.params.to_dict(),
@@ -228,16 +237,16 @@ class RunJournal:
                 if name in self._stages
             },
         }
-        tmp = self.path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        atomic_write_text(
+            self.path,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            fs=self.fs,
+        )
 
 
-def _write_attention_json(attention: AttentionMatrix, path: Path) -> None:
+def _write_attention_json(
+    attention: AttentionMatrix, path: Path, fs: FileSystem | None = None
+) -> None:
     """Serialize Û's inputs deterministically (floats via ``repr``).
 
     Only ``counts`` is persisted; ``normalized`` is recomputed on load by
@@ -250,8 +259,8 @@ def _write_attention_json(attention: AttentionMatrix, path: Path) -> None:
         "states": list(attention.states),
         "counts": [[float(v) for v in row] for row in attention.counts],
     }
-    path.write_text(
-        json.dumps(payload, ensure_ascii=False) + "\n", encoding="utf-8"
+    write_text_with_manifest(
+        path, json.dumps(payload, ensure_ascii=False) + "\n", fs=fs
     )
 
 
@@ -299,9 +308,12 @@ class _StageRunner:
     a previous one.
     """
 
-    def __init__(self, run_dir: Path, params: RunParams):
+    def __init__(
+        self, run_dir: Path, params: RunParams, fs: FileSystem | None = None
+    ):
         self.run_dir = run_dir
         self.params = params
+        self.fs: FileSystem = fs if fs is not None else LOCAL_FS
         self._corpus: TweetCorpus | None = None
         self._report: PipelineReport | None = None
         self._attention: AttentionMatrix | None = None
@@ -358,7 +370,9 @@ class _StageRunner:
         world = SyntheticWorld(
             paper2016_scenario(scale=self.params.scale, seed=self.params.seed)
         )
-        write_tweets_jsonl(world.firehose(), self.run_dir / "firehose.jsonl")
+        write_tweets_jsonl(
+            world.firehose(), self.run_dir / "firehose.jsonl", fs=self.fs
+        )
 
     def _stage_collect(self) -> None:
         fault_plan = None
@@ -382,10 +396,11 @@ class _StageRunner:
             supervisor=supervisor,
             worker_faults=worker_faults,
         )
-        write_jsonl(corpus.records, self.run_dir / "corpus.jsonl")
-        (self.run_dir / "report.json").write_text(
+        write_jsonl(corpus.records, self.run_dir / "corpus.jsonl", fs=self.fs)
+        write_text_with_manifest(
+            self.run_dir / "report.json",
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+            fs=self.fs,
         )
 
     def _stage_attention(self) -> None:
@@ -394,13 +409,14 @@ class _StageRunner:
         _write_attention_json(
             build_attention_matrix(self.corpus()),
             self.run_dir / "attention.json",
+            fs=self.fs,
         )
 
     def _render_stage(self, stage: str) -> None:
         suite = self._suite()
         text: str = getattr(suite, f"run_{stage}")().render()
-        (self.run_dir / f"{stage}.txt").write_text(
-            text + "\n", encoding="utf-8"
+        write_text_with_manifest(
+            self.run_dir / f"{stage}.txt", text + "\n", fs=self.fs
         )
 
     def _stage_table1(self) -> None:
@@ -432,6 +448,7 @@ def run_stages(
     resume: bool = False,
     fault_hook: Callable[[str], None] | None = None,
     log: Callable[[str], None] | None = None,
+    fs: FileSystem | None = None,
 ) -> RunSummary:
     """Execute (or resume) a journaled end-to-end analysis run.
 
@@ -446,6 +463,9 @@ def run_stages(
             written but *before* the journal records them — the torn
             window a crash-recovery test wants to kill the process in.
         log: per-stage progress sink (e.g. ``print``); silent when None.
+        fs: filesystem every artifact and journal write goes through; a
+            :class:`repro.storage.fs.FaultyFS` subjects the whole run to
+            injected disk faults.
 
     Raises:
         PipelineError: on a fresh run into a directory that already has
@@ -455,7 +475,7 @@ def run_stages(
     run_dir = Path(run_dir)
     emit = log if log is not None else (lambda message: None)
     if resume:
-        journal = RunJournal.load(run_dir)
+        journal = RunJournal.load(run_dir, fs=fs)
         if journal.params.fingerprint() != params.fingerprint():
             raise PipelineError(
                 "cannot resume: run parameters differ from the journaled "
@@ -470,8 +490,8 @@ def run_stages(
                 "resume=True (--resume) to continue it or choose a fresh "
                 "directory"
             )
-        journal = RunJournal(run_dir, params)
-    runner = _StageRunner(run_dir, params)
+        journal = RunJournal(run_dir, params, fs=fs)
+    runner = _StageRunner(run_dir, params, fs=fs)
     stages_run: list[str] = []
     stages_skipped: list[str] = []
     for stage, artifacts in STAGE_ARTIFACTS:

@@ -134,11 +134,13 @@ _EMITTERS = {
 
 def export_all_csv(suite: ExperimentSuite, directory: str | Path) -> list[Path]:
     """Write every artifact's CSV into ``directory``; returns the paths."""
+    from repro.storage.atomic import atomic_write_text
+
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     for name, emitter in _EMITTERS.items():
         path = target / f"{name}.csv"
-        path.write_text(emitter(suite))
+        atomic_write_text(path, emitter(suite))
         written.append(path)
     return written

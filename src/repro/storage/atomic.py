@@ -1,0 +1,210 @@
+"""The single atomic-durable write primitive.
+
+Every full-file write in the system goes through :class:`AtomicWriter`:
+stream into ``<name>.tmp`` → ``fsync`` the temp file → ``os.replace``
+over the destination → ``fsync`` the parent directory.  After ``with``
+exits cleanly the new content is durable; a crash at *any* instant
+leaves either the complete old file or the complete new one — never a
+torn mix, and never a destroyed destination.
+
+Failure policy, per syscall:
+
+* **Transient EIO** is retried up to ``retries`` times.  An errored
+  write leaves no bytes behind (the fault injector guarantees this, and
+  a real ``EIO`` on a buffered write is reported before the kernel
+  commits), so re-issuing the same syscall is sound.
+* **ENOSPC** is never retried — a full disk does not heal on a retry
+  loop.  The temp file is removed, the destination is left untouched,
+  and the failure surfaces as :class:`repro.errors.StorageError` so the
+  caller degrades explicitly instead of crash-looping.
+* Any other :class:`OSError` propagates unchanged after cleanup.
+* A :class:`~repro.faults.storage.SimulatedCrash` (or any other
+  ``BaseException`` like ``KeyboardInterrupt``) skips cleanup entirely:
+  a dying process does not tidy its temp files, and crash-recovery
+  tests must see the disk exactly as a power loss would leave it.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+from collections.abc import Callable
+from pathlib import Path
+from typing import IO, Any, TypeVar
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.fs import LOCAL_FS, FileSystem
+
+#: Suffix of the in-flight temp file beside the destination.
+TMP_SUFFIX = ".tmp"
+
+#: Default transient-EIO retry budget per syscall.  Must be >= the fault
+#: injector's ``max_eio_per_path`` for chaos runs to converge.
+DEFAULT_RETRIES = 4
+
+_T = TypeVar("_T")
+
+
+class AtomicWriter:
+    """Context manager streaming text atomically and durably to ``path``.
+
+    Usage::
+
+        with AtomicWriter(path) as writer:
+            for line in lines:
+                writer.write(line)
+
+    The destination is only touched at ``__exit__``; until then all
+    bytes live in ``<name>.tmp`` in the same directory (same filesystem,
+    so the final ``replace`` is atomic).  ``bytes_written`` and
+    ``sha256_hex`` describe the streamed content without re-reading it,
+    which is how manifests are built in the same pass.
+
+    Args:
+        path: destination file.
+        fs: filesystem to write through (default: the host disk).
+        retries: transient-EIO retry budget per syscall.
+        binary: open the temp file in binary mode; ``write`` then takes
+            ``bytes`` (the scrub engine rewrites files whose corrupt
+            bytes may not decode as UTF-8).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fs: FileSystem | None = None,
+        retries: int = DEFAULT_RETRIES,
+        binary: bool = False,
+    ):
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.path = Path(path)
+        self.fs: FileSystem = fs if fs is not None else LOCAL_FS
+        self.retries = retries
+        self.binary = binary
+        self.tmp_path = self.path.with_name(self.path.name + TMP_SUFFIX)
+        self.bytes_written = 0
+        self._digest = hashlib.sha256()
+        self._handle: IO[Any] | None = None
+
+    @property
+    def sha256_hex(self) -> str:
+        """SHA-256 of everything written so far."""
+        return self._digest.hexdigest()
+
+    def __enter__(self) -> "AtomicWriter":
+        mode = "wb" if self.binary else "w"
+        self._handle = self._attempt(
+            "opening temp file for", lambda: self.fs.open(self.tmp_path, mode)
+        )
+        return self
+
+    def write(self, text: str | bytes) -> None:
+        if self._handle is None:
+            raise StorageError(
+                f"AtomicWriter for {self.path} used outside its context"
+            )
+        handle = self._handle
+        self._attempt("writing", lambda: handle.write(text))
+        data = text.encode("utf-8") if isinstance(text, str) else text
+        self._digest.update(data)
+        self.bytes_written += len(data)
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            try:
+                self._finalize()
+            except Exception:
+                self._abort()
+                raise
+            except BaseException:
+                self._close_handle()
+                raise
+        elif isinstance(exc, Exception):
+            self._abort()
+        else:
+            # Simulated power loss (or interrupt): a dead process leaves
+            # its temp file on disk for recovery to find.
+            self._close_handle()
+
+    # -- internals -------------------------------------------------------
+
+    def _finalize(self) -> None:
+        if self._handle is None:
+            raise StorageError(
+                f"AtomicWriter for {self.path} used outside its context"
+            )
+        handle = self._handle
+        self._attempt("fsyncing", lambda: self.fs.fsync(handle))
+        self._close_handle()
+        self._attempt(
+            "replacing", lambda: self.fs.replace(self.tmp_path, self.path)
+        )
+        parent = self.path.parent
+        self._attempt(
+            "fsyncing directory of", lambda: self.fs.fsync_dir(parent)
+        )
+
+    def _attempt(self, operation: str, call: Callable[[], _T]) -> _T:
+        last: OSError | None = None
+        for __ in range(self.retries + 1):
+            try:
+                return call()
+            except OSError as exc:
+                if exc.errno == errno.ENOSPC:
+                    raise StorageError(
+                        f"no space left on device while {operation} "
+                        f"{self.path}; destination left untouched, partial "
+                        "temp file removed"
+                    ) from exc
+                if exc.errno != errno.EIO:
+                    raise
+                last = exc
+        raise StorageError(
+            f"I/O error while {operation} {self.path} persisted through "
+            f"{self.retries + 1} attempts"
+        ) from last
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close of a dying handle
+                pass
+            self._handle = None
+
+    def _abort(self) -> None:
+        """Best-effort cleanup: destination untouched, temp file gone."""
+        self._close_handle()
+        try:
+            if self.fs.exists(self.tmp_path):
+                self.fs.remove(self.tmp_path)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    *,
+    fs: FileSystem | None = None,
+    retries: int = DEFAULT_RETRIES,
+) -> int:
+    """Write ``text`` to ``path`` atomically and durably; returns bytes."""
+    with AtomicWriter(path, fs=fs, retries=retries) as writer:
+        writer.write(text)
+    return writer.bytes_written
+
+
+def atomic_write_bytes(
+    path: str | Path,
+    data: bytes,
+    *,
+    fs: FileSystem | None = None,
+    retries: int = DEFAULT_RETRIES,
+) -> int:
+    """Binary twin of :func:`atomic_write_text`."""
+    with AtomicWriter(path, fs=fs, retries=retries, binary=True) as writer:
+        writer.write(data)
+    return writer.bytes_written

@@ -1,0 +1,332 @@
+"""Filesystem abstraction at syscall granularity.
+
+Every byte the system persists flows through a :class:`FileSystem`:
+:class:`LocalFS` is the host disk, one method per syscall the durable
+write path performs, and :class:`FaultyFS` wraps any filesystem to
+inject :class:`repro.faults.storage.StorageFaultPlan` faults *below*
+every caller — so the atomic writer, the incremental collector, and the
+run journal are all tested against the same disk-failure taxonomy
+without knowing it exists.
+
+``FaultyFS`` models durability the way a power loss does (the ALICE /
+CrashMonkey model): bytes written but never fsynced live only in the
+page cache, and a rename is just a directory-entry update until the
+parent directory is fsynced.  An injected crash therefore truncates
+every tracked file back to its last fsynced length and reverts renames
+whose directory entry never reached the disk — then raises
+:class:`~repro.faults.storage.SimulatedCrash`, which recovery code must
+survive from the resulting on-disk state alone.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from pathlib import Path
+from typing import IO, Any, NoReturn, Protocol, runtime_checkable
+
+from repro.faults.storage import (
+    InjectedStorageFaults,
+    SimulatedCrash,
+    StorageFaultPlan,
+)
+
+_WRITE_MODE_FLAGS = ("w", "a", "x", "+")
+
+
+@runtime_checkable
+class FileSystem(Protocol):
+    """The syscalls a durable writer needs, and nothing else."""
+
+    def open(self, path: str | Path, mode: str = "r") -> IO[Any]:
+        """Open ``path``; text modes are always UTF-8."""
+        ...  # pragma: no cover - protocol
+
+    def fsync(self, handle: IO[Any]) -> None:
+        """Flush and force ``handle``'s bytes to stable storage."""
+        ...  # pragma: no cover - protocol
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        ...  # pragma: no cover - protocol
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Force a directory's entries (renames) to stable storage."""
+        ...  # pragma: no cover - protocol
+
+    def exists(self, path: str | Path) -> bool:
+        ...  # pragma: no cover - protocol
+
+    def remove(self, path: str | Path) -> None:
+        ...  # pragma: no cover - protocol
+
+    def listdir(self, path: str | Path) -> list[str]:
+        """Directory entries in sorted (deterministic) order."""
+        ...  # pragma: no cover - protocol
+
+
+class LocalFS:
+    """The host filesystem."""
+
+    def open(self, path: str | Path, mode: str = "r") -> IO[Any]:
+        if "b" in mode:
+            return open(path, mode)
+        return open(path, mode, encoding="utf-8")
+
+    def fsync(self, handle: IO[Any]) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def exists(self, path: str | Path) -> bool:
+        return os.path.exists(path)
+
+    def remove(self, path: str | Path) -> None:
+        os.remove(path)
+
+    def listdir(self, path: str | Path) -> list[str]:
+        return sorted(os.listdir(path))
+
+
+#: Shared default instance; the filesystem is stateless.
+LOCAL_FS = LocalFS()
+
+
+class _FaultyFile:
+    """A write handle whose every ``write`` goes through the fault plan.
+
+    Writes through to the real handle and flushes immediately, so the
+    Python-level buffer is always empty and the simulated page cache
+    (the gap between written and fsynced bytes) is the *only* volatile
+    state — exactly like a C program calling ``write(2)`` directly.
+    """
+
+    def __init__(self, fs: "FaultyFS", real: IO[Any], path: str, binary: bool):
+        self._fs = fs
+        self._real = real
+        self.path = path
+        self.binary = binary
+
+    def write(self, data: str | bytes) -> int:
+        return self._fs._file_write(self, data)
+
+    def flush(self) -> None:
+        self._real.flush()
+
+    def close(self) -> None:
+        self._real.close()
+
+    def fileno(self) -> int:
+        return self._real.fileno()
+
+    @property
+    def closed(self) -> bool:
+        return self._real.closed
+
+    def __enter__(self) -> "_FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FaultyFS:
+    """A :class:`FileSystem` that injects seeded disk faults.
+
+    Args:
+        plan: the fault schedule; :meth:`StorageFaultPlan.none` still
+            counts syscalls, which is how crash-matrix tests enumerate
+            every possible kill point.
+        inner: the wrapped filesystem (default: :data:`LOCAL_FS`).
+
+    Attributes:
+        syscalls: mutating syscalls performed so far.
+        trace: operation name of each counted syscall, in order — lets a
+            test aim a point fault at e.g. the first ``replace``.
+        injected: counters of faults actually injected.
+
+    Read-only opens are passed through uncounted: the fault taxonomy
+    targets the write path, and read fault-tolerance is the scrub
+    engine's job.  Read-write (``+``) opens are also passed through
+    untracked — they belong to *recovery* code (torn-tail truncation),
+    which by definition runs after the crash being simulated.
+    """
+
+    def __init__(
+        self,
+        plan: StorageFaultPlan | None = None,
+        inner: FileSystem | None = None,
+    ):
+        self.plan = plan if plan is not None else StorageFaultPlan()
+        self.inner: FileSystem = inner if inner is not None else LOCAL_FS
+        self.syscalls = 0
+        self.trace: list[str] = []
+        self.injected = InjectedStorageFaults()
+        self._written: dict[str, int] = {}
+        self._durable: dict[str, int] = {}
+        self._eio_used: dict[str, int] = {}
+        #: dst -> (parent dir, pre-replace bytes or None if dst was new).
+        self._pending_renames: dict[str, tuple[str, bytes | None]] = {}
+
+    # -- fault machinery -------------------------------------------------
+
+    def _step(self, operation: str) -> int:
+        index = self.syscalls
+        self.syscalls += 1
+        self.trace.append(operation)
+        if self.plan.crash_at is not None and index == self.plan.crash_at:
+            self._crash(f"power loss at syscall #{index} ({operation})")
+        return index
+
+    def _maybe_eio(self, operation: str, index: int, path: str) -> None:
+        if not self.plan.transient_eio(operation, index):
+            return
+        used = self._eio_used.get(path, 0)
+        if used >= self.plan.max_eio_per_path:
+            return
+        self._eio_used[path] = used + 1
+        self.injected.eio += 1
+        raise OSError(
+            errno.EIO, f"injected transient I/O error ({operation}): {path}"
+        )
+
+    def _crash(self, reason: str) -> NoReturn:
+        """Simulate power loss: only durable state survives."""
+        self.injected.crashes += 1
+        # Renames whose directory entry never reached the disk revert.
+        for dst, (__, old_bytes) in self._pending_renames.items():
+            if old_bytes is None:
+                if os.path.exists(dst):
+                    os.remove(dst)
+                self._written.pop(dst, None)
+                self._durable.pop(dst, None)
+            else:
+                with open(dst, "wb") as handle:
+                    handle.write(old_bytes)
+                self._written[dst] = len(old_bytes)
+                self._durable[dst] = len(old_bytes)
+        self._pending_renames.clear()
+        # Bytes written but never fsynced lived only in the page cache.
+        for path, durable in self._durable.items():
+            if os.path.exists(path) and os.path.getsize(path) > durable:
+                os.truncate(path, durable)
+        raise SimulatedCrash(reason)
+
+    # -- FileSystem API --------------------------------------------------
+
+    def open(self, path: str | Path, mode: str = "r") -> IO[Any]:
+        if not any(flag in mode for flag in _WRITE_MODE_FLAGS):
+            return self.inner.open(path, mode)
+        if "+" in mode and not any(flag in mode for flag in "wax"):
+            return self.inner.open(path, mode)
+        spath = os.fspath(path)
+        self._step(f"open:{mode}")
+        real = self.inner.open(path, mode)
+        if "a" in mode:
+            size = os.path.getsize(spath)
+            self._written[spath] = size
+            # Pre-existing bytes are durable unless this FaultyFS already
+            # knows better (it wrote them itself without fsync).
+            self._durable.setdefault(spath, size)
+        else:
+            self._written[spath] = 0
+            self._durable[spath] = 0
+        return _FaultyFile(self, real, spath, binary="b" in mode)
+
+    def _file_write(self, file: _FaultyFile, data: str | bytes) -> int:
+        index = self._step("write")
+        if self.plan.enospc_at is not None and index == self.plan.enospc_at:
+            self.injected.enospc += 1
+            raise OSError(
+                errno.ENOSPC, f"injected: no space left on device: {file.path}"
+            )
+        self._maybe_eio("write", index, file.path)
+        if (
+            self.plan.torn_write_at is not None
+            and index == self.plan.torn_write_at
+        ):
+            keep = self.plan.torn_length(index, len(data))
+            prefix = data[:keep]
+            if prefix:
+                file._real.write(prefix)
+                file._real.flush()
+                self._written[file.path] += _byte_length(prefix)
+            self.injected.torn_writes += 1
+            # The prefix reached the platter: writeback was mid-flight
+            # when power failed, which is what makes the write "torn"
+            # rather than simply lost with the page cache.
+            self._durable[file.path] = self._written[file.path]
+            self._crash(f"torn write at syscall #{index} ({file.path})")
+        file._real.write(data)
+        file._real.flush()
+        self._written[file.path] += _byte_length(data)
+        return len(data)
+
+    def fsync(self, handle: IO[Any]) -> None:
+        if not isinstance(handle, _FaultyFile):
+            self.inner.fsync(handle)
+            return
+        index = self._step("fsync")
+        self._maybe_eio("fsync", index, handle.path)
+        if self.plan.fsync_lie(index):
+            # Reported durable, actually still in the page cache.
+            self.injected.fsync_lies += 1
+            return
+        self.inner.fsync(handle._real)
+        self._durable[handle.path] = self._written[handle.path]
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        source, destination = os.fspath(src), os.fspath(dst)
+        index = self._step("replace")
+        self._maybe_eio("replace", index, destination)
+        if destination not in self._pending_renames:
+            old_bytes: bytes | None = None
+            if os.path.exists(destination):
+                with open(destination, "rb") as handle:
+                    old_bytes = handle.read()
+            parent = os.path.dirname(destination) or "."
+            self._pending_renames[destination] = (parent, old_bytes)
+        self.inner.replace(src, dst)
+        self._written[destination] = self._written.pop(
+            source, os.path.getsize(destination)
+        )
+        self._durable[destination] = self._durable.pop(source, 0)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        spath = os.fspath(path)
+        index = self._step("fsync_dir")
+        self._maybe_eio("fsync_dir", index, spath)
+        self.inner.fsync_dir(path)
+        for dst in list(self._pending_renames):
+            if self._pending_renames[dst][0] == spath:
+                del self._pending_renames[dst]
+
+    def exists(self, path: str | Path) -> bool:
+        return self.inner.exists(path)
+
+    def remove(self, path: str | Path) -> None:
+        spath = os.fspath(path)
+        self._step("remove")
+        self.inner.remove(path)
+        # Unlink of an un-renamed temp file: nothing to resurrect — the
+        # crash model does not bring removed files back.
+        self._written.pop(spath, None)
+        self._durable.pop(spath, None)
+
+    def listdir(self, path: str | Path) -> list[str]:
+        return self.inner.listdir(path)
+
+
+def _byte_length(data: str | bytes) -> int:
+    if isinstance(data, str):
+        return len(data.encode("utf-8"))
+    return len(data)

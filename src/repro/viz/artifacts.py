@@ -122,13 +122,15 @@ def fig7_svg(suite: ExperimentSuite) -> str:
 
 def export_all_svg(suite: ExperimentSuite, directory: str | Path) -> list[Path]:
     """Write every artifact's SVG into ``directory``; returns the paths."""
+    from repro.storage.atomic import atomic_write_text
+
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
     def write(name: str, document: str) -> None:
         path = target / f"{name}.svg"
-        path.write_text(document)
+        atomic_write_text(path, document)
         written.append(path)
 
     write("fig2", fig2_svg(suite))

@@ -18,6 +18,7 @@ def smoke_payload():
     return run_suite(
         sizes=(1_500,), worker_counts=(1, 2), seed=5, smoke=True,
         cluster_users_n=300, cluster_ks=(11, 12),
+        durability_counts=(400,),
     )
 
 
@@ -41,6 +42,13 @@ class TestRunSuite:
     def test_json_serializable(self, smoke_payload):
         assert json.loads(json.dumps(smoke_payload)) is not None
 
+    def test_durability_run_is_equivalent_and_verified(self, smoke_payload):
+        (run,) = smoke_payload["durability"]["runs"]
+        assert run["records"] == 400
+        assert run["byte_identical_to_plain"] is True
+        assert run["manifest_verified"] is True
+        assert run["overhead_vs_plain"] > 0
+
 
 class TestValidatePayload:
     def test_rejects_non_object(self):
@@ -58,6 +66,11 @@ class TestValidatePayload:
         bad = json.loads(json.dumps(smoke_payload))
         bad["pipeline"][0]["runs"][1]["byte_identical_to_serial"] = False
         assert any("byte-identical" in p for p in validate_payload(bad))
+
+    def test_rejects_unverified_durability_run(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["durability"]["runs"][0]["manifest_verified"] = False
+        assert any("sidecar" in p for p in validate_payload(bad))
 
 
 class TestSyntheticAttention:

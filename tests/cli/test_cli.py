@@ -215,3 +215,80 @@ class TestCalibrate:
         assert "us_yield" in out
         assert code == 0
         assert "CALIBRATED" in out
+
+
+class TestDiskChaos:
+    def test_disk_chaos_corpus_byte_identical(self, firehose, corpus_file,
+                                              tmp_path, capsys):
+        chaotic = tmp_path / "chaotic.jsonl"
+        code = main([
+            "collect", str(firehose), str(chaotic),
+            "--disk-chaos", "--disk-chaos-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disk chaos mode" in out
+        assert "transient EIO injected" in out
+        assert chaotic.read_bytes() == corpus_file.read_bytes()
+
+
+class TestScrub:
+    def test_clean_corpus_exits_zero(self, corpus_file, capsys):
+        code = main(["scrub", str(corpus_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "files scanned" in out
+
+    def test_bitrot_is_quarantined_and_exit_nonzero(self, firehose,
+                                                    tmp_path, capsys):
+        from repro.faults.storage import flip_bits
+
+        path = tmp_path / "corpus.jsonl"
+        assert main(["collect", str(firehose), str(path)]) == 0
+        flip_bits(str(path), seed=2, flips=3)
+        capsys.readouterr()
+
+        code = main(["scrub", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "quarantined" in out
+        assert (tmp_path / "corpus.jsonl.quarantine.jsonl").exists()
+        # A second scrub finds a healthy corpus again.
+        assert main(["scrub", str(path)]) == 0
+
+    def test_no_quarantine_reports_without_touching(self, firehose,
+                                                    tmp_path, capsys):
+        from repro.faults.storage import flip_bits
+
+        path = tmp_path / "corpus.jsonl"
+        assert main(["collect", str(firehose), str(path)]) == 0
+        flip_bits(str(path), seed=2, flips=2)
+        before = path.read_bytes()
+        capsys.readouterr()
+
+        code = main(["scrub", str(path), "--no-quarantine"])
+        assert code == 1
+        assert "corrupt" in capsys.readouterr().out
+        assert path.read_bytes() == before
+        assert not (tmp_path / "corpus.jsonl.quarantine.jsonl").exists()
+
+    def test_repair_from_replica_directory(self, firehose, tmp_path, capsys):
+        from repro.faults.storage import flip_bits
+
+        path = tmp_path / "corpus.jsonl"
+        replicas = tmp_path / "replicas"
+        replicas.mkdir()
+        assert main(["collect", str(firehose), str(path)]) == 0
+        (replicas / path.name).write_bytes(path.read_bytes())
+        flip_bits(str(path), seed=4, flips=2)
+        capsys.readouterr()
+
+        code = main(["scrub", str(path), "--repair-from", str(replicas)])
+        assert code == 0
+        assert "repaired" in capsys.readouterr().out
+
+    def test_directory_scrub_discovers_sidecars(self, corpus_file, capsys):
+        code = main(["scrub", str(corpus_file.parent)])
+        assert code == 0
+        assert "files scanned" in capsys.readouterr().out

@@ -118,3 +118,111 @@ class TestTornTail:
             handle.write('{"tweet\n   \n')
         with pytest.warns(UserWarning, match="torn"):
             assert len(list(read_jsonl(path, tolerate_torn_tail=True))) == 1
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_preserves_old_corpus(self, tmp_path):
+        from repro.faults.storage import SimulatedCrash, StorageFaultPlan
+        from repro.storage.fs import FaultyFS
+
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(records(5), path)
+        old_bytes = path.read_bytes()
+        # Power fails on the 3rd data write of the replacement corpus:
+        # the half-written temp file dies, the old corpus survives.
+        fs = FaultyFS(StorageFaultPlan(crash_at=5))
+        with pytest.raises(SimulatedCrash):
+            write_jsonl(records(50), path, fs=fs)
+        assert path.read_bytes() == old_bytes
+        assert list(read_jsonl(path)) == records(5)
+
+    def test_enospc_surfaces_and_preserves_old_corpus(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.faults.storage import StorageFaultPlan
+        from repro.storage.fs import FaultyFS
+
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(records(3), path)
+        old_bytes = path.read_bytes()
+        fs = FaultyFS(StorageFaultPlan(enospc_at=1))
+        with pytest.raises(StorageError, match="no space left"):
+            write_jsonl(records(30), path, fs=fs)
+        assert path.read_bytes() == old_bytes
+
+    def test_write_leaves_integrity_sidecar(self, tmp_path):
+        from repro.storage.manifest import load_manifest, verify_file
+
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(records(4), path)
+        manifest = load_manifest(path)
+        assert manifest is not None
+        assert manifest.records == 4
+        assert verify_file(path).ok
+
+    def test_manifest_opt_out(self, tmp_path):
+        from repro.storage.manifest import load_manifest
+
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(records(2), path, manifest=False)
+        assert load_manifest(path) is None
+
+    def test_no_temp_file_after_clean_write(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl(records(2), path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "corpus.jsonl", "corpus.jsonl.manifest.json",
+        ]
+
+
+class TestTweetsTornTail:
+    def make_firehose(self, tmp_path, n: int):
+        from repro.dataset.io import write_tweets_jsonl
+
+        path = tmp_path / "firehose.jsonl"
+        tweets = [record.tweet for record in records(n)]
+        write_tweets_jsonl(tweets, path)
+        return path, tweets
+
+    def test_tolerant_skips_torn_final_line(self, tmp_path):
+        from repro.dataset.io import read_tweets_jsonl
+
+        path, tweets = self.make_firehose(tmp_path, 3)
+        with open(path, "a") as handle:
+            handle.write('{"tweet_id": 3, "us')  # no newline
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            loaded = list(read_tweets_jsonl(path, tolerate_torn_tail=True))
+        assert loaded == tweets
+
+    def test_strict_default_raises(self, tmp_path):
+        from repro.dataset.io import read_tweets_jsonl
+
+        path, __ = self.make_firehose(tmp_path, 2)
+        with open(path, "a") as handle:
+            handle.write('{"tweet_id":')
+        with pytest.raises(SerializationError, match=":3"):
+            list(read_tweets_jsonl(path))
+
+    def test_tolerant_mid_file_corruption_still_raises(self, tmp_path):
+        from repro.dataset.io import read_tweets_jsonl
+
+        path, __ = self.make_firehose(tmp_path, 3)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[0] = "{broken\n"
+        path.write_text("".join(lines))
+        with pytest.raises(SerializationError, match=":1"):
+            list(read_tweets_jsonl(path, tolerate_torn_tail=True))
+
+    def test_torn_tail_probe_reads_bounded_chunks(self, tmp_path):
+        """A torn line followed by a huge whitespace run must not be
+        slurped in one read() call."""
+        from repro.dataset import io as io_module
+        from repro.dataset.io import read_tweets_jsonl
+
+        path, tweets = self.make_firehose(tmp_path, 1)
+        with open(path, "a") as handle:
+            handle.write('{"torn')
+            handle.write(" " * (io_module._TAIL_PROBE_BYTES * 3))
+        with pytest.warns(UserWarning, match="torn"):
+            assert list(
+                read_tweets_jsonl(path, tolerate_torn_tail=True)
+            ) == tweets

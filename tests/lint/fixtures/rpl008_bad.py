@@ -1,0 +1,21 @@
+"""Raw durable writes that bypass the storage layer (RPL008)."""
+
+import io
+import os
+from pathlib import Path
+
+
+def persist(path: Path, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:  # expect: RPL008
+        handle.write(text)
+    with open(path, mode="ab") as handle:  # expect: RPL008
+        handle.write(b"tail")
+    with io.open(path, "r+", encoding="utf-8") as handle:  # expect: RPL008
+        handle.write(text)
+    path.write_text(text, encoding="utf-8")  # expect: RPL008
+    path.write_bytes(text.encode("utf-8"))  # expect: RPL008
+
+
+def swap(src: Path, dst: Path) -> None:
+    os.replace(src, dst)  # expect: RPL008
+    os.rename(dst, src)  # expect: RPL008

@@ -55,7 +55,7 @@ def test_bad_fixtures_exist_for_every_rule() -> None:
         for _, rule in _expected_findings(fixture.read_text("utf-8")):
             covered.add(rule)
     assert {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-            "RPL006", "RPL007"} <= covered
+            "RPL006", "RPL007", "RPL008"} <= covered
 
 
 def test_rng_and_assert_rules_exempt_test_code() -> None:

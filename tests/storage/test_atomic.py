@@ -1,0 +1,144 @@
+"""Tests for the atomic-durable write primitive."""
+
+import errno
+
+import pytest
+
+from repro.errors import ConfigError, StorageError
+from repro.faults.storage import SimulatedCrash, StorageFaultPlan
+from repro.storage.atomic import (
+    AtomicWriter,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.storage.fs import FaultyFS
+
+
+class TestCleanPath:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        assert atomic_write_text(path, "héllo\n") == 7
+        assert path.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "x")
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_streaming_digest_and_size(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "f.txt"
+        with AtomicWriter(path) as writer:
+            writer.write("abc")
+            writer.write("déf")
+        data = "abcdéf".encode()
+        assert writer.bytes_written == len(data)
+        assert writer.sha256_hex == hashlib.sha256(data).hexdigest()
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "f.bin"
+        payload = b"\x00\xff\n\x01"
+        assert atomic_write_bytes(path, payload) == 4
+        assert path.read_bytes() == payload
+
+    def test_syscall_sequence_is_durable(self, tmp_path):
+        fs = FaultyFS(StorageFaultPlan.none())
+        atomic_write_text(tmp_path / "f.txt", "line\n", fs=fs)
+        assert fs.trace == ["open:w", "write", "fsync", "replace",
+                           "fsync_dir"]
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            AtomicWriter(tmp_path / "f.txt", retries=-1)
+
+    def test_write_outside_context_rejected(self, tmp_path):
+        writer = AtomicWriter(tmp_path / "f.txt")
+        with pytest.raises(StorageError, match="outside its context"):
+            writer.write("x")
+
+
+class TestFailurePolicy:
+    def test_transient_eio_absorbed_by_retry(self, tmp_path):
+        path = tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan(eio_rate=1.0, max_eio_per_path=2))
+        atomic_write_text(path, "content\n", fs=fs)
+        assert path.read_text() == "content\n"
+        assert fs.injected.eio > 0
+
+    def test_eio_beyond_budget_surfaces_as_storage_error(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        fs = FaultyFS(StorageFaultPlan(eio_rate=1.0, max_eio_per_path=10))
+        with pytest.raises(StorageError, match="persisted through"):
+            atomic_write_text(path, "new", fs=fs, retries=2)
+        assert path.read_text() == "old"
+
+    def test_enospc_degrades_explicitly(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        fs = FaultyFS(StorageFaultPlan(enospc_at=1))
+        with pytest.raises(StorageError, match="no space left"):
+            atomic_write_text(path, "new", fs=fs)
+        assert path.read_text() == "old"
+        assert not (tmp_path / "f.txt.tmp").exists()
+
+    def test_other_oserror_propagates_unchanged(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+
+        class Boom(FaultyFS):
+            def replace(self, src, dst):
+                raise OSError(errno.EPERM, "operation not permitted")
+
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_text(path, "new", fs=Boom(StorageFaultPlan.none()))
+        assert excinfo.value.errno == errno.EPERM
+        assert path.read_text() == "old"
+
+    def test_exception_in_body_aborts_cleanly(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        with pytest.raises(ValueError):
+            with AtomicWriter(path) as writer:
+                writer.write("partial")
+                raise ValueError("caller bug")
+        assert path.read_text() == "old"
+        assert not (tmp_path / "f.txt.tmp").exists()
+
+    def test_simulated_crash_leaves_temp_for_recovery(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        # open=0 write=1 fsync=2; crash during the fsync.
+        fs = FaultyFS(StorageFaultPlan(crash_at=2))
+        with pytest.raises(SimulatedCrash):
+            with AtomicWriter(path, fs=fs) as writer:
+                writer.write("new")
+        assert path.read_text() == "old"  # destination untouched
+        assert (tmp_path / "f.txt.tmp").exists()  # dead process tidies nothing
+
+    def test_crash_during_replace_window_preserves_old(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old content\n")
+        # open=0 write=1 fsync=2 replace=3 fsync_dir=4: crash at the
+        # directory fsync reverts the not-yet-durable rename.
+        fs = FaultyFS(StorageFaultPlan(crash_at=4))
+        with pytest.raises(SimulatedCrash):
+            atomic_write_text(path, "new content\n", fs=fs)
+        assert path.read_text() == "old content\n"
+
+    def test_crash_after_durable_rename_keeps_new(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old\n")
+        fs = FaultyFS(StorageFaultPlan(crash_at=5))
+        atomic_write_text(path, "new\n", fs=fs)  # completes: 5 syscalls 0-4
+        with pytest.raises(SimulatedCrash):
+            with fs.open(tmp_path / "other.txt", "w"):
+                pass
+        assert path.read_text() == "new\n"

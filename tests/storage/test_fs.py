@@ -1,0 +1,201 @@
+"""Tests for the filesystem abstraction and the fault-injecting FS."""
+
+import pytest
+
+from repro.faults.storage import SimulatedCrash, StorageFaultPlan
+from repro.storage.fs import LOCAL_FS, FaultyFS, FileSystem, LocalFS
+
+
+class TestLocalFS:
+    def test_satisfies_protocol(self):
+        assert isinstance(LocalFS(), FileSystem)
+
+    def test_text_round_trip(self, tmp_path):
+        path = tmp_path / "f.txt"
+        with LOCAL_FS.open(path, "w") as handle:
+            handle.write("héllo\n")
+        with LOCAL_FS.open(path) as handle:
+            assert handle.read() == "héllo\n"
+
+    def test_fsync_and_fsync_dir(self, tmp_path):
+        path = tmp_path / "f.txt"
+        with LOCAL_FS.open(path, "w") as handle:
+            handle.write("x")
+            LOCAL_FS.fsync(handle)
+        LOCAL_FS.fsync_dir(tmp_path)
+        assert LOCAL_FS.exists(path)
+
+    def test_replace_and_remove(self, tmp_path):
+        src, dst = tmp_path / "a", tmp_path / "b"
+        src.write_text("new")
+        dst.write_text("old")
+        LOCAL_FS.replace(src, dst)
+        assert dst.read_text() == "new"
+        assert not src.exists()
+        LOCAL_FS.remove(dst)
+        assert not dst.exists()
+
+    def test_listdir_sorted(self, tmp_path):
+        for name in ("c", "a", "b"):
+            (tmp_path / name).write_text("")
+        assert LOCAL_FS.listdir(tmp_path) == ["a", "b", "c"]
+
+
+class TestFaultyFSCounting:
+    def test_satisfies_protocol(self):
+        assert isinstance(FaultyFS(), FileSystem)
+
+    def test_counts_and_traces_write_path_syscalls(self, tmp_path):
+        fs = FaultyFS(StorageFaultPlan.none())
+        path = tmp_path / "f.txt"
+        with fs.open(path, "w") as handle:
+            handle.write("one\n")
+            fs.fsync(handle)
+        fs.replace(path, tmp_path / "g.txt")
+        fs.fsync_dir(tmp_path)
+        assert fs.trace == ["open:w", "write", "fsync", "replace", "fsync_dir"]
+        assert fs.syscalls == 5
+
+    def test_reads_pass_through_uncounted(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("data")
+        fs = FaultyFS(StorageFaultPlan.none())
+        with fs.open(path) as handle:
+            assert handle.read() == "data"
+        with fs.open(path, "rb") as handle:
+            assert handle.read() == b"data"
+        assert fs.syscalls == 0
+
+    def test_recovery_rw_opens_pass_through_untracked(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abcdef")
+        fs = FaultyFS(StorageFaultPlan.none())
+        with fs.open(path, "rb+") as handle:
+            handle.truncate(3)
+        assert path.read_bytes() == b"abc"
+        assert fs.syscalls == 0
+
+
+class TestCrashModel:
+    def test_crash_truncates_unfsynced_bytes(self, tmp_path):
+        path = tmp_path / "f.txt"
+        # Syscalls: open:w=0 write=1 fsync=2 write=3; crash at index 4.
+        fs = FaultyFS(StorageFaultPlan(crash_at=4))
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "w") as handle:
+                handle.write("durable\n")
+                fs.fsync(handle)
+                handle.write("volatile\n")
+                handle.write("never-reached\n")
+        assert path.read_text() == "durable\n"
+        assert fs.injected.crashes == 1
+
+    def test_crash_before_any_fsync_loses_everything(self, tmp_path):
+        path = tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan(crash_at=2))
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "w") as handle:
+                handle.write("volatile\n")
+                handle.write("more\n")
+        assert path.read_text() == ""
+
+    def test_unfsynced_rename_reverts_on_crash(self, tmp_path):
+        src, dst = tmp_path / "f.tmp", tmp_path / "f.txt"
+        dst.write_text("old content\n")
+        fs = FaultyFS(StorageFaultPlan(crash_at=4))
+        with fs.open(src, "w") as handle:
+            handle.write("new content\n")
+            fs.fsync(handle)
+        fs.replace(src, dst)  # directory entry not yet durable
+        with pytest.raises(SimulatedCrash):
+            fs.fsync_dir(tmp_path)  # crash strikes *before* the fsync
+        assert dst.read_text() == "old content\n"
+
+    def test_unfsynced_rename_of_new_file_vanishes_on_crash(self, tmp_path):
+        src, dst = tmp_path / "f.tmp", tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan(crash_at=4))
+        with fs.open(src, "w") as handle:
+            handle.write("content\n")
+            fs.fsync(handle)
+        fs.replace(src, dst)
+        with pytest.raises(SimulatedCrash):
+            fs.fsync_dir(tmp_path)
+        assert not dst.exists()
+
+    def test_fsynced_rename_survives_crash(self, tmp_path):
+        src, dst = tmp_path / "f.tmp", tmp_path / "f.txt"
+        dst.write_text("old\n")
+        fs = FaultyFS(StorageFaultPlan(crash_at=5))
+        with fs.open(src, "w") as handle:
+            handle.write("new\n")
+            fs.fsync(handle)
+        fs.replace(src, dst)
+        fs.fsync_dir(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            fs.fsync_dir(tmp_path)  # some later syscall dies
+        assert dst.read_text() == "new\n"
+
+    def test_append_preexisting_bytes_survive_crash(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("existing\n")
+        fs = FaultyFS(StorageFaultPlan(crash_at=2))
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "a") as handle:
+                handle.write("appended\n")
+                handle.write("never\n")
+        assert path.read_text() == "existing\n"
+
+
+class TestInjectedErrors:
+    def test_enospc_at_exact_write(self, tmp_path):
+        fs = FaultyFS(StorageFaultPlan(enospc_at=1))
+        with fs.open(tmp_path / "f.txt", "w") as handle:
+            with pytest.raises(OSError, match="no space left"):
+                handle.write("data")
+        assert fs.injected.enospc == 1
+
+    def test_eio_is_bounded_per_path(self, tmp_path):
+        # rate 1.0 would EIO every syscall; the per-path budget caps it.
+        fs = FaultyFS(StorageFaultPlan(eio_rate=1.0, max_eio_per_path=2))
+        path = tmp_path / "f.txt"
+        with fs.open(path, "w") as handle:
+            failures = 0
+            for __ in range(10):
+                try:
+                    handle.write("x")
+                except OSError:
+                    failures += 1
+        assert failures == 2
+        assert fs.injected.eio == 2
+
+    def test_fsync_lie_keeps_bytes_volatile(self, tmp_path):
+        path = tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan(fsync_lie_rate=1.0, crash_at=3))
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "w") as handle:
+                handle.write("believed safe\n")
+                fs.fsync(handle)  # lies
+                handle.write("x")  # crash_at=3 strikes here
+        assert path.read_text() == ""
+        assert fs.injected.fsync_lies == 1
+
+    def test_torn_write_persists_seeded_prefix_then_crashes(self, tmp_path):
+        path = tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan(seed=3, torn_write_at=1))
+        payload = "0123456789abcdef\n"
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "w") as handle:
+                handle.write(payload)
+        survived = path.read_text()
+        assert payload.startswith(survived)
+        assert len(survived) < len(payload)
+        assert fs.injected.torn_writes == 1
+
+    def test_remove_untracks(self, tmp_path):
+        path = tmp_path / "f.txt"
+        fs = FaultyFS(StorageFaultPlan.none())
+        with fs.open(path, "w") as handle:
+            handle.write("x")
+        fs.remove(path)
+        assert not path.exists()
+        assert "remove" in fs.trace
