@@ -25,6 +25,13 @@ streaming integrity sidecar, measured against a plain buffered write
 of the same records.  Both paths must produce byte-identical corpora
 and the sidecar must verify, so the overhead number prices exactly the
 crash-safety and bitrot-detection guarantees and nothing else.
+
+Schema v4 adds an ``observability`` section: the cost of run telemetry
+(ambient span/counter recording plus per-worker trace buffers shipped
+back through the result pipes), measured as a traced pipeline run
+against the untraced run of the same firehose — which must be
+byte-identical, the determinism invariant the obs layer is built
+around — plus the time and size of the trace export itself.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ from repro.dataset.io import write_jsonl
 from repro.dataset.records import CollectedTweet
 from repro.faults.compute import WorkerFaultPlan
 from repro.geo.geocoder import GeoMatch
+from repro.obs import Telemetry, activate
+from repro.obs.export import write_trace
 from repro.organs import N_ORGANS, Organ
 from repro.pipeline.parallel import run_sharded
 from repro.pipeline.runner import CollectionPipeline
@@ -56,7 +65,7 @@ from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
 from repro.twitter.models import Tweet, UserProfile
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
@@ -267,6 +276,60 @@ def bench_durability(
     return entry
 
 
+def bench_observability(
+    size_targets: tuple[int, ...], seed: int
+) -> dict[str, Any]:
+    """Price run telemetry against the untraced run of the same firehose.
+
+    For each firehose size the pipeline runs twice at workers=2: once
+    untraced — the ``NULL_TELEMETRY`` fast path every instrumentation
+    site hits by default — and once under an activated
+    :class:`repro.obs.Telemetry`, with each worker building its own
+    trace buffer and shipping it back through the result pipe.  The two
+    corpora must be byte-identical (telemetry is write-only; nothing
+    reads a metric to make a decision), so ``overhead_vs_untraced``
+    prices exactly the recording, and the atomic trace export is timed
+    and sized separately.
+    """
+    entry: dict[str, Any] = {"seed": seed, "runs": []}
+    for size_target in size_targets:
+        source = make_firehose(size_target, seed)
+        start = time.perf_counter()
+        corpus, __ = CollectionPipeline().run(source, workers=2)
+        untraced_seconds = time.perf_counter() - start
+        untraced_bytes = corpus_fingerprint(corpus)
+
+        telemetry = Telemetry()
+        start = time.perf_counter()
+        with activate(telemetry):
+            traced_corpus, __ = CollectionPipeline().run(source, workers=2)
+        traced_seconds = time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = Path(tmp) / "trace.jsonl"
+            start = time.perf_counter()
+            trace_lines = write_trace(telemetry, trace_path, source="bench")
+            export_seconds = time.perf_counter() - start
+            trace_bytes = trace_path.stat().st_size
+
+        entry["runs"].append({
+            "size_target": size_target,
+            "firehose_tweets": len(source),
+            "untraced_seconds": round(untraced_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+            "overhead_vs_untraced": round(
+                traced_seconds / untraced_seconds, 3
+            ),
+            "byte_identical_to_untraced": (
+                corpus_fingerprint(traced_corpus) == untraced_bytes
+            ),
+            "trace_lines": trace_lines,
+            "trace_bytes": trace_bytes,
+            "export_seconds": round(export_seconds, 4),
+        })
+    return entry
+
+
 def synthetic_attention(n_users: int, seed: int) -> AttentionMatrix:
     """A row-normalized Û with organ-skewed rows (clusterable structure)."""
     rng = np.random.default_rng(seed)
@@ -342,6 +405,7 @@ def run_suite(
     cluster_ks: tuple[int, ...] = (11, 12, 13, 14),
     supervision_size: int = 20_000,
     durability_counts: tuple[int, ...] = (10_000, 100_000),
+    observability_sizes: tuple[int, ...] = (10_000, 100_000),
 ) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
     payload: dict[str, Any] = {
@@ -358,6 +422,7 @@ def run_suite(
         ),
         "supervision": bench_supervision(supervision_size, seed),
         "durability": bench_durability(durability_counts, seed),
+        "observability": bench_observability(observability_sizes, seed),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
     return payload
@@ -483,6 +548,29 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                 if run.get("manifest_verified") is not True:
                     problems.append(
                         f"{run_where}: integrity sidecar failed to verify"
+                    )
+
+    observability = payload.get("observability")
+    if not isinstance(observability, dict):
+        problems.append("payload.observability: expected object")
+    else:
+        obs_runs = observability.get("runs")
+        if not isinstance(obs_runs, list) or not obs_runs:
+            problems.append("observability.runs: expected non-empty list")
+        else:
+            for j, run in enumerate(obs_runs):
+                run_where = f"observability.runs[{j}]"
+                need(run, "size_target", int, run_where)
+                need(run, "firehose_tweets", int, run_where)
+                need(run, "untraced_seconds", float, run_where)
+                need(run, "traced_seconds", float, run_where)
+                need(run, "overhead_vs_untraced", float, run_where)
+                need(run, "trace_lines", int, run_where)
+                need(run, "trace_bytes", int, run_where)
+                need(run, "export_seconds", float, run_where)
+                if run.get("byte_identical_to_untraced") is not True:
+                    problems.append(
+                        f"{run_where}: traced corpus is not byte-identical"
                     )
 
     rss = payload.get("peak_rss_mb")

@@ -69,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         cluster_ks=(11, 12) if args.smoke else (11, 12, 13, 14),
         supervision_size=2_000 if args.smoke else 20_000,
         durability_counts=(1_000,) if args.smoke else (10_000, 100_000),
+        observability_sizes=(2_000,) if args.smoke else (10_000, 100_000),
     )
     problems = validate_payload(payload)
     if problems:
@@ -103,6 +104,14 @@ def main(argv: list[str] | None = None) -> int:
             f"plain={run['plain_seconds']:.3f}s "
             f"atomic+manifest={run['atomic_manifest_seconds']:.3f}s "
             f"overhead={run['overhead_vs_plain']}x"
+        )
+    for run in payload["observability"]["runs"]:
+        print(
+            f"  observability tweets={run['firehose_tweets']:>9,} "
+            f"untraced={run['untraced_seconds']:.3f}s "
+            f"traced={run['traced_seconds']:.3f}s "
+            f"overhead={run['overhead_vs_untraced']}x "
+            f"trace={run['trace_bytes']:,}B"
         )
     print(f"  cpu_count={payload['cpu_count']}")
     return 0

@@ -78,15 +78,20 @@ def cmd_collect(args: argparse.Namespace) -> int:
     workers = getattr(args, "workers", 1)
     if workers > 1:
         print(f"sharding across {workers} worker processes")
+    from repro.obs import NULL_TELEMETRY, Telemetry, activate
+
+    tracing = getattr(args, "trace", False)
+    telemetry = Telemetry() if tracing else NULL_TELEMETRY
     try:
-        corpus, report = pipeline.run(
-            read_tweets_jsonl(args.firehose),
-            fault_plan=fault_plan,
-            workers=workers,
-            supervisor=supervisor,
-            worker_faults=worker_faults,
-        )
-        count = write_jsonl(corpus.records, args.output, fs=fs)
+        with activate(telemetry):
+            corpus, report = pipeline.run(
+                read_tweets_jsonl(args.firehose),
+                fault_plan=fault_plan,
+                workers=workers,
+                supervisor=supervisor,
+                worker_faults=worker_faults,
+            )
+            count = write_jsonl(corpus.records, args.output, fs=fs)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")
         return 1
@@ -96,6 +101,22 @@ def cmd_collect(args: argparse.Namespace) -> int:
         for line in fs.injected.summary_lines():
             print(line)
     print(f"wrote {count:,} records to {args.output}")
+    if tracing:
+        from repro.obs.export import write_trace
+
+        trace_path = Path(args.output).with_name(
+            Path(args.output).name + ".trace.jsonl"
+        )
+        try:
+            write_trace(
+                telemetry, trace_path, fs=fs, source=str(args.firehose)
+            )
+        except (ReproError, OSError) as exc:
+            # Telemetry is advisory: losing the trace must never fail a
+            # collection whose corpus is already safely on disk.
+            print(f"warning: could not write telemetry: {exc}")
+        else:
+            print(f"wrote telemetry to {trace_path}")
     return 0
 
 
@@ -141,7 +162,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     try:
         summary = run_stages(
-            Path(args.run_dir), params, resume=args.resume, log=print
+            Path(args.run_dir),
+            params,
+            resume=args.resume,
+            trace=getattr(args, "trace", False),
+            log=print,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}")
@@ -155,6 +180,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         if health is not None:
             for line in health.summary_lines():
                 print(line)
+    if getattr(args, "trace", False):
+        print(
+            f"telemetry in {summary.run_dir}/trace.jsonl "
+            f"(inspect with: repro trace {summary.run_dir})"
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a run's telemetry from its trace JSONL."""
+    import json
+
+    from repro.errors import SerializationError
+    from repro.obs.export import (
+        TRACE_FILENAME,
+        read_trace,
+        summarize_trace,
+        validate_trace,
+    )
+
+    target = Path(args.run_dir)
+    if target.is_dir():
+        target = target / TRACE_FILENAME
+    if not target.exists():
+        print(
+            f"error: no trace at {target}; run with --trace to record one"
+        )
+        return 2
+    try:
+        records = read_trace(target)
+    except (SerializationError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    problems = validate_trace(records)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}")
+        return 1
+    summary = summarize_trace(records)
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"trace: {target}")
+    width = max(
+        (len(label) for label, __ in summary.as_rows()), default=0
+    )
+    for label, value in summary.as_rows():
+        print(f"  {label:<{width}}  {value}")
     return 0
 
 

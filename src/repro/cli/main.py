@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--disk-chaos-seed", type=int, default=0,
                          help="seed for the deterministic disk-fault "
                          "schedule")
+    collect.add_argument("--trace", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="record run telemetry (stage/shard spans, "
+                         "funnel and fault counters) and write it to "
+                         "<output>.trace.jsonl; the corpus is "
+                         "byte-identical with or without tracing")
     collect.set_defaults(func=commands.cmd_collect)
 
     scrub = subparsers.add_parser(
@@ -132,7 +138,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--worker-chaos", action="store_true",
                      help="inject compute faults (supervised pool)")
     run.add_argument("--worker-chaos-seed", type=int, default=0)
+    run.add_argument("--trace", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="record run telemetry and flush it to "
+                     "trace.jsonl in the run directory after every "
+                     "stage; inspect it with 'repro trace RUNDIR'. "
+                     "Artifacts are byte-identical with or without "
+                     "tracing, and tracing is not part of the run "
+                     "fingerprint (a traced run may resume an untraced "
+                     "one)")
     run.set_defaults(func=commands.cmd_run)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a run's telemetry: stage durations, funnel "
+        "attrition, slowest shards, fault counters",
+    )
+    trace.add_argument("run_dir",
+                       help="run directory holding trace.jsonl (from "
+                       "'repro run --trace'), or a trace JSONL file "
+                       "directly (from 'repro collect --trace')")
+    trace.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default: text)")
+    trace.set_defaults(func=commands.cmd_trace)
 
     monitor = subparsers.add_parser(
         "monitor", help="replay a firehose through the rolling sensor"

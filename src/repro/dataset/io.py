@@ -124,63 +124,22 @@ def write_tweets_jsonl(
     )
 
 
-def read_tweets_jsonl(
+def read_objects_jsonl(
     path: str | Path, tolerate_torn_tail: bool = False
-) -> Iterator["Tweet"]:
-    """Stream raw tweets from a JSONL firehose file.
+) -> Iterator[tuple[int, dict[str, object]]]:
+    """Stream ``(line_number, parsed object)`` pairs from a JSONL file.
 
-    Args:
-        path: the JSONL file to read.
-        tolerate_torn_tail: when True, a malformed *final* line — the
-            signature of a crash mid-append — is skipped with a warning
-            instead of failing the whole firehose.
+    The generic reader under every typed JSONL loader in the tree —
+    tweets, corpora, and telemetry traces all share its torn-tail
+    policy: with ``tolerate_torn_tail``, a malformed *final* line (the
+    signature of a crash mid-append) is skipped with a warning instead
+    of failing the whole file, while a malformed line with records
+    after it still raises — that is corruption, not a torn tail.  The
+    tail probe reads bounded chunks, so a malformed line early in a
+    huge file never slurps the remainder into memory.
 
     Raises:
-        SerializationError: on the first malformed line, with its 1-based
-            line number.
-    """
-    from repro.twitter.models import Tweet
-
-    with open(path, encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if tolerate_torn_tail and _is_torn_tail(handle):
-                    warnings.warn(
-                        f"{path}:{line_number}: torn trailing record "
-                        "(crash mid-write?); rewound to the last complete "
-                        "line",
-                        stacklevel=2,
-                    )
-                    return
-                raise SerializationError(
-                    f"{path}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-            try:
-                yield Tweet.from_dict(data)
-            except SerializationError as exc:
-                raise SerializationError(f"{path}:{line_number}: {exc}") from exc
-
-
-def read_jsonl(
-    path: str | Path, tolerate_torn_tail: bool = False
-) -> Iterator[CollectedTweet]:
-    """Stream records from a JSONL file.
-
-    Args:
-        path: the JSONL file to read.
-        tolerate_torn_tail: when True, a malformed *final* line — the
-            signature of a crash mid-append — is skipped with a warning
-            instead of failing the whole corpus.  Malformed lines with
-            records after them still raise: that is corruption, not a
-            torn tail.
-
-    Raises:
-        SerializationError: on the first malformed line, reporting its
+        SerializationError: on the first malformed line, with its
             1-based line number.
     """
     with open(path, encoding="utf-8") as handle:
@@ -202,7 +161,61 @@ def read_jsonl(
                 raise SerializationError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc
-            try:
-                yield CollectedTweet.from_dict(data)
-            except SerializationError as exc:
-                raise SerializationError(f"{path}:{line_number}: {exc}") from exc
+            if not isinstance(data, dict):
+                raise SerializationError(
+                    f"{path}:{line_number}: expected a JSON object, got "
+                    f"{type(data).__name__}"
+                )
+            yield line_number, data
+
+
+def read_tweets_jsonl(
+    path: str | Path, tolerate_torn_tail: bool = False
+) -> Iterator["Tweet"]:
+    """Stream raw tweets from a JSONL firehose file.
+
+    Args:
+        path: the JSONL file to read.
+        tolerate_torn_tail: when True, a malformed *final* line — the
+            signature of a crash mid-append — is skipped with a warning
+            instead of failing the whole firehose.
+
+    Raises:
+        SerializationError: on the first malformed line, with its 1-based
+            line number.
+    """
+    from repro.twitter.models import Tweet
+
+    for line_number, data in read_objects_jsonl(
+        path, tolerate_torn_tail=tolerate_torn_tail
+    ):
+        try:
+            yield Tweet.from_dict(data)
+        except SerializationError as exc:
+            raise SerializationError(f"{path}:{line_number}: {exc}") from exc
+
+
+def read_jsonl(
+    path: str | Path, tolerate_torn_tail: bool = False
+) -> Iterator[CollectedTweet]:
+    """Stream records from a JSONL file.
+
+    Args:
+        path: the JSONL file to read.
+        tolerate_torn_tail: when True, a malformed *final* line — the
+            signature of a crash mid-append — is skipped with a warning
+            instead of failing the whole corpus.  Malformed lines with
+            records after them still raise: that is corruption, not a
+            torn tail.
+
+    Raises:
+        SerializationError: on the first malformed line, reporting its
+            1-based line number.
+    """
+    for line_number, data in read_objects_jsonl(
+        path, tolerate_torn_tail=tolerate_torn_tail
+    ):
+        try:
+            yield CollectedTweet.from_dict(data)
+        except SerializationError as exc:
+            raise SerializationError(f"{path}:{line_number}: {exc}") from exc

@@ -1,0 +1,63 @@
+"""Run-telemetry observability: trace spans, metrics, ambient runtime.
+
+Public surface::
+
+    from repro.obs import current, activate, Telemetry
+    from repro.obs import ManualClock, MONOTONIC
+
+    with activate(Telemetry()) as telemetry:
+        with current().span("stage.collect", shard=3):
+            current().inc("pipeline.tweets_seen")
+
+Export (:mod:`repro.obs.export`) is deliberately **not** re-exported
+here: the storage layer imports :mod:`repro.obs.telemetry` to count
+fsyncs and retries, while the exporter writes through the storage
+layer's atomic primitive.  Keeping this package's ``__init__`` free of
+the exporter is what keeps that dependency pair acyclic — import
+``repro.obs.export`` directly where needed.
+
+The governing invariant (property-tested in
+:mod:`tests.properties.test_props_obs`): telemetry on versus off
+produces byte-identical corpora under every chaos mode.  Telemetry is
+write-only; no code path reads a span or counter to make a decision.
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock
+from repro.obs.metrics import (
+    BUCKET_EXPONENTS,
+    HistogramData,
+    LabelValue,
+    MetricsRegistry,
+    bucket_bound,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    activate,
+    current,
+)
+from repro.obs.trace import AttrValue, EventRecord, SpanRecord, Tracer
+
+__all__ = [
+    "AttrValue",
+    "BUCKET_EXPONENTS",
+    "Clock",
+    "EventRecord",
+    "HistogramData",
+    "LabelValue",
+    "ManualClock",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "MONOTONIC",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
+    "activate",
+    "bucket_bound",
+    "current",
+]

@@ -1,0 +1,64 @@
+"""The monotonic-clock seam: the only sanctioned host-clock read.
+
+Telemetry needs durations, and durations need a clock — but the
+determinism invariants (DESIGN §11) forbid wall-clock reads in core
+logic, because a corpus built at 14:02 must be byte-identical to one
+built at 14:03.  The resolution is a *seam*: exactly one function in
+the tree reads ``time.monotonic``, every timestamp-consuming component
+(the tracer, the supervisor's liveness deadlines) takes a clock as a
+dependency, and tests substitute :class:`ManualClock` to make measured
+durations deterministic.
+
+Clock readings may only ever flow into *telemetry* (spans, events,
+deadlines) — never into a computed artifact.  The chaos-equivalence
+property tests (:mod:`tests.properties.test_props_obs`) prove the
+stronger claim: tracing on and off produce byte-identical corpora.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything that can report elapsed seconds on a monotonic axis."""
+
+    def now(self) -> float:
+        """Seconds since an arbitrary, monotonically advancing origin."""
+        ...  # pragma: no cover - protocol
+
+
+class MonotonicClock:
+    """The host's monotonic clock, confined to this one seam."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()  # reprolint: disable=RPL002 — the observability clock seam: the single sanctioned host-clock read; readings feed spans and liveness deadlines only, never computed artifacts
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic telemetry in tests.
+
+    Args:
+        start: initial reading in seconds.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += seconds
+
+
+#: The shared host-clock instance every production component should use.
+MONOTONIC = MonotonicClock()

@@ -1,0 +1,186 @@
+"""Counters, gauges, and histograms for run telemetry.
+
+The metric taxonomy mirrors the funnel structure the paper's pipeline
+imposes (§III-A drops ~86% of collected tweets across stages):
+``pipeline.tweets_seen``, ``pipeline.dropped{stage=...}``, per-shard
+wall time, transport retry counts, storage fsync/retry counters — the
+numbers that turn a slow or degraded chaos run from a black box into a
+diagnosis.
+
+Design constraints, in order:
+
+* **Deterministic export** — metric snapshots sort by (name, labels),
+  so two runs with the same fault schedule emit identical metric lines
+  (timings aside).  No set/dict-view ordering ever reaches the output.
+* **Mergeable** — per-worker registries combine with :meth:`merge`
+  (counters sum, gauges last-write-wins in merge order, histograms
+  pool), matching the per-worker-buffer trace model.
+* **Zero influence** — a registry only ever *receives* values; nothing
+  in the system reads a metric to make a decision, which is what keeps
+  telemetry-on and telemetry-off runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Label values accepted at the call site; canonicalized to strings so
+#: metric keys always sort (mixed value types would not).
+LabelValue = str | int | float | bool
+#: Canonical (sorted, stringified) label form used as a metric key part.
+LabelItems = tuple[tuple[str, str], ...]
+#: A metric identity: name plus canonical labels.
+MetricKey = tuple[str, LabelItems]
+
+#: Histogram bucket exponents: upper bounds 2**e seconds (or units),
+#: covering ~1µs to ~18h.  Fixed boundaries keep merged histograms
+#: exact — pooling is a per-bucket sum, never a re-binning estimate.
+BUCKET_EXPONENTS = range(-20, 17)
+
+
+def _key(name: str, labels: dict[str, LabelValue]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def bucket_bound(value: float) -> float:
+    """The histogram bucket (upper bound) a positive value falls into."""
+    exponent = max(
+        BUCKET_EXPONENTS.start,
+        min(BUCKET_EXPONENTS.stop - 1, math.ceil(math.log2(value))),
+    )
+    return float(2.0**exponent)
+
+
+@dataclass(slots=True)
+class HistogramData:
+    """Pooled observations: summary stats plus fixed-boundary buckets."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    buckets: dict[float, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        bound = bucket_bound(value) if value > 0 else 0.0
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    def merge(self, other: "HistogramData") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for bound, count in sorted(other.buckets.items()):
+            self.buckets[bound] = self.buckets.get(bound, 0) + count
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": [
+                [bound, self.buckets[bound]]
+                for bound in sorted(self.buckets)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """One process's (or worker's) metric store.
+
+    All three instrument families share the label model: ``inc("x",
+    stage="non_us")`` and ``inc("x", stage="keyword")`` are distinct
+    series under one name.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, HistogramData] = {}
+
+    def inc(
+        self, name: str, value: int | float = 1, **labels: LabelValue
+    ) -> None:
+        """Add to a monotonically growing counter."""
+        if value < 0:
+            raise ValueError(f"counter {name} cannot decrease (got {value})")
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: LabelValue) -> None:
+        """Set a point-in-time gauge (last write wins)."""
+        self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: LabelValue) -> None:
+        """Pool one observation into a histogram."""
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = HistogramData()
+        histogram.observe(value)
+
+    # -- reads (for tests and the exporter only) ------------------------
+
+    def counter_value(self, name: str, **labels: LabelValue) -> float:
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: LabelValue) -> float | None:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram_data(
+        self, name: str, **labels: LabelValue
+    ) -> HistogramData | None:
+        return self._histograms.get(_key(name, labels))
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (worker buffers at join)."""
+        for key, value in sorted(other._counters.items()):
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in sorted(other._gauges.items()):
+            self._gauges[key] = value
+        for key, data in sorted(other._histograms.items()):
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = HistogramData()
+            mine.merge(data)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Canonical export form: sorted, one JSON-ready dict per series."""
+        records: list[dict[str, object]] = []
+        for (name, labels), value in sorted(self._counters.items()):
+            records.append(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        for (name, labels), value in sorted(self._gauges.items()):
+            records.append(
+                {
+                    "kind": "gauge",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        for (name, labels), data in sorted(self._histograms.items()):
+            record: dict[str, object] = {
+                "kind": "histogram",
+                "name": name,
+                "labels": dict(labels),
+            }
+            record.update(data.to_dict())
+            records.append(record)
+        return records

@@ -1,0 +1,158 @@
+"""The telemetry bundle and its ambient activation seam.
+
+Instrumented code never takes a telemetry argument — it asks
+:func:`current` for the active :class:`Telemetry` and records into it.
+When none is active, :func:`current` returns the module's disabled
+singleton whose every operation is a no-op, so instrumentation costs a
+context-variable read and nothing else on untraced runs.
+
+The ambient value lives in a :class:`contextvars.ContextVar`: thread-
+and async-safe by construction.  Worker *processes* do not inherit the
+parent's activation usefully (their buffers would die with them);
+instead each traced worker builds its own :class:`Telemetry`, runs
+under it, and ships a picklable :class:`TelemetrySnapshot` back with
+its result for the parent to :meth:`Telemetry.absorb` in deterministic
+shard order — the per-worker-buffer model of :mod:`repro.obs.trace`.
+
+The invariant the property tests enforce: activating telemetry changes
+*no* computed byte anywhere.  Telemetry is write-only — no code path
+reads a span or counter to make a decision.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager, contextmanager
+from contextvars import ContextVar
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.metrics import LabelValue, MetricsRegistry
+from repro.obs.trace import AttrValue, EventRecord, SpanRecord, Tracer
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySnapshot:
+    """A finished worker buffer, picklable for the result pipe.
+
+    Attributes:
+        worker: the recording worker's name.
+        spans / events: the worker's trace buffer.
+        metrics: the worker's metric series in export form.
+    """
+
+    worker: str
+    spans: tuple[SpanRecord, ...]
+    events: tuple[EventRecord, ...]
+    metrics: "MetricsRegistry"
+
+
+class Telemetry:
+    """One run's telemetry: a tracer plus a metrics registry.
+
+    Args:
+        worker: buffer name (``"main"`` in the parent, ``"shard-N"``
+            in workers).
+        clock: monotonic time source; tests pass a
+            :class:`repro.obs.clock.ManualClock`.
+    """
+
+    enabled = True
+
+    def __init__(self, worker: str = "main", clock: Clock | None = None):
+        self.clock: Clock = clock if clock is not None else MONOTONIC
+        self.tracer = Tracer(worker=worker, clock=self.clock)
+        self.metrics = MetricsRegistry()
+
+    @property
+    def worker(self) -> str:
+        return self.tracer.worker
+
+    def span(
+        self, name: str, **attrs: AttrValue
+    ) -> AbstractContextManager[None]:
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: AttrValue) -> None:
+        self.tracer.event(name, **attrs)
+
+    def inc(
+        self, name: str, value: int | float = 1, **labels: LabelValue
+    ) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: LabelValue) -> None:
+        self.metrics.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: LabelValue) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze this telemetry into a picklable worker buffer."""
+        return TelemetrySnapshot(
+            worker=self.worker,
+            spans=tuple(self.tracer.spans),
+            events=tuple(self.tracer.events),
+            metrics=self.metrics,
+        )
+
+    def absorb(self, snapshot: TelemetrySnapshot | None) -> None:
+        """Merge a worker buffer; call in deterministic shard order."""
+        if snapshot is None:
+            return
+        self.tracer.absorb(list(snapshot.spans), list(snapshot.events))
+        self.metrics.merge(snapshot.metrics)
+
+
+@contextmanager
+def _null_span() -> Iterator[None]:
+    yield
+
+
+class NullTelemetry(Telemetry):
+    """The disabled singleton: every operation is a no-op."""
+
+    enabled = False
+
+    def span(
+        self, name: str, **attrs: AttrValue
+    ) -> AbstractContextManager[None]:
+        return _null_span()
+
+    def event(self, name: str, **attrs: AttrValue) -> None:
+        return None
+
+    def inc(
+        self, name: str, value: int | float = 1, **labels: LabelValue
+    ) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels: LabelValue) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: LabelValue) -> None:
+        return None
+
+
+#: Shared across every untraced call site; records nothing.
+NULL_TELEMETRY = NullTelemetry()
+
+_ACTIVE: ContextVar[Telemetry | None] = ContextVar(
+    "repro_obs_telemetry", default=None
+)
+
+
+def current() -> Telemetry:
+    """The active telemetry, or the disabled singleton."""
+    active = _ACTIVE.get()
+    return active if active is not None else NULL_TELEMETRY
+
+
+@contextmanager
+def activate(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` ambient for the duration of the with-block."""
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)

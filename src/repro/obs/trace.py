@@ -1,0 +1,161 @@
+"""Trace spans and point events on the monotonic-clock seam.
+
+A :class:`Tracer` records two shapes:
+
+* **Spans** — named, nestable intervals opened with the
+  :meth:`Tracer.span` context manager.  Nesting is tracked with an
+  explicit stack, so a span records its parent and ``repro trace`` can
+  rebuild the stage → shard hierarchy.
+* **Events** — named instants (a retry dispatched, a worker crash
+  observed) with attributes.
+
+Process safety comes from *per-worker buffers*: each worker process
+builds its own tracer (see :func:`repro.obs.telemetry.Telemetry.snapshot`),
+ships the finished buffer back with its shard result, and the parent
+merges buffers in deterministic shard order at join.  Nothing is shared
+while work is in flight, so tracing can never introduce cross-process
+coordination — and therefore can never perturb results.
+
+Timestamps are monotonic-clock readings local to the recording process;
+durations are meaningful everywhere, absolute values only within one
+worker's records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.clock import MONOTONIC, Clock
+
+#: JSON-representable attribute values.
+AttrValue = str | int | float | bool | None
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: span name (e.g. ``"stage.collect"``, ``"shard"``).
+        worker: the recording buffer's name (``"main"``, ``"shard-3"``).
+        span_id: id unique within the recording worker.
+        parent_id: enclosing span's id within the same worker, or None.
+        start / end: monotonic readings in the recording process.
+        attrs: caller-supplied attributes.
+    """
+
+    name: str
+    worker: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "worker": self.worker,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One named instant with attributes."""
+
+    name: str
+    worker: str
+    at: float
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "event",
+            "name": self.name,
+            "worker": self.worker,
+            "at": self.at,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Span/event recorder for one worker.
+
+    Args:
+        worker: buffer name stamped on every record.
+        clock: monotonic time source (the seam; tests pass
+            :class:`repro.obs.clock.ManualClock`).
+    """
+
+    def __init__(self, worker: str = "main", clock: Clock | None = None):
+        self.worker = worker
+        self.clock: Clock = clock if clock is not None else MONOTONIC
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs: AttrValue) -> Iterator[None]:
+        """Record a nestable interval around the with-block.
+
+        The span lands in :attr:`spans` when the block exits — including
+        on exception, so a failing stage still shows its duration.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = self.clock.now()
+        try:
+            yield
+        finally:
+            end = self.clock.now()
+            self._stack.pop()
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    worker=self.worker,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    start=start,
+                    end=end,
+                    attrs=dict(attrs),
+                )
+            )
+
+    def event(self, name: str, **attrs: AttrValue) -> None:
+        """Record a point event at the current clock reading."""
+        self.events.append(
+            EventRecord(
+                name=name,
+                worker=self.worker,
+                at=self.clock.now(),
+                attrs=dict(attrs),
+            )
+        )
+
+    def absorb(
+        self, spans: list[SpanRecord], events: list[EventRecord]
+    ) -> None:
+        """Merge a finished per-worker buffer into this tracer.
+
+        Records keep their original worker stamp and ids (ids are only
+        unique per worker; ``(worker, span_id)`` is the global key).
+        Call in deterministic order — e.g. shard index — at join.
+        """
+        self.spans.extend(spans)
+        self.events.extend(events)

@@ -54,6 +54,8 @@ from repro.dataset.io import (
 )
 from repro.errors import PipelineError
 from repro.faults.compute import WorkerFaultPlan
+from repro.obs import NULL_TELEMETRY, Telemetry, activate
+from repro.obs.export import TRACE_FILENAME, write_trace
 from repro.pipeline.runner import CollectionPipeline, PipelineReport
 from repro.storage.atomic import atomic_write_text
 from repro.storage.fs import LOCAL_FS, FileSystem
@@ -446,6 +448,7 @@ def run_stages(
     params: RunParams,
     *,
     resume: bool = False,
+    trace: bool = False,
     fault_hook: Callable[[str], None] | None = None,
     log: Callable[[str], None] | None = None,
     fs: FileSystem | None = None,
@@ -459,6 +462,11 @@ def run_stages(
             match the journal's.
         resume: skip stages the journal proves complete (artifacts
             re-hashed) and continue from the first incomplete stage.
+        trace: record run telemetry and flush it to ``trace.jsonl`` in
+            the run directory after every stage.  Deliberately *not* a
+            :class:`RunParams` field: telemetry never influences an
+            artifact byte, so a traced run may resume an untraced one
+            (and vice versa) without a fingerprint mismatch.
         fault_hook: called with the stage name *after* its artifacts are
             written but *before* the journal records them — the torn
             window a crash-recovery test wants to kill the process in.
@@ -492,20 +500,41 @@ def run_stages(
             )
         journal = RunJournal(run_dir, params, fs=fs)
     runner = _StageRunner(run_dir, params, fs=fs)
+    telemetry = Telemetry() if trace else NULL_TELEMETRY
+
+    def flush_trace(last_stage: str) -> None:
+        # Atomic replace after every stage: a kill mid-run leaves the
+        # newest complete flush on disk, never a torn trace.
+        if trace:
+            write_trace(
+                telemetry,
+                run_dir / TRACE_FILENAME,
+                fs=fs,
+                fingerprint=params.fingerprint(),
+                last_stage=last_stage,
+            )
+
     stages_run: list[str] = []
     stages_skipped: list[str] = []
-    for stage, artifacts in STAGE_ARTIFACTS:
-        if journal.is_complete(stage):
-            journal.verify_artifacts(stage)
-            stages_skipped.append(stage)
-            emit(f"stage {stage}: complete, skipping")
-            continue
-        emit(f"stage {stage}: running")
-        runner.run_stage(stage)
-        if fault_hook is not None:
-            fault_hook(stage)
-        journal.record_stage(stage, artifacts)
-        stages_run.append(stage)
+    with activate(telemetry):
+        for stage, artifacts in STAGE_ARTIFACTS:
+            if journal.is_complete(stage):
+                journal.verify_artifacts(stage)
+                stages_skipped.append(stage)
+                telemetry.inc("journal.stages_skipped")
+                telemetry.event("stage.skipped", stage=stage)
+                emit(f"stage {stage}: complete, skipping")
+                continue
+            emit(f"stage {stage}: running")
+            with telemetry.span(f"stage.{stage}"):
+                runner.run_stage(stage)
+            if fault_hook is not None:
+                fault_hook(stage)
+            journal.record_stage(stage, artifacts)
+            telemetry.inc("journal.stages_run")
+            stages_run.append(stage)
+            flush_trace(stage)
+    flush_trace(stages_run[-1] if stages_run else "none")
     return RunSummary(
         run_dir=run_dir,
         stages_run=tuple(stages_run),

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro import obs
 from repro.config import CollectionConfig
 from repro.dataset.records import CollectedTweet
 from repro.errors import ConfigError
@@ -97,11 +98,34 @@ def process_shard(
 
 
 def _shard_task(
-    payload: tuple[Shard, CollectionConfig],
-) -> tuple[list[tuple[int, CollectedTweet]], PipelineReport]:
-    """Worker entry point: unpack one supervised-pool task payload."""
-    shard, config = payload
-    return process_shard(shard, config)
+    payload: tuple[int, Shard, CollectionConfig, bool],
+) -> tuple[
+    list[tuple[int, CollectedTweet]],
+    PipelineReport,
+    "obs.TelemetrySnapshot | None",
+]:
+    """Worker entry point: unpack one supervised-pool task payload.
+
+    When the parent ran with tracing enabled, the worker builds its own
+    telemetry buffer (the per-worker-buffer model: nothing shared while
+    work is in flight), wraps the shard in a span, and ships the frozen
+    snapshot back through the result pipe for the parent to absorb in
+    shard order.
+    """
+    index, shard, config, trace_enabled = payload
+    if not trace_enabled:
+        records, report = process_shard(shard, config)
+        return records, report, None
+    telemetry = obs.Telemetry(worker=f"shard-{index}")
+    with obs.activate(telemetry):
+        with telemetry.span("shard", index=index, tweets=len(shard)):
+            records, report = process_shard(shard, config)
+    telemetry.observe(
+        "shard.wall_seconds", telemetry.tracer.spans[-1].duration, shard=index
+    )
+    telemetry.inc("shard.tweets_in", len(shard), shard=index)
+    telemetry.inc("shard.records_out", len(records), shard=index)
+    return records, report, telemetry.snapshot()
 
 
 def run_sharded(
@@ -131,20 +155,35 @@ def run_sharded(
         ConfigError: if ``workers`` is not a positive integer or the
             fault plan is not absorbable by the policy.
     """
+    telemetry = obs.current()
     shards = shard_by_id(source, workers)
     report = PipelineReport()
+    results: list[tuple[list[tuple[int, CollectedTweet]], PipelineReport]]
     if workers == 1 and policy is None and worker_faults is None:
-        results = [process_shard(shards[0], config)]
+        with telemetry.span("shard", index=0, tweets=len(shards[0])):
+            results = [process_shard(shards[0], config)]
     else:
         outcomes, health = run_supervised(
             _shard_task,
-            [(shard, config) for shard in shards],
+            [
+                (index, shard, config, telemetry.enabled)
+                for index, shard in enumerate(shards)
+            ],
             workers=workers,
             policy=policy,
             fault_plan=worker_faults,
             labels=[f"shard {index}" for index in range(len(shards))],
         )
-        results = [outcome for outcome in outcomes if outcome is not None]
+        # Absorb worker buffers in shard-index order (outcomes align
+        # with payloads), so the merged telemetry is deterministic no
+        # matter how the scheduler interleaved the workers.
+        results = []
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            shard_records, shard_report, snapshot = outcome
+            telemetry.absorb(snapshot)
+            results.append((shard_records, shard_report))
         report.compute = health
     tagged: list[tuple[int, CollectedTweet]] = []
     for shard_records, shard_report in results:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field, fields
 
+from repro import obs
 from repro.config import CollectionConfig, ResiliencePolicy
 from repro.dataset.corpus import TweetCorpus
 from repro.dataset.records import CollectedTweet
@@ -173,6 +174,32 @@ class PipelineReport:
         return report
 
 
+def emit_funnel_metrics(
+    report: PipelineReport, telemetry: "obs.Telemetry"
+) -> None:
+    """Mirror a finished report's funnel counters into telemetry.
+
+    Emitted once per run from the authoritative :class:`PipelineReport`
+    rather than incremented per tweet: zero hot-path cost, and the
+    metric lines can never disagree with the report they describe.
+    """
+    telemetry.inc(
+        "pipeline.tweets_seen", report.stream_dropped + report.collected
+    )
+    telemetry.inc("pipeline.collected", report.collected)
+    telemetry.inc("pipeline.dropped", report.stream_dropped, stage="keyword")
+    telemetry.inc("pipeline.dropped", report.unresolved, stage="unresolved")
+    telemetry.inc("pipeline.dropped", report.non_us, stage="non_us")
+    telemetry.inc(
+        "pipeline.dropped", report.no_mentions, stage="no_mentions"
+    )
+    telemetry.inc("pipeline.located", report.located_gps, source="gps")
+    telemetry.inc(
+        "pipeline.located", report.located_profile, source="profile"
+    )
+    telemetry.inc("pipeline.retained", report.retained)
+
+
 def process_matched(
     tweet: Tweet,
     geocoder: Geocoder,
@@ -261,6 +288,7 @@ class CollectionPipeline:
         """
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        telemetry = obs.current()
         resilient: ResilientStream | None = None
         if fault_plan is not None:
             ensure_compatible(self.resilience, fault_plan)
@@ -271,17 +299,24 @@ class CollectionPipeline:
         if workers > 1 or supervisor is not None or worker_faults is not None:
             from repro.pipeline.parallel import run_sharded
 
-            records, report = run_sharded(
-                source,
-                self.config,
-                workers,
-                policy=supervisor,
-                worker_faults=worker_faults,
-            )
+            with telemetry.span(
+                "pipeline.sharded", workers=workers, chaos=resilient is not None
+            ):
+                records, report = run_sharded(
+                    source,
+                    self.config,
+                    workers,
+                    policy=supervisor,
+                    worker_faults=worker_faults,
+                )
         else:
-            records, report = self._run_serial(source)
+            with telemetry.span(
+                "pipeline.serial", chaos=resilient is not None
+            ):
+                records, report = self._run_serial(source)
         if resilient is not None:
             report.reliability = resilient.report
+        emit_funnel_metrics(report, telemetry)
         if not records:
             raise PipelineError("pipeline retained zero tweets")
         return TweetCorpus(records), report

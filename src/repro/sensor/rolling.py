@@ -22,6 +22,7 @@ from repro.dataset.stats import users_per_organ
 from repro.errors import ConfigError
 from repro.geo.geocoder import Geocoder
 from repro.nlp.keywords import build_query_set, matches_query_set
+from repro.obs import current as telemetry_current
 from repro.nlp.matcher import OrganMatcher
 from repro.organs import Organ
 from repro.pipeline.augment import augment_location
@@ -67,6 +68,14 @@ class RollingAwarenessSensor:
     tweet (applying the full §III-A pipeline inline) and :meth:`snapshot`
     characterizes the current window.  Eviction follows tweet timestamps,
     so replays of historical streams behave identically to live use.
+
+    Out-of-order arrivals are handled exactly: the eviction horizon
+    follows the *newest* timestamp seen (the stream frontier), a tweet
+    already older than the horizon is rejected as stale (counted in
+    :attr:`stale_dropped`, never admitted), and an in-window late
+    arrival is inserted at its timestamp-sorted position — so the
+    window's oldest tweet is always at the buffer's head and eviction
+    can never strand an old tweet behind a newer one.
     """
 
     def __init__(
@@ -86,13 +95,29 @@ class RollingAwarenessSensor:
         self._geocoder = Geocoder()
         self._matcher = OrganMatcher()
         self._buffer: deque[CollectedTweet] = deque()
+        self._frontier: datetime | None = None
         self.seen = 0
         self.retained = 0
+        self.stale_dropped = 0
 
     def observe(self, tweet: Tweet) -> bool:
-        """Ingest one tweet; returns True when it entered the window."""
+        """Ingest one tweet; returns True when it entered the window.
+
+        A tweet whose timestamp already lies behind the current eviction
+        horizon (the newest timestamp seen minus the window) is stale:
+        admitting it would put an already-expired record in the window,
+        and before the frontier was tracked such records could sit behind
+        newer ones forever, surviving every eviction scan.  Stale tweets
+        are rejected and counted instead.
+        """
         self.seen += 1
-        self._evict(tweet.created_at)
+        if self._frontier is None or tweet.created_at > self._frontier:
+            self._frontier = tweet.created_at
+        self._evict()
+        if tweet.created_at < self._frontier - self.window:
+            self.stale_dropped += 1
+            telemetry_current().inc("sensor.stale_dropped")
+            return False
         if not matches_query_set(tweet.text, self._queries):
             return False
         match = augment_location(tweet, self._geocoder, self.collection)
@@ -101,9 +126,23 @@ class RollingAwarenessSensor:
         mentions = self._matcher.mentions(tweet.text)
         if not mentions:
             return False
-        self._buffer.append(
-            CollectedTweet(tweet=tweet, location=match, mentions=dict(mentions))
+        record = CollectedTweet(
+            tweet=tweet, location=match, mentions=dict(mentions)
         )
+        # Keep the buffer timestamp-sorted so eviction's head scan is
+        # exact; a late arrival walks back from the tail (bounded by its
+        # displacement, which transport reordering keeps small).
+        position = len(self._buffer)
+        while (
+            position > 0
+            and self._buffer[position - 1].tweet.created_at > tweet.created_at
+        ):
+            position -= 1
+        if position == len(self._buffer):
+            self._buffer.append(record)
+        else:
+            self._buffer.insert(position, record)
+            telemetry_current().inc("sensor.late_arrivals")
         self.retained += 1
         return True
 
@@ -151,7 +190,16 @@ class RollingAwarenessSensor:
         """Tweets currently in the window."""
         return len(self._buffer)
 
-    def _evict(self, now: datetime) -> None:
-        horizon = now - self.window
+    def _evict(self) -> None:
+        """Drop every buffered tweet behind the frontier's horizon.
+
+        The horizon follows the newest timestamp *seen* — not the
+        current tweet's — so an out-of-order old arrival can never pull
+        the horizon backwards; and because the buffer is kept sorted,
+        the head scan provably reaches everything expired.
+        """
+        if self._frontier is None:
+            return
+        horizon = self._frontier - self.window
         while self._buffer and self._buffer[0].tweet.created_at < horizon:
             self._buffer.popleft()

@@ -40,13 +40,26 @@ class CorrelationResult:
 
 
 def pearson(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> CorrelationResult:
-    """Pearson product-moment correlation with a t-test p-value."""
+    """Pearson product-moment correlation with a t-test p-value.
+
+    Raises:
+        ValueError: on shape mismatch or non-finite input — a single
+            NaN would silently zero the centered dot products into a
+            ``nan`` r, and an infinity would overflow them; both are
+            data errors the caller must see (the same stance as SciPy's
+            ``nan_policy="raise"``).
+    """
     x_arr = np.asarray(x, dtype=float)
     y_arr = np.asarray(y, dtype=float)
     if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
         raise ValueError(
             f"x and y must be 1-D arrays of equal length, got {x_arr.shape} "
             f"and {y_arr.shape}"
+        )
+    if not (np.all(np.isfinite(x_arr)) and np.all(np.isfinite(y_arr))):
+        raise ValueError(
+            "correlation requires finite input; got NaN or infinity — "
+            "clean or drop those observations first"
         )
     n = x_arr.size
     if n < 2:

@@ -53,10 +53,38 @@ def log_binned_histogram(
     ``low <= value < high`` and edges grow geometrically with ``base``.
     Zero values are excluded (log scale), mirroring how the paper's
     log-scale histograms drop empty categories.
+
+    Input must be genuine counts: finite, non-negative, and integral
+    (integer-valued floats like ``3.0`` are fine).  The bin edges start
+    at 1, so a fractional value in (0, 1) would fall below the first
+    bin and silently vanish from the histogram — breaking the invariant
+    that frequencies sum to the number of positive values.  Rejecting
+    non-count input keeps that invariant a guarantee instead of a hope.
+
+    Raises:
+        ValueError: on ``base <= 1`` or non-finite, negative, or
+            fractional input.
     """
     if base <= 1.0:
         raise ValueError(f"base must be > 1, got {base}")
     array = np.asarray(counts, dtype=float)
+    if array.size:
+        if not np.all(np.isfinite(array)):
+            raise ValueError(
+                "log_binned_histogram requires finite counts; got NaN "
+                "or infinity"
+            )
+        if np.any(array < 0):
+            raise ValueError(
+                "log_binned_histogram requires non-negative counts; got "
+                f"minimum {array.min()}"
+            )
+        if np.any(array != np.floor(array)):
+            raise ValueError(
+                "log_binned_histogram requires integer counts; "
+                "fractional values in (0, 1) would fall below the first "
+                "bin edge and vanish from the histogram"
+            )
     positive = array[array > 0]
     if positive.size == 0:
         return []

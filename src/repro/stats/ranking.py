@@ -15,10 +15,25 @@ def rankdata(values: np.ndarray | list[float]) -> np.ndarray:
 
     >>> rankdata([10, 20, 20, 30]).tolist()
     [1.0, 2.5, 2.5, 4.0]
+
+    Raises:
+        ValueError: on non-finite input.  ``argsort`` places every NaN
+            last — silently handing each one a distinct top rank and a
+            downstream Spearman coefficient that looks plausible but
+            means nothing (SciPy's ``rankdata`` does the same, which is
+            why ``spearmanr`` grew ``nan_policy``); infinities rank
+            "correctly" but poison the Pearson step afterwards.  A loud
+            error beats a quietly wrong r.
     """
     array = np.asarray(values, dtype=float)
     if array.ndim != 1:
         raise ValueError(f"rankdata expects a 1-D array, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(
+            "rankdata requires finite input; got NaN or infinity (ranks "
+            "over missing data are meaningless — clean or drop those "
+            "observations first)"
+        )
     order = np.argsort(array, kind="stable")
     ranks = np.empty(array.size, dtype=float)
     ranks[order] = np.arange(1, array.size + 1, dtype=float)

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import IO, Any, TypeVar
 
 from repro.errors import ConfigError, StorageError
+from repro.obs.telemetry import current as telemetry_current
 from repro.storage.fs import LOCAL_FS, FileSystem
 
 #: Suffix of the in-flight temp file beside the destination.
@@ -136,15 +137,19 @@ class AtomicWriter:
                 f"AtomicWriter for {self.path} used outside its context"
             )
         handle = self._handle
+        telemetry = telemetry_current()
         self._attempt("fsyncing", lambda: self.fs.fsync(handle))
+        telemetry.inc("storage.fsyncs", target="file")
         self._close_handle()
         self._attempt(
             "replacing", lambda: self.fs.replace(self.tmp_path, self.path)
         )
+        telemetry.inc("storage.replaces")
         parent = self.path.parent
         self._attempt(
             "fsyncing directory of", lambda: self.fs.fsync_dir(parent)
         )
+        telemetry.inc("storage.fsyncs", target="dir")
 
     def _attempt(self, operation: str, call: Callable[[], _T]) -> _T:
         last: OSError | None = None
@@ -153,6 +158,7 @@ class AtomicWriter:
                 return call()
             except OSError as exc:
                 if exc.errno == errno.ENOSPC:
+                    telemetry_current().inc("storage.enospc_failures")
                     raise StorageError(
                         f"no space left on device while {operation} "
                         f"{self.path}; destination left untouched, partial "
@@ -160,6 +166,7 @@ class AtomicWriter:
                     ) from exc
                 if exc.errno != errno.EIO:
                     raise
+                telemetry_current().inc("storage.eio_retries")
                 last = exc
         raise StorageError(
             f"I/O error while {operation} {self.path} persisted through "

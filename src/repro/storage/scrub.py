@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.errors import StorageError
 from repro.health import rows_to_lines
+from repro.obs.telemetry import current as telemetry_current
 from repro.storage.atomic import atomic_write_bytes
 from repro.storage.fs import LOCAL_FS, FileSystem
 from repro.storage.manifest import (
@@ -373,10 +374,15 @@ def scrub_paths(
     fs = fs if fs is not None else LOCAL_FS
     targets = discover_manifested([Path(p) for p in paths], fs)
     report = ScrubReport()
+    telemetry = telemetry_current()
     for target in targets:
-        report.results.append(
-            scrub_file(
-                target, fs=fs, repair_from=repair_from, quarantine=quarantine
-            )
+        result = scrub_file(
+            target, fs=fs, repair_from=repair_from, quarantine=quarantine
         )
+        report.results.append(result)
+        telemetry.inc("scrub.files", status=result.status)
+        if result.records_quarantined:
+            telemetry.inc(
+                "scrub.records_quarantined", result.records_quarantined
+            )
     return report

@@ -28,9 +28,14 @@ Results come back position-ordered (``results[i]`` belongs to
 ``tasks[i]``; ``None`` marks a quarantined task), so every caller's
 ordered merge is preserved regardless of completion order.
 
-Wall-clock reads below are confined to liveness detection (deadlines and
-poll pacing); they influence only *when* a retry is scheduled, never any
-computed value, so replayability of results is unaffected.
+Clock reads are confined to liveness detection (deadlines and poll
+pacing) and go through the observability clock seam
+(:data:`repro.obs.clock.MONOTONIC`); they influence only *when* a retry
+is scheduled, never any computed value, so replayability of results is
+unaffected.  The supervisor also narrates itself into the ambient
+telemetry (:func:`repro.obs.current`): dispatch/complete/fail counters,
+heartbeat ticks, and retry/quarantine events — write-only, so tracing a
+run cannot change it.
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ from typing import Any, TypeVar
 from repro.errors import ConfigError
 from repro.faults.compute import InjectedComputeError, WorkerFault, WorkerFaultPlan
 from repro.health import rows_to_lines
+from repro.obs import current as telemetry_current
+from repro.obs.clock import MONOTONIC
 from repro.procpool import pool_context, reaped
 
 T = TypeVar("T")
@@ -392,13 +399,27 @@ def run_supervised(
     ctx = pool_context()
     max_attempts = policy.max_retries + 1
 
+    telemetry = telemetry_current()
+
     def fail_attempt(attempt: _Attempt, description: str) -> None:
         failures[attempt.task_index].append(description)
         if attempt.attempt + 1 < max_attempts:
             health.retries += 1
+            telemetry.inc("supervisor.retries")
+            telemetry.event(
+                "supervisor.retry",
+                task=label_list[attempt.task_index],
+                attempt=attempt.attempt + 1,
+            )
             pending.append((attempt.task_index, attempt.attempt + 1))
         else:
             health.quarantined += 1
+            telemetry.inc("supervisor.quarantined")
+            telemetry.event(
+                "supervisor.quarantine",
+                task=label_list[attempt.task_index],
+                attempts=attempt.attempt + 1,
+            )
             health.dead_letters.append(
                 ComputeDeadLetter(
                     task_index=attempt.task_index,
@@ -430,8 +451,12 @@ def run_supervised(
                 # Close the parent's copy of the write end so a worker
                 # death surfaces as EOF instead of a blocked read.
                 send_conn.close()
+                telemetry.inc("supervisor.dispatched")
+                # Liveness deadline through the observability clock
+                # seam; affects retry timing only, never computed
+                # values.
                 deadline = (
-                    time.monotonic() + policy.task_timeout  # reprolint: disable=RPL002 — liveness deadline only; affects retry timing, never computed values
+                    MONOTONIC.now() + policy.task_timeout
                     if policy.task_timeout is not None
                     else None
                 )
@@ -446,7 +471,8 @@ def run_supervised(
                 [attempt.conn for attempt in running.values()],
                 timeout=policy.heartbeat_interval,
             )
-            now = time.monotonic()  # reprolint: disable=RPL002 — liveness deadline only; affects retry timing, never computed values
+            telemetry.inc("supervisor.heartbeats")
+            now = MONOTONIC.now()
             for attempt in list(running.values()):
                 if attempt.conn.poll():
                     try:
@@ -459,8 +485,10 @@ def run_supervised(
                     if kind == "ok":
                         results[attempt.task_index] = payload
                         health.completed += 1
+                        telemetry.inc("supervisor.completed")
                     elif kind == "error":
                         health.task_errors += 1
+                        telemetry.inc("supervisor.failed", kind="task_error")
                         fail_attempt(
                             attempt,
                             f"attempt {attempt.attempt + 1}: task raised:\n"
@@ -468,6 +496,7 @@ def run_supervised(
                         )
                     else:
                         health.worker_crashes += 1
+                        telemetry.inc("supervisor.failed", kind="crash")
                         fail_attempt(
                             attempt,
                             f"attempt {attempt.attempt + 1}: worker died "
@@ -479,6 +508,7 @@ def run_supervised(
                     attempt.conn.close()
                     del running[attempt.task_index]
                     health.worker_crashes += 1
+                    telemetry.inc("supervisor.failed", kind="crash")
                     fail_attempt(
                         attempt,
                         f"attempt {attempt.attempt + 1}: worker died with "
@@ -493,6 +523,7 @@ def run_supervised(
                     attempt.conn.close()
                     del running[attempt.task_index]
                     health.worker_timeouts += 1
+                    telemetry.inc("supervisor.failed", kind="timeout")
                     fail_attempt(
                         attempt,
                         f"attempt {attempt.attempt + 1}: exceeded the "

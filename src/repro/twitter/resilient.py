@@ -42,6 +42,7 @@ from typing import Any
 from repro.config import ResiliencePolicy
 from repro.errors import ConfigError, SerializationError
 from repro.health import rows_to_lines
+from repro.obs import current as telemetry_current
 from repro.storage.atomic import AtomicWriter
 from repro.storage.fs import FileSystem
 from repro.storage.manifest import Manifest, record_crc, write_manifest
@@ -387,6 +388,7 @@ class ResilientStream:
             return
         except StreamDisconnectError:
             self.report.disconnects += 1
+            telemetry_current().inc("transport.disconnects")
             self._conn = None
             self._backoff_network()
             return
@@ -397,6 +399,7 @@ class ResilientStream:
                 # Stalled connection: tear down and reconnect, treating
                 # it as a network-level failure per Twitter guidance.
                 self.report.stalls_detected += 1
+                telemetry_current().inc("transport.stalls")
                 self._stall_run = 0
                 self._conn = None
                 self._backoff_network()
@@ -407,10 +410,12 @@ class ResilientStream:
             return
         if tweet.tweet_id in self._seen:
             self.report.duplicates_suppressed += 1
+            telemetry_current().inc("transport.duplicates_suppressed")
             return
         self._seen.add(tweet.tweet_id)
         if self._max_id is not None and tweet.tweet_id < self._max_id:
             self.report.out_of_order += 1
+            telemetry_current().inc("transport.out_of_order")
         if self._max_id is None or tweet.tweet_id > self._max_id:
             self._max_id = tweet.tweet_id
         heapq.heappush(self._heap, (tweet.tweet_id, self._push_seq, tweet))
@@ -435,6 +440,7 @@ class ResilientStream:
             DeadLetter(payload=payload, reason=reason, sequence=self._frame_seq)
         )
         self.report.dead_lettered += 1
+        telemetry_current().inc("transport.dead_lettered", reason=reason)
 
     def _connect(self) -> None:
         try:
@@ -443,14 +449,17 @@ class ResilientStream:
             self.report.rejections_420 += 1
             self._rate_limit_failures += 1
             self.report.retries_rate_limit += 1
+            telemetry_current().inc("transport.retries", kind="rate_limit")
             self._wait(rate_limit_backoff(self.policy, self._rate_limit_failures))
         except HTTPStreamError:
             self.report.rejections_503 += 1
             self._http_failures += 1
             self.report.retries_http += 1
+            telemetry_current().inc("transport.retries", kind="http")
             self._wait(http_backoff(self.policy, self._http_failures))
         else:
             self.report.connects += 1
+            telemetry_current().inc("transport.connects")
             self._stall_run = 0
             self._net_failures = 0
             self._http_failures = 0
@@ -459,6 +468,7 @@ class ResilientStream:
     def _backoff_network(self) -> None:
         self._net_failures += 1
         self.report.retries_network += 1
+        telemetry_current().inc("transport.retries", kind="network")
         self._wait(network_backoff(self.policy, self._net_failures))
 
     def _wait(self, base_delay: float) -> None:
@@ -466,4 +476,5 @@ class ResilientStream:
         if self.policy.jitter:
             delay += base_delay * self.policy.jitter * self._rng.random()
         self.report.backoff_seconds += delay
+        telemetry_current().inc("transport.backoff_seconds", delay)
         self._sleep(delay)

@@ -19,6 +19,7 @@ def smoke_payload():
         sizes=(1_500,), worker_counts=(1, 2), seed=5, smoke=True,
         cluster_users_n=300, cluster_ks=(11, 12),
         durability_counts=(400,),
+        observability_sizes=(1_500,),
     )
 
 
@@ -49,6 +50,14 @@ class TestRunSuite:
         assert run["manifest_verified"] is True
         assert run["overhead_vs_plain"] > 0
 
+    def test_observability_run_is_equivalent_and_traced(self, smoke_payload):
+        (run,) = smoke_payload["observability"]["runs"]
+        assert run["size_target"] == 1_500
+        assert run["byte_identical_to_untraced"] is True
+        assert run["overhead_vs_untraced"] > 0
+        assert run["trace_lines"] > 1  # meta header plus real records
+        assert run["trace_bytes"] > 0
+
 
 class TestValidatePayload:
     def test_rejects_non_object(self):
@@ -71,6 +80,13 @@ class TestValidatePayload:
         bad = json.loads(json.dumps(smoke_payload))
         bad["durability"]["runs"][0]["manifest_verified"] = False
         assert any("sidecar" in p for p in validate_payload(bad))
+
+    def test_rejects_non_identical_traced_run(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["observability"]["runs"][0]["byte_identical_to_untraced"] = False
+        assert any(
+            "traced corpus" in p for p in validate_payload(bad)
+        )
 
 
 class TestSyntheticAttention:

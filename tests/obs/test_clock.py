@@ -1,0 +1,39 @@
+"""Tests for the monotonic-clock seam."""
+
+import pytest
+
+from repro.obs.clock import MONOTONIC, ManualClock, MonotonicClock
+
+
+class TestMonotonicClock:
+    def test_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_shared_singleton(self):
+        assert isinstance(MONOTONIC, MonotonicClock)
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert ManualClock(start=10.5).now() == 10.5
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == 1.75
+
+    def test_zero_advance_allowed(self):
+        clock = ManualClock(start=3.0)
+        clock.advance(0.0)
+        assert clock.now() == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)

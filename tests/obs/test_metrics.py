@@ -1,0 +1,172 @@
+"""Tests for counters, gauges, and histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_EXPONENTS,
+    HistogramData,
+    MetricsRegistry,
+    bucket_bound,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_default_increment(self, registry):
+        registry.inc("pipeline.collected")
+        registry.inc("pipeline.collected")
+        assert registry.counter_value("pipeline.collected") == 2
+
+    def test_labelled_series_are_distinct(self, registry):
+        registry.inc("pipeline.dropped", 3, stage="keyword")
+        registry.inc("pipeline.dropped", 5, stage="non_us")
+        assert registry.counter_value("pipeline.dropped", stage="keyword") == 3
+        assert registry.counter_value("pipeline.dropped", stage="non_us") == 5
+
+    def test_missing_counter_reads_zero(self, registry):
+        assert registry.counter_value("never.touched") == 0
+
+    def test_float_increment(self, registry):
+        registry.inc("transport.backoff_seconds", 0.25)
+        registry.inc("transport.backoff_seconds", 0.5)
+        assert registry.counter_value("transport.backoff_seconds") == 0.75
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.inc("x", -1)
+
+    def test_mixed_label_value_types_sort(self, registry):
+        # Stringified canonical labels: int and str values may coexist
+        # without breaking the sorted export.
+        registry.inc("shard.tweets_in", 4, index=0)
+        registry.inc("shard.tweets_in", 4, index="high")
+        assert len(registry.to_records()) == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self, registry):
+        registry.gauge("pool.workers", 2)
+        registry.gauge("pool.workers", 4)
+        assert registry.gauge_value("pool.workers") == 4.0
+
+    def test_missing_gauge_is_none(self, registry):
+        assert registry.gauge_value("never.touched") is None
+
+
+class TestHistograms:
+    def test_observe_accumulates(self, registry):
+        registry.observe("shard.wall_seconds", 0.5)
+        registry.observe("shard.wall_seconds", 1.5)
+        data = registry.histogram_data("shard.wall_seconds")
+        assert data.count == 2
+        assert data.total == 2.0
+        assert data.minimum == 0.5
+        assert data.maximum == 1.5
+
+    def test_bucket_sum_equals_count(self, registry):
+        for value in (0.001, 0.1, 1.0, 7.0, 7.0, 100.0):
+            registry.observe("x", value)
+        data = registry.histogram_data("x")
+        assert sum(data.buckets.values()) == data.count
+
+    def test_zero_and_negative_land_in_zero_bucket(self, registry):
+        registry.observe("x", 0.0)
+        registry.observe("x", -1.0)
+        data = registry.histogram_data("x")
+        assert data.buckets[0.0] == 2
+
+
+class TestBucketBound:
+    def test_power_of_two_is_own_bound(self):
+        assert bucket_bound(2.0) == 2.0
+        assert bucket_bound(0.5) == 0.5
+
+    def test_value_rounds_up(self):
+        assert bucket_bound(3.0) == 4.0
+        assert bucket_bound(0.3) == 0.5
+
+    def test_clamped_to_range(self):
+        assert bucket_bound(1e-30) == 2.0 ** BUCKET_EXPONENTS.start
+        assert bucket_bound(1e30) == 2.0 ** (BUCKET_EXPONENTS.stop - 1)
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        a.merge(b)
+        assert a.counter_value("x") == 5
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", 1)
+        b.gauge("g", 2)
+        a.merge(b)
+        assert a.gauge_value("g") == 2.0
+
+    def test_histograms_pool_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        values_a = (0.1, 0.4, 3.0)
+        values_b = (0.2, 8.0)
+        for value in values_a:
+            a.observe("h", value)
+        for value in values_b:
+            b.observe("h", value)
+        a.merge(b)
+        pooled = MetricsRegistry()
+        for value in values_a + values_b:
+            pooled.observe("h", value)
+        assert a.histogram_data("h").to_dict() == pooled.histogram_data(
+            "h"
+        ).to_dict()
+
+    def test_merge_order_independent_for_counters(self):
+        buffers = []
+        for shard in range(3):
+            registry = MetricsRegistry()
+            registry.inc("shard.records_out", shard + 1, index=shard)
+            registry.inc("total", shard + 1)
+            buffers.append(registry)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for registry in buffers:
+            forward.merge(registry)
+        for registry in reversed(buffers):
+            backward.merge(registry)
+        assert forward.to_records() == backward.to_records()
+
+
+class TestExport:
+    def test_empty(self, registry):
+        assert registry.empty
+        assert registry.to_records() == []
+        registry.inc("x")
+        assert not registry.empty
+
+    def test_records_sorted_and_typed(self, registry):
+        registry.gauge("z.gauge", 1)
+        registry.inc("b.counter")
+        registry.inc("a.counter")
+        registry.observe("m.hist", 2.0)
+        records = registry.to_records()
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["counter", "counter", "gauge", "histogram"]
+        counters = [r["name"] for r in records if r["kind"] == "counter"]
+        assert counters == sorted(counters)
+
+    def test_histogram_export_shape(self, registry):
+        registry.observe("h", 3.0)
+        (record,) = registry.to_records()
+        assert record["count"] == 1
+        assert record["sum"] == 3.0
+        assert record["buckets"] == [[4.0, 1]]
+
+    def test_empty_histogram_data_exports_none_extremes(self):
+        data = HistogramData()
+        exported = data.to_dict()
+        assert exported["min"] is None
+        assert exported["max"] is None

@@ -1,0 +1,133 @@
+"""Tests for the telemetry bundle and its ambient activation."""
+
+import pickle
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    current,
+)
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+class TestTelemetry:
+    def test_span_and_metrics_delegate(self, clock):
+        telemetry = Telemetry(clock=clock)
+        with telemetry.span("stage.collect", workers=2):
+            clock.advance(1.0)
+            telemetry.inc("pipeline.collected", 10)
+            telemetry.gauge("pool.workers", 2)
+            telemetry.observe("shard.wall_seconds", 1.0)
+        assert telemetry.tracer.spans[0].duration == 1.0
+        assert telemetry.metrics.counter_value("pipeline.collected") == 10
+
+    def test_worker_name(self):
+        assert Telemetry().worker == "main"
+        assert Telemetry(worker="shard-3").worker == "shard-3"
+
+    def test_enabled_flag(self):
+        assert Telemetry().enabled
+        assert not NULL_TELEMETRY.enabled
+
+
+class TestSnapshotAbsorb:
+    def test_round_trip(self, clock):
+        worker = Telemetry(worker="shard-0", clock=clock)
+        with worker.span("shard", index=0):
+            clock.advance(2.0)
+        worker.inc("shard.records_out", 7)
+        worker.event("retry")
+
+        parent = Telemetry(clock=ManualClock())
+        parent.absorb(worker.snapshot())
+        assert parent.tracer.spans[0].worker == "shard-0"
+        assert parent.metrics.counter_value("shard.records_out") == 7
+        assert parent.tracer.events[0].name == "retry"
+
+    def test_absorb_none_is_noop(self):
+        parent = Telemetry()
+        parent.absorb(None)
+        assert parent.metrics.empty
+
+    def test_snapshot_is_picklable(self, clock):
+        worker = Telemetry(worker="shard-1", clock=clock)
+        with worker.span("shard"):
+            clock.advance(0.5)
+        worker.inc("shard.tweets_in", 45)
+        restored = pickle.loads(pickle.dumps(worker.snapshot()))
+        assert restored.worker == "shard-1"
+        assert restored.spans[0].duration == 0.5
+        assert restored.metrics.counter_value("shard.tweets_in") == 45
+
+    def test_shard_order_merge_is_deterministic(self):
+        def build() -> Telemetry:
+            parent = Telemetry(clock=ManualClock())
+            for index in range(3):
+                clock = ManualClock()
+                worker = Telemetry(worker=f"shard-{index}", clock=clock)
+                with worker.span("shard", index=index):
+                    clock.advance(index + 1)
+                worker.inc("shard.records_out", index)
+                parent.absorb(worker.snapshot())
+            return parent
+
+        a, b = build(), build()
+        assert [s.to_dict() for s in a.tracer.spans] == [
+            s.to_dict() for s in b.tracer.spans
+        ]
+        assert a.metrics.to_records() == b.metrics.to_records()
+
+
+class TestNullTelemetry:
+    def test_every_operation_is_a_noop(self):
+        null = NullTelemetry()
+        with null.span("x", a=1):
+            null.inc("c")
+            null.gauge("g", 1)
+            null.observe("h", 1)
+            null.event("e")
+        assert null.tracer.spans == []
+        assert null.tracer.events == []
+        assert null.metrics.empty
+
+
+class TestAmbientActivation:
+    def test_default_is_null_singleton(self):
+        assert current() is NULL_TELEMETRY
+
+    def test_activate_scopes_to_block(self):
+        telemetry = Telemetry(clock=ManualClock())
+        with activate(telemetry) as active:
+            assert active is telemetry
+            assert current() is telemetry
+        assert current() is NULL_TELEMETRY
+
+    def test_nested_activation_restores_outer(self):
+        outer = Telemetry(clock=ManualClock())
+        inner = Telemetry(clock=ManualClock())
+        with activate(outer):
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+
+    def test_activation_restored_on_exception(self):
+        telemetry = Telemetry(clock=ManualClock())
+        with pytest.raises(RuntimeError):
+            with activate(telemetry):
+                raise RuntimeError()
+        assert current() is NULL_TELEMETRY
+
+    def test_instrumented_code_records_into_active(self):
+        telemetry = Telemetry(clock=ManualClock())
+        with activate(telemetry):
+            current().inc("pipeline.collected", 3)
+        assert telemetry.metrics.counter_value("pipeline.collected") == 3

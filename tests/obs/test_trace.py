@@ -1,0 +1,134 @@
+"""Tests for trace spans and events."""
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.trace import EventRecord, SpanRecord, Tracer
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock) -> Tracer:
+    return Tracer(worker="main", clock=clock)
+
+
+class TestSpans:
+    def test_records_duration(self, tracer, clock):
+        with tracer.span("stage.collect"):
+            clock.advance(1.5)
+        (span,) = tracer.spans
+        assert span.name == "stage.collect"
+        assert span.start == 0.0
+        assert span.end == 1.5
+        assert span.duration == 1.5
+
+    def test_attrs_captured(self, tracer):
+        with tracer.span("shard", index=3, tweets=90):
+            pass
+        assert tracer.spans[0].attrs == {"index": 3, "tweets": 90}
+
+    def test_nesting_records_parent(self, tracer, clock):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                clock.advance(1.0)
+        inner, outer = tracer.spans  # inner closes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.spans
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_span_recorded_on_exception(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage.cluster"):
+                clock.advance(2.0)
+                raise RuntimeError("stage blew up")
+        (span,) = tracer.spans
+        assert span.duration == 2.0
+
+    def test_stack_unwinds_after_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError()
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_worker_stamp(self, clock):
+        tracer = Tracer(worker="shard-2", clock=clock)
+        with tracer.span("shard"):
+            pass
+        assert tracer.spans[0].worker == "shard-2"
+
+    def test_to_dict_round_trip_fields(self, tracer, clock):
+        with tracer.span("stage.report", fingerprint="abc"):
+            clock.advance(0.5)
+        record = tracer.spans[0].to_dict()
+        assert record["kind"] == "span"
+        assert record["duration"] == 0.5
+        assert record["attrs"] == {"fingerprint": "abc"}
+
+
+class TestEvents:
+    def test_event_at_current_reading(self, tracer, clock):
+        clock.advance(4.0)
+        tracer.event("supervisor.retry", task="shard-1", attempt=2)
+        (event,) = tracer.events
+        assert event.at == 4.0
+        assert event.attrs == {"task": "shard-1", "attempt": 2}
+
+    def test_to_dict(self, tracer):
+        tracer.event("stage.skipped")
+        record = tracer.events[0].to_dict()
+        assert record["kind"] == "event"
+        assert record["name"] == "stage.skipped"
+
+
+class TestAbsorb:
+    def test_merges_worker_buffers_preserving_stamps(self, tracer):
+        worker = Tracer(worker="shard-0", clock=ManualClock())
+        with worker.span("shard"):
+            pass
+        worker.event("something")
+        tracer.absorb(worker.spans, worker.events)
+        assert tracer.spans[0].worker == "shard-0"
+        assert tracer.events[0].worker == "shard-0"
+
+    def test_ids_unique_per_worker_only(self):
+        a = Tracer(worker="shard-0", clock=ManualClock())
+        b = Tracer(worker="shard-1", clock=ManualClock())
+        for worker_tracer in (a, b):
+            with worker_tracer.span("shard"):
+                pass
+        parent = Tracer(worker="main", clock=ManualClock())
+        parent.absorb(a.spans, a.events)
+        parent.absorb(b.spans, b.events)
+        keys = {(s.worker, s.span_id) for s in parent.spans}
+        assert len(keys) == 2  # (worker, span_id) is the global key
+
+
+class TestRecords:
+    def test_span_record_is_frozen(self):
+        span = SpanRecord(
+            name="x", worker="main", span_id=0, parent_id=None,
+            start=0.0, end=1.0,
+        )
+        with pytest.raises(AttributeError):
+            span.end = 2.0
+
+    def test_event_record_is_frozen(self):
+        event = EventRecord(name="x", worker="main", at=0.0)
+        with pytest.raises(AttributeError):
+            event.at = 1.0

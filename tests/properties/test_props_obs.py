@@ -1,0 +1,263 @@
+"""Observability chaos-equivalence properties.
+
+The telemetry layer's headline guarantee: turning tracing on changes
+*no* computed byte anywhere.  Telemetry is write-only — no code path
+reads a span or counter to make a decision — so a traced run produces a
+byte-identical corpus and identical artifacts to an untraced one, for
+every worker count and under every injected fault class (transport,
+compute, disk).  And the trace file itself inherits the storage layer's
+durability: flushed atomically after every stage, it is always either
+absent or schema-valid, even when the run is killed mid-stage or the
+writer dies mid-line.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.compute import WorkerFaultPlan
+from repro.faults.storage import SimulatedCrash, StorageFaultPlan
+from repro.dataset.io import write_jsonl
+from repro.obs import ManualClock, Telemetry, activate
+from repro.obs.export import (
+    TRACE_FILENAME,
+    read_trace,
+    summarize_trace,
+    validate_trace,
+)
+from repro.pipeline.journal import STAGES, RunParams, run_stages
+from repro.pipeline.runner import CollectionPipeline
+from repro.storage.fs import FaultyFS
+from repro.supervise import SupervisorPolicy
+from repro.synth.scenarios import paper2016_scenario
+from repro.synth.world import SyntheticWorld
+from repro.twitter.faults import FaultPlan
+
+SEEDS = (3, 42)
+WORKER_COUNTS = (1, 2, 4)
+
+#: Retries must out-number faulted attempts (ensure_supervisable).
+CHAOS_POLICY = SupervisorPolicy(max_retries=2)
+
+#: Small but analysis-complete journaled-run parameters (k >= 6 organs).
+PARAMS = RunParams(scale=0.01, seed=7, k=6)
+
+_FIREHOSES: dict[int, list] = {}
+
+
+def make_firehose(seed: int) -> list:
+    if seed not in _FIREHOSES:
+        world = SyntheticWorld(paper2016_scenario(scale=0.004, seed=seed))
+        _FIREHOSES[seed] = list(world.firehose())
+    return _FIREHOSES[seed]
+
+
+def corpus_bytes(corpus) -> bytes:
+    return "\n".join(
+        json.dumps(record.to_dict(), ensure_ascii=False)
+        for record in corpus.records
+    ).encode("utf-8")
+
+
+def run_pipeline(source, chaos: str, workers: int, seed: int):
+    kwargs: dict = {"workers": workers}
+    if chaos == "transport":
+        kwargs["fault_plan"] = FaultPlan.chaos(seed=seed)
+    elif chaos == "compute":
+        kwargs["supervisor"] = CHAOS_POLICY
+        kwargs["worker_faults"] = WorkerFaultPlan.chaos(seed=seed)
+    return CollectionPipeline().run(source, **kwargs)
+
+
+class TestTraceOnOffEquivalence:
+    """Tracing on vs off: byte-identical corpora under every chaos mode."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("chaos", ("none", "transport", "compute"))
+    def test_corpus_byte_identical(self, chaos, workers, seed):
+        source = make_firehose(seed)
+        untraced_corpus, untraced_report = run_pipeline(
+            source, chaos, workers, seed
+        )
+        telemetry = Telemetry()
+        with activate(telemetry):
+            traced_corpus, traced_report = run_pipeline(
+                source, chaos, workers, seed
+            )
+        assert corpus_bytes(traced_corpus) == corpus_bytes(untraced_corpus)
+        assert traced_report.to_dict() == untraced_report.to_dict()
+        # The trace is not vacuous: it saw the run it rode along with.
+        assert telemetry.tracer.spans
+        assert telemetry.metrics.counter_value(
+            "pipeline.retained"
+        ) == len(traced_corpus.records)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_disk_chaos_write_byte_identical(self, tmp_path, seed):
+        corpus, __ = CollectionPipeline().run(make_firehose(seed))
+        untraced = tmp_path / "untraced.jsonl"
+        traced = tmp_path / "traced.jsonl"
+        plan = StorageFaultPlan(seed=seed, eio_rate=0.4, max_eio_per_path=2)
+        write_jsonl(corpus.records, untraced, fs=FaultyFS(plan))
+        telemetry = Telemetry()
+        with activate(telemetry):
+            write_jsonl(corpus.records, traced, fs=FaultyFS(plan))
+        assert traced.read_bytes() == untraced.read_bytes()
+        # The EIO retries the fault plan forced were recorded.
+        assert telemetry.metrics.counter_value("storage.eio_retries") > 0
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_buffers_merge_deterministically(self, workers):
+        """Two traced runs agree on every non-timing trace record.
+
+        Timing-dependent series are excluded: the heartbeat counter
+        tallies liveness polls (more of them when workers run longer)
+        and duration histograms bucket wall time; everything else —
+        funnel counts, retry counts, span structure — must be
+        identical run to run.
+        """
+        source = make_firehose(SEEDS[0])
+        timing_counters = {"supervisor.heartbeats"}
+
+        def stable_records(telemetry):
+            records = []
+            for record in telemetry.metrics.to_records():
+                if record["kind"] == "histogram":
+                    records.append(
+                        {key: record[key] for key in ("name", "labels", "count")}
+                    )
+                elif record["name"] not in timing_counters:
+                    records.append(record)
+            return records
+
+        def traced_metrics():
+            telemetry = Telemetry()
+            with activate(telemetry):
+                CollectionPipeline().run(source, workers=workers)
+            return telemetry
+
+        a, b = traced_metrics(), traced_metrics()
+        assert stable_records(a) == stable_records(b)
+        assert [
+            (s.name, s.worker, s.span_id, s.parent_id, s.attrs)
+            for s in a.tracer.spans
+        ] == [
+            (s.name, s.worker, s.span_id, s.parent_id, s.attrs)
+            for s in b.tracer.spans
+        ]
+
+
+class TestJournaledRunTraceEquivalence:
+    """A traced journaled run writes the same artifacts as an untraced one."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        untraced_dir = tmp_path_factory.mktemp("untraced")
+        traced_dir = tmp_path_factory.mktemp("traced")
+        untraced = run_stages(untraced_dir, PARAMS)
+        traced = run_stages(traced_dir, PARAMS, trace=True)
+        return untraced_dir, traced_dir, untraced, traced
+
+    def test_artifacts_byte_identical(self, runs):
+        untraced_dir, traced_dir, untraced, traced = runs
+        assert traced.stages_run == untraced.stages_run == STAGES
+        names = {p.name for p in untraced_dir.iterdir()}
+        assert {p.name for p in traced_dir.iterdir()} == names | {
+            TRACE_FILENAME
+        }
+        for name in sorted(names):
+            assert (traced_dir / name).read_bytes() == (
+                untraced_dir / name
+            ).read_bytes(), name
+
+    def test_trace_is_valid_and_complete(self, runs):
+        __, traced_dir, __, traced = runs
+        records = read_trace(traced_dir / TRACE_FILENAME)
+        assert validate_trace(records) == []
+        summary = summarize_trace(records)
+        assert [name for name, __, __ in summary.stages] == [
+            f"stage.{stage}" for stage in STAGES
+        ]
+        assert summary.funnel["pipeline.retained"] == traced.report.retained
+        assert summary.fault_counters["journal.stages_run"] == len(STAGES)
+
+    def test_trace_flag_does_not_change_the_fingerprint(self, runs):
+        """A traced run resumes an untraced journal (and vice versa)."""
+        untraced_dir, traced_dir, __, __ = runs
+        resumed = run_stages(untraced_dir, PARAMS, resume=True, trace=True)
+        assert resumed.stages_skipped == STAGES
+        resumed = run_stages(traced_dir, PARAMS, resume=True)
+        assert resumed.stages_skipped == STAGES
+
+
+class TestTraceSurvivesKills:
+    """The trace file is always absent or valid, however the run dies."""
+
+    @pytest.mark.parametrize("kill_after", ("collect", "fig4"))
+    def test_mid_stage_kill_leaves_a_valid_trace(self, tmp_path, kill_after):
+        def fault_hook(stage: str) -> None:
+            if stage == kill_after:
+                raise SimulatedCrash(f"killed after {stage}")
+
+        run_dir = tmp_path / "run"
+        with pytest.raises(SimulatedCrash):
+            run_stages(run_dir, PARAMS, trace=True, fault_hook=fault_hook)
+        # The hook fires before record_stage, so the newest flush on
+        # disk describes the run up to the *previous* stage.
+        records = read_trace(run_dir / TRACE_FILENAME)
+        assert validate_trace(records) == []
+        completed = STAGES[: STAGES.index(kill_after)]
+        summary = summarize_trace(records)
+        assert [name for name, __, __ in summary.stages] == [
+            f"stage.{stage}" for stage in completed
+        ]
+        assert records[0]["last_stage"] == completed[-1]
+
+    @pytest.mark.parametrize("fraction", (0.25, 0.75))
+    def test_disk_crash_never_tears_the_trace(
+        self, tmp_path, fraction
+    ):
+        probe = FaultyFS(StorageFaultPlan.none())
+        probe_dir = tmp_path / "probe"
+        run_stages(probe_dir, PARAMS, trace=True, fs=probe)
+
+        crash_dir = tmp_path / "crash"
+        plan = StorageFaultPlan(
+            seed=1, crash_at=int(probe.syscalls * fraction)
+        )
+        with pytest.raises(SimulatedCrash):
+            run_stages(crash_dir, PARAMS, trace=True, fs=FaultyFS(plan))
+        trace_path = crash_dir / TRACE_FILENAME
+        if trace_path.exists():
+            assert validate_trace(read_trace(trace_path)) == []
+
+    def test_writer_killed_mid_line_still_parses(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_stages(run_dir, PARAMS, trace=True)
+        trace_path = run_dir / TRACE_FILENAME
+        whole = read_trace(trace_path)
+        # Rip the tail mid-record, as a power cut on a non-atomic copy
+        # (e.g. an rsync of a live run directory) would.
+        trace_path.write_bytes(trace_path.read_bytes()[:-17])
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            torn = read_trace(trace_path)
+        assert torn == whole[:-1]
+        assert validate_trace(torn) == []
+
+
+class TestManualClockDeterminism:
+    """Under a manual clock, even span timings are reproducible."""
+
+    def test_identical_bundles_identical_records(self):
+        def build():
+            clock = ManualClock()
+            telemetry = Telemetry(clock=clock)
+            with telemetry.span("stage.collect"):
+                clock.advance(1.0)
+                telemetry.inc("pipeline.collected", 9)
+            return telemetry
+
+        from repro.obs.export import trace_records
+
+        assert trace_records(build()) == trace_records(build())

@@ -73,6 +73,65 @@ class TestEviction:
         assert snapshot.users_by_organ[Organ.KIDNEY] == 0
 
 
+class TestOutOfOrderArrivals:
+    """Regression: late arrivals behind newer tweets must still expire.
+
+    Before the frontier fix, ``_evict`` only scanned the buffer head, so
+    an out-of-order old tweet appended *behind* a newer one was never
+    evicted — it haunted every later snapshot.
+    """
+
+    def test_stale_arrival_rejected_and_counted(self, sensor):
+        sensor.observe(tweet("kidney donor", "Wichita, KS", 120, tweet_id=1))
+        # Arrives late and already outside the 1h window behind minute 120.
+        assert not sensor.observe(
+            tweet("liver donor", "Boston, MA", 0, tweet_id=2)
+        )
+        assert sensor.stale_dropped == 1
+        assert sensor.window_size == 1
+
+    def test_late_in_window_arrival_admitted(self, sensor):
+        sensor.observe(tweet("kidney donor", "Wichita, KS", 60, tweet_id=1))
+        # Out of order but still inside the window: must be admitted.
+        assert sensor.observe(
+            tweet("liver donor", "Boston, MA", 30, tweet_id=2)
+        )
+        assert sensor.stale_dropped == 0
+        assert sensor.window_size == 2
+
+    def test_late_arrival_eventually_evicted(self, sensor):
+        sensor.observe(tweet("kidney donor", "Wichita, KS", 60, tweet_id=1))
+        sensor.observe(tweet("liver donor", "Boston, MA", 30, tweet_id=2))
+        # Advance the frontier past the late arrival's expiry (minute 30
+        # + 60-minute window = expired once the frontier passes 90) but
+        # not past the minute-60 tweet's.
+        sensor.observe(tweet("heart donor", "Austin, TX", 100, tweet_id=3))
+        assert sensor.window_size == 2
+        snapshot = sensor.snapshot()
+        assert snapshot.users_by_organ[Organ.LIVER] == 0
+
+    def test_out_of_order_replay_matches_in_order_replay(self):
+        """The window must converge to the same content either way."""
+        stream = [
+            tweet("kidney donor", "Wichita, KS", minute, user_id=minute,
+                  tweet_id=minute)
+            for minute in range(10)
+        ]
+        shuffled = [stream[i] for i in (3, 0, 1, 5, 2, 4, 7, 6, 9, 8)]
+        in_order = RollingAwarenessSensor(window=timedelta(hours=1))
+        replayed = RollingAwarenessSensor(window=timedelta(hours=1))
+        for item in stream:
+            in_order.observe(item)
+        for item in shuffled:
+            replayed.observe(item)
+        a, b = in_order.snapshot(), replayed.snapshot()
+        assert a.n_tweets == b.n_tweets
+        assert a.n_users == b.n_users
+        assert a.users_by_organ == b.users_by_organ
+        assert a.window_start == b.window_start
+        assert a.window_end == b.window_end
+
+
 class TestSnapshot:
     def test_empty_sensor_returns_none(self, sensor):
         assert sensor.snapshot() is None

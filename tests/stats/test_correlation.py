@@ -77,3 +77,38 @@ class TestPearson:
         x = list(range(20))
         y = [2 * v + 1 for v in x]
         assert pearson(x, y).significant
+
+
+class TestNonFiniteInput:
+    """Regression: NaN used to propagate to ``r = nan`` silently, and
+    an infinity overflowed the centered dot products.  Both now raise,
+    matching the stance of SciPy's ``nan_policy="raise"``."""
+
+    def test_pearson_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            pearson([1.0, float("nan"), 3.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            pearson([1.0, 2.0, 3.0], [1.0, float("nan"), 3.0])
+
+    def test_pearson_inf_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            pearson([1.0, float("inf"), 3.0], [1.0, 2.0, 3.0])
+
+    def test_spearman_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            spearman([1.0, float("nan"), 3.0], [1.0, 2.0, 3.0])
+
+    def test_scipy_raise_policy_agrees(self):
+        with pytest.raises(ValueError):
+            scipy.stats.spearmanr(
+                [1.0, float("nan"), 3.0], [1.0, 2.0, 3.0],
+                nan_policy="raise",
+            )
+
+    def test_scipy_default_shows_the_silent_failure(self):
+        """scipy.stats.pearsonr's propagate policy yields nan without
+        complaint — the behaviour this sweep removed from our code."""
+        result = scipy.stats.pearsonr(
+            np.array([1.0, np.nan, 3.0]), np.array([1.0, 2.0, 3.0])
+        )
+        assert math.isnan(result.statistic)

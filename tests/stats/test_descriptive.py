@@ -55,3 +55,41 @@ class TestLogBinnedHistogram:
     def test_bad_base_rejected(self):
         with pytest.raises(ValueError):
             log_binned_histogram([1, 2], base=1.0)
+
+
+class TestCountValidation:
+    """Regression: a fractional value in (0, 1) fell below the first bin
+    edge (1) and vanished, silently breaking the invariant that bin
+    frequencies sum to the number of positive values."""
+
+    def test_fraction_below_one_rejected(self):
+        with pytest.raises(ValueError, match="integer counts"):
+            log_binned_histogram([0.5, 2])
+
+    def test_any_fractional_value_rejected(self):
+        with pytest.raises(ValueError, match="integer counts"):
+            log_binned_histogram([1, 2, 3.5])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            log_binned_histogram([1, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            log_binned_histogram([1, float("inf")])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            log_binned_histogram([1, -2])
+
+    def test_integer_valued_floats_accepted(self):
+        counts = [1.0, 3.0, 200.0]
+        bins = log_binned_histogram(counts)
+        assert sum(freq for __, __, freq in bins) == len(counts)
+
+    def test_sum_invariant_random_counts(self):
+        rng = np.random.default_rng(6)
+        counts = rng.integers(0, 1000, size=500)
+        bins = log_binned_histogram(counts)
+        positive = int(np.count_nonzero(counts > 0))
+        assert sum(freq for __, __, freq in bins) == positive

@@ -42,3 +42,41 @@ class TestRankdata:
         data = rng.integers(0, 5, size=50).astype(float)
         n = data.size
         assert rankdata(data).sum() == pytest.approx(n * (n + 1) / 2)
+
+
+class TestNonFiniteInput:
+    """Regression: NaN input used to get arbitrary top ranks silently.
+
+    ``argsort`` sorts every NaN to the end, so each one received a
+    distinct maximal rank and the tie-averaging scan (whose ``!=``
+    comparison is always True for NaN) never grouped them — downstream
+    Spearman r looked plausible but was garbage.  SciPy's ``rankdata``
+    shows exactly the buggy behaviour we now refuse, which is why
+    ``spearmanr(nan_policy="raise")`` exists; we take the raise stance
+    unconditionally.
+    """
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            rankdata([1.0, float("nan"), 3.0])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            rankdata([1.0, float("inf"), 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            rankdata([float("-inf"), 1.0])
+
+    def test_scipy_default_is_silent(self):
+        """Document the failure mode we guard against: SciPy's default
+        never raises — it quietly returns unusable ranks (historically a
+        top rank for each NaN; with ``nan_policy="propagate"`` an
+        all-NaN vector) that a downstream Spearman happily consumes."""
+        ranks = scipy.stats.rankdata([1.0, float("nan"), 3.0])
+        assert not np.all(np.isfinite(ranks))
+
+    def test_scipy_raise_policy_agrees(self):
+        with pytest.raises(ValueError):
+            scipy.stats.spearmanr(
+                [1.0, float("nan"), 3.0], [1.0, 2.0, 3.0],
+                nan_policy="raise",
+            )
