@@ -32,6 +32,14 @@ back through the result pipes), measured as a traced pipeline run
 against the untraced run of the same firehose — which must be
 byte-identical, the determinism invariant the obs layer is built
 around — plus the time and size of the trace export itself.
+
+Schema v5 adds a ``static_analysis`` section: wall time of the
+reprolint passes over ``src/repro`` — the file-local rules and the
+interprocedural whole-program pass (parse, call-graph build, summaries,
+dataflow fixpoints, RPL101–RPL105) — together with the analyzed-program
+size (modules, functions, classes, call edges).  The numbers back the
+CI timing guard: the whole-program pass must stay well under its
+30-second budget, and the artifact shows what that budget buys.
 """
 
 from __future__ import annotations
@@ -65,7 +73,7 @@ from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
 from repro.twitter.models import Tweet, UserProfile
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
@@ -330,6 +338,47 @@ def bench_observability(
     return entry
 
 
+def bench_static_analysis(root: str = "src/repro") -> dict[str, Any]:
+    """Time both reprolint passes over the source tree.
+
+    The file-local pass re-parses every file independently; the
+    whole-program pass parses once, builds the call graph, extracts one
+    summary per function, and runs every dataflow fixpoint.  Findings
+    are counted, not asserted — the self-clean pytest gate owns the
+    "must be zero" invariant; the benchmark prices the analysis.
+    """
+    from repro.lint import run_lint
+    from repro.lint.ipa import run_ipa
+
+    start = time.perf_counter()
+    local_findings = run_lint([root])
+    local_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = run_ipa([root])
+    ipa_seconds = time.perf_counter() - start
+
+    return {
+        "root": root,
+        "file_local": {
+            "seconds": round(local_seconds, 4),
+            "findings": len(local_findings),
+        },
+        "whole_program": {
+            "seconds": round(ipa_seconds, 4),
+            "findings": len(result.findings),
+            "modules": result.stats.modules,
+            "functions": result.stats.functions,
+            "classes": result.stats.classes,
+            "call_edges": result.stats.call_edges,
+            "functions_per_s": round(
+                result.stats.functions / ipa_seconds, 1
+            ),
+            "time_budget_s": 30.0,
+        },
+    }
+
+
 def synthetic_attention(n_users: int, seed: int) -> AttentionMatrix:
     """A row-normalized Û with organ-skewed rows (clusterable structure)."""
     rng = np.random.default_rng(seed)
@@ -423,6 +472,7 @@ def run_suite(
         "supervision": bench_supervision(supervision_size, seed),
         "durability": bench_durability(durability_counts, seed),
         "observability": bench_observability(observability_sizes, seed),
+        "static_analysis": bench_static_analysis(),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
     return payload
@@ -572,6 +622,41 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                     problems.append(
                         f"{run_where}: traced corpus is not byte-identical"
                     )
+
+    static_analysis = payload.get("static_analysis")
+    if not isinstance(static_analysis, dict):
+        problems.append("payload.static_analysis: expected object")
+    else:
+        need(static_analysis, "root", str, "static_analysis")
+        file_local = static_analysis.get("file_local")
+        if not isinstance(file_local, dict):
+            problems.append("static_analysis.file_local: expected object")
+        else:
+            need(file_local, "seconds", float, "static_analysis.file_local")
+            need(file_local, "findings", int, "static_analysis.file_local")
+        whole = static_analysis.get("whole_program")
+        if not isinstance(whole, dict):
+            problems.append("static_analysis.whole_program: expected object")
+        else:
+            where = "static_analysis.whole_program"
+            need(whole, "seconds", float, where)
+            need(whole, "findings", int, where)
+            need(whole, "modules", int, where)
+            need(whole, "functions", int, where)
+            need(whole, "classes", int, where)
+            need(whole, "call_edges", int, where)
+            need(whole, "functions_per_s", float, where)
+            budget = whole.get("time_budget_s")
+            seconds = whole.get("seconds")
+            if (
+                isinstance(budget, (int, float))
+                and isinstance(seconds, (int, float))
+                and seconds >= budget
+            ):
+                problems.append(
+                    f"{where}: whole-program pass exceeded its "
+                    f"{budget}s budget ({seconds}s)"
+                )
 
     rss = payload.get("peak_rss_mb")
     if not isinstance(rss, dict):

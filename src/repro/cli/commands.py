@@ -350,37 +350,115 @@ def cmd_replicate(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run reprolint; exit non-zero when any finding survives."""
+    """Run reprolint; exit non-zero when any (unbaselined) finding survives.
+
+    The file-local rules always run (unless ``--rules`` selects only
+    interprocedural ids).  ``--ipa`` adds the whole-program pass, whose
+    findings are filtered through the committed baseline ratchet:
+    grandfathered findings are shown but do not fail the run, new ones
+    do, and stale baseline entries are reported so the ratchet tightens.
+    """
     import json
 
     from repro.lint import ALL_RULES, UnknownRuleError, run_lint, select_rules
+    from repro.lint.ipa import IPA_RULE_CATALOG, IPA_RULE_IDS
 
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  {rule.summary}")
+        for rule_id, summary in IPA_RULE_CATALOG:
+            print(f"{rule_id}  {summary}  [--ipa]")
         return 0
+
+    run_local = True
+    ipa_rules: tuple[str, ...] | None = None
+    run_ipa_pass = bool(args.ipa)
     try:
-        rules = select_rules(
-            [part.strip() for part in args.rules.split(",") if part.strip()]
-            if args.rules
-            else None
-        )
+        if args.rules:
+            requested = [
+                part.strip()
+                for part in args.rules.split(",")
+                if part.strip()
+            ]
+            local_ids = [r for r in requested if r not in IPA_RULE_IDS]
+            ipa_ids = tuple(r for r in requested if r in IPA_RULE_IDS)
+            if ipa_ids:
+                # Requesting an interprocedural rule implies --ipa.
+                run_ipa_pass = True
+                ipa_rules = ipa_ids
+                run_local = bool(local_ids)
+            rules = select_rules(local_ids if local_ids else None)
+        else:
+            rules = select_rules(None)
     except UnknownRuleError as exc:
-        print(f"error: {exc}")
+        ipa_catalog = ", ".join(IPA_RULE_IDS)
+        print(f"error: {exc}; interprocedural (--ipa) rules: {ipa_catalog}")
+        return 2
+
+    if args.graph and not run_ipa_pass:
+        print("error: --graph requires --ipa (the call graph is built "
+              "by the whole-program pass)")
+        return 2
+    if args.write_baseline and not run_ipa_pass:
+        print("error: --write-baseline requires --ipa")
         return 2
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
         print(f"error: no such path: {', '.join(missing)}")
         return 2
-    findings = run_lint(args.paths, rules=rules)
+
+    findings = run_lint(args.paths, rules=rules) if run_local else []
+    grandfathered: list = []
+    stale: list[tuple[str, str, str]] = []
+    if run_ipa_pass:
+        from repro.lint.ipa import (
+            BaselineError,
+            graph_to_dot,
+            graph_to_json,
+            load_baseline,
+            run_ipa,
+            split_baselined,
+            write_baseline,
+        )
+
+        result = run_ipa(list(args.paths), rules=ipa_rules)
+        if args.graph:
+            render = graph_to_dot if args.graph == "dot" else graph_to_json
+            print(render(result.graph), end="")
+            return 0
+        if args.write_baseline:
+            count = write_baseline(result.findings, args.baseline)
+            noun = "entry" if count == 1 else "entries"
+            print(f"reprolint: wrote {count} baseline {noun} to "
+                  f"{args.baseline}")
+            return 0
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}")
+            return 2
+        new, grandfathered, stale = split_baselined(
+            result.findings, baseline
+        )
+        findings = sorted(findings + new)
+
     if args.format == "json":
         print(json.dumps([finding.to_dict() for finding in findings],
                          indent=2))
     else:
         for finding in findings:
             print(finding.render())
+        for finding in grandfathered:
+            print(f"{finding.render()}  [baselined]")
+        for rule, path, symbol in stale:
+            print(f"stale baseline entry: {rule} {path} "
+                  f"({symbol or 'module'}) no longer fires — regenerate "
+                  "with --write-baseline")
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"reprolint: {len(findings)} {noun}")
+        suffix = (
+            f" ({len(grandfathered)} baselined)" if grandfathered else ""
+        )
+        print(f"reprolint: {len(findings)} {noun}{suffix}")
     return 1 if findings else 0
 
 

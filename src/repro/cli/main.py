@@ -201,7 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint determinism/reliability analyzer "
-        "(RPL001–RPL008) over the source tree",
+        "(file-local RPL001–RPL008; --ipa adds whole-program "
+        "RPL101–RPL105) over the source tree",
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to analyze "
@@ -213,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
                       "(default: all rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--ipa", action="store_true",
+                      help="also run the interprocedural whole-program "
+                      "analysis (call graph + dataflow, RPL101–RPL105)")
+    lint.add_argument("--graph", choices=("dot", "json"), default=None,
+                      help="with --ipa: print the call graph in this "
+                      "format instead of findings")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="with --ipa: baseline ratchet file; "
+                      "grandfathered findings there do not fail the run "
+                      "(default: lint-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="with --ipa: regenerate the baseline file "
+                      "from the current findings and exit")
     lint.set_defaults(func=commands.cmd_lint)
 
     return parser

@@ -14,9 +14,20 @@ from pathlib import Path
 import ast
 
 from repro.lint.context import FileContext
+from repro.lint.fileset import iter_python_files
 from repro.lint.findings import Finding
+from repro.lint.ipa.rules import IPA_RULE_IDS
 from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
 from repro.lint.suppress import apply_suppressions, collect_suppressions
+
+__all__ = [
+    "PARSE_ERROR",
+    "UnknownRuleError",
+    "select_rules",
+    "iter_python_files",
+    "lint_source",
+    "run_lint",
+]
 
 #: Rule id reported when a file cannot be parsed at all.
 PARSE_ERROR = "RPL900"
@@ -39,18 +50,6 @@ def select_rules(rule_ids: Sequence[str] | None) -> tuple[Rule, ...]:
             )
         rules.append(RULES_BY_ID[rule_id])
     return tuple(rules)
-
-
-def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
-    seen: set[Path] = set()
-    for entry in paths:
-        path = Path(entry)
-        if path.is_dir():
-            seen.update(path.rglob("*.py"))
-        else:
-            seen.add(path)
-    return sorted(seen)
 
 
 def lint_source(
@@ -80,8 +79,13 @@ def lint_source(
     findings: list[Finding] = []
     for rule in rules if rules is not None else ALL_RULES:
         findings.extend(rule.check(ctx))
+    # Suppressions naming interprocedural rules are this pass's business
+    # to honor but not to police: the --ipa pass reports them if unused.
     findings = apply_suppressions(
-        findings, collect_suppressions(source), str(path)
+        findings,
+        collect_suppressions(source),
+        str(path),
+        unused_exempt=frozenset(IPA_RULE_IDS),
     )
     return sorted(findings)
 

@@ -1,0 +1,23 @@
+"""File discovery shared by the file-local and interprocedural engines.
+
+Lives in its own leaf module so :mod:`repro.lint.engine` (file-local)
+and :mod:`repro.lint.ipa.program` (whole-program) can both import it
+without creating a cycle between the two engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            seen.update(path.rglob("*.py"))
+        else:
+            seen.add(path)
+    return sorted(seen)

@@ -22,6 +22,9 @@ class Finding:
         col: 0-based column of the offending node.
         rule: Rule identifier, e.g. ``"RPL001"``.
         message: Human-readable explanation with the suggested fix.
+        symbol: Qualified name of the owning function/method for
+            interprocedural findings (empty for file-local rules).
+            The baseline ratchet keys on it instead of the line number.
     """
 
     path: str
@@ -29,6 +32,7 @@ class Finding:
     col: int
     rule: str
     message: str
+    symbol: str = ""
 
     def render(self) -> str:
         """``path:line:col: RPLxxx message`` — the text report line."""
@@ -36,10 +40,13 @@ class Finding:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form for ``repro lint --format json``."""
-        return {
+        payload: dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.symbol:
+            payload["symbol"] = self.symbol
+        return payload

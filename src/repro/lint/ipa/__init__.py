@@ -1,0 +1,65 @@
+"""Interprocedural whole-program analysis (IPA) for reprolint.
+
+The file-local rules (RPL001–RPL008) inspect one AST at a time, so a
+helper that swallows :class:`SimulatedCrash` three calls away from
+``FaultyFS``, or an ``np.random.default_rng`` seeded from a literal in
+another module, passes clean.  This package closes that gap:
+
+* :mod:`repro.lint.ipa.program` parses every module under the analyzed
+  roots once and resolves imports (including relative imports and
+  package re-exports) to canonical dotted names;
+* :mod:`repro.lint.ipa.callgraph` indexes functions/classes and builds
+  a context-insensitive call graph (with a narrow, documented set of
+  duck-typed edges for the filesystem seam and telemetry read API);
+* :mod:`repro.lint.ipa.summaries` extracts one summary per function —
+  raw-write sinks, crash raises/handlers, RNG seed provenance,
+  telemetry reads feeding branch conditions, pool-boundary payloads;
+* :mod:`repro.lint.ipa.dataflow` propagates the summaries to a
+  fixpoint over the call graph;
+* :mod:`repro.lint.ipa.rules` evaluates RPL101–RPL105 on the result;
+* :mod:`repro.lint.ipa.baseline` implements the committed
+  ``lint-baseline.json`` ratchet: grandfathered findings are tracked,
+  new ones fail.
+
+``run_ipa(paths)`` is the library entry point shared by the CLI
+(``repro lint --ipa``), the self-clean pytest gate, and the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from repro.lint.ipa.analyzer import (
+    IpaResult,
+    IpaStats,
+    UnknownIpaRuleError,
+    run_ipa,
+)
+from repro.lint.ipa.baseline import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.lint.ipa.callgraph import CallGraph
+from repro.lint.ipa.graphio import graph_to_dot, graph_to_json
+from repro.lint.ipa.program import Program
+from repro.lint.ipa.rules import IPA_RULE_CATALOG, IPA_RULE_IDS
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CallGraph",
+    "IPA_RULE_CATALOG",
+    "IPA_RULE_IDS",
+    "IpaResult",
+    "IpaStats",
+    "Program",
+    "UnknownIpaRuleError",
+    "graph_to_dot",
+    "graph_to_json",
+    "load_baseline",
+    "run_ipa",
+    "split_baselined",
+    "write_baseline",
+]

@@ -1,0 +1,206 @@
+"""Whole-program analysis entry point.
+
+``run_ipa(paths)`` is the interprocedural sibling of
+:func:`repro.lint.engine.run_lint` and the single orchestration point:
+
+1. parse every file into a :class:`~repro.lint.ipa.program.Program`;
+2. index functions/classes into a
+   :class:`~repro.lint.ipa.callgraph.CallGraph`;
+3. derive the *duck seam* — method names of crash-raising classes,
+   which lets call resolution see through ``fs: FileSystem``-style
+   injection without type inference;
+4. summarize every function and register its call sites as graph edges;
+5. run the dataflow fixpoints (:func:`compute_facts`);
+6. evaluate RPL101–RPL105 and apply per-file suppressions, reporting
+   interprocedural-rule directives that silenced nothing.
+
+The result carries the findings, the graph (for ``--graph`` export),
+and size statistics (for the benchmark's ``static_analysis`` section).
+Baseline filtering is deliberately *not* done here — the CLI owns the
+ratchet so library callers (the self-clean gate, tests) always see the
+unfiltered truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.ipa.callgraph import CallGraph
+from repro.lint.ipa.dataflow import ProgramFacts, compute_facts
+from repro.lint.ipa.program import ModuleInfo, Program
+from repro.lint.ipa.rules import ALL_IPA_CHECKS, IPA_RULE_IDS
+from repro.lint.ipa.summaries import (
+    _TELEMETRY_READ_ATTRS,
+    FunctionSummary,
+    summarize_function,
+)
+from repro.lint.suppress import apply_suppressions
+
+
+class UnknownIpaRuleError(ValueError):
+    """A rule id was requested that no interprocedural rule provides."""
+
+
+@dataclass(slots=True, frozen=True)
+class IpaStats:
+    """Size of the analyzed program — benchmark and report fodder."""
+
+    modules: int
+    functions: int
+    classes: int
+    call_edges: int
+    duck_names: int
+
+
+@dataclass(slots=True)
+class IpaResult:
+    """Everything one whole-program pass produced."""
+
+    findings: list[Finding]
+    stats: IpaStats
+    graph: CallGraph
+    facts: ProgramFacts
+
+
+def _select_checks(rule_ids: tuple[str, ...] | None) -> tuple[object, ...]:
+    if rule_ids is None:
+        return ALL_IPA_CHECKS
+    by_id = dict(zip(IPA_RULE_IDS, ALL_IPA_CHECKS))
+    checks = []
+    for rule_id in rule_ids:
+        if rule_id not in by_id:
+            known = ", ".join(IPA_RULE_IDS)
+            raise UnknownIpaRuleError(
+                f"unknown interprocedural rule {rule_id!r}; known: {known}"
+            )
+        checks.append(by_id[rule_id])
+    return tuple(checks)
+
+
+def _crash_raising_duck_names(graph: CallGraph) -> frozenset[str]:
+    """Method names of classes that (directly) raise a crash class.
+
+    This is the narrow duck-typing seam documented in
+    :mod:`repro.lint.ipa.callgraph`: an unresolved ``x.open(...)`` is
+    linked to ``FaultyFS.open`` because ``FaultyFS`` has a method that
+    raises a ``BaseException``-derived, non-``Exception`` type.  Dunder
+    names are excluded — linking every ``__enter__`` in the program to a
+    fault injector would drown the graph in false edges.
+    """
+    from repro.lint.ipa.dataflow import compute_crash_classes
+
+    crash_classes = compute_crash_classes(graph)
+    if not crash_classes:
+        return frozenset()
+    names: set[str] = set()
+    for cls_qual in sorted(graph.classes):
+        info = graph.classes[cls_qual]
+        module = graph.fn_modules.get(
+            next(iter(sorted(info.methods.values())), "")
+        )
+        if module is None:
+            continue
+        raises_crash = False
+        for _name, method_qual in sorted(info.methods.items()):
+            node = graph.fn_nodes.get(method_qual)
+            if node is None:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Raise) or sub.exc is None:
+                    continue
+                exc = sub.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                resolved = graph.program.resolve_expr(module, exc)
+                if resolved in crash_classes:
+                    raises_crash = True
+                    break
+            if raises_crash:
+                break
+        if raises_crash:
+            names.update(
+                name
+                for name in info.methods
+                if not name.startswith("__")
+            )
+    return frozenset(names)
+
+
+def _duck_names(graph: CallGraph) -> frozenset[str]:
+    """Crash-seam method names plus the telemetry read surface."""
+    return _crash_raising_duck_names(graph) | _TELEMETRY_READ_ATTRS
+
+
+def _apply_file_suppressions(
+    findings: list[Finding], program: Program
+) -> list[Finding]:
+    """Honor per-file directives; report unused interprocedural ones."""
+    modules_by_path: dict[str, ModuleInfo] = {
+        str(module.path): module
+        for module in program.modules.values()
+    }
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    # Files with directives but no findings must still be visited so a
+    # stale disable=RPL10x there is reported.
+    for path, module in modules_by_path.items():
+        if module.suppressions:
+            by_path.setdefault(path, [])
+
+    kept: list[Finding] = []
+    ipa_only = frozenset(IPA_RULE_IDS)
+    for path in sorted(by_path):
+        module = modules_by_path.get(path)
+        if module is None:
+            kept.extend(by_path[path])
+            continue
+        kept.extend(
+            apply_suppressions(
+                by_path[path],
+                module.suppressions,
+                path,
+                unused_only=ipa_only,
+            )
+        )
+    return kept
+
+
+def run_ipa(
+    paths: list[Path | str] | tuple[Path | str, ...],
+    rules: tuple[str, ...] | None = None,
+) -> IpaResult:
+    """Run the whole-program analysis over ``paths``.
+
+    Returns *all* findings (suppressions applied, baseline not): the
+    caller decides what the committed ratchet grandfathers.
+    """
+    program = Program.load(paths)
+    graph = CallGraph(program)
+    duck_names = _duck_names(graph)
+
+    summaries: dict[str, FunctionSummary] = {}
+    for qualname in sorted(graph.functions):
+        summary = summarize_function(graph, qualname, duck_names)
+        summaries[qualname] = summary
+        graph.calls[qualname] = summary.calls
+
+    facts = compute_facts(graph, summaries)
+    findings: list[Finding] = list(program.parse_failures)
+    for check in _select_checks(rules):
+        findings.extend(check(facts))  # type: ignore[operator]
+    findings = _apply_file_suppressions(findings, program)
+
+    stats = IpaStats(
+        modules=len(program.modules),
+        functions=len(graph.functions),
+        classes=len(graph.classes),
+        call_edges=len(graph.edges()),
+        duck_names=len(duck_names),
+    )
+    return IpaResult(
+        findings=sorted(findings), stats=stats, graph=graph, facts=facts
+    )

@@ -1,0 +1,126 @@
+"""The ``lint-baseline.json`` ratchet.
+
+A baseline grandfathers known findings so CI can fail on *new* findings
+only: entries match on ``(rule, path, symbol)`` — never the line number,
+which shifts under unrelated edits.  The workflow:
+
+* ``repro lint --ipa`` compares findings against the committed baseline
+  and exits non-zero only when an unbaselined finding appears;
+* ``repro lint --ipa --write-baseline`` regenerates the file from the
+  current findings (the only sanctioned way to grow it — reviewers see
+  the diff);
+* baseline entries that no longer fire are reported as stale so the
+  ratchet only ever tightens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.storage.atomic import atomic_write_text
+
+#: Current baseline file schema version.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass(frozen=True, slots=True)
+class Baseline:
+    """Grandfathered findings keyed by (rule, path, symbol)."""
+
+    version: int
+    entries: frozenset[tuple[str, str, str]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(version=BASELINE_VERSION, entries=frozenset())
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, Path(finding.path).as_posix(), finding.symbol)
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline.empty()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path} is not a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {version!r}; "
+            f"this analyzer expects {BASELINE_VERSION} — regenerate "
+            "with 'repro lint --ipa --write-baseline'"
+        )
+    raw_entries = payload.get("findings")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path} has no findings list")
+    entries: set[tuple[str, str, str]] = set()
+    for entry in raw_entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: non-object entry")
+        try:
+            entries.add(
+                (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry.get("symbol", "")),
+                )
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing {exc}"
+            ) from exc
+    return Baseline(version=BASELINE_VERSION, entries=frozenset(entries))
+
+
+def split_baselined(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Partition findings into (new, grandfathered) plus stale entries."""
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    fired: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = _key(finding)
+        if key in baseline.entries:
+            grandfathered.append(finding)
+            fired.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(baseline.entries - fired)
+    return new, grandfathered, stale
+
+
+def write_baseline(findings: list[Finding], path: Path | str) -> int:
+    """Atomically write a baseline covering ``findings``; returns count."""
+    keys = sorted({_key(finding) for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "reprolint --ipa ratchet: grandfathered findings tracked by "
+            "(rule, path, symbol).  Regenerate with "
+            "'repro lint --ipa --write-baseline'; new findings not "
+            "listed here fail CI."
+        ),
+        "findings": [
+            {"rule": rule, "path": file_path, "symbol": symbol}
+            for rule, file_path, symbol in keys
+        ],
+    }
+    atomic_write_text(
+        Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return len(keys)

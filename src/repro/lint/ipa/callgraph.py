@@ -1,0 +1,321 @@
+"""Function/class index and context-insensitive call graph.
+
+Resolution is deliberately conservative and deterministic:
+
+* bare names resolve through the module's import table (aliases and
+  package re-exports folded by :meth:`Program.canonicalize`);
+* ``self.m()`` / ``cls.m()`` resolve to the enclosing class's method,
+  walking program-internal base classes;
+* ``module.func`` and ``Class.method`` attribute chains resolve when
+  the chain bottoms out in an imported or locally defined name;
+* everything else is an *attribute call on a value of unknown type*.
+  For a narrow, documented set of seam methods (the ``FileSystem``
+  syscall surface of crash-raising classes and the telemetry read API)
+  an unresolved ``x.m(...)`` is duck-linked to every program method
+  named ``m`` on an eligible class — exactly the mechanism that lets
+  the analyzer see through the ``fs: FileSystem`` injection seam to
+  ``FaultyFS`` without type inference.
+
+Nested functions and lambdas are folded into their enclosing function:
+their calls, sinks, and handlers are attributed to the nearest indexed
+``def`` — conservative for reachability, and it keeps the graph small.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.ipa.program import ModuleInfo, Program
+
+
+@dataclass(slots=True, frozen=True)
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    name: str
+    lineno: int
+    col: int
+    params: tuple[str, ...]
+    #: ``id()`` of the defining AST node (the node itself lives in
+    #: ``CallGraph.fn_nodes`` so this dataclass stays frozen/hashable).
+    node_id: int
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One indexed class with canonically resolved base names."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True, frozen=True)
+class CallSite:
+    """One call expression, resolved to zero or more program callees."""
+
+    line: int
+    col: int
+    #: Canonical qualnames of possible callees inside the program.
+    callees: tuple[str, ...]
+    #: Canonical dotted name of the call target even when external
+    #: (``numpy.random.default_rng``); None when unresolvable.
+    external: str | None
+    #: Attribute name for unresolved attribute calls (duck-link key).
+    attr: str | None
+
+
+def _params_of(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    names = [arg.arg for arg in args.posonlyargs]
+    names.extend(arg.arg for arg in args.args)
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges for one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        #: qualname → FunctionInfo, sorted insertion by module walk.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: qualname → ClassInfo.
+        self.classes: dict[str, ClassInfo] = {}
+        #: function qualname → its AST node (kept out of FunctionInfo so
+        #: the dataclass stays hashable/frozen).
+        self.fn_nodes: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        #: function qualname → owning module.
+        self.fn_modules: dict[str, ModuleInfo] = {}
+        #: method simple name → sorted tuple of method qualnames.
+        self.methods_by_name: dict[str, tuple[str, ...]] = {}
+        #: caller qualname → call sites in source order.
+        self.calls: dict[str, tuple[CallSite, ...]] = {}
+        self._callers_cache: dict[str, tuple[str, ...]] | None = None
+        self._index()
+
+    # -- indexing --------------------------------------------------------
+
+    def _index(self) -> None:
+        for module_name in sorted(self.program.modules):
+            module = self.program.modules[module_name]
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(module, node, cls=None)
+                elif isinstance(node, ast.ClassDef):
+                    self._add_class(module, node)
+        by_name: dict[str, list[str]] = {}
+        for qualname, info in self.functions.items():
+            if info.cls is not None:
+                by_name.setdefault(info.name, []).append(qualname)
+        self.methods_by_name = {
+            name: tuple(sorted(quals)) for name, quals in by_name.items()
+        }
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        bases = []
+        for base in node.bases:
+            resolved = self.program.resolve_expr(module, base)
+            if resolved is None and isinstance(base, ast.Name):
+                resolved = base.id  # builtin such as BaseException
+            if resolved is not None:
+                bases.append(resolved)
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            bases=tuple(bases),
+        )
+        self.classes[qualname] = info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, item, cls=node.name)
+                info.methods[item.name] = f"{qualname}.{item.name}"
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> None:
+        qualname = (
+            f"{module.name}.{cls}.{node.name}"
+            if cls
+            else f"{module.name}.{node.name}"
+        )
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            cls=cls,
+            name=node.name,
+            lineno=node.lineno,
+            col=node.col_offset,
+            params=_params_of(node),
+            node_id=id(node),
+        )
+        self.functions[qualname] = info
+        self.fn_nodes[qualname] = node
+        self.fn_modules[qualname] = module
+
+    # -- class hierarchy -------------------------------------------------
+
+    def class_mro(self, qualname: str) -> list[ClassInfo]:
+        """Program-internal ancestors of a class, nearest first."""
+        result: list[ClassInfo] = []
+        queue = [qualname]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            result.append(info)
+            queue.extend(info.bases)
+        return result
+
+    def derives_from(self, qualname: str, root: str,
+                     stop_at: str | None = None) -> bool:
+        """True when a class's base chain reaches ``root``.
+
+        ``stop_at`` names a base that *blocks* the derivation: a class
+        reaching ``Exception`` before ``BaseException`` is an ordinary
+        exception, not a crash type.
+        """
+        queue = [qualname]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            tail = current.rsplit(".", 1)[-1]
+            if current == root or tail == root:
+                return True
+            if stop_at is not None and (
+                current == stop_at or tail == stop_at
+            ):
+                continue
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.bases)
+        return False
+
+    # -- call resolution -------------------------------------------------
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        fn: FunctionInfo | None,
+        call: ast.Call,
+        duck_names: frozenset[str],
+    ) -> CallSite:
+        """Resolve one call expression to program callees.
+
+        ``duck_names`` is the set of method names eligible for
+        duck-typed linking (built by the analyzer from seam classes).
+        """
+        func = call.func
+        callees: list[str] = []
+        external: str | None = None
+        attr: str | None = None
+
+        resolved = self.program.resolve_expr(module, func)
+        if resolved is not None:
+            external = resolved
+            callees.extend(self._program_targets(resolved))
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver = func.value
+            if (
+                fn is not None
+                and fn.cls is not None
+                and isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+            ):
+                target = self._resolve_method(module, fn.cls, func.attr)
+                if target is not None:
+                    callees.append(target)
+            elif attr in duck_names:
+                callees.extend(self.methods_by_name.get(attr, ()))
+        elif isinstance(func, ast.Name):
+            attr = None
+        return CallSite(
+            line=call.lineno,
+            col=call.col_offset,
+            callees=tuple(sorted(set(callees))),
+            external=external,
+            attr=attr,
+        )
+
+    def _program_targets(self, canonical: str) -> list[str]:
+        """Program functions a canonical dotted name denotes."""
+        if canonical in self.functions:
+            return [canonical]
+        if canonical in self.classes:
+            init = self.classes[canonical].methods.get("__init__")
+            return [init] if init is not None else []
+        # Class.method spelled through an import of the class.
+        if "." in canonical:
+            prefix, method = canonical.rsplit(".", 1)
+            if prefix in self.classes:
+                mro_target = self._resolve_method_qual(prefix, method)
+                if mro_target is not None:
+                    return [mro_target]
+        return []
+
+    def _resolve_method(
+        self, module: ModuleInfo, cls_name: str, method: str
+    ) -> str | None:
+        return self._resolve_method_qual(f"{module.name}.{cls_name}", method)
+
+    def _resolve_method_qual(self, cls_qual: str, method: str) -> str | None:
+        for ancestor in self.class_mro(cls_qual):
+            target = ancestor.methods.get(method)
+            if target is not None:
+                return target
+        return None
+
+    # -- edge enumeration ------------------------------------------------
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Sorted, de-duplicated (caller, callee) pairs."""
+        pairs: set[tuple[str, str]] = set()
+        for caller in self.calls:
+            for site in self.calls[caller]:
+                for callee in site.callees:
+                    pairs.add((caller, callee))
+        return sorted(pairs)
+
+    def callers_of(self) -> dict[str, tuple[str, ...]]:
+        """Reverse adjacency: callee qualname → sorted callers.
+
+        Cached after the first call — only valid once ``calls`` is fully
+        populated, which the analyzer guarantees before any dataflow.
+        """
+        if self._callers_cache is None:
+            reverse: dict[str, set[str]] = {}
+            for caller, callee in self.edges():
+                reverse.setdefault(callee, set()).add(caller)
+            self._callers_cache = {
+                callee: tuple(sorted(callers))
+                for callee, callers in sorted(reverse.items())
+            }
+        return self._callers_cache

@@ -1,0 +1,345 @@
+"""Fixpoint propagation over function summaries.
+
+Every analysis here is a monotone boolean (or small-lattice) property
+propagated over the call graph with a worklist until nothing changes.
+The graph is finite and properties only ever grow, so termination is
+structural; the worklist is seeded and drained in sorted order so the
+result — and therefore every finding — is deterministic.
+
+Computed closures:
+
+* ``can_crash`` — functions that can (transitively) raise a crash-class
+  exception (``SimulatedCrash`` or any ``BaseException``-derived,
+  non-``Exception`` program class).  Seeds RPL101.
+* ``raw_write_taint`` — functions outside a ``storage`` package that can
+  reach an unsanctioned raw-write sink without passing through the
+  storage barrier.  Seeds RPL103; taint does not propagate out of
+  storage-package functions (the audited TCB) nor out of sinks whose
+  line carries an RPL008/RPL103 sanction.
+* ``returns_telemetry`` — functions whose return value derives from a
+  telemetry read, directly or through returned calls.  Seeds RPL104.
+* ``returns_unpicklable`` — functions whose return value can never
+  cross a pickle boundary (generators, lambdas, open handles, locks),
+  directly or through returned calls.  Seeds RPL105.
+* ``seed origins`` — resolution of ``param``-classified RNG seeds
+  through all call sites to their worst origin.  Seeds RPL102.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.lint.ipa.callgraph import CallGraph
+from repro.lint.ipa.summaries import FunctionSummary, SeedOrigin
+
+#: Bound on caller-chain depth when tracing seed provenance; deeper
+#: chains resolve to "derived" (allowed) rather than risking blowup.
+_MAX_SEED_DEPTH = 16
+
+
+def module_has_segment(
+    graph: CallGraph, qualname: str, segment: str
+) -> bool:
+    """True when a function's *module* dotted path contains ``segment``."""
+    fn = graph.functions.get(qualname)
+    module = fn.module if fn is not None else qualname
+    return segment in module.split(".")
+
+
+@dataclass(slots=True)
+class ProgramFacts:
+    """The fixpoint results rules evaluate against."""
+
+    graph: CallGraph
+    summaries: dict[str, FunctionSummary]
+    crash_classes: frozenset[str]
+    can_crash: frozenset[str]
+    raw_write_taint: dict[str, tuple[str, ...]]
+    returns_telemetry: frozenset[str]
+    returns_unpicklable: dict[str, str]
+
+    def crash_path(self, start: str, limit: int = 6) -> tuple[str, ...]:
+        """A shortest call path from ``start`` to a direct crash raiser."""
+        return _shortest_path(
+            self.graph,
+            self.summaries,
+            start,
+            lambda s: any(r in self.crash_classes for r in s.raises),
+            limit,
+        )
+
+
+def _shortest_path(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    start: str,
+    is_target: Callable[[FunctionSummary], bool],
+    limit: int,
+) -> tuple[str, ...]:
+    """BFS call path from ``start`` to a summary satisfying ``is_target``."""
+    queue: list[tuple[str, tuple[str, ...]]] = [(start, (start,))]
+    seen = {start}
+    while queue:
+        current, path = queue.pop(0)
+        summary = summaries.get(current)
+        if summary is None:
+            continue
+        if is_target(summary):
+            return path
+        if len(path) >= limit:
+            continue
+        callees: list[str] = []
+        for site in summary.calls:
+            callees.extend(site.callees)
+        for callee in sorted(set(callees)):
+            if callee not in seen:
+                seen.add(callee)
+                queue.append((callee, path + (callee,)))
+    return (start,)
+
+
+def compute_crash_classes(graph: CallGraph) -> frozenset[str]:
+    """Program classes deriving from BaseException but not Exception."""
+    crashy: set[str] = set()
+    for qualname in sorted(graph.classes):
+        if graph.derives_from(
+            qualname, "BaseException", stop_at="Exception"
+        ) and not graph.derives_from(qualname, "Exception"):
+            crashy.add(qualname)
+    return frozenset(crashy)
+
+
+def _closure_over_callers(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    seeds: set[str],
+    barrier: frozenset[str],
+) -> frozenset[str]:
+    """Propagate a property from callees to callers to a fixpoint.
+
+    ``barrier`` functions may *hold* the property but never pass it on.
+    """
+    reached = set(seeds)
+    callers = graph.callers_of()
+    worklist = sorted(seeds)
+    while worklist:
+        current = worklist.pop()
+        if current in barrier:
+            continue
+        for caller in callers.get(current, ()):
+            if caller not in reached:
+                reached.add(caller)
+                worklist.append(caller)
+    return frozenset(reached)
+
+
+def compute_can_crash(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    crash_classes: frozenset[str],
+) -> frozenset[str]:
+    seeds = {
+        qualname
+        for qualname in sorted(summaries)
+        if any(r in crash_classes for r in summaries[qualname].raises)
+    }
+    return _closure_over_callers(graph, summaries, seeds, frozenset())
+
+
+def compute_raw_write_taint(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+) -> dict[str, tuple[str, ...]]:
+    """Function → sorted sink-owner qualnames it can transitively reach.
+
+    Storage-package functions are the barrier: they may contain raw
+    sinks (that is their job), but the taint stops there.  A sink whose
+    line carries an RPL008/RPL103 sanction directive seeds nothing: its
+    justification covers the callers too.
+    """
+    taint: dict[str, set[str]] = {}
+    seeds: list[str] = []
+    for qualname in sorted(summaries):
+        if module_has_segment(graph, qualname, "storage"):
+            continue
+        if any(not sink.sanctioned for sink in summaries[qualname].sinks):
+            taint[qualname] = {qualname}
+            seeds.append(qualname)
+    callers = graph.callers_of()
+    worklist = list(seeds)
+    while worklist:
+        current = worklist.pop()
+        if module_has_segment(graph, current, "storage"):
+            continue
+        for caller in callers.get(current, ()):
+            existing = taint.setdefault(caller, set())
+            added = taint[current] - existing
+            if added:
+                existing.update(added)
+                worklist.append(caller)
+    return {
+        qualname: tuple(sorted(owners))
+        for qualname, owners in sorted(taint.items())
+    }
+
+
+def compute_returns_telemetry(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+) -> frozenset[str]:
+    tainted = {
+        qualname
+        for qualname in sorted(summaries)
+        if summaries[qualname].returns_telemetry
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(summaries):
+            if qualname in tainted:
+                continue
+            summary = summaries[qualname]
+            if any(c in tainted for c in summary.returned_calls):
+                tainted.add(qualname)
+                changed = True
+    return frozenset(tainted)
+
+
+def compute_returns_unpicklable(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+) -> dict[str, str]:
+    reasons: dict[str, str] = {}
+    for qualname in sorted(summaries):
+        reason = summaries[qualname].returns_unpicklable
+        if reason is not None:
+            reasons[qualname] = reason
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(summaries):
+            if qualname in reasons:
+                continue
+            summary = summaries[qualname]
+            for callee in summary.returned_calls:
+                if callee in reasons:
+                    reasons[qualname] = reasons[callee]
+                    changed = True
+                    break
+    return reasons
+
+
+def resolve_seed_origin(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    owner: str,
+    origin: SeedOrigin,
+    _chain: tuple[str, ...] = (),
+) -> tuple[SeedOrigin, tuple[str, ...]]:
+    """Resolve a seed origin through callers/callees to its worst source.
+
+    For a ``param`` origin, every program call site of the owning
+    function is examined and the *worst* (first bad, in sorted caller
+    order) origin wins; omitted arguments mean the caller accepted the
+    function's explicit seed-parameter default, which is sanctioned.
+    For a ``call`` origin, the callee's constant return (if provable)
+    makes it a literal.  Everything unresolved is ``derived`` (allowed).
+    """
+    if len(_chain) >= _MAX_SEED_DEPTH:
+        return SeedOrigin("derived", "depth limit", origin.line,
+                          origin.col), _chain
+    if origin.kind in ("literal", "none", "wallclock", "seedseq", "derived"):
+        return origin, _chain
+    if origin.kind == "call":
+        callee = origin.detail
+        summary = summaries.get(callee)
+        if summary is not None and summary.returns_constant:
+            return (
+                SeedOrigin("literal", f"constant return of {callee}",
+                           origin.line, origin.col),
+                _chain + (callee,),
+            )
+        return SeedOrigin("derived", callee, origin.line, origin.col), _chain
+    if origin.kind != "param":
+        return origin, _chain
+    param = origin.detail
+    fn = graph.functions.get(owner)
+    if fn is None or param not in fn.params:
+        return SeedOrigin("derived", param, origin.line, origin.col), _chain
+    position = fn.params.index(param)
+    if fn.is_method and fn.params and fn.params[0] in ("self", "cls"):
+        position -= 1
+    for caller in graph.callers_of().get(owner, ()):
+        if caller in _chain or caller == owner:
+            continue
+        for arg_origin in _seed_args_at_sites(
+            graph, summaries, caller, owner, param, position
+        ):
+            resolved, chain = resolve_seed_origin(
+                graph,
+                summaries,
+                caller,
+                arg_origin,
+                _chain + (owner,),
+            )
+            if resolved.kind in ("literal", "none", "wallclock"):
+                return resolved, (caller,) + chain
+    return SeedOrigin("derived", param, origin.line, origin.col), _chain
+
+
+def _seed_args_at_sites(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    caller: str,
+    owner: str,
+    param: str,
+    position: int,
+) -> list[SeedOrigin]:
+    """Classified argument origins ``caller`` passes into ``owner``."""
+    from repro.lint.ipa.summaries import _FunctionSummarizer
+
+    module = graph.fn_modules.get(caller)
+    fn = graph.functions.get(caller)
+    node = graph.fn_nodes.get(caller)
+    if module is None or fn is None or node is None:
+        return []
+    summarizer = _FunctionSummarizer(
+        graph, module, fn, node, frozenset(), frozenset()
+    )
+    summarizer._collect_env()
+    origins: list[SeedOrigin] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        site = graph.resolve_call(module, fn, sub, frozenset())
+        if owner not in site.callees:
+            continue
+        arg: ast.expr | None = None
+        for keyword in sub.keywords:
+            if keyword.arg == param:
+                arg = keyword.value
+        if arg is None and 0 <= position < len(sub.args):
+            candidate = sub.args[position]
+            if not isinstance(candidate, ast.Starred):
+                arg = candidate
+        if arg is not None:
+            origins.append(summarizer.classify_seed(arg))
+    return origins
+
+
+def compute_facts(
+    graph: CallGraph, summaries: dict[str, FunctionSummary]
+) -> ProgramFacts:
+    """Run every fixpoint and bundle the results."""
+    crash_classes = compute_crash_classes(graph)
+    return ProgramFacts(
+        graph=graph,
+        summaries=summaries,
+        crash_classes=crash_classes,
+        can_crash=compute_can_crash(graph, summaries, crash_classes),
+        raw_write_taint=compute_raw_write_taint(graph, summaries),
+        returns_telemetry=compute_returns_telemetry(graph, summaries),
+        returns_unpicklable=compute_returns_unpicklable(graph, summaries),
+    )

@@ -1,0 +1,57 @@
+"""Call-graph export: Graphviz DOT and JSON.
+
+Both exports are deterministic: nodes and edges are emitted in sorted
+order, so two runs over the same tree produce byte-identical output —
+the analyzer holds itself to the ordering discipline it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.ipa.callgraph import CallGraph
+
+
+def graph_to_json(graph: CallGraph) -> str:
+    """JSON document: functions, classes, edges, and size stats."""
+    edges = graph.edges()
+    functions = [
+        {
+            "qualname": info.qualname,
+            "module": info.module,
+            "class": info.cls,
+            "line": info.lineno,
+        }
+        for _, info in sorted(graph.functions.items())
+    ]
+    payload = {
+        "functions": functions,
+        "classes": sorted(graph.classes),
+        "edges": [[caller, callee] for caller, callee in edges],
+        "stats": {
+            "modules": len(graph.program.modules),
+            "functions": len(graph.functions),
+            "classes": len(graph.classes),
+            "edges": len(edges),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _dot_id(qualname: str) -> str:
+    return '"' + qualname.replace('"', r"\"") + '"'
+
+
+def graph_to_dot(graph: CallGraph) -> str:
+    """Graphviz DOT rendering, one cluster-free digraph."""
+    lines = [
+        "digraph callgraph {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=9, fontname="monospace"];',
+    ]
+    for qualname in sorted(graph.functions):
+        lines.append(f"  {_dot_id(qualname)};")
+    for caller, callee in graph.edges():
+        lines.append(f"  {_dot_id(caller)} -> {_dot_id(callee)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,234 @@
+"""Whole-program module table: parsing, import and re-export resolution.
+
+A :class:`Program` holds one parsed :class:`ModuleInfo` per ``.py`` file
+under the analyzed roots, keyed by dotted module name.  Names are
+resolved *canonically*: ``from repro.storage import SimulatedCrash``
+(a package re-export) and ``from repro.faults.storage import
+SimulatedCrash as Boom`` both canonicalize to
+``repro.faults.storage.SimulatedCrash``, so every downstream analysis
+compares one spelling per symbol regardless of aliasing.
+
+Module names are derived structurally: the loader ascends from each file
+while ``__init__.py`` markers continue, so ``src/repro/pipeline/parallel.py``
+becomes ``repro.pipeline.parallel`` and a fixture package rooted anywhere
+under ``tests/lint/fixtures/ipa/`` gets its own short dotted name.  This
+keeps the analyzer runnable on self-contained fixture programs without
+any knowledge of the real package layout.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.fileset import iter_python_files
+from repro.lint.findings import Finding
+from repro.lint.suppress import Suppression, collect_suppressions
+
+#: Bound on re-export chain length; longer chains are left unresolved
+#: rather than risking an import-cycle loop.
+_MAX_REEXPORT_HOPS = 20
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, derived from package markers."""
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    parts.reverse()
+    return ".".join(parts) if parts else path.stem
+
+
+def _relative_base(module_name: str, is_package: bool, level: int) -> str:
+    """The absolute package a level-``level`` relative import resolves in."""
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop >= len(parts):
+        return ""
+    if drop:
+        parts = parts[:-drop]
+    return ".".join(parts)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed module: its tree, import table, and suppressions."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    source: str
+    #: Local name → absolute dotted target (module or module.symbol).
+    imports: dict[str, str]
+    #: Suppression directives found in the file (shared with the engine).
+    suppressions: list[Suppression]
+    is_package: bool
+    #: Names defined by module-level ``def``/``class``/assignments.
+    toplevel_symbols: frozenset[str]
+
+
+def _toplevel_symbols(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return frozenset(names)
+
+
+def _collect_imports(
+    tree: ast.Module, module_name: str, is_package: bool
+) -> dict[str, str]:
+    """Map local names to absolute dotted import targets.
+
+    Unlike the file-local :mod:`repro.lint.context` table, relative
+    imports are resolved here: the interprocedural analyses need
+    project-internal names most of all.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_base(module_name, is_package, node.level)
+                target = (
+                    f"{base}.{node.module}"
+                    if base and node.module
+                    else (node.module or base)
+                )
+            else:
+                target = node.module
+            if not target:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{target}.{alias.name}"
+    return imports
+
+
+class Program:
+    """Every analyzed module, with canonical cross-module name resolution."""
+
+    def __init__(self, modules: dict[str, ModuleInfo],
+                 parse_failures: list[Finding]):
+        self.modules = modules
+        self.parse_failures = parse_failures
+
+    @classmethod
+    def load(cls, paths: Iterable[Path | str]) -> "Program":
+        """Parse every ``.py`` file under ``paths`` into a program."""
+        from repro.lint.engine import PARSE_ERROR
+
+        modules: dict[str, ModuleInfo] = {}
+        failures: list[Finding] = []
+        for path in iter_python_files(paths):
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError) as exc:
+                failures.append(
+                    Finding(
+                        path=str(path),
+                        line=getattr(exc, "lineno", None) or 1,
+                        col=0,
+                        rule=PARSE_ERROR,
+                        message=f"file excluded from whole-program "
+                                f"analysis: {exc}",
+                    )
+                )
+                continue
+            name = module_name_for(path)
+            is_package = path.name == "__init__.py"
+            modules[name] = ModuleInfo(
+                name=name,
+                path=path,
+                tree=tree,
+                source=source,
+                imports=_collect_imports(tree, name, is_package),
+                suppressions=collect_suppressions(source),
+                is_package=is_package,
+                toplevel_symbols=_toplevel_symbols(tree),
+            )
+        return cls(modules, failures)
+
+    def module_prefix_of(self, dotted: str) -> str | None:
+        """The longest module name that prefixes ``dotted``, if any."""
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def canonicalize(self, dotted: str) -> str:
+        """Fold aliases and package re-exports out of a dotted name.
+
+        Splices the import table of the longest module prefix into the
+        name until it either bottoms out at a module-level definition or
+        leaves the program (external names are returned unchanged).
+        """
+        current = dotted
+        for _hop in range(_MAX_REEXPORT_HOPS):
+            prefix = self.module_prefix_of(current)
+            if prefix is None:
+                return current
+            remainder = current[len(prefix):].lstrip(".")
+            if not remainder:
+                return current
+            head = remainder.split(".", 1)[0]
+            module = self.modules[prefix]
+            if head in module.toplevel_symbols:
+                return current
+            if head in module.imports:
+                tail = remainder[len(head):]
+                current = module.imports[head] + tail
+                continue
+            return current
+        return current
+
+    def resolve_local(self, module: ModuleInfo, name: str) -> str | None:
+        """Canonical dotted target for a bare name used in ``module``."""
+        if name in module.toplevel_symbols:
+            return self.canonicalize(f"{module.name}.{name}")
+        if name in module.imports:
+            return self.canonicalize(module.imports[name])
+        return None
+
+    def resolve_expr(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> str | None:
+        """Canonical dotted name for a ``Name``/``Attribute`` chain."""
+        if isinstance(node, ast.Name):
+            return self.resolve_local(module, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve_expr(module, node.value)
+            if base is None:
+                return None
+            return self.canonicalize(f"{base}.{node.attr}")
+        return None

@@ -1,0 +1,358 @@
+"""Interprocedural rules RPL101–RPL105.
+
+Each rule evaluates the :class:`~repro.lint.ipa.dataflow.ProgramFacts`
+fixpoint and yields :class:`~repro.lint.findings.Finding` records.  Every
+finding carries the owning function in ``symbol`` — that, not the line
+number, is the baseline-ratchet identity, so findings survive unrelated
+edits to the file above them.
+
+Rule ↔ guarantee map (details in DESIGN Section 15):
+
+=======  ==============================================================
+RPL101   crash-exception safety: no handler reachable from a
+         ``FaultyFS``/supervised path may swallow ``SimulatedCrash``
+         (protects kill-and-resume byte-identity).
+RPL102   seed provenance: every RNG must trace to a ``SeedSequence`` or
+         an explicit seed parameter — never a literal or the wall clock
+         (protects parallel/serial equivalence).
+RPL103   raw-write reachability: no call chain outside ``storage`` may
+         reach a raw write without passing the atomic-durable barrier
+         (protects crash-atomicity; closes RPL008's one-hop blind spot).
+RPL104   telemetry purity: no control-flow decision may read counters,
+         gauges, or spans (protects traced↔untraced byte-identity).
+RPL105   pool-payload pickle safety: values crossing ``run_supervised``
+         boundaries must be transitively picklable (protects the
+         supervised pool's crash/retry model).
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.ipa.dataflow import (
+    ProgramFacts,
+    module_has_segment,
+    resolve_seed_origin,
+)
+from repro.lint.ipa.summaries import FunctionSummary
+
+#: Rule ids implemented by the interprocedural engine, in order.
+IPA_RULE_IDS: tuple[str, ...] = (
+    "RPL101",
+    "RPL102",
+    "RPL103",
+    "RPL104",
+    "RPL105",
+)
+
+#: ``--list-rules`` catalog entries for the interprocedural rules.
+IPA_RULE_CATALOG: tuple[tuple[str, str], ...] = (
+    ("RPL101", "handler on a crash-injected call path can swallow "
+               "SimulatedCrash/BaseException"),
+    ("RPL102", "RNG seed does not trace to a SeedSequence or explicit "
+               "seed parameter (literal/wall-clock origin)"),
+    ("RPL103", "call chain outside repro/storage reaches a raw write "
+               "without the atomic-durable barrier"),
+    ("RPL104", "control-flow decision reads telemetry "
+               "(counters/gauges/spans must stay write-only)"),
+    ("RPL105", "unpicklable value crosses a supervised-pool boundary"),
+)
+
+#: Module path segments exempt from RPL104 (they legitimately read
+#: telemetry: the obs layer exports it, the CLI renders it).
+_TELEMETRY_READER_SEGMENTS = ("obs", "cli")
+
+
+def _finding(
+    facts: ProgramFacts,
+    qualname: str,
+    line: int,
+    col: int,
+    rule: str,
+    message: str,
+) -> Finding:
+    module = facts.graph.fn_modules[qualname]
+    return Finding(
+        path=str(module.path),
+        line=line,
+        col=col,
+        rule=rule,
+        message=message,
+        symbol=qualname,
+    )
+
+
+def _arrow(path: tuple[str, ...]) -> str:
+    return " -> ".join(path)
+
+
+def _catches_crash(
+    facts: ProgramFacts, caught: tuple[str, ...], bare: bool
+) -> str | None:
+    """The crash-capable type a handler catches, if any."""
+    if bare:
+        return "bare except"
+    for name in caught:
+        if name == "BaseException" or name.endswith(".BaseException"):
+            return "BaseException"
+        if name in facts.crash_classes:
+            return name
+    return None
+
+
+def check_rpl101(facts: ProgramFacts) -> Iterator[Finding]:
+    """Crash-swallowing handlers on crash-reachable call paths."""
+    for qualname in sorted(facts.summaries):
+        summary = facts.summaries[qualname]
+        for handler in summary.handlers:
+            caught = _catches_crash(facts, handler.caught, handler.bare)
+            if caught is None or handler.reraises:
+                continue
+            reachable = sorted(
+                {
+                    callee
+                    for site in handler.guarded_calls
+                    for callee in site.callees
+                    if callee in facts.can_crash
+                }
+            )
+            if not reachable:
+                continue
+            path = facts.crash_path(reachable[0])
+            verb = (
+                "contextlib.suppress" if handler.via_suppress else "handler"
+            )
+            yield _finding(
+                facts,
+                qualname,
+                handler.line,
+                handler.col,
+                "RPL101",
+                f"{verb} catching {caught} can swallow a simulated "
+                f"crash injected {len(path) - 1} call(s) away "
+                f"({_arrow(path)}); recovery must see SimulatedCrash "
+                "propagate — narrow the except or re-raise",
+            )
+
+
+def check_rpl102(facts: ProgramFacts) -> Iterator[Finding]:
+    """RNG creations whose seed bottoms out in a literal or the clock."""
+    for qualname in sorted(facts.summaries):
+        summary = facts.summaries[qualname]
+        for creation in summary.rng_creations:
+            origin, chain = resolve_seed_origin(
+                facts.graph, facts.summaries, qualname, creation.origin
+            )
+            if origin.kind not in ("literal", "none", "wallclock"):
+                continue
+            via = (
+                f" via {_arrow(chain + (qualname,))}" if chain else ""
+            )
+            if origin.kind == "wallclock":
+                detail = f"the wall clock ({origin.detail})"
+            elif origin.kind == "none":
+                detail = "None (OS entropy)"
+            else:
+                detail = f"literal {origin.detail}"
+            yield _finding(
+                facts,
+                qualname,
+                creation.line,
+                creation.col,
+                "RPL102",
+                f"seed for {creation.api} traces to {detail}{via}; "
+                "derive every seed from a SeedSequence or an explicit "
+                "seed parameter so runs stay reproducible and streams "
+                "stay independent",
+            )
+
+
+def check_rpl103(facts: ProgramFacts) -> Iterator[Finding]:
+    """Transitive reach of raw writes from outside the storage barrier.
+
+    A function's *own* sinks are the file-local RPL008's findings; this
+    rule reports the callers that reach someone else's sink — plus the
+    one shape RPL008 cannot see at all, a write-mode ``open`` on the
+    filesystem seam.
+    """
+    for qualname in sorted(facts.summaries):
+        if module_has_segment(facts.graph, qualname, "storage"):
+            continue
+        summary = facts.summaries[qualname]
+        for sink in summary.sinks:
+            if sink.kind == "fs-open-write" and not sink.sanctioned:
+                yield _finding(
+                    facts,
+                    qualname,
+                    sink.line,
+                    sink.col,
+                    "RPL103",
+                    f"{sink.description} bypasses the atomic-durable "
+                    "barrier; persisted bytes must go through "
+                    "repro.storage.AtomicWriter so a crash can never "
+                    "tear them",
+                )
+        own_sinks = bool(summary.sinks)
+        reached = _reached_sink_owners(facts, summary)
+        for line, col, owners in reached:
+            if own_sinks and all(owner == qualname for owner in owners):
+                continue
+            others = tuple(o for o in owners if o != qualname)
+            if not others:
+                continue
+            yield _finding(
+                facts,
+                qualname,
+                line,
+                col,
+                "RPL103",
+                "call reaches a raw filesystem write in "
+                f"{_arrow(others[:3])} without passing through the "
+                "atomic-durable barrier (repro.storage); route the "
+                "write through AtomicWriter or sanction the sink with "
+                "a justified suppression",
+            )
+
+
+def _reached_sink_owners(
+    facts: ProgramFacts, summary: FunctionSummary
+) -> list[tuple[int, int, tuple[str, ...]]]:
+    """(line, col, tainted sink owners) per call site, de-duplicated."""
+    seen: set[tuple[int, int]] = set()
+    results: list[tuple[int, int, tuple[str, ...]]] = []
+    for site in summary.calls:
+        owners: list[str] = []
+        for callee in site.callees:
+            owners.extend(facts.raw_write_taint.get(callee, ()))
+        if owners and (site.line, site.col) not in seen:
+            seen.add((site.line, site.col))
+            results.append((site.line, site.col, tuple(sorted(set(owners)))))
+    return results
+
+
+def check_rpl104(facts: ProgramFacts) -> Iterator[Finding]:
+    """Control-flow decisions fed by telemetry reads."""
+    for qualname in sorted(facts.summaries):
+        if any(
+            module_has_segment(facts.graph, qualname, segment)
+            for segment in _TELEMETRY_READER_SEGMENTS
+        ):
+            continue
+        summary = facts.summaries[qualname]
+        for branch in summary.branch_sites:
+            tainted_feeders = sorted(
+                c
+                for c in branch.feeder_calls
+                if c in facts.returns_telemetry
+            )
+            if branch.reads_telemetry:
+                yield _finding(
+                    facts,
+                    qualname,
+                    branch.line,
+                    branch.col,
+                    "RPL104",
+                    "control-flow condition reads telemetry; metrics "
+                    "and spans are write-only so traced and untraced "
+                    "runs stay byte-identical — decide from pipeline "
+                    "state, not observability state",
+                )
+            elif tainted_feeders:
+                yield _finding(
+                    facts,
+                    qualname,
+                    branch.line,
+                    branch.col,
+                    "RPL104",
+                    "control-flow condition depends on "
+                    f"{tainted_feeders[0]}, whose return value derives "
+                    "from telemetry; metrics and spans are write-only "
+                    "so traced and untraced runs stay byte-identical",
+                )
+        for arg_pass in summary.arg_passes:
+            for callee in arg_pass.callees:
+                callee_summary = facts.summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                param = _param_for_slot(facts, callee, arg_pass.slot)
+                if param is None:
+                    continue
+                if any(
+                    param in b.params for b in callee_summary.branch_sites
+                ):
+                    yield _finding(
+                        facts,
+                        qualname,
+                        arg_pass.line,
+                        arg_pass.col,
+                        "RPL104",
+                        f"telemetry-derived value is passed into "
+                        f"{callee} parameter {param!r}, which feeds a "
+                        "control-flow condition there; telemetry must "
+                        "stay write-only end to end",
+                    )
+
+
+def _param_for_slot(
+    facts: ProgramFacts, callee: str, slot: int | str
+) -> str | None:
+    fn = facts.graph.functions.get(callee)
+    if fn is None:
+        return None
+    if isinstance(slot, str):
+        return slot if slot in fn.params else None
+    params = fn.params
+    if fn.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    if 0 <= slot < len(params):
+        return params[slot]
+    return None
+
+
+def check_rpl105(facts: ProgramFacts) -> Iterator[Finding]:
+    """Unpicklable values crossing supervised-pool boundaries."""
+    for qualname in sorted(facts.summaries):
+        summary = facts.summaries[qualname]
+        for pool_call in summary.pool_calls:
+            for issue in pool_call.issues:
+                if issue.deferred_callee is not None:
+                    reason = facts.returns_unpicklable.get(
+                        issue.deferred_callee
+                    )
+                    if reason is None:
+                        continue
+                    message = (
+                        f"pool payload comes from "
+                        f"{issue.deferred_callee}, which returns "
+                        f"{reason}; arguments and returns crossing the "
+                        "supervised-pool boundary must be transitively "
+                        "picklable"
+                    )
+                else:
+                    message = (
+                        f"pool payload is {issue.reason}; arguments "
+                        "and returns crossing the supervised-pool "
+                        "boundary must be transitively picklable "
+                        "(no open handles, locks, lambdas, or "
+                        "generators)"
+                    )
+                yield _finding(
+                    facts,
+                    qualname,
+                    issue.line,
+                    issue.col,
+                    "RPL105",
+                    message,
+                )
+
+
+#: All rule entry points, in rule-id order.
+ALL_IPA_CHECKS = (
+    check_rpl101,
+    check_rpl102,
+    check_rpl103,
+    check_rpl104,
+    check_rpl105,
+)

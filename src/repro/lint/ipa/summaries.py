@@ -1,0 +1,808 @@
+"""Per-function summaries: the facts the fixpoint engine propagates.
+
+One :class:`FunctionSummary` is extracted per indexed function in a
+single AST pass.  Summaries are purely syntactic — no imports are
+executed — and record, per function:
+
+* resolved call sites (the graph edges);
+* raw-write sinks (the RPL103 seeds, including the filesystem-seam
+  ``fs.open(path, "w")`` shape the file-local RPL008 cannot see);
+* exception handlers with the canonical types they catch, whether they
+  re-raise, and the calls their ``try`` body makes (RPL101);
+* raised exception types (crash-source seeds for RPL101);
+* RNG creations with a classification of their seed expression
+  (RPL102);
+* telemetry reads, branch conditions they feed, parameters that feed
+  branch conditions, and telemetry-derived returns (RPL104);
+* supervised-pool boundary calls with payload descriptors (RPL105).
+
+Intra-function name flow uses a last-write-wins assignment environment:
+``h = fetch(); run(h)`` is analyzed as if ``run(fetch())``.  That is
+deliberately simple — reassignment in branches is not modeled — and
+errs toward reporting (taint sticks) for safety properties and toward
+silence (unknown is allowed) for provenance ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.ipa.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.lint.ipa.program import ModuleInfo
+from repro.lint.rules.wallclock import _WALL_CLOCK_CALLS
+
+#: Mode characters that make an ``open`` call a write (or writable) open.
+_WRITE_MODE_CHARS = frozenset("wax+")
+#: Telemetry read methods distinctive enough to duck-match anywhere.
+_TELEMETRY_READ_ATTRS = frozenset(
+    {"counter_value", "gauge_value", "histogram_data"}
+)
+#: Receiver-name hints that make a generic ``.snapshot()`` a telemetry read.
+_TELEMETRY_RECEIVER_HINTS = ("telemetry", "metrics")
+#: Canonical constructors whose results never cross a pickle boundary.
+_UNPICKLABLE_CTORS = {
+    "threading.Lock": "a thread lock",
+    "threading.RLock": "a thread lock",
+    "threading.Condition": "a thread condition",
+    "threading.Event": "a thread event",
+    "threading.Semaphore": "a thread semaphore",
+    "threading.BoundedSemaphore": "a thread semaphore",
+    "_thread.allocate_lock": "a thread lock",
+}
+#: RNG-creating calls whose first argument is the seed.
+_RNG_CREATORS = frozenset(
+    {"numpy.random.default_rng", "random.Random"}
+)
+#: Rule ids whose suppression at a sink line sanctions the whole subtree
+#: of callers (the justification lives at the source, the taint stops).
+_SINK_SANCTIONS = frozenset({"RPL008", "RPL103"})
+
+
+@dataclass(slots=True, frozen=True)
+class Sink:
+    """One raw filesystem write operation."""
+
+    line: int
+    col: int
+    kind: str
+    description: str
+    sanctioned: bool
+
+
+@dataclass(slots=True, frozen=True)
+class HandlerInfo:
+    """One ``except`` clause (or ``contextlib.suppress`` item)."""
+
+    line: int
+    col: int
+    #: Canonical caught type names; empty tuple means a bare ``except``.
+    caught: tuple[str, ...]
+    bare: bool
+    reraises: bool
+    #: Calls made inside the guarded ``try`` (or ``with``) body.
+    guarded_calls: tuple[CallSite, ...]
+    via_suppress: bool
+
+
+@dataclass(slots=True, frozen=True)
+class SeedOrigin:
+    """Where one RNG seed expression bottoms out, after intra-fn flow."""
+
+    kind: str  # literal | none | wallclock | seedseq | param | call | derived
+    detail: str  # literal repr, param name, or callee qualname
+    line: int
+    col: int
+
+
+@dataclass(slots=True, frozen=True)
+class RngCreation:
+    """One RNG construction and its seed classification."""
+
+    line: int
+    col: int
+    api: str
+    origin: SeedOrigin
+
+
+@dataclass(slots=True, frozen=True)
+class BranchSite:
+    """A control-flow condition and what flows into it."""
+
+    line: int
+    col: int
+    #: True when a telemetry read feeds the condition intra-procedurally.
+    reads_telemetry: bool
+    #: Program functions whose return value feeds the condition.
+    feeder_calls: tuple[str, ...]
+    #: Own parameters that feed the condition.
+    params: tuple[str, ...]
+
+
+@dataclass(slots=True, frozen=True)
+class ArgPass:
+    """One argument at one call site, mapped to the callee parameter."""
+
+    line: int
+    col: int
+    callees: tuple[str, ...]
+    #: Position (int) or keyword name (str) of the argument.
+    slot: int | str
+    #: True when the argument is telemetry-derived intra-procedurally.
+    telemetry: bool
+
+
+@dataclass(slots=True, frozen=True)
+class PoolPayloadIssue:
+    """One unpicklable value crossing a pool boundary, or a deferral."""
+
+    line: int
+    col: int
+    reason: str
+    #: Program function whose return type decides (interprocedural).
+    deferred_callee: str | None
+
+
+@dataclass(slots=True, frozen=True)
+class PoolCall:
+    """One call into a supervised-pool boundary."""
+
+    line: int
+    col: int
+    issues: tuple[PoolPayloadIssue, ...]
+
+
+@dataclass(slots=True)
+class FunctionSummary:
+    """Everything the fixpoint engine knows about one function."""
+
+    qualname: str
+    calls: tuple[CallSite, ...]
+    sinks: tuple[Sink, ...]
+    handlers: tuple[HandlerInfo, ...]
+    raises: tuple[str, ...]
+    rng_creations: tuple[RngCreation, ...]
+    branch_sites: tuple[BranchSite, ...]
+    arg_passes: tuple[ArgPass, ...]
+    returns_telemetry: bool
+    returned_calls: tuple[str, ...]
+    returns_constant: bool
+    returns_unpicklable: str | None
+    pool_calls: tuple[PoolCall, ...]
+
+
+def _is_seedseq_expr(name: str | None, call: ast.Call) -> bool:
+    if name is not None and name.rsplit(".", 1)[-1] == "SeedSequence":
+        return True
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in (
+        "spawn",
+        "generate_state",
+    )
+
+
+def _receiver_hint(expr: ast.expr) -> bool:
+    """Heuristic: does this receiver look like a telemetry object?"""
+    if isinstance(expr, ast.Name):
+        text = expr.id
+    elif isinstance(expr, ast.Attribute):
+        text = expr.attr
+    elif isinstance(expr, ast.Call):
+        return _receiver_hint(expr.func)
+    else:
+        return False
+    lowered = text.lower()
+    return any(hint in lowered for hint in _TELEMETRY_RECEIVER_HINTS)
+
+
+def _constant_mode(node: ast.Call) -> str | None:
+    """The call's mode argument when it is a string constant."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                return value.value
+            return None
+    if len(node.args) >= 2:
+        value = node.args[1]
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+    return None
+
+
+class _FunctionSummarizer:
+    """Single-pass fact extractor for one function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        duck_names: frozenset[str],
+        sanctioned_lines: frozenset[int],
+    ):
+        self.graph = graph
+        self.program = graph.program
+        self.module = module
+        self.fn = fn
+        self.node = node
+        self.duck_names = duck_names
+        self.sanctioned_lines = sanctioned_lines
+        self.env: dict[str, ast.expr] = {}
+        self.local_defs: set[str] = set()
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        self._collect_env()
+        calls: list[CallSite] = []
+        sinks: list[Sink] = []
+        raises: list[str] = []
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Call):
+                calls.append(self._resolve(sub))
+                sink = self._classify_sink(sub)
+                if sink is not None:
+                    sinks.append(sink)
+            elif isinstance(sub, ast.Raise):
+                raised = self._raised_name(sub)
+                if raised is not None:
+                    raises.append(raised)
+        return FunctionSummary(
+            qualname=self.fn.qualname,
+            calls=tuple(calls),
+            sinks=tuple(sinks),
+            handlers=tuple(self._handlers()),
+            raises=tuple(sorted(set(raises))),
+            rng_creations=tuple(self._rng_creations()),
+            branch_sites=tuple(self._branch_sites()),
+            arg_passes=tuple(self._arg_passes()),
+            returns_telemetry=self._returns_telemetry(),
+            returned_calls=tuple(self._returned_calls()),
+            returns_constant=self._returns_constant(),
+            returns_unpicklable=self._returns_unpicklable(),
+            pool_calls=tuple(self._pool_calls()),
+        )
+
+    # -- shared plumbing -------------------------------------------------
+
+    def _resolve(self, call: ast.Call) -> CallSite:
+        return self.graph.resolve_call(
+            self.module, self.fn, call, self.duck_names
+        )
+
+    def _collect_env(self) -> None:
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+                if isinstance(target, ast.Name):
+                    self.env[target.id] = sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                if isinstance(sub.target, ast.Name):
+                    self.env[sub.target.id] = sub.value
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if sub is not self.node:
+                    self.local_defs.add(sub.name)
+
+    def _deref(self, expr: ast.expr, depth: int = 0) -> ast.expr:
+        """Follow simple name assignments to the defining expression."""
+        while (
+            depth < 8
+            and isinstance(expr, ast.Name)
+            and expr.id in self.env
+        ):
+            expr = self.env[expr.id]
+            depth += 1
+        return expr
+
+    # -- sinks (RPL103 seeds) --------------------------------------------
+
+    def _classify_sink(self, call: ast.Call) -> Sink | None:
+        func = call.func
+        name = self.program.resolve_expr(self.module, func)
+        kind: str | None = None
+        description = ""
+        if name in ("os.replace", "os.rename"):
+            kind, description = "rename", f"{name}() without directory fsync"
+        elif name == "os.write":
+            kind, description = "os-write", "os.write() raw byte write"
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            kind = "pathlib-write"
+            description = f".{func.attr}() in-place write"
+        elif (
+            isinstance(func, ast.Name) and func.id == "open"
+        ) or name == "io.open":
+            mode = _constant_mode(call)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                kind = "open-write"
+                description = f"open(..., {mode!r})"
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "open"
+            and name is None
+        ):
+            mode = _constant_mode(call)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                kind = "fs-open-write"
+                description = f".open(..., {mode!r}) on a filesystem seam"
+        if kind is None:
+            return None
+        sanctioned = call.lineno in self.sanctioned_lines
+        if sanctioned:
+            # A sanctioning directive never sees a finding to silence
+            # (that is the point), so credit its use here or the unused-
+            # suppression check would demand its removal.
+            for suppression in self.module.suppressions:
+                if suppression.target_line != call.lineno:
+                    continue
+                for rule in suppression.rules:
+                    if rule in _SINK_SANCTIONS:
+                        suppression.used.add(rule)
+        return Sink(
+            line=call.lineno,
+            col=call.col_offset,
+            kind=kind,
+            description=description,
+            sanctioned=sanctioned,
+        )
+
+    # -- raises / handlers (RPL101) --------------------------------------
+
+    def _raised_name(self, node: ast.Raise) -> str | None:
+        exc = node.exc
+        if exc is None:
+            return None
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        return self.program.resolve_expr(self.module, exc)
+
+    def _handler_types(
+        self, type_node: ast.expr | None
+    ) -> tuple[tuple[str, ...], bool]:
+        """(canonical caught names, is_bare) for an except clause."""
+        if type_node is None:
+            return (), True
+        elements = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        names: list[str] = []
+        for element in elements:
+            resolved = self.program.resolve_expr(self.module, element)
+            if resolved is None and isinstance(element, ast.Name):
+                resolved = element.id  # builtin (BaseException, ...)
+            if resolved is not None:
+                names.append(resolved)
+        return tuple(names), False
+
+    def _calls_in(self, body: list[ast.stmt]) -> tuple[CallSite, ...]:
+        found: list[CallSite] = []
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    found.append(self._resolve(sub))
+        return tuple(found)
+
+    def _handlers(self) -> list[HandlerInfo]:
+        handlers: list[HandlerInfo] = []
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Try):
+                guarded = self._calls_in(sub.body)
+                for handler in sub.handlers:
+                    caught, bare = self._handler_types(handler.type)
+                    reraises = any(
+                        isinstance(inner, ast.Raise)
+                        for inner in ast.walk(handler)
+                    )
+                    handlers.append(
+                        HandlerInfo(
+                            line=handler.lineno,
+                            col=handler.col_offset,
+                            caught=caught,
+                            bare=bare,
+                            reraises=reraises,
+                            guarded_calls=guarded,
+                            via_suppress=False,
+                        )
+                    )
+            elif isinstance(sub, ast.With):
+                handlers.extend(self._suppress_handlers(sub))
+        return handlers
+
+    def _suppress_handlers(self, node: ast.With) -> list[HandlerInfo]:
+        """``with contextlib.suppress(T):`` modeled as a no-reraise handler."""
+        handlers: list[HandlerInfo] = []
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            name = self.program.resolve_expr(self.module, expr.func)
+            if name != "contextlib.suppress":
+                continue
+            names: list[str] = []
+            for arg in expr.args:
+                resolved = self.program.resolve_expr(self.module, arg)
+                if resolved is None and isinstance(arg, ast.Name):
+                    resolved = arg.id
+                if resolved is not None:
+                    names.append(resolved)
+            handlers.append(
+                HandlerInfo(
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                    caught=tuple(names),
+                    bare=False,
+                    reraises=False,
+                    guarded_calls=self._calls_in(node.body),
+                    via_suppress=True,
+                )
+            )
+        return handlers
+
+    # -- RNG seed provenance (RPL102) ------------------------------------
+
+    def _rng_creations(self) -> list[RngCreation]:
+        creations: list[RngCreation] = []
+        for sub in ast.walk(self.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = self.program.resolve_expr(self.module, sub.func)
+            if name not in _RNG_CREATORS:
+                continue
+            seed = self._seed_argument(sub)
+            if seed is None:
+                continue  # unseeded creation is RPL001's file-local domain
+            creations.append(
+                RngCreation(
+                    line=sub.lineno,
+                    col=sub.col_offset,
+                    api=name or "",
+                    origin=self.classify_seed(seed),
+                )
+            )
+        return creations
+
+    @staticmethod
+    def _seed_argument(call: ast.Call) -> ast.expr | None:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "seed":
+                return keyword.value
+        return None
+
+    def classify_seed(self, expr: ast.expr) -> SeedOrigin:
+        """Where a seed expression bottoms out, following local names."""
+        expr = self._deref(expr)
+        line, col = expr.lineno, expr.col_offset
+        if isinstance(expr, ast.Constant):
+            if expr.value is None:
+                return SeedOrigin("none", "None", line, col)
+            return SeedOrigin("literal", repr(expr.value), line, col)
+        if isinstance(expr, ast.Name):
+            if expr.id in self.fn.params:
+                return SeedOrigin("param", expr.id, line, col)
+            return SeedOrigin("derived", expr.id, line, col)
+        if isinstance(expr, ast.Call):
+            name = self.program.resolve_expr(self.module, expr.func)
+            if name in _WALL_CLOCK_CALLS:
+                return SeedOrigin("wallclock", name or "", line, col)
+            if _is_seedseq_expr(name, expr):
+                return SeedOrigin("seedseq", name or "spawn", line, col)
+            site = self._resolve(expr)
+            if len(site.callees) == 1:
+                return SeedOrigin("call", site.callees[0], line, col)
+            return SeedOrigin("derived", name or "<call>", line, col)
+        return SeedOrigin("derived", type(expr).__name__, line, col)
+
+    # -- telemetry purity (RPL104) ---------------------------------------
+
+    def _is_telemetry_read(self, call: ast.Call) -> bool:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in _TELEMETRY_READ_ATTRS:
+            return True
+        if func.attr == "snapshot" and _receiver_hint(func.value):
+            return True
+        return False
+
+    def _expr_reads_telemetry(self, expr: ast.expr, depth: int = 0) -> bool:
+        if depth > 8:
+            return False
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call) and self._is_telemetry_read(sub):
+                return True
+            if (
+                isinstance(sub, ast.Name)
+                and sub.id in self.env
+                and sub is not expr
+            ):
+                if self._expr_reads_telemetry(
+                    self.env[sub.id], depth + 1
+                ):
+                    return True
+        if isinstance(expr, ast.Name) and expr.id in self.env:
+            return self._expr_reads_telemetry(self.env[expr.id], depth + 1)
+        return False
+
+    def _feeder_calls(self, expr: ast.expr, depth: int = 0) -> list[str]:
+        """Program functions whose return value feeds this expression."""
+        feeders: list[str] = []
+        if depth > 8:
+            return feeders
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                site = self._resolve(sub)
+                feeders.extend(site.callees)
+            elif isinstance(sub, ast.Name) and sub.id in self.env:
+                inner = self.env[sub.id]
+                if inner is not expr:
+                    feeders.extend(self._feeder_calls(inner, depth + 1))
+        return sorted(set(feeders))
+
+    def _condition_nodes(self) -> list[ast.expr]:
+        conditions: list[ast.expr] = []
+        for sub in ast.walk(self.node):
+            if isinstance(sub, (ast.If, ast.While, ast.IfExp)):
+                conditions.append(sub.test)
+            elif isinstance(sub, ast.Assert):
+                conditions.append(sub.test)
+        return conditions
+
+    def _branch_sites(self) -> list[BranchSite]:
+        sites: list[BranchSite] = []
+        for test in self._condition_nodes():
+            params = sorted(
+                {
+                    sub.id
+                    for sub in ast.walk(test)
+                    if isinstance(sub, ast.Name) and sub.id in self.fn.params
+                }
+            )
+            sites.append(
+                BranchSite(
+                    line=test.lineno,
+                    col=test.col_offset,
+                    reads_telemetry=self._expr_reads_telemetry(test),
+                    feeder_calls=tuple(self._feeder_calls(test)),
+                    params=tuple(params),
+                )
+            )
+        return sites
+
+    def _arg_passes(self) -> list[ArgPass]:
+        passes: list[ArgPass] = []
+        for sub in ast.walk(self.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            site = self._resolve(sub)
+            if not site.callees:
+                continue
+            for position, arg in enumerate(sub.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                if self._expr_reads_telemetry(arg):
+                    passes.append(
+                        ArgPass(
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            callees=site.callees,
+                            slot=position,
+                            telemetry=True,
+                        )
+                    )
+            for keyword in sub.keywords:
+                if keyword.arg is None:
+                    continue
+                if self._expr_reads_telemetry(keyword.value):
+                    passes.append(
+                        ArgPass(
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            callees=site.callees,
+                            slot=keyword.arg,
+                            telemetry=True,
+                        )
+                    )
+        return passes
+
+    def _return_exprs(self) -> list[ast.expr]:
+        """Return expressions of this function only (not nested defs)."""
+        returns: list[ast.expr] = []
+        stack: list[ast.AST] = [self.node]
+        first = True
+        while stack:
+            current = stack.pop()
+            if (
+                isinstance(
+                    current,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                )
+                and not first
+            ):
+                continue
+            first = False
+            if isinstance(current, ast.Return) and current.value is not None:
+                returns.append(current.value)
+            stack.extend(ast.iter_child_nodes(current))
+        return returns
+
+    def _returns_telemetry(self) -> bool:
+        return any(
+            self._expr_reads_telemetry(expr) for expr in self._return_exprs()
+        )
+
+    def _returned_calls(self) -> list[str]:
+        names: list[str] = []
+        for expr in self._return_exprs():
+            names.extend(self._feeder_calls(expr))
+        return sorted(set(names))
+
+    def _returns_constant(self) -> bool:
+        exprs = self._return_exprs()
+        return bool(exprs) and all(
+            isinstance(self._deref(expr), ast.Constant) for expr in exprs
+        )
+
+    # -- pool payload picklability (RPL105) ------------------------------
+
+    def _is_generator_fn(self) -> bool:
+        stack: list[ast.AST] = [self.node]
+        first = True
+        while stack:
+            current = stack.pop()
+            if (
+                isinstance(
+                    current,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                )
+                and not first
+            ):
+                continue
+            first = False
+            if isinstance(current, (ast.Yield, ast.YieldFrom)):
+                return True
+            stack.extend(ast.iter_child_nodes(current))
+        return False
+
+    def _returns_unpicklable(self) -> str | None:
+        """Reason this function's return value can never pickle, if any."""
+        if self._is_generator_fn():
+            return "a generator"
+        for expr in self._return_exprs():
+            reason, _deferred = self._unpicklable_expr(expr)
+            if reason is not None:
+                return reason
+        return None
+
+    def _unpicklable_expr(
+        self, expr: ast.expr
+    ) -> tuple[str | None, str | None]:
+        """(direct reason, deferred program callee) for one expression."""
+        expr = self._deref(expr)
+        if isinstance(expr, ast.Lambda):
+            return "a lambda", None
+        if isinstance(expr, ast.GeneratorExp):
+            return "a generator expression", None
+        if isinstance(expr, ast.Name) and expr.id in self.local_defs:
+            return "a nested function", None
+        if isinstance(expr, ast.Call):
+            name = self.program.resolve_expr(self.module, expr.func)
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id == "open"
+            ) or name == "io.open":
+                return "an open file handle", None
+            if name in _UNPICKLABLE_CTORS:
+                return _UNPICKLABLE_CTORS[name], None
+            site = self._resolve(expr)
+            if len(site.callees) == 1:
+                return None, site.callees[0]
+        return None, None
+
+    def _payload_issues(self, expr: ast.expr) -> list[PoolPayloadIssue]:
+        """Issues for the elements of a tasks payload expression."""
+        expr = self._deref(expr)
+        elements: list[ast.expr]
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            elements = [
+                e for e in expr.elts if not isinstance(e, ast.Starred)
+            ]
+        elif isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            elements = [expr.elt]
+        else:
+            elements = []
+        issues: list[PoolPayloadIssue] = []
+        for element in elements:
+            flat = [element]
+            if isinstance(element, ast.Tuple):
+                flat = [
+                    e
+                    for e in element.elts
+                    if not isinstance(e, ast.Starred)
+                ]
+            for part in flat:
+                reason, deferred = self._unpicklable_expr(part)
+                if reason is not None or deferred is not None:
+                    issues.append(
+                        PoolPayloadIssue(
+                            line=part.lineno,
+                            col=part.col_offset,
+                            reason=reason or "",
+                            deferred_callee=deferred,
+                        )
+                    )
+        return issues
+
+    def _pool_calls(self) -> list[PoolCall]:
+        pool_calls: list[PoolCall] = []
+        for sub in ast.walk(self.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = self.program.resolve_expr(self.module, sub.func)
+            if name is None or name.rsplit(".", 1)[-1] != "run_supervised":
+                continue
+            issues: list[PoolPayloadIssue] = []
+            if sub.args:
+                reason, deferred = self._unpicklable_expr(sub.args[0])
+                if reason is not None:
+                    issues.append(
+                        PoolPayloadIssue(
+                            line=sub.args[0].lineno,
+                            col=sub.args[0].col_offset,
+                            reason=f"task function is {reason}",
+                            deferred_callee=None,
+                        )
+                    )
+                elif deferred is not None:
+                    issues.append(
+                        PoolPayloadIssue(
+                            line=sub.args[0].lineno,
+                            col=sub.args[0].col_offset,
+                            reason="",
+                            deferred_callee=deferred,
+                        )
+                    )
+            if len(sub.args) >= 2:
+                issues.extend(self._payload_issues(sub.args[1]))
+            pool_calls.append(
+                PoolCall(line=sub.lineno, col=sub.col_offset,
+                         issues=tuple(issues))
+            )
+        return pool_calls
+
+
+def sanctioned_sink_lines(module: ModuleInfo) -> frozenset[int]:
+    """Lines whose suppression directives sanction a raw-write sink."""
+    lines: set[int] = set()
+    for suppression in module.suppressions:
+        if set(suppression.rules) & _SINK_SANCTIONS:
+            lines.add(suppression.target_line)
+    return frozenset(lines)
+
+
+def summarize_function(
+    graph: CallGraph,
+    qualname: str,
+    duck_names: frozenset[str],
+) -> FunctionSummary:
+    """Extract the summary for one indexed function."""
+    module = graph.fn_modules[qualname]
+    fn = graph.functions[qualname]
+    node = graph.fn_nodes[qualname]
+    return _FunctionSummarizer(
+        graph,
+        module,
+        fn,
+        node,
+        duck_names,
+        sanctioned_sink_lines(module),
+    ).run()

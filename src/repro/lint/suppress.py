@@ -1,10 +1,24 @@
-"""Inline suppression comments: ``# reprolint: disable=RPL001[,RPL003]``.
+"""Inline suppression comments.
 
-A suppression silences the named rules **on its own line only** — for a
-multi-line statement, place the comment on the line the finding reports
-(the statement's first line).  Every suppression must earn its keep: one
-that silences nothing is itself reported as :data:`UNUSED_SUPPRESSION`
-so stale escapes cannot accumulate.
+Two directive forms are recognized:
+
+* ``# reprolint: disable=RPL001[,RPL003]`` — silences the named rules
+  **on its own line only**.  A directive on a decorator line covers the
+  decorator line, not the decorated function; for a multi-line
+  statement, place it on the line the finding reports (the statement's
+  first line).
+* ``# reprolint: disable-next-line=RPL001`` — silences the named rules
+  on the next line that contains code (blank and comment-only lines are
+  skipped), so a directive can sit on its own line above a long
+  statement or a decorated ``def``.
+
+Every suppression must earn its keep: one that silences nothing is
+itself reported as :data:`UNUSED_SUPPRESSION` so stale escapes cannot
+accumulate.  Because the file-local and interprocedural engines run as
+separate passes over the same directives, each pass restricts its
+unused-suppression reporting to the rule ids it owns (``unused_exempt``
+/ ``unused_only``) — a ``disable=RPL103`` directive is not "unused"
+merely because the file-local pass cannot fire RPL103.
 """
 
 from __future__ import annotations
@@ -20,7 +34,21 @@ from repro.lint.findings import Finding
 UNUSED_SUPPRESSION = "RPL007"
 
 _DIRECTIVE = re.compile(
-    r"#\s*reprolint:\s*disable=(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"#\s*reprolint:\s*(?P<form>disable|disable-next-line)="
+    r"(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+#: Token types that mark a line as containing actual code.
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
 )
 
 
@@ -28,7 +56,11 @@ _DIRECTIVE = re.compile(
 class Suppression:
     """One disable directive and the rules it has silenced so far."""
 
+    #: Line the directive comment sits on.
     line: int
+    #: Line whose findings the directive silences (differs from
+    #: ``line`` for the ``disable-next-line`` form).
+    target_line: int
     rules: tuple[str, ...]
     used: set[str] = field(default_factory=set)
 
@@ -36,13 +68,17 @@ class Suppression:
 def collect_suppressions(source: str) -> list[Suppression]:
     """Scan comment tokens for disable directives.
 
-    Tokenizing (rather than regexing raw lines) means a directive inside a
-    string literal is not mistaken for a real suppression.
+    Tokenizing (rather than regexing raw lines) means a directive inside
+    a string literal is not mistaken for a real suppression.
     """
-    suppressions: list[Suppression] = []
+    directives: list[tuple[int, str, tuple[str, ...]]] = []
+    code_lines: set[int] = set()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
+            if token.type not in _NON_CODE_TOKENS:
+                for covered in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(covered)
             if token.type != tokenize.COMMENT:
                 continue
             match = _DIRECTIVE.search(token.string)
@@ -51,26 +87,48 @@ def collect_suppressions(source: str) -> list[Suppression]:
             rules = tuple(
                 part.strip() for part in match.group("rules").split(",")
             )
-            suppressions.append(Suppression(line=token.start[0], rules=rules))
+            directives.append(
+                (token.start[0], match.group("form"), rules)
+            )
     except tokenize.TokenizeError:
         # The engine reports the parse failure separately (RPL900);
         # suppression scanning just yields what it saw up to the error.
         pass
+
+    suppressions: list[Suppression] = []
+    for line, form, rules in directives:
+        if form == "disable-next-line":
+            later = sorted(code for code in code_lines if code > line)
+            # A dangling directive with no code after it targets its own
+            # line, where it can silence nothing and is reported stale.
+            target = later[0] if later else line
+        else:
+            target = line
+        suppressions.append(
+            Suppression(line=line, target_line=target, rules=rules)
+        )
     return suppressions
 
 
 def apply_suppressions(
-    findings: list[Finding], suppressions: list[Suppression], path: str
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    path: str,
+    *,
+    unused_exempt: frozenset[str] = frozenset(),
+    unused_only: frozenset[str] | None = None,
 ) -> list[Finding]:
     """Drop suppressed findings and report unused directives.
 
-    A finding is suppressed when a directive on the same line names its
-    rule.  Directives naming rules that never fired on their line yield an
-    :data:`UNUSED_SUPPRESSION` finding per unused rule id.
+    A finding is suppressed when a directive *targeting* its line names
+    its rule.  Directives naming rules that never fired on their target
+    line yield an :data:`UNUSED_SUPPRESSION` finding per unused rule id
+    — except ids in ``unused_exempt`` (another pass owns them), or, when
+    ``unused_only`` is given, ids outside it.
     """
     by_line: dict[int, list[Suppression]] = {}
     for suppression in suppressions:
-        by_line.setdefault(suppression.line, []).append(suppression)
+        by_line.setdefault(suppression.target_line, []).append(suppression)
 
     kept: list[Finding] = []
     for finding in findings:
@@ -84,17 +142,20 @@ def apply_suppressions(
 
     for suppression in suppressions:
         for rule in suppression.rules:
-            if rule not in suppression.used:
-                kept.append(
-                    Finding(
-                        path=path,
-                        line=suppression.line,
-                        col=0,
-                        rule=UNUSED_SUPPRESSION,
-                        message=(
-                            f"suppression of {rule} silences nothing on "
-                            "this line; remove the stale directive"
-                        ),
-                    )
+            if rule in suppression.used or rule in unused_exempt:
+                continue
+            if unused_only is not None and rule not in unused_only:
+                continue
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=(
+                        f"suppression of {rule} silences nothing on "
+                        "its target line; remove the stale directive"
+                    ),
                 )
+            )
     return kept

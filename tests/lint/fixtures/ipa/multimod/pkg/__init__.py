@@ -1,0 +1,5 @@
+"""Package facade re-exporting the crash class under a new name."""
+
+from pkg.core.errors import Boom as PkgBoom
+
+__all__ = ["PkgBoom"]

@@ -1,0 +1,14 @@
+"""Crash-raising scanner, importing the crash class relatively."""
+
+from .errors import Boom
+
+
+class Chaos:
+    def __init__(self, fuse):
+        self.fuse = fuse
+
+    def scan(self, target):
+        self.fuse -= 1
+        if self.fuse == 0:
+            raise Boom()
+        return target

@@ -1,0 +1,2 @@
+class Boom(BaseException):
+    """The real crash class, two re-export hops from its users."""

@@ -1,0 +1,17 @@
+"""Catches the re-exported, aliased crash class: RPL101 through aliases.
+
+``Crash`` is ``pkg.PkgBoom`` is ``pkg.core.errors.Boom`` — the finding
+only exists if import-alias and re-export resolution both work.
+"""
+
+from pkg import PkgBoom as Crash
+
+
+def sweep(fs, targets):
+    found = []
+    for target in targets:
+        try:
+            found.append(fs.scan(target))
+        except Crash:
+            found.append(None)
+    return found

@@ -1,0 +1,24 @@
+"""Fault injector: a crash class and a filesystem that raises it."""
+
+
+class SimCrash(BaseException):
+    """Derives from BaseException (not Exception): a simulated crash."""
+
+
+class ChaosFS:
+    """Filesystem seam whose operations can raise SimCrash."""
+
+    def __init__(self, budget):
+        self.budget = budget
+
+    def _tick(self):
+        self.budget -= 1
+        if self.budget == 0:
+            raise SimCrash()
+
+    def read(self, path):
+        self._tick()
+        return ""
+
+    def replace(self, src, dst):
+        self._tick()

@@ -1,0 +1,16 @@
+"""Re-raises SimCrash after cleanup: RPL101 negative."""
+
+from app.faults import SimCrash
+
+
+def copy_all(fs, paths):
+    copied = []
+    for path in paths:
+        try:
+            copied.append(fs.read(path))
+        except SimCrash:
+            copied.clear()
+            raise
+        except LookupError:
+            copied.append("")
+    return copied

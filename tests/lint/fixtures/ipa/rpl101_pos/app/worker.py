@@ -1,0 +1,18 @@
+"""Swallows SimCrash around a crash-injected call: RPL101 positive.
+
+The handler is narrow (names one specific class), so the file-local
+broad-except rule says nothing; only the whole-program pass knows that
+SimCrash is a crash class and that ``fs.read`` can raise it.
+"""
+
+from app.faults import SimCrash
+
+
+def copy_all(fs, paths):
+    copied = []
+    for path in paths:
+        try:
+            copied.append(fs.read(path))
+        except SimCrash:
+            copied.append("")
+    return copied

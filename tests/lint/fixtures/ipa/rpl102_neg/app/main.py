@@ -1,0 +1,9 @@
+"""Seeds through a SeedSequence: RPL102 negative."""
+
+from numpy.random import SeedSequence
+
+from app.rng import make_stream
+
+
+def build(root_entropy):
+    return make_stream(SeedSequence(root_entropy))

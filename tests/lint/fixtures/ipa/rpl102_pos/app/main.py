@@ -1,0 +1,12 @@
+"""Passes a literal seed into the factory: RPL102 positive.
+
+Each file is clean on its own — the creation is seeded (RPL001 quiet)
+and the literal is just an int.  Only following the call graph shows the
+seed bottoming out in a hard-coded literal.
+"""
+
+from app.rng import make_stream
+
+
+def build():
+    return make_stream(1234)

@@ -1,0 +1,7 @@
+"""RNG factory: seed arrives as a parameter, so the file is locally clean."""
+
+from numpy.random import default_rng
+
+
+def make_stream(seed):
+    return default_rng(seed)

@@ -1,0 +1,8 @@
+"""Caller routing writes through the storage barrier: RPL103 negative."""
+
+from app.storage.writer import dump
+
+
+def publish(fs, results):
+    for name in sorted(results):
+        dump(fs, name + ".txt", results[name])

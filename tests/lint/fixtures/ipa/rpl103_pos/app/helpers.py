@@ -1,0 +1,6 @@
+"""Raw write through a filesystem seam: invisible to file-local RPL008."""
+
+
+def dump(fs, path, text):
+    with fs.open(path, "w") as handle:
+        handle.write(text)

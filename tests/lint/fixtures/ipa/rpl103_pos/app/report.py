@@ -1,0 +1,8 @@
+"""Caller reaching a raw-write sink one hop away: RPL103 positive."""
+
+from app.helpers import dump
+
+
+def publish(fs, results):
+    for name in sorted(results):
+        dump(fs, name + ".txt", results[name])

@@ -1,0 +1,11 @@
+"""Branches on pipeline state while telemetry stays write-only."""
+
+from app.readers import pending
+
+
+def drain(metrics, queue):
+    drained = 0
+    while pending(metrics, queue):
+        queue.pop()
+        drained += 1
+    return drained

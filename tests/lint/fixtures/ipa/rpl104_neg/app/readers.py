@@ -1,0 +1,6 @@
+"""Helper that records telemetry but returns pipeline state."""
+
+
+def pending(metrics, queue):
+    metrics.increment("drain.polls")
+    return len(queue)

@@ -1,0 +1,16 @@
+"""Branches on a telemetry-derived value: RPL104 positive.
+
+The condition calls a plain function — no telemetry attribute appears in
+this file, so only return-taint propagation over the call graph can see
+that the loop is steered by a counter.
+"""
+
+from app.readers import pending
+
+
+def drain(metrics, queue):
+    drained = 0
+    while pending(metrics):
+        queue.pop()
+        drained += 1
+    return drained

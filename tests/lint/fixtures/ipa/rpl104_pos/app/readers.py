@@ -1,0 +1,5 @@
+"""Helper whose return value derives from a telemetry read."""
+
+
+def pending(metrics):
+    return metrics.counter_value("tweets.pending")

@@ -1,0 +1,13 @@
+"""Plain-data payloads cross the pool boundary: RPL105 negative."""
+
+from app.pool import run_supervised
+
+
+def process(path, retries):
+    del retries
+    return len(path)
+
+
+def launch(paths):
+    tasks = [(path, 3) for path in paths]
+    return run_supervised(process, tasks, workers=2)

@@ -1,0 +1,18 @@
+"""Ships an open handle across the pool boundary: RPL105 positive.
+
+The payload element is a plain call in this file; that the call returns
+an open file handle is only visible through the callee's summary.
+"""
+
+from app.handles import open_log
+from app.pool import run_supervised
+
+
+def process(path, sink):
+    del sink
+    return len(path)
+
+
+def launch(paths):
+    tasks = [(path, open_log(path + ".log")) for path in paths]
+    return run_supervised(process, tasks, workers=2)

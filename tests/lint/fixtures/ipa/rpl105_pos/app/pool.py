@@ -1,0 +1,6 @@
+"""Supervised-pool boundary (payloads must cross a pickle boundary)."""
+
+
+def run_supervised(func, tasks, *, workers=2):
+    del workers
+    return [func(*task) for task in tasks]

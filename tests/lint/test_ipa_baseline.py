@@ -1,0 +1,109 @@
+"""The lint-baseline.json ratchet: keying, staleness, versioning."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.findings import Finding
+from repro.lint.ipa import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+
+
+def _finding(rule: str = "RPL103", path: str = "src/app/x.py",
+             symbol: str = "app.x.run", line: int = 10) -> Finding:
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   message="m", symbol=symbol)
+
+
+def test_missing_baseline_is_empty() -> None:
+    baseline = load_baseline("no/such/baseline.json")
+    assert baseline.entries == frozenset()
+
+
+def test_roundtrip_write_then_load(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    count = write_baseline([_finding(), _finding(rule="RPL101")], path)
+    assert count == 2
+    baseline = load_baseline(path)
+    assert ("RPL103", "src/app/x.py", "app.x.run") in baseline.entries
+    assert ("RPL101", "src/app/x.py", "app.x.run") in baseline.entries
+
+
+def test_baseline_matches_on_symbol_not_line(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding(line=10)], path)
+    baseline = load_baseline(path)
+    # Same (rule, path, symbol) at a different line is grandfathered:
+    # unrelated edits above the finding must not break the ratchet.
+    new, grandfathered, stale = split_baselined(
+        [_finding(line=99)], baseline
+    )
+    assert new == []
+    assert len(grandfathered) == 1
+    assert stale == []
+
+
+def test_new_findings_are_not_grandfathered(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    baseline = load_baseline(path)
+    fresh = _finding(symbol="app.x.other")
+    new, grandfathered, stale = split_baselined(
+        [_finding(), fresh], baseline
+    )
+    assert new == [fresh]
+    assert len(grandfathered) == 1
+    assert stale == []
+
+
+def test_stale_entries_are_reported_sorted(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline(
+        [_finding(symbol="app.x.b"), _finding(symbol="app.x.a")], path
+    )
+    baseline = load_baseline(path)
+    new, grandfathered, stale = split_baselined([], baseline)
+    assert new == [] and grandfathered == []
+    assert stale == [
+        ("RPL103", "src/app/x.py", "app.x.a"),
+        ("RPL103", "src/app/x.py", "app.x.b"),
+    ]
+
+
+def test_version_mismatch_is_an_error(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"version": 999, "findings": []}), encoding="utf-8"
+    )
+    with pytest.raises(BaselineError, match="version"):
+        load_baseline(path)
+
+
+def test_malformed_baseline_is_an_error(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text("[]", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_written_baseline_is_deterministic(tmp_path: Path) -> None:
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    findings = [_finding(symbol="app.x.b"), _finding(symbol="app.x.a")]
+    write_baseline(findings, a)
+    write_baseline(list(reversed(findings)), b)
+    assert a.read_text(encoding="utf-8") == b.read_text(encoding="utf-8")
+
+
+def test_empty_baseline_object() -> None:
+    assert Baseline.empty().entries == frozenset()

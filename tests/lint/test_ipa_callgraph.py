@@ -1,0 +1,87 @@
+"""Whole-program loader and call graph: names, aliases, duck edges."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.ipa import CallGraph, Program, graph_to_dot, graph_to_json, run_ipa
+from repro.lint.ipa.dataflow import compute_crash_classes
+from repro.lint.ipa.program import module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ipa"
+MULTIMOD = FIXTURES / "multimod"
+
+
+def test_module_names_derive_from_package_markers() -> None:
+    assert module_name_for(MULTIMOD / "pkg" / "use.py") == "pkg.use"
+    assert module_name_for(MULTIMOD / "pkg" / "__init__.py") == "pkg"
+    assert (
+        module_name_for(MULTIMOD / "pkg" / "core" / "errors.py")
+        == "pkg.core.errors"
+    )
+
+
+def test_reexport_and_alias_canonicalize_to_one_spelling() -> None:
+    program = Program.load([MULTIMOD])
+    # pkg re-exports Boom as PkgBoom; use.py aliases that to Crash.
+    assert program.canonicalize("pkg.PkgBoom") == "pkg.core.errors.Boom"
+    use = program.modules["pkg.use"]
+    assert program.resolve_local(use, "Crash") == "pkg.core.errors.Boom"
+
+
+def test_relative_import_resolves_to_absolute_target() -> None:
+    program = Program.load([MULTIMOD])
+    chaos = program.modules["pkg.core.chaos"]
+    assert chaos.imports["Boom"] == "pkg.core.errors.Boom"
+
+
+def test_crash_classes_are_baseexception_not_exception() -> None:
+    program = Program.load([MULTIMOD])
+    graph = CallGraph(program)
+    assert compute_crash_classes(graph) == frozenset(
+        {"pkg.core.errors.Boom"}
+    )
+
+
+def test_self_calls_resolve_to_methods() -> None:
+    fixture = FIXTURES / "rpl101_pos"
+    result = run_ipa([fixture])
+    edges = result.graph.edges()
+    assert (
+        "app.faults.ChaosFS.read",
+        "app.faults.ChaosFS._tick",
+    ) in edges
+
+
+def test_duck_edge_links_seam_call_to_crash_raising_method() -> None:
+    # ``fs.scan`` in pkg.use.sweep has no resolvable receiver type; the
+    # duck seam links it to Chaos.scan because Chaos raises a crash class.
+    result = run_ipa([MULTIMOD])
+    assert (
+        "pkg.use.sweep",
+        "pkg.core.chaos.Chaos.scan",
+    ) in result.graph.edges()
+
+
+def test_graph_exports_are_deterministic_and_parseable() -> None:
+    result_a = run_ipa([MULTIMOD])
+    result_b = run_ipa([MULTIMOD])
+    assert graph_to_json(result_a.graph) == graph_to_json(result_b.graph)
+    assert graph_to_dot(result_a.graph) == graph_to_dot(result_b.graph)
+    dot = graph_to_dot(result_a.graph)
+    assert dot.startswith("digraph callgraph {")
+    assert '"pkg.use.sweep" -> "pkg.core.chaos.Chaos.scan";' in dot
+
+    import json
+
+    payload = json.loads(graph_to_json(result_a.graph))
+    assert payload["stats"]["functions"] == len(result_a.graph.functions)
+    assert ["pkg.use.sweep", "pkg.core.chaos.Chaos.scan"] in payload["edges"]
+
+
+def test_parse_failure_becomes_rpl900_finding(tmp_path: Path) -> None:
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    result = run_ipa([tmp_path])
+    assert [f.rule for f in result.findings] == ["RPL900"]
+    assert result.findings[0].path == str(bad)

@@ -1,0 +1,182 @@
+"""``repro lint --ipa``: exit codes, baseline ratchet, graph export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ipa"
+POS = FIXTURES / "rpl101_pos"
+NEG = FIXTURES / "rpl101_neg"
+
+
+def test_ipa_findings_exit_nonzero(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--ipa", str(POS)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL101" in out
+    assert "SimCrash" in out
+
+
+def test_ipa_clean_tree_exits_zero(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--ipa", str(NEG)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_ipa_json_format_carries_symbol(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--ipa", "--format", "json", str(POS)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["rule"] for entry in payload] == ["RPL101"]
+    assert payload[0]["symbol"] == "app.worker.copy_all"
+
+
+def test_baselined_findings_do_not_fail(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        ["lint", "--ipa", "--write-baseline",
+         "--baseline", str(baseline), str(POS)]
+    ) == 0
+    assert "wrote 1 baseline entry" in capsys.readouterr().out
+    assert main(
+        ["lint", "--ipa", "--baseline", str(baseline), str(POS)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+    assert "0 findings (1 baselined)" in out
+
+
+def test_stale_baseline_entry_is_reported(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        ["lint", "--ipa", "--write-baseline",
+         "--baseline", str(baseline), str(POS)]
+    ) == 0
+    capsys.readouterr()
+    # The negative fixture never fires, so the entry is stale.
+    assert main(
+        ["lint", "--ipa", "--baseline", str(baseline), str(NEG)]
+    ) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_baseline_version_mismatch_is_usage_error(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps({"version": 999, "findings": []}), encoding="utf-8"
+    )
+    assert main(
+        ["lint", "--ipa", "--baseline", str(baseline), str(NEG)]
+    ) == 2
+    assert "version" in capsys.readouterr().out
+
+
+def test_graph_export_dot_and_json(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--ipa", "--graph", "dot", str(POS)]) == 0
+    dot = capsys.readouterr().out
+    assert dot.startswith("digraph callgraph {")
+    assert "app.worker.copy_all" in dot
+
+    assert main(["lint", "--ipa", "--graph", "json", str(POS)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["modules"] == 3
+
+
+def test_graph_without_ipa_is_usage_error(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--graph", "dot", str(POS)]) == 2
+    assert "--graph requires --ipa" in capsys.readouterr().out
+
+
+def test_write_baseline_without_ipa_is_usage_error(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--write-baseline", str(POS)]) == 2
+    assert "--write-baseline requires --ipa" in capsys.readouterr().out
+
+
+def test_rules_flag_accepts_ipa_ids_and_implies_ipa(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    # RPL101 fires on the positive fixture even without --ipa spelled out.
+    assert main(["lint", "--rules", "RPL101", str(POS)]) == 1
+    assert "RPL101" in capsys.readouterr().out
+    # Restricting to a different interprocedural rule finds nothing.
+    assert main(["lint", "--rules", "RPL102", str(POS)]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_error_lists_both_catalogs(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--rules", "RPL042", str(POS)]) == 2
+    out = capsys.readouterr().out
+    assert "RPL001" in out
+    assert "RPL101" in out
+
+
+def test_list_rules_includes_ipa_catalog(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPL101", "RPL102", "RPL103", "RPL104", "RPL105"):
+        assert rule_id in out
+    assert "[--ipa]" in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_fully_suppressed_run_exits_zero_in_both_formats(
+    fmt: str, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    # Regression: an all-findings-suppressed run must report success in
+    # every output format, not just the text one.
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def f(x):\n"
+        "    assert x  # reprolint: disable=RPL006\n"
+        "    return x\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--format", fmt, str(mod)]) == 0
+    out = capsys.readouterr().out
+    if fmt == "json":
+        assert json.loads(out) == []
+    else:
+        assert "0 findings" in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_suppressed_ipa_run_exits_zero_in_both_formats(
+    fmt: str, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    import shutil
+
+    target = tmp_path / "prog"
+    shutil.copytree(POS, target)
+    worker = target / "app" / "worker.py"
+    source = worker.read_text(encoding="utf-8").replace(
+        "        except SimCrash:",
+        "        # reprolint: disable-next-line=RPL101\n"
+        "        except SimCrash:",
+    )
+    worker.write_text(source, encoding="utf-8")
+    assert main(["lint", "--ipa", "--format", fmt, str(target)]) == 0
+    capsys.readouterr()

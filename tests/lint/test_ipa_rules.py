@@ -1,0 +1,151 @@
+"""RPL101–RPL105 on the fixture programs.
+
+Every positive fixture is also run through the *file-local* engine and
+must come back empty: each interprocedural rule is demonstrated on a
+violation the single-file pass cannot see, which is the reason the IPA
+layer exists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.ipa import IPA_RULE_IDS, run_ipa
+from repro.lint.ipa.analyzer import UnknownIpaRuleError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ipa"
+
+CASES = [
+    ("rpl101_pos", "RPL101"),
+    ("rpl102_pos", "RPL102"),
+    ("rpl103_pos", "RPL103"),
+    ("rpl104_pos", "RPL104"),
+    ("rpl105_pos", "RPL105"),
+]
+
+
+@pytest.mark.parametrize(("fixture", "rule"), CASES)
+def test_positive_fixture_fires_exactly_its_rule(
+    fixture: str, rule: str
+) -> None:
+    result = run_ipa([FIXTURES / fixture])
+    fired = sorted({f.rule for f in result.findings})
+    assert fired == [rule]
+    assert all(f.symbol for f in result.findings)
+
+
+@pytest.mark.parametrize(("fixture", "rule"), CASES)
+def test_positive_fixture_is_invisible_to_file_local_pass(
+    fixture: str, rule: str
+) -> None:
+    del rule
+    assert run_lint([FIXTURES / fixture]) == []
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ["rpl101_neg", "rpl102_neg", "rpl103_neg", "rpl104_neg", "rpl105_neg"],
+)
+def test_negative_fixture_is_clean(fixture: str) -> None:
+    assert run_ipa([FIXTURES / fixture]).findings == []
+
+
+def test_rpl101_names_the_crash_class_and_call_path() -> None:
+    result = run_ipa([FIXTURES / "rpl101_pos"])
+    (finding,) = result.findings
+    assert finding.symbol == "app.worker.copy_all"
+    assert "app.faults.SimCrash" in finding.message
+    assert "app.faults.ChaosFS.read" in finding.message
+    assert "app.faults.ChaosFS._tick" in finding.message
+
+
+def test_rpl102_traces_literal_through_the_caller_chain() -> None:
+    result = run_ipa([FIXTURES / "rpl102_pos"])
+    (finding,) = result.findings
+    assert finding.symbol == "app.rng.make_stream"
+    assert "literal 1234" in finding.message
+    assert "app.main.build" in finding.message
+
+
+def test_rpl103_reports_both_seam_sink_and_reaching_caller() -> None:
+    result = run_ipa([FIXTURES / "rpl103_pos"])
+    symbols = sorted(f.symbol for f in result.findings)
+    assert symbols == ["app.helpers.dump", "app.report.publish"]
+
+
+def test_rpl103_storage_package_is_the_barrier() -> None:
+    assert run_ipa([FIXTURES / "rpl103_neg"]).findings == []
+
+
+def test_rpl104_blames_the_telemetry_deriving_feeder() -> None:
+    result = run_ipa([FIXTURES / "rpl104_pos"])
+    (finding,) = result.findings
+    assert finding.symbol == "app.flow.drain"
+    assert "app.readers.pending" in finding.message
+
+
+def test_rpl105_names_the_unpicklable_producer() -> None:
+    result = run_ipa([FIXTURES / "rpl105_pos"])
+    (finding,) = result.findings
+    assert finding.symbol == "app.jobs.launch"
+    assert "app.handles.open_log" in finding.message
+    assert "open file handle" in finding.message
+
+
+def test_multimod_fires_through_alias_and_reexport() -> None:
+    result = run_ipa([FIXTURES / "multimod"])
+    (finding,) = result.findings
+    assert finding.rule == "RPL101"
+    assert finding.symbol == "pkg.use.sweep"
+    assert "pkg.core.errors.Boom" in finding.message
+
+
+def test_rule_subset_runs_only_requested_rules() -> None:
+    # rpl101_pos violates RPL101 only; asking for RPL102 finds nothing.
+    result = run_ipa([FIXTURES / "rpl101_pos"], rules=("RPL102",))
+    assert result.findings == []
+
+
+def test_unknown_ipa_rule_raises() -> None:
+    with pytest.raises(UnknownIpaRuleError):
+        run_ipa([FIXTURES / "rpl101_pos"], rules=("RPL999",))
+
+
+def test_suppression_silences_an_ipa_finding(tmp_path: Path) -> None:
+    import shutil
+
+    target = tmp_path / "rpl101_pos"
+    shutil.copytree(FIXTURES / "rpl101_pos", target)
+    worker = target / "app" / "worker.py"
+    source = worker.read_text(encoding="utf-8").replace(
+        "        except SimCrash:",
+        "        # reprolint: disable-next-line=RPL101\n"
+        "        except SimCrash:",
+    )
+    worker.write_text(source, encoding="utf-8")
+    assert run_ipa([target]).findings == []
+
+
+def test_unused_ipa_suppression_is_reported(tmp_path: Path) -> None:
+    clean = tmp_path / "mod.py"
+    clean.write_text(
+        "def f(x):\n"
+        "    return x  # reprolint: disable=RPL103\n",
+        encoding="utf-8",
+    )
+    result = run_ipa([tmp_path])
+    assert [f.rule for f in result.findings] == ["RPL007"]
+    assert "RPL103" in result.findings[0].message
+
+
+def test_ipa_rule_ids_are_the_documented_five() -> None:
+    assert IPA_RULE_IDS == (
+        "RPL101",
+        "RPL102",
+        "RPL103",
+        "RPL104",
+        "RPL105",
+    )

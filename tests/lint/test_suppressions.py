@@ -60,3 +60,82 @@ def test_directive_inside_string_literal_is_not_a_suppression() -> None:
     )
     rules = [f.rule for f in lint_source(source, SRC)]
     assert rules == ["RPL001"]
+
+
+def test_decorator_line_directive_does_not_cover_the_function() -> None:
+    # Regression: a directive on a decorator line is scoped to exactly
+    # that line — it must not leak onto the decorated ``def`` or body.
+    source = (
+        "import functools\n"
+        "@functools.cache  # reprolint: disable=RPL005\n"
+        "def f(x=[]):\n"
+        "    return x\n"
+    )
+    rules = sorted(f.rule for f in lint_source(source, SRC))
+    assert rules == ["RPL005", UNUSED_SUPPRESSION]
+
+
+def test_disable_next_line_targets_the_next_code_line() -> None:
+    source = (
+        "import numpy as np\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "rng = np.random.default_rng()\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_disable_next_line_skips_blank_and_comment_lines() -> None:
+    source = (
+        "import numpy as np\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "\n"
+        "# an unrelated comment\n"
+        "rng = np.random.default_rng()\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_disable_next_line_between_decorator_and_def() -> None:
+    # Findings on a decorated function report at the ``def`` line, so
+    # the directive goes between the decorator and the ``def``.
+    source = (
+        "import functools\n"
+        "@functools.cache\n"
+        "# reprolint: disable-next-line=RPL005\n"
+        "def f(x=[]):\n"
+        "    return x\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_dangling_disable_next_line_is_reported_unused() -> None:
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)\n"
+        "# reprolint: disable-next-line=RPL001\n"
+    )
+    findings = lint_source(source, SRC)
+    assert [(f.rule, f.line) for f in findings] == [(UNUSED_SUPPRESSION, 3)]
+
+
+def test_ipa_rule_directives_are_not_reported_by_local_pass() -> None:
+    # The file-local pass can never satisfy a disable=RPL10x directive;
+    # policing those belongs to the --ipa pass (unused_exempt).
+    source = (
+        "def f(fs, path, text):\n"
+        "    with fs.open(path, 'w') as h:  # reprolint: disable=RPL103\n"
+        "        h.write(text)\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_unused_only_restricts_reporting_scope() -> None:
+    from repro.lint.suppress import apply_suppressions, collect_suppressions
+
+    source = "x = 1  # reprolint: disable=RPL001,RPL103\n"
+    suppressions = collect_suppressions(source)
+    only_ipa = apply_suppressions(
+        [], suppressions, "mod.py", unused_only=frozenset({"RPL103"})
+    )
+    assert [f.rule for f in only_ipa] == [UNUSED_SUPPRESSION]
+    assert "RPL103" in only_ipa[0].message
