@@ -40,6 +40,14 @@ dataflow fixpoints, RPL101–RPL105) — together with the analyzed-program
 size (modules, functions, classes, call edges).  The numbers back the
 CI timing guard: the whole-program pass must stay well under its
 30-second budget, and the artifact shows what that budget buys.
+
+Schema v6 adds a ``serving`` section: throughput and shed rate of the
+overload-robust query service at offered loads of 1x, 4x, and 16x the
+sustained admission capacity (the token-bucket refill rate).  Each run
+replays an evenly spaced request schedule on the simulated clock and
+must satisfy the request-accounting invariant — completed + shed +
+expired + dead-lettered == submitted — so the shed rate measures
+explicit back-pressure, never silent loss.
 """
 
 from __future__ import annotations
@@ -67,13 +75,14 @@ from repro.obs.export import write_trace
 from repro.organs import N_ORGANS, Organ
 from repro.pipeline.parallel import run_sharded
 from repro.pipeline.runner import CollectionPipeline
+from repro.serve import QueryRequest, QueryService, ServicePolicy
 from repro.storage.manifest import verify_file
 from repro.supervise import SupervisorPolicy
 from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
 from repro.twitter.models import Tweet, UserProfile
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
@@ -338,6 +347,82 @@ def bench_observability(
     return entry
 
 
+def bench_serving(
+    n_requests: int,
+    load_factors: tuple[int, ...],
+    seed: int,
+) -> dict[str, Any]:
+    """Throughput and shed rate of the query service under offered load.
+
+    One request schedule per load factor: arrivals are evenly spaced at
+    ``factor``× the admission token-refill rate, so 1× offers exactly
+    the sustained capacity and 16× is a heavy overload.  The mix cycles
+    the three analysis queries with a health probe every eighth request
+    (health is CRITICAL and must never shed).  Every run is checked
+    against the accounting invariant — completed + shed + expired +
+    dead-lettered == submitted — so the shed rate prices explicit
+    back-pressure, never silent loss.  Wall time covers the whole
+    simulated event loop; the simulated makespan is recorded separately.
+    """
+    kinds = ("state_signature", "relative_risk", "cluster_profile")
+    entry: dict[str, Any] = {
+        "seed": seed,
+        "n_requests": n_requests,
+        "runs": [],
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp)
+        write_jsonl(make_collected(3_000), run_dir / "corpus.jsonl")
+        for factor in load_factors:
+            policy = ServicePolicy()
+            rate = policy.admission.refill_per_second * factor
+            requests = []
+            for i in range(n_requests):
+                if i % 8 == 0:
+                    kind = "health"
+                    params: tuple[tuple[str, str], ...] = ()
+                elif kinds[i % len(kinds)] == "cluster_profile":
+                    kind = "cluster_profile"
+                    params = (("cluster", str(i % policy.cluster_k)),)
+                else:
+                    kind = kinds[i % len(kinds)]
+                    params = (("state", "KS"),)
+                requests.append(QueryRequest(
+                    request_id=f"bench-{factor}x-{i}",
+                    kind=kind,
+                    arrival=round(i / rate, 9),
+                    params=params,
+                ))
+            service = QueryService(run_dir, policy=policy)
+            start = time.perf_counter()
+            result = service.serve(requests)
+            seconds = time.perf_counter() - start
+            report = result.report
+            simulated = max(
+                (response.finished_at for response in result.responses),
+                default=0.0,
+            )
+            entry["runs"].append({
+                "offered_x_capacity": factor,
+                "offered_rate_rps": round(rate, 1),
+                "submitted": report.submitted,
+                "completed": report.completed,
+                "shed": report.shed,
+                "expired": report.expired,
+                "dead_lettered": report.dead_lettered,
+                "degraded": report.degraded,
+                "max_brownout_level": report.max_brownout_level,
+                "shed_rate": round(report.shed / report.submitted, 4),
+                "simulated_seconds": round(simulated, 4),
+                "seconds": round(seconds, 4),
+                "throughput_responses_per_s": round(
+                    len(result.responses) / seconds, 1
+                ),
+                "accounting_exact": report.accounted,
+            })
+    return entry
+
+
 def bench_static_analysis(root: str = "src/repro") -> dict[str, Any]:
     """Time both reprolint passes over the source tree.
 
@@ -455,6 +540,8 @@ def run_suite(
     supervision_size: int = 20_000,
     durability_counts: tuple[int, ...] = (10_000, 100_000),
     observability_sizes: tuple[int, ...] = (10_000, 100_000),
+    serving_requests: int = 480,
+    serving_load_factors: tuple[int, ...] = (1, 4, 16),
 ) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
     payload: dict[str, Any] = {
@@ -472,6 +559,7 @@ def run_suite(
         "supervision": bench_supervision(supervision_size, seed),
         "durability": bench_durability(durability_counts, seed),
         "observability": bench_observability(observability_sizes, seed),
+        "serving": bench_serving(serving_requests, serving_load_factors, seed),
         "static_analysis": bench_static_analysis(),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
@@ -621,6 +709,39 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                 if run.get("byte_identical_to_untraced") is not True:
                     problems.append(
                         f"{run_where}: traced corpus is not byte-identical"
+                    )
+
+    serving = payload.get("serving")
+    if not isinstance(serving, dict):
+        problems.append("payload.serving: expected object")
+    else:
+        need(serving, "n_requests", int, "serving")
+        srv_runs = serving.get("runs")
+        if not isinstance(srv_runs, list) or not srv_runs:
+            problems.append("serving.runs: expected non-empty list")
+        else:
+            for j, run in enumerate(srv_runs):
+                run_where = f"serving.runs[{j}]"
+                need(run, "offered_x_capacity", int, run_where)
+                need(run, "offered_rate_rps", float, run_where)
+                need(run, "submitted", int, run_where)
+                need(run, "completed", int, run_where)
+                need(run, "shed", int, run_where)
+                need(run, "expired", int, run_where)
+                need(run, "dead_lettered", int, run_where)
+                need(run, "shed_rate", float, run_where)
+                need(run, "seconds", float, run_where)
+                need(run, "throughput_responses_per_s", float, run_where)
+                rate = run.get("shed_rate")
+                if (
+                    isinstance(rate, (int, float))
+                    and not isinstance(rate, bool)
+                    and not 0.0 <= rate <= 1.0
+                ):
+                    problems.append(f"{run_where}.shed_rate: outside [0, 1]")
+                if run.get("accounting_exact") is not True:
+                    problems.append(
+                        f"{run_where}: request accounting is not exact"
                     )
 
     static_analysis = payload.get("static_analysis")

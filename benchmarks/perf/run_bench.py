@@ -70,6 +70,7 @@ def main(argv: list[str] | None = None) -> int:
         supervision_size=2_000 if args.smoke else 20_000,
         durability_counts=(1_000,) if args.smoke else (10_000, 100_000),
         observability_sizes=(2_000,) if args.smoke else (10_000, 100_000),
+        serving_requests=240 if args.smoke else 480,
     )
     problems = validate_payload(payload)
     if problems:
@@ -104,6 +105,14 @@ def main(argv: list[str] | None = None) -> int:
             f"plain={run['plain_seconds']:.3f}s "
             f"atomic+manifest={run['atomic_manifest_seconds']:.3f}s "
             f"overhead={run['overhead_vs_plain']}x"
+        )
+    for run in payload["serving"]["runs"]:
+        print(
+            f"  serving     offered={run['offered_x_capacity']:>2}x "
+            f"({run['offered_rate_rps']:,.0f} rps) "
+            f"shed_rate={run['shed_rate']:.1%} "
+            f"completed={run['completed']}/{run['submitted']} "
+            f"brownout={run['max_brownout_level']}"
         )
     for run in payload["observability"]["runs"]:
         print(

@@ -231,6 +231,62 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve analysis queries from a run directory, overload-protected."""
+    from repro.faults.load import LoadFaultPlan
+    from repro.obs import NULL_TELEMETRY, Telemetry, activate
+    from repro.serve import (
+        QueryService,
+        read_requests_jsonl,
+        write_responses_jsonl,
+    )
+
+    run_dir = Path(args.run_dir)
+    if not (run_dir / "corpus.jsonl").exists():
+        print(f"error: no corpus.jsonl under {run_dir}")
+        return 2
+    requests_path = Path(args.requests)
+    if not requests_path.exists():
+        print(f"error: no request file at {requests_path}")
+        return 2
+    plan = None
+    if args.load_chaos:
+        plan = LoadFaultPlan.chaos(seed=args.load_chaos_seed)
+        print(f"load chaos mode: {plan.describe()}")
+    output = Path(
+        args.output
+        if args.output
+        else requests_path.with_name(requests_path.name + ".responses.jsonl")
+    )
+    tracing = getattr(args, "trace", False)
+    telemetry = Telemetry() if tracing else NULL_TELEMETRY
+    try:
+        requests, malformed = read_requests_jsonl(requests_path)
+        with activate(telemetry):
+            service = QueryService(run_dir, plan=plan)
+            result = service.serve(requests, malformed)
+        count = write_responses_jsonl(result.responses, output)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    for label, value in result.report.as_rows():
+        print(f"{label}: {value}")
+    print(f"wrote {count:,} responses to {output}")
+    if tracing:
+        from repro.obs.export import write_trace
+
+        trace_path = output.with_name(output.name + ".trace.jsonl")
+        try:
+            write_trace(telemetry, trace_path, source=str(requests_path))
+        except (ReproError, OSError) as exc:
+            # Telemetry is advisory: losing the trace must never fail a
+            # serve run whose responses are already safely on disk.
+            print(f"warning: could not write telemetry: {exc}")
+        else:
+            print(f"wrote telemetry to {trace_path}")
+    return 0 if result.report.accounted else 1
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Regenerate paper artifacts from a corpus file."""
     wanted = [name.strip() for name in args.artifacts.split(",") if name.strip()]

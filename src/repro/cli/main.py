@@ -198,6 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--scale", type=float, default=0.12)
     replicate.set_defaults(func=commands.cmd_replicate)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer analysis queries from a completed run directory "
+        "through the overload stack (admission control, deadlines, "
+        "circuit breaker, brownout); a discrete-event simulation on a "
+        "manual clock, byte-identical for a fixed (seed, request file)",
+    )
+    serve.add_argument("run_dir",
+                       help="completed run directory (needs corpus.jsonl)")
+    serve.add_argument("--requests", required=True,
+                       help="JSONL request file: one object per line with "
+                       "id, kind, arrival, optional params/deadline")
+    serve.add_argument("--output", default=None,
+                       help="responses JSONL path (default: "
+                       "<requests>.responses.jsonl)")
+    serve.add_argument("--load-chaos", action="store_true",
+                       help="inject client storms, poison queries, and "
+                       "slow/failing artifact loads")
+    serve.add_argument("--load-chaos-seed", type=int, default=0)
+    serve.add_argument("--trace", action="store_true",
+                       help="export serve telemetry next to the responses "
+                       "file (<output>.trace.jsonl)")
+    serve.set_defaults(func=commands.cmd_serve)
+
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint determinism/reliability analyzer "

@@ -120,9 +120,9 @@ class ResiliencePolicy:
             raise ConfigError(
                 f"dedup_window must be >= 1, got {self.dedup_window}"
             )
-        if self.reorder_window < 0:
+        if self.reorder_window < 1:
             raise ConfigError(
-                f"reorder_window must be >= 0, got {self.reorder_window}"
+                f"reorder_window must be >= 1, got {self.reorder_window}"
             )
 
 

@@ -13,8 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class ConfigError(ReproError):
-    """A configuration value is invalid or inconsistent."""
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent.
+
+    Also a :class:`ValueError`: a bad numeric field on a frozen policy
+    dataclass is exactly what ``ValueError`` means in stdlib terms, so
+    callers holding only generic expectations may catch either.
+    """
 
 
 class PipelineError(ReproError):

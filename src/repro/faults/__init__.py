@@ -1,20 +1,29 @@
-"""Fault-injection plans for the compute and storage layers.
+"""Fault-injection plans for the compute, storage, and serving layers.
 
 The transport-level fault taxonomy lives in :mod:`repro.twitter.faults`;
-this package carries its siblings one and two layers down:
+this package carries its siblings across the other layers:
 :class:`repro.faults.compute.WorkerFaultPlan` injects worker crashes,
 hangs, exception storms, and slow tasks into the supervised process pool
-(:mod:`repro.supervise`), and
+(:mod:`repro.supervise`);
 :class:`repro.faults.storage.StorageFaultPlan` injects EIO/ENOSPC, torn
 writes, crash windows, fsync lies, and bitrot into the durable storage
-layer (:mod:`repro.storage`), so chaos-equivalence can be asserted all
-the way down to the disk.
+layer (:mod:`repro.storage`); and
+:class:`repro.faults.load.LoadFaultPlan` injects client storms, slow and
+failing artifact loads, and poison queries into the overload-robust
+query service (:mod:`repro.serve`) — so chaos-equivalence can be
+asserted from the request stream all the way down to the disk.
 """
 
 from repro.faults.compute import (
     InjectedComputeError,
     WorkerFault,
     WorkerFaultPlan,
+)
+from repro.faults.load import (
+    InjectedQueryError,
+    LoadFault,
+    LoadFaultPlan,
+    StormClone,
 )
 from repro.faults.storage import (
     InjectedStorageFaults,
@@ -25,9 +34,13 @@ from repro.faults.storage import (
 
 __all__ = [
     "InjectedComputeError",
+    "InjectedQueryError",
     "InjectedStorageFaults",
+    "LoadFault",
+    "LoadFaultPlan",
     "SimulatedCrash",
     "StorageFaultPlan",
+    "StormClone",
     "WorkerFault",
     "WorkerFaultPlan",
     "flip_bits",

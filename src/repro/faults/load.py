@@ -1,0 +1,209 @@
+"""Deterministic load-fault injection for the overload-robust query service.
+
+Mirror of :class:`repro.faults.compute.WorkerFaultPlan` and
+:class:`repro.faults.storage.StorageFaultPlan`, one layer up: where those
+plans make the *compute pool* and the *disk* fail the way production
+infrastructure does, this plan makes the *request stream and the
+dependency behind it* fail the way production traffic does — a client
+retry loop turns one query into a storm, arrivals burst with a heavy
+tail instead of trickling uniformly, the artifact store suddenly takes
+ten times longer to answer, a malformed query crashes its handler.
+
+Injected failure taxonomy (applied by :class:`repro.serve.service.QueryService`):
+
+* **Client storm** — a base request spawns a burst of clones arriving
+  just after it, modeling a misbehaving client (or a thundering herd)
+  hammering the same query.  Burst sizes are drawn from a heavy-tailed
+  (Pareto) distribution, so most storms are small and a few are huge —
+  the arrival pattern that actually melts services.
+* **Slow artifact** — an artifact load takes ``slow_load_seconds``
+  longer than budgeted, exercising the deadline path.
+* **Failed artifact** — an artifact load raises, exercising the circuit
+  breaker around the loading seam.
+* **Poison query** — a storm clone is marked poison and its handler
+  raises :class:`InjectedQueryError`; the service must dead-letter it,
+  never crash or silently drop it.
+
+Every decision is a pure function of ``(seed, request index)`` or
+``(seed, artifact, load index)`` — never of wall clock or scheduling —
+so a load-chaos schedule replays exactly.  Artifact faults only fire on
+the first ``max_faulted_loads`` loads of each artifact, so a breaker's
+probe schedule always finds a working dependency eventually and the
+simulation is guaranteed to drain.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_RATE_FIELDS = ("storm_rate", "poison_rate", "slow_load_rate", "load_error_rate")
+
+
+class InjectedQueryError(RuntimeError):
+    """The exception a poison query raises inside its handler.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: a poison query
+    models an arbitrary handler bug, and nothing in the service may
+    special-case it — it must travel the generic dead-letter path.
+    """
+
+
+class LoadFault(enum.Enum):
+    """One injected artifact-load fault class."""
+
+    SLOW = "slow"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class StormClone:
+    """One storm-injected request, scheduled relative to its trigger.
+
+    Attributes:
+        offset: arrival delay after the triggering request, in simulated
+            seconds.
+        poison: whether the clone is a poison query (its handler raises).
+    """
+
+    offset: float
+    poison: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LoadFaultPlan:
+    """Per-class load-fault rates and shapes for one chaos run.
+
+    Attributes:
+        seed: base seed; the whole fault schedule derives from it.
+        storm_rate: probability a base request triggers a client storm.
+        storm_burst_cap: upper bound on clones per storm (the Pareto draw
+            is truncated here).
+        storm_spread: simulated seconds over which a storm's clones
+            arrive after their trigger.
+        poison_rate: probability a storm clone is a poison query.
+        slow_load_rate: per-artifact-load probability of injected
+            latency.
+        slow_load_seconds: extra simulated seconds a slow load takes.
+        load_error_rate: per-artifact-load probability the load fails
+            (the breaker's trigger).
+        max_faulted_loads: loads (per artifact) that may draw a fault;
+            later loads run clean, so breaker probes are guaranteed to
+            converge.
+    """
+
+    seed: int = 0
+    storm_rate: float = 0.0
+    storm_burst_cap: int = 16
+    storm_spread: float = 0.2
+    poison_rate: float = 0.0
+    slow_load_rate: float = 0.0
+    slow_load_seconds: float = 1.0
+    load_error_rate: float = 0.0
+    max_faulted_loads: int = 4
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.storm_burst_cap < 1:
+            raise ConfigError(
+                f"storm_burst_cap must be >= 1, got {self.storm_burst_cap}"
+            )
+        if self.storm_spread <= 0.0:
+            raise ConfigError(
+                f"storm_spread must be > 0, got {self.storm_spread}"
+            )
+        if self.slow_load_seconds < 0.0:
+            raise ConfigError(
+                "slow_load_seconds must be >= 0, got "
+                f"{self.slow_load_seconds}"
+            )
+        if self.max_faulted_loads < 0:
+            raise ConfigError(
+                f"max_faulted_loads must be >= 0, got {self.max_faulted_loads}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "LoadFaultPlan":
+        """A perfectly polite load plan (no faults)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def chaos(cls, seed: int = 0) -> "LoadFaultPlan":
+        """Storms, slow and failing artifact loads, and poison queries at
+        moderate rates — the default for ``--load-chaos``."""
+        return cls(
+            seed=seed,
+            storm_rate=0.15,
+            poison_rate=0.1,
+            slow_load_rate=0.25,
+            load_error_rate=0.3,
+        )
+
+    def storm_for(self, request_index: int) -> tuple[StormClone, ...]:
+        """The storm (possibly empty) injected after one base request.
+
+        Pure and deterministic: the same ``(seed, request_index)`` always
+        yields the same clones, offsets, and poison flags.
+        """
+        if request_index < 0:
+            raise ConfigError(
+                f"request_index must be >= 0, got {request_index}"
+            )
+        if self.storm_rate <= 0.0:
+            return ()
+        rng = random.Random(f"{self.seed}:storm:{request_index}")
+        if rng.random() >= self.storm_rate:
+            return ()
+        # Heavy-tailed burst size: most storms are a handful of clones,
+        # the occasional one saturates the cap.
+        size = min(self.storm_burst_cap, int(rng.paretovariate(1.2)))
+        clones = []
+        for __ in range(size):
+            clones.append(
+                StormClone(
+                    offset=rng.random() * self.storm_spread,
+                    poison=(
+                        self.poison_rate > 0.0
+                        and rng.random() < self.poison_rate
+                    ),
+                )
+            )
+        return tuple(clones)
+
+    def fault_for_load(
+        self, artifact: str, load_index: int
+    ) -> LoadFault | None:
+        """The fault (if any) injected into one artifact-load attempt.
+
+        ``load_index`` counts loads of this artifact (0-based); attempts
+        past ``max_faulted_loads`` always run clean so the breaker's
+        probes converge.
+        """
+        if load_index < 0:
+            raise ConfigError(f"load_index must be >= 0, got {load_index}")
+        if load_index >= self.max_faulted_loads:
+            return None
+        rng = random.Random(f"{self.seed}:load:{artifact}:{load_index}")
+        if self.load_error_rate and rng.random() < self.load_error_rate:
+            return LoadFault.ERROR
+        if self.slow_load_rate and rng.random() < self.slow_load_rate:
+            return LoadFault.SLOW
+        return None
+
+    def describe(self) -> str:
+        active = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        )
+        return f"LoadFaultPlan(seed={self.seed}, {active or 'no faults'})"

@@ -1,0 +1,79 @@
+"""Overload-robust query service over a completed run directory.
+
+``repro serve`` turns the analysis pipeline's outputs into a queryable
+surface with the full single-host overload stack: admission control
+(:mod:`repro.serve.admission`), per-request deadlines
+(:mod:`repro.serve.deadline`), a circuit breaker on the artifact-loading
+seam (:mod:`repro.serve.breaker`), and a brownout ladder that degrades
+answers before shedding work (:mod:`repro.serve.degrade`).  The event
+loop (:mod:`repro.serve.service`) runs entirely on a simulated clock,
+and :class:`repro.serve.report.OverloadReport` proves the accounting
+invariant that no request is ever silently lost.
+"""
+
+from repro.serve.admission import (
+    AdmissionPolicy,
+    AdmissionQueue,
+    Rejected,
+    RequestClass,
+    TokenBucket,
+)
+from repro.serve.breaker import (
+    BreakerOpenError,
+    BreakerPolicy,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.serve.deadline import Deadline, DeadlineExceeded
+from repro.serve.degrade import (
+    MAX_BROWNOUT_LEVEL,
+    BrownoutLadder,
+    BrownoutPolicy,
+    CoarseSummaries,
+)
+from repro.serve.report import OverloadReport
+from repro.serve.service import (
+    QUERY_KINDS,
+    ArtifactStore,
+    Outcome,
+    QueryError,
+    QueryRequest,
+    QueryService,
+    Response,
+    ServeResult,
+    ServicePolicy,
+    read_requests_jsonl,
+    write_responses_jsonl,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "ArtifactStore",
+    "BreakerOpenError",
+    "BreakerPolicy",
+    "BreakerState",
+    "BreakerTransition",
+    "BrownoutLadder",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "CoarseSummaries",
+    "Deadline",
+    "DeadlineExceeded",
+    "MAX_BROWNOUT_LEVEL",
+    "Outcome",
+    "OverloadReport",
+    "QUERY_KINDS",
+    "QueryError",
+    "QueryRequest",
+    "QueryService",
+    "Rejected",
+    "RequestClass",
+    "Response",
+    "ServeResult",
+    "ServicePolicy",
+    "TokenBucket",
+    "read_requests_jsonl",
+    "write_responses_jsonl",
+]

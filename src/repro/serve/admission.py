@@ -1,0 +1,174 @@
+"""Admission control: bounded queue, token-bucket rate limit, priorities.
+
+The first overload defense is refusing work *explicitly at the front
+door* instead of accepting everything and collapsing later.  Two gates
+run at arrival time, in order:
+
+1. **Token bucket** — sustained offered load above
+   ``refill_per_second`` drains the bucket and arrivals are shed with
+   ``rate_limited``; short bursts up to ``bucket_capacity`` pass.
+2. **Bounded queue** — a full queue sheds with ``queue_full``; an
+   unbounded queue is how a service converts overload into unbounded
+   latency and then a silent hang.
+
+Every shed is an explicit :class:`Rejected` with a reason — a request is
+never dropped without a response.  Requests carry a class:
+``CRITICAL`` requests (health probes) bypass both gates and are drained
+before any ``NORMAL`` work, so operators can always see into an
+overloaded service — the one query class that is *never* shed.
+
+The queue is generic over the queued item so this module stays
+import-free of the request model (the service queues its own request
+type).  All timing is simulated-clock time passed in by the caller;
+nothing here reads any clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class RequestClass(enum.Enum):
+    """Admission priority class of a request."""
+
+    CRITICAL = "critical"
+    NORMAL = "normal"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPolicy:
+    """Front-door limits for one service instance.
+
+    Attributes:
+        queue_limit: maximum queued ``NORMAL`` requests; arrivals beyond
+            it are shed with ``queue_full``.
+        bucket_capacity: token-bucket burst size, in requests.
+        refill_per_second: sustained admission rate, in requests per
+            simulated second.
+    """
+
+    queue_limit: int = 64
+    bucket_capacity: float = 32.0
+    refill_per_second: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ConfigError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.bucket_capacity <= 0.0:
+            raise ConfigError(
+                f"bucket_capacity must be > 0, got {self.bucket_capacity}"
+            )
+        if self.refill_per_second <= 0.0:
+            raise ConfigError(
+                "refill_per_second must be > 0, got "
+                f"{self.refill_per_second}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Rejected:
+    """An explicit shed decision.
+
+    Attributes:
+        reason: ``"queue_full"`` or ``"rate_limited"``.
+    """
+
+    reason: str
+
+
+class TokenBucket:
+    """A deterministic token bucket on the simulated clock.
+
+    Args:
+        capacity: maximum (and initial) token count.
+        refill_per_second: tokens added per simulated second.
+        now: simulated time of construction.
+    """
+
+    __slots__ = ("_capacity", "_refill", "_tokens", "_last")
+
+    def __init__(self, capacity: float, refill_per_second: float, now: float = 0.0):
+        if capacity <= 0.0:
+            raise ConfigError(f"capacity must be > 0, got {capacity}")
+        if refill_per_second <= 0.0:
+            raise ConfigError(
+                f"refill_per_second must be > 0, got {refill_per_second}"
+            )
+        self._capacity = capacity
+        self._refill = refill_per_second
+        self._tokens = capacity
+        self._last = now
+
+    def tokens(self, now: float) -> float:
+        """Token count after refilling up to ``now`` (read-only)."""
+        elapsed = max(0.0, now - self._last)
+        return min(self._capacity, self._tokens + elapsed * self._refill)
+
+    def try_take(self, now: float) -> bool:
+        """Take one token if available; refills lazily up to ``now``."""
+        self._tokens = self.tokens(now)
+        self._last = max(self._last, now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded, class-prioritized admission queue with explicit shedding.
+
+    Args:
+        policy: front-door limits.
+        now: simulated time of construction (bucket origin).
+    """
+
+    def __init__(self, policy: AdmissionPolicy, now: float = 0.0):
+        self.policy = policy
+        self._bucket = TokenBucket(
+            policy.bucket_capacity, policy.refill_per_second, now=now
+        )
+        self._critical: deque[T] = deque()
+        self._normal: deque[T] = deque()
+
+    @property
+    def depth(self) -> int:
+        """Queued requests across both classes."""
+        return len(self._critical) + len(self._normal)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def offer(
+        self, item: T, request_class: RequestClass, now: float
+    ) -> Rejected | None:
+        """Admit ``item`` or return an explicit :class:`Rejected`.
+
+        ``CRITICAL`` items bypass the bucket and the bound — the health
+        class is never shed, whatever the load.
+        """
+        if request_class is RequestClass.CRITICAL:
+            self._critical.append(item)
+            return None
+        if not self._bucket.try_take(now):
+            return Rejected(reason="rate_limited")
+        if len(self._normal) >= self.policy.queue_limit:
+            return Rejected(reason="queue_full")
+        self._normal.append(item)
+        return None
+
+    def pop(self) -> T | None:
+        """Next request to serve: critical first, FIFO within a class."""
+        if self._critical:
+            return self._critical.popleft()
+        if self._normal:
+            return self._normal.popleft()
+        return None

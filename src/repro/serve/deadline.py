@@ -1,0 +1,67 @@
+"""Per-request deadline budgets, propagated into handler stages.
+
+A request's deadline is fixed at *arrival* (arrival time plus its budget)
+and carried through every stage a handler runs — queue wait, artifact
+load, computation, rendering all consume the same budget.  Stages call
+:meth:`Deadline.check` between units of work; an expired budget raises
+:class:`DeadlineExceeded`, the service converts that into an explicit
+``expired`` response, and **no partial payload ever leaves a handler** —
+a stage either finishes inside the budget or its output is discarded
+wholesale.
+
+Deadlines run on the service's simulated clock
+(:class:`repro.obs.clock.ManualClock`), so nothing here ever reads a
+wall clock and every expiry is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline budget ran out before its handler finished."""
+
+
+@dataclass(frozen=True, slots=True)
+class Deadline:
+    """One request's immutable expiry point on the simulated clock.
+
+    Attributes:
+        expires_at: simulated time at which the request is dead.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def from_budget(cls, arrival: float, budget: float) -> "Deadline":
+        """Fix a deadline at ``arrival + budget``.
+
+        Raises:
+            ConfigError: on a non-positive budget (a request that can
+                never be served is a configuration bug, not overload).
+        """
+        if budget <= 0.0:
+            raise ConfigError(f"deadline budget must be > 0, got {budget}")
+        return cls(expires_at=arrival + budget)
+
+    def remaining(self, now: float) -> float:
+        """Budget left at ``now`` (negative once expired)."""
+        return self.expires_at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def check(self, now: float) -> None:
+        """Raise if the budget is spent — called between handler stages.
+
+        Raises:
+            DeadlineExceeded: when ``now`` is at or past the expiry.
+        """
+        if self.expired(now):
+            raise DeadlineExceeded(
+                f"deadline expired {now - self.expires_at:.3f}s ago "
+                f"(at {self.expires_at:.3f}s)"
+            )

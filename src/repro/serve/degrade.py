@@ -1,0 +1,230 @@
+"""Brownout ladder: degrade gracefully before shedding fresh work.
+
+Between "serve everything fresh" and "shed requests" there is a middle
+rung the overload literature calls *brownout*: keep answering every
+query, but answer from cheaper, coarser material.  The ladder has three
+levels:
+
+* **0 — fresh**: handlers load run artifacts and compute full answers.
+* **1 — coarse**: handlers answer from :class:`CoarseSummaries`,
+  precomputed once at service startup — ranked organ counts instead of
+  aggregated attention distributions.
+* **2 — minimal**: handlers answer with bare counts only.
+
+The ladder steps *up* when the admission queue stays at or above a
+depth threshold for ``sustain_ticks`` consecutive dequeues (a single
+burst should not brown the service out) and steps *down* one level at a
+time after ``recover_ticks`` consecutive calm dequeues — asymmetric on
+purpose, the classic anti-flapping shape.  Levels are consulted by
+handlers at dequeue time; shedding only ever happens at admission, so
+the ordering invariant holds: **a fresh computation is degraded before
+any request is shed beyond the front-door limits.**
+
+Everything is a pure function of the observed queue-depth sequence, so
+brownout behaviour replays exactly for a fixed request schedule.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dataset.corpus import TweetCorpus
+from repro.errors import ConfigError
+from repro.organs import ORGANS
+
+#: Number of brownout levels above fresh (levels are 0, 1, 2).
+MAX_BROWNOUT_LEVEL = 2
+
+
+@dataclass(frozen=True, slots=True)
+class BrownoutPolicy:
+    """When to step the ladder up and down.
+
+    Attributes:
+        level1_depth: queue depth at which sustained load enters level 1.
+        level2_depth: queue depth at which sustained load enters level 2.
+        sustain_ticks: consecutive overloaded dequeues before stepping up.
+        recover_ticks: consecutive calm dequeues before stepping down.
+    """
+
+    level1_depth: int = 8
+    level2_depth: int = 24
+    sustain_ticks: int = 3
+    recover_ticks: int = 6
+
+    def __post_init__(self) -> None:
+        if self.level1_depth < 1:
+            raise ConfigError(
+                f"level1_depth must be >= 1, got {self.level1_depth}"
+            )
+        if self.level2_depth <= self.level1_depth:
+            raise ConfigError(
+                f"level2_depth must be > level1_depth, got "
+                f"{self.level2_depth} <= {self.level1_depth}"
+            )
+        if self.sustain_ticks < 1:
+            raise ConfigError(
+                f"sustain_ticks must be >= 1, got {self.sustain_ticks}"
+            )
+        if self.recover_ticks < 1:
+            raise ConfigError(
+                f"recover_ticks must be >= 1, got {self.recover_ticks}"
+            )
+
+
+class BrownoutLadder:
+    """Tracks the current brownout level from queue-depth observations.
+
+    Args:
+        policy: step-up/step-down thresholds.
+    """
+
+    def __init__(self, policy: BrownoutPolicy | None = None):
+        self.policy = policy or BrownoutPolicy()
+        self._level = 0
+        self._hot_ticks = 0
+        self._calm_ticks = 0
+        self.max_level_seen = 0
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def observe(self, queue_depth: int) -> int:
+        """Feed one dequeue-time queue depth; returns the level to serve at."""
+        if queue_depth < 0:
+            raise ConfigError(f"queue_depth must be >= 0, got {queue_depth}")
+        target = 0
+        if queue_depth >= self.policy.level2_depth:
+            target = 2
+        elif queue_depth >= self.policy.level1_depth:
+            target = 1
+        if target > self._level:
+            self._hot_ticks += 1
+            self._calm_ticks = 0
+            if self._hot_ticks >= self.policy.sustain_ticks:
+                self._level += 1
+                self._hot_ticks = 0
+        elif target < self._level:
+            self._calm_ticks += 1
+            self._hot_ticks = 0
+            if self._calm_ticks >= self.policy.recover_ticks:
+                self._level -= 1
+                self._calm_ticks = 0
+        else:
+            self._hot_ticks = 0
+            self._calm_ticks = 0
+        self.max_level_seen = max(self.max_level_seen, self._level)
+        return self._level
+
+
+@dataclass(frozen=True, slots=True)
+class CoarseSummaries:
+    """Precomputed coarse material the brownout levels serve from.
+
+    Built once at service startup from the run's corpus — the serving
+    analog of a cache warmed at deploy time — and deliberately *not*
+    routed through the breaker-protected artifact store: its whole point
+    is to stay answerable when the store is slow, failing, or browned
+    out.
+
+    Attributes:
+        total_users: located users in the corpus.
+        states: distinct states, sorted.
+        users_by_state: state → located-user count.
+        organ_users_by_state: state → (organ value → distinct users
+            mentioning it), canonical organ order.
+        top_organs_by_state: state → organ values ranked by user count
+            (canonical organ order breaks ties).
+    """
+
+    total_users: int
+    states: tuple[str, ...]
+    users_by_state: dict[str, int]
+    organ_users_by_state: dict[str, dict[str, int]]
+    top_organs_by_state: dict[str, tuple[str, ...]]
+
+    @classmethod
+    def from_corpus(cls, corpus: TweetCorpus) -> "CoarseSummaries":
+        """Precompute every coarse answer in one corpus pass."""
+        users_by_state: Counter[str] = Counter()
+        organ_users: dict[str, Counter[str]] = {}
+        total = 0
+        for user in corpus.user_slices():
+            if user.state is None:
+                continue
+            total += 1
+            users_by_state[user.state] += 1
+            per_state = organ_users.setdefault(user.state, Counter())
+            for organ in sorted(user.distinct_organs, key=lambda o: o.index):
+                per_state[organ.value] += 1
+        states = tuple(sorted(users_by_state))
+        organ_users_by_state = {
+            state: {
+                organ.value: organ_users[state][organ.value]
+                for organ in ORGANS
+            }
+            for state in states
+        }
+        top_organs_by_state = {
+            state: tuple(
+                organ.value
+                for organ in sorted(
+                    ORGANS,
+                    key=lambda o: (-organ_users_by_state[state][o.value], o.index),
+                )
+                if organ_users_by_state[state][organ.value] > 0
+            )
+            for state in states
+        }
+        return cls(
+            total_users=total,
+            states=states,
+            users_by_state=dict(users_by_state),
+            organ_users_by_state=organ_users_by_state,
+            top_organs_by_state=top_organs_by_state,
+        )
+
+    # -- per-kind coarse payloads ---------------------------------------
+
+    def state_signature(self, state: str, level: int) -> dict[str, object]:
+        """Coarse organ signature: ranked user counts, no aggregation."""
+        if state not in self.users_by_state:
+            return {"state": state, "found": False}
+        if level >= 2:
+            return {
+                "state": state,
+                "found": True,
+                "n_users": self.users_by_state[state],
+            }
+        return {
+            "state": state,
+            "found": True,
+            "n_users": self.users_by_state[state],
+            "organ_users": [
+                [organ, self.organ_users_by_state[state][organ]]
+                for organ in self.top_organs_by_state[state]
+            ],
+        }
+
+    def relative_risk(self, state: str, level: int) -> dict[str, object]:
+        """Coarse stand-in for RR: top organs by user count, no testing."""
+        if state not in self.users_by_state:
+            return {"state": state, "found": False}
+        if level >= 2:
+            return {"state": state, "found": True}
+        return {
+            "state": state,
+            "found": True,
+            "top_organs": list(self.top_organs_by_state[state][:2]),
+        }
+
+    def cluster_profile(self, level: int) -> dict[str, object]:
+        """Coarse stand-in for clustering: population counts only."""
+        if level >= 2:
+            return {"n_users": self.total_users}
+        return {
+            "n_users": self.total_users,
+            "n_states": len(self.states),
+        }

@@ -259,18 +259,15 @@ class ReliabilityReport:
     def summary_lines(self) -> list[str]:
         return rows_to_lines(self.as_rows())
 
-    def as_dict(self) -> dict[str, object]:
-        return {
-            f.name: getattr(self, f.name)
-            for f in fields(self)
-            if f.name != "dead_letters"
-        }
-
     def to_dict(self) -> dict[str, object]:
         """Full round-trippable form (counters plus dead letters) —
         the same shape contract as
         :meth:`repro.supervise.RunHealth.to_dict`."""
-        data = self.as_dict()
+        data: dict[str, object] = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "dead_letters"
+        }
         data["dead_letters"] = [
             letter.to_dict() for letter in self.dead_letters
         ]

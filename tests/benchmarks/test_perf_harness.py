@@ -50,6 +50,16 @@ class TestRunSuite:
         assert run["manifest_verified"] is True
         assert run["overhead_vs_plain"] > 0
 
+    def test_serving_overload_is_accounted(self, smoke_payload):
+        runs = smoke_payload["serving"]["runs"]
+        assert [run["offered_x_capacity"] for run in runs] == [1, 4, 16]
+        for run in runs:
+            assert run["accounting_exact"] is True
+            assert 0.0 <= run["shed_rate"] <= 1.0
+            assert run["throughput_responses_per_s"] > 0
+        # 16x offered load must shed more than 1x (explicit back-pressure).
+        assert runs[-1]["shed_rate"] > runs[0]["shed_rate"]
+
     def test_observability_run_is_equivalent_and_traced(self, smoke_payload):
         (run,) = smoke_payload["observability"]["runs"]
         assert run["size_target"] == 1_500
@@ -80,6 +90,13 @@ class TestValidatePayload:
         bad = json.loads(json.dumps(smoke_payload))
         bad["durability"]["runs"][0]["manifest_verified"] = False
         assert any("sidecar" in p for p in validate_payload(bad))
+
+    def test_rejects_inexact_serving_accounting(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["serving"]["runs"][0]["accounting_exact"] = False
+        assert any(
+            "accounting is not exact" in p for p in validate_payload(bad)
+        )
 
     def test_rejects_non_identical_traced_run(self, smoke_payload):
         bad = json.loads(json.dumps(smoke_payload))

@@ -1,0 +1,56 @@
+"""Serve-layer fixtures: one tiny on-disk run directory per session.
+
+The corpus is hand-built (12 users, 4 states, every organ represented)
+rather than synthesized through the pipeline: serve tests construct many
+:class:`repro.serve.QueryService` instances, and each fresh instance
+recomputes artifacts on first load, so the corpus must be small enough
+that a clustering load costs milliseconds.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.io import write_jsonl
+from repro.dataset.records import CollectedTweet
+from repro.geo.geocoder import GeoMatch
+from repro.organs import ORGANS
+from repro.twitter.models import Tweet, UserProfile
+
+SERVE_STATES = ("California", "New York", "Ohio", "Texas")
+
+
+def build_serve_corpus() -> list[CollectedTweet]:
+    """12 located users × 3 tweets, deterministic organ coverage."""
+    records = []
+    tweet_id = 1
+    for user_id in range(1, 13):
+        state = SERVE_STATES[user_id % len(SERVE_STATES)]
+        for offset in range(3):
+            organ = ORGANS[(user_id + offset) % len(ORGANS)]
+            records.append(
+                CollectedTweet(
+                    tweet=Tweet(
+                        tweet_id=tweet_id,
+                        user=UserProfile(
+                            user_id=user_id, screen_name=f"u{user_id}"
+                        ),
+                        text="t",
+                        created_at=datetime(2015, 6, 1, tzinfo=timezone.utc),
+                    ),
+                    location=GeoMatch("US", state, 0.95, "test"),
+                    mentions={organ: 1 + (offset % 2)},
+                )
+            )
+            tweet_id += 1
+    return records
+
+
+@pytest.fixture(scope="session")
+def serve_run_dir(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    run_dir = tmp_path_factory.mktemp("serve_run")
+    write_jsonl(build_serve_corpus(), run_dir / "corpus.jsonl")
+    return run_dir

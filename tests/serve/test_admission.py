@@ -1,0 +1,131 @@
+"""Admission control: bucket, bound, priorities, explicit shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import (
+    AdmissionPolicy,
+    AdmissionQueue,
+    Rejected,
+    RequestClass,
+    TokenBucket,
+)
+
+
+class TestAdmissionPolicy:
+    def test_defaults_valid(self):
+        AdmissionPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_limit": 0},
+            {"bucket_capacity": 0.0},
+            {"bucket_capacity": -1.0},
+            {"refill_per_second": 0.0},
+        ],
+    )
+    def test_rejects_degenerate_limits(self, kwargs):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(capacity=4.0, refill_per_second=1.0)
+        assert bucket.tokens(0.0) == 4.0
+
+    def test_burst_then_starves(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_second=1.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_lazily(self):
+        bucket = TokenBucket(capacity=1.0, refill_per_second=2.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5)  # 0.5s × 2/s = 1 token back
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(capacity=3.0, refill_per_second=10.0)
+        assert bucket.tokens(100.0) == 3.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_second=1.0)
+        assert bucket.try_take(5.0)
+        # An earlier-timestamped offer must not refill retroactively.
+        assert bucket.tokens(1.0) <= bucket.tokens(5.0)
+
+    def test_deterministic_sequence(self):
+        takes = []
+        for _ in range(2):
+            bucket = TokenBucket(capacity=2.0, refill_per_second=4.0)
+            takes.append(
+                tuple(bucket.try_take(i * 0.1) for i in range(20))
+            )
+        assert takes[0] == takes[1]
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(capacity=0.0, refill_per_second=1.0)
+        with pytest.raises(ConfigError):
+            TokenBucket(capacity=1.0, refill_per_second=0.0)
+
+
+class TestAdmissionQueue:
+    def _queue(self, **kwargs) -> AdmissionQueue[str]:
+        policy = AdmissionPolicy(
+            queue_limit=kwargs.pop("queue_limit", 2),
+            bucket_capacity=kwargs.pop("bucket_capacity", 100.0),
+            refill_per_second=kwargs.pop("refill_per_second", 100.0),
+        )
+        return AdmissionQueue(policy)
+
+    def test_admits_until_full_then_sheds_explicitly(self):
+        queue = self._queue(queue_limit=2)
+        assert queue.offer("a", RequestClass.NORMAL, now=0.0) is None
+        assert queue.offer("b", RequestClass.NORMAL, now=0.0) is None
+        rejected = queue.offer("c", RequestClass.NORMAL, now=0.0)
+        assert rejected == Rejected(reason="queue_full")
+        assert queue.depth == 2
+
+    def test_rate_limit_sheds_with_reason(self):
+        queue = AdmissionQueue(
+            AdmissionPolicy(
+                queue_limit=100, bucket_capacity=1.0, refill_per_second=1.0
+            )
+        )
+        assert queue.offer("a", RequestClass.NORMAL, now=0.0) is None
+        rejected = queue.offer("b", RequestClass.NORMAL, now=0.0)
+        assert rejected == Rejected(reason="rate_limited")
+
+    def test_critical_bypasses_bucket_and_bound(self):
+        queue = AdmissionQueue(
+            AdmissionPolicy(
+                queue_limit=1, bucket_capacity=1.0, refill_per_second=1.0
+            )
+        )
+        assert queue.offer("n", RequestClass.NORMAL, now=0.0) is None
+        # Bucket and queue are both exhausted; health still gets in.
+        for i in range(10):
+            assert (
+                queue.offer(f"h{i}", RequestClass.CRITICAL, now=0.0) is None
+            )
+        assert queue.depth == 11
+
+    def test_pop_serves_critical_first_fifo_within_class(self):
+        queue = self._queue(queue_limit=10)
+        queue.offer("n1", RequestClass.NORMAL, now=0.0)
+        queue.offer("c1", RequestClass.CRITICAL, now=0.0)
+        queue.offer("n2", RequestClass.NORMAL, now=0.0)
+        queue.offer("c2", RequestClass.CRITICAL, now=0.0)
+        assert [queue.pop() for _ in range(4)] == ["c1", "c2", "n1", "n2"]
+        assert queue.pop() is None
+
+    def test_len_matches_depth(self):
+        queue = self._queue()
+        queue.offer("a", RequestClass.NORMAL, now=0.0)
+        assert len(queue) == queue.depth == 1

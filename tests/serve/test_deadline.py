@@ -1,0 +1,35 @@
+"""Deadline budgets: fixed at arrival, spent by every stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.deadline import Deadline, DeadlineExceeded
+
+
+class TestDeadline:
+    def test_fixed_at_arrival_plus_budget(self):
+        deadline = Deadline.from_budget(arrival=2.0, budget=1.5)
+        assert deadline.expires_at == 3.5
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_budget_is_config_error(self, budget):
+        with pytest.raises(ConfigError):
+            Deadline.from_budget(arrival=0.0, budget=budget)
+
+    def test_remaining_counts_down_and_goes_negative(self):
+        deadline = Deadline.from_budget(arrival=0.0, budget=1.0)
+        assert deadline.remaining(0.25) == 0.75
+        assert deadline.remaining(1.5) == -0.5
+
+    def test_expired_at_exact_expiry(self):
+        deadline = Deadline.from_budget(arrival=0.0, budget=1.0)
+        assert not deadline.expired(0.999)
+        assert deadline.expired(1.0)
+
+    def test_check_raises_only_once_spent(self):
+        deadline = Deadline.from_budget(arrival=1.0, budget=1.0)
+        deadline.check(1.9)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check(2.0)

@@ -1,0 +1,114 @@
+"""Brownout ladder and coarse summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.corpus import TweetCorpus
+from repro.errors import ConfigError
+from repro.serve.degrade import (
+    MAX_BROWNOUT_LEVEL,
+    BrownoutLadder,
+    BrownoutPolicy,
+    CoarseSummaries,
+)
+from tests.serve.conftest import SERVE_STATES, build_serve_corpus
+
+POLICY = BrownoutPolicy(
+    level1_depth=4, level2_depth=8, sustain_ticks=2, recover_ticks=3
+)
+
+
+class TestBrownoutPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"level1_depth": 0},
+            {"level1_depth": 8, "level2_depth": 8},
+            {"sustain_ticks": 0},
+            {"recover_ticks": 0},
+        ],
+    )
+    def test_rejects_degenerate_policy(self, kwargs):
+        with pytest.raises(ConfigError):
+            BrownoutPolicy(**kwargs)
+
+
+class TestBrownoutLadder:
+    def test_starts_fresh(self):
+        assert BrownoutLadder(POLICY).level == 0
+
+    def test_single_burst_does_not_brown_out(self):
+        ladder = BrownoutLadder(POLICY)
+        assert ladder.observe(10) == 0  # one hot tick < sustain_ticks
+        assert ladder.observe(0) == 0
+
+    def test_sustained_pressure_steps_up_one_level_at_a_time(self):
+        ladder = BrownoutLadder(POLICY)
+        ladder.observe(10)
+        assert ladder.observe(10) == 1  # sustain_ticks=2 → level 1
+        ladder.observe(10)
+        assert ladder.observe(10) == 2  # two more hot ticks → level 2
+        assert ladder.max_level_seen == MAX_BROWNOUT_LEVEL
+
+    def test_recovery_is_slower_than_escalation(self):
+        ladder = BrownoutLadder(POLICY)
+        for _ in range(2):
+            ladder.observe(5)
+        assert ladder.level == 1
+        ladder.observe(0)
+        ladder.observe(0)
+        assert ladder.level == 1  # recover_ticks=3 not yet reached
+        assert ladder.observe(0) == 0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            BrownoutLadder(POLICY).observe(-1)
+
+    def test_level_sequence_is_deterministic(self):
+        depths = [0, 5, 5, 9, 9, 9, 0, 0, 0, 0, 0, 0, 5, 0]
+        runs = []
+        for _ in range(2):
+            ladder = BrownoutLadder(POLICY)
+            runs.append(tuple(ladder.observe(d) for d in depths))
+        assert runs[0] == runs[1]
+
+
+class TestCoarseSummaries:
+    @pytest.fixture(scope="class")
+    def coarse(self) -> CoarseSummaries:
+        return CoarseSummaries.from_corpus(TweetCorpus(build_serve_corpus()))
+
+    def test_counts_located_users(self, coarse):
+        assert coarse.total_users == 12
+        assert coarse.states == tuple(sorted(SERVE_STATES))
+        assert sum(coarse.users_by_state.values()) == 12
+
+    def test_state_signature_levels(self, coarse):
+        state = coarse.states[0]
+        level1 = coarse.state_signature(state, level=1)
+        assert level1["found"] is True
+        assert level1["organ_users"]
+        level2 = coarse.state_signature(state, level=2)
+        assert "organ_users" not in level2
+        assert coarse.state_signature("Atlantis", 1) == {
+            "state": "Atlantis", "found": False,
+        }
+
+    def test_top_organs_ranked_by_user_count(self, coarse):
+        state = coarse.states[0]
+        counts = coarse.organ_users_by_state[state]
+        ranked = coarse.top_organs_by_state[state]
+        assert all(
+            counts[a] >= counts[b] for a, b in zip(ranked, ranked[1:])
+        )
+
+    def test_relative_risk_levels(self, coarse):
+        state = coarse.states[0]
+        assert coarse.relative_risk(state, 1)["top_organs"]
+        assert "top_organs" not in coarse.relative_risk(state, 2)
+        assert coarse.relative_risk("Atlantis", 1)["found"] is False
+
+    def test_cluster_profile_levels(self, coarse):
+        assert coarse.cluster_profile(1) == {"n_users": 12, "n_states": 4}
+        assert coarse.cluster_profile(2) == {"n_users": 12}

@@ -1,0 +1,115 @@
+"""Seeded load-chaos plan: storms, poison, slow and failing loads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.load import LoadFault, LoadFaultPlan
+
+
+class TestLoadFaultPlanConfig:
+    def test_none_has_no_faults(self):
+        plan = LoadFaultPlan.none(seed=5)
+        assert not plan.any_faults
+        assert plan.seed == 5
+
+    def test_chaos_has_faults(self):
+        plan = LoadFaultPlan.chaos(seed=5)
+        assert plan.any_faults
+        assert "seed=5" in plan.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"storm_rate": -0.1},
+            {"storm_rate": 1.1},
+            {"poison_rate": 2.0},
+            {"slow_load_rate": -1.0},
+            {"load_error_rate": 1.5},
+            {"storm_burst_cap": 0},
+            {"storm_spread": -0.5},
+            {"slow_load_seconds": -1.0},
+            {"max_faulted_loads": -1},
+        ],
+    )
+    def test_rejects_degenerate_plans(self, kwargs):
+        with pytest.raises(ConfigError):
+            LoadFaultPlan(**kwargs)
+
+
+class TestStorms:
+    def test_no_storms_without_rate(self):
+        plan = LoadFaultPlan.none()
+        assert all(plan.storm_for(i) == () for i in range(50))
+
+    def test_storms_are_seed_deterministic(self):
+        a = LoadFaultPlan.chaos(seed=11)
+        b = LoadFaultPlan.chaos(seed=11)
+        assert [a.storm_for(i) for i in range(100)] == [
+            b.storm_for(i) for i in range(100)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = LoadFaultPlan.chaos(seed=1)
+        b = LoadFaultPlan.chaos(seed=2)
+        assert [a.storm_for(i) for i in range(100)] != [
+            b.storm_for(i) for i in range(100)
+        ]
+
+    def test_burst_size_capped_and_offsets_bounded(self):
+        plan = LoadFaultPlan(
+            seed=3, storm_rate=1.0, storm_burst_cap=5, storm_spread=0.25
+        )
+        for i in range(100):
+            clones = plan.storm_for(i)
+            assert 1 <= len(clones) <= 5
+            for clone in clones:
+                assert 0.0 <= clone.offset <= 0.25
+
+    def test_poison_only_with_poison_rate(self):
+        clean = LoadFaultPlan(seed=3, storm_rate=1.0)
+        assert not any(
+            clone.poison for i in range(100) for clone in clean.storm_for(i)
+        )
+        poisonous = LoadFaultPlan(seed=3, storm_rate=1.0, poison_rate=1.0)
+        assert all(
+            clone.poison
+            for i in range(100)
+            for clone in poisonous.storm_for(i)
+        )
+
+
+class TestLoadFaults:
+    def test_deterministic_per_artifact_and_index(self):
+        a = LoadFaultPlan.chaos(seed=7)
+        b = LoadFaultPlan.chaos(seed=7)
+        draws_a = [
+            a.fault_for_load(name, i)
+            for name in ("corpus", "regions")
+            for i in range(20)
+        ]
+        draws_b = [
+            b.fault_for_load(name, i)
+            for name in ("corpus", "regions")
+            for i in range(20)
+        ]
+        assert draws_a == draws_b
+
+    def test_clean_past_max_faulted_loads(self):
+        plan = LoadFaultPlan(seed=0, load_error_rate=1.0, max_faulted_loads=3)
+        assert all(
+            plan.fault_for_load("corpus", i) is LoadFault.ERROR
+            for i in range(3)
+        )
+        assert all(
+            plan.fault_for_load("corpus", i) is None for i in range(3, 10)
+        )
+
+    def test_error_rate_one_always_errors_within_budget(self):
+        plan = LoadFaultPlan(seed=0, load_error_rate=1.0)
+        assert plan.fault_for_load("clustering", 0) is LoadFault.ERROR
+
+    def test_slow_rate_one_always_slow(self):
+        plan = LoadFaultPlan(seed=0, slow_load_rate=1.0)
+        assert plan.fault_for_load("clustering", 0) is LoadFault.SLOW

@@ -1,0 +1,314 @@
+"""The query service end to end: happy path, overload, chaos, accounting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.load import LoadFaultPlan
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.breaker import BreakerPolicy
+from repro.serve.degrade import BrownoutPolicy
+from repro.serve.service import (
+    Outcome,
+    QueryRequest,
+    QueryService,
+    ServicePolicy,
+    read_requests_jsonl,
+    write_responses_jsonl,
+)
+
+
+def request(
+    request_id: str,
+    kind: str = "state_signature",
+    arrival: float = 0.0,
+    state: str | None = "California",
+    **kwargs,
+) -> QueryRequest:
+    params = (("state", state),) if state is not None else ()
+    if kind == "cluster_profile":
+        params = (("cluster", "0"),)
+    if kind == "health":
+        params = ()
+    return QueryRequest(
+        request_id=request_id, kind=kind, arrival=arrival, params=params,
+        **kwargs,
+    )
+
+
+class TestRequestParsing:
+    def test_parses_valid_lines(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "id": "r1",
+                    "kind": "state_signature",
+                    "arrival": 0.5,
+                    "params": {"state": "Ohio"},
+                    "deadline": 1.5,
+                }
+            )
+            + "\n\n"  # blank lines are not requests
+        )
+        requests, malformed = read_requests_jsonl(path)
+        assert malformed == ()
+        [req] = requests
+        assert req.request_id == "r1"
+        assert req.arrival == 0.5
+        assert req.deadline == 1.5
+        assert req.param("state") == "Ohio"
+        assert req.param("missing") is None
+
+    def test_malformed_lines_become_dead_letter_stubs(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    "not json at all",
+                    json.dumps({"kind": "health"}),  # missing id
+                    json.dumps({"id": "r", "kind": "health", "arrival": -1}),
+                    json.dumps(
+                        {"id": "r", "kind": "health", "deadline": 0}
+                    ),
+                    json.dumps({"id": "ok", "kind": "health"}),
+                ]
+            )
+        )
+        requests, malformed = read_requests_jsonl(path)
+        assert [req.request_id for req in requests] == ["ok"]
+        assert malformed == (
+            ("line-1", "malformed_json"),
+            ("line-2", "malformed_request"),
+            ("line-3", "malformed_request"),
+            ("line-4", "malformed_request"),
+        )
+
+
+class TestHappyPath:
+    def test_all_kinds_complete_fresh(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        requests = [
+            request("r-sig", "state_signature", 0.0),
+            request("r-rr", "relative_risk", 1.0),
+            request("r-cl", "cluster_profile", 2.0),
+            request("r-h", "health", 3.0),
+        ]
+        result = service.serve(requests)
+        assert result.report.accounted
+        assert result.report.completed == 4
+        assert result.report.degraded == 0
+        by_id = {r.request_id: r for r in result.responses}
+        assert by_id["r-sig"].payload["found"] is True
+        assert by_id["r-sig"].payload["signature"]
+        assert by_id["r-rr"].payload["found"] is True
+        assert by_id["r-cl"].payload["k"] == 6
+        assert by_id["r-h"].payload["status"] == "ok"
+        assert all(r.status == "ok" for r in result.responses)
+
+    def test_unknown_state_completes_not_found(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve([request("r", state="Atlantis")])
+        [response] = result.responses
+        assert response.outcome is Outcome.COMPLETED
+        assert response.payload == {"state": "Atlantis", "found": False}
+
+    def test_artifacts_cached_across_requests(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve(
+            [request(f"r{i}", arrival=i * 1.0) for i in range(3)]
+        )
+        assert result.report.completed == 3
+        # One load (cost 0.25) plus three signature stages — the second
+        # and third requests must not pay the load again.
+        finished = [r.finished_at for r in result.responses]
+        assert finished[1] - 1.0 < service.policy.artifact_load_cost
+
+    def test_responses_file_is_manifested_and_deterministic(
+        self, serve_run_dir, tmp_path
+    ):
+        outputs = []
+        for run in range(2):
+            service = QueryService(serve_run_dir)
+            result = service.serve(
+                [request(f"r{i}", arrival=i * 0.1) for i in range(5)]
+            )
+            path = tmp_path / f"responses{run}.jsonl"
+            count = write_responses_jsonl(result.responses, path)
+            assert count == 5
+            outputs.append(path.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert (tmp_path / "responses0.jsonl.manifest.json").exists()
+
+
+class TestDeadlines:
+    def test_tiny_budget_expires_without_partial_payload(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve([request("r", deadline=0.01)])
+        [response] = result.responses
+        assert response.outcome is Outcome.EXPIRED
+        assert response.status == "deadline_exceeded"
+        assert response.payload is None
+        assert result.report.expired == 1
+        assert result.report.accounted
+
+    def test_queue_wait_spends_the_budget(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        # All arrive at once; the first pays the artifact load (0.25s),
+        # so the rest are already dead at dequeue.
+        result = service.serve(
+            [request(f"r{i}", deadline=0.1) for i in range(4)]
+        )
+        statuses = sorted(r.status for r in result.responses)
+        assert statuses.count("expired_in_queue") >= 2
+        assert result.report.accounted
+
+
+class TestDeadLetters:
+    def test_unknown_kind(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve(
+            [QueryRequest(request_id="r", kind="nonsense", arrival=0.0)]
+        )
+        [response] = result.responses
+        assert response.outcome is Outcome.DEAD_LETTERED
+        assert response.status == "unknown_kind"
+
+    def test_missing_required_param(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve(
+            [QueryRequest(request_id="r", kind="state_signature", arrival=0.0)]
+        )
+        [response] = result.responses
+        assert response.outcome is Outcome.DEAD_LETTERED
+        assert response.status == "handler_error:QueryError"
+
+    def test_poison_request(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve(
+            [
+                QueryRequest(
+                    request_id="r", kind="health", arrival=0.0, poison=True
+                )
+            ]
+        )
+        [response] = result.responses
+        assert response.outcome is Outcome.DEAD_LETTERED
+        assert response.status == "poison_query"
+        assert result.report.accounted
+
+
+class TestBreakerIntegration:
+    def test_failing_loads_degrade_instead_of_hanging(self, serve_run_dir):
+        plan = LoadFaultPlan(
+            seed=0, load_error_rate=1.0, max_faulted_loads=1000
+        )
+        policy = ServicePolicy(breaker=BreakerPolicy(failure_threshold=2))
+        service = QueryService(serve_run_dir, policy=policy, plan=plan)
+        requests = [request(f"r{i}", arrival=i * 0.5) for i in range(8)]
+        result = service.serve(requests)
+        assert result.report.accounted
+        # Every request still gets an answer — the coarse one.
+        assert result.report.completed == 8
+        assert result.report.degraded == 8
+        assert all(r.status == "degraded" for r in result.responses)
+        assert result.report.breaker_opens >= 1
+        assert result.report.breaker_transitions
+
+    def test_open_breaker_answers_within_deadline(self, serve_run_dir):
+        plan = LoadFaultPlan(
+            seed=0, load_error_rate=1.0, max_faulted_loads=1000
+        )
+        policy = ServicePolicy(breaker=BreakerPolicy(failure_threshold=1))
+        service = QueryService(serve_run_dir, policy=policy, plan=plan)
+        budget = 2.0
+        requests = [
+            request(f"r{i}", arrival=i * 1.0, deadline=budget)
+            for i in range(6)
+        ]
+        result = service.serve(requests)
+        for response in result.responses:
+            assert response.outcome is Outcome.COMPLETED
+            arrival = float(response.request_id[1:]) * 1.0
+            assert response.finished_at < arrival + budget
+
+
+class TestOverloadBehaviour:
+    def test_floods_shed_explicitly_never_silently(self, serve_run_dir):
+        policy = ServicePolicy(
+            admission=AdmissionPolicy(
+                queue_limit=4, bucket_capacity=8.0, refill_per_second=1.0
+            )
+        )
+        service = QueryService(serve_run_dir, policy=policy)
+        requests = [
+            request(f"r{i}", "health" if i % 5 == 0 else "state_signature")
+            for i in range(50)
+        ]
+        result = service.serve(requests)
+        assert result.report.accounted
+        assert result.report.shed > 0
+        assert (
+            result.report.shed
+            == result.report.shed_queue_full
+            + result.report.shed_rate_limited
+        )
+        rejected = [
+            r for r in result.responses if r.outcome is Outcome.REJECTED
+        ]
+        assert all(
+            r.status in ("queue_full", "rate_limited") for r in rejected
+        )
+
+    def test_health_is_never_shed(self, serve_run_dir):
+        policy = ServicePolicy(
+            admission=AdmissionPolicy(
+                queue_limit=1, bucket_capacity=1.0, refill_per_second=0.5
+            )
+        )
+        service = QueryService(serve_run_dir, policy=policy)
+        requests = [
+            request(f"n{i}", "state_signature") for i in range(30)
+        ] + [request(f"h{i}", "health") for i in range(10)]
+        result = service.serve(requests)
+        health = [
+            r for r in result.responses if r.request_id.startswith("h")
+        ]
+        assert len(health) == 10
+        assert all(r.outcome is not Outcome.REJECTED for r in health)
+
+    def test_sustained_pressure_browns_out_before_more_shedding(
+        self, serve_run_dir
+    ):
+        policy = ServicePolicy(
+            brownout=BrownoutPolicy(
+                level1_depth=3, level2_depth=10, sustain_ticks=2,
+                recover_ticks=3,
+            )
+        )
+        service = QueryService(serve_run_dir, policy=policy)
+        requests = [request(f"r{i}") for i in range(20)]
+        result = service.serve(requests)
+        assert result.report.max_brownout_level >= 1
+        assert result.report.degraded > 0
+        assert result.report.accounted
+
+
+class TestStorms:
+    def test_storm_clones_are_submitted_and_accounted(self, serve_run_dir):
+        plan = LoadFaultPlan(seed=3, storm_rate=1.0, storm_burst_cap=4)
+        service = QueryService(serve_run_dir, plan=plan)
+        requests = [request(f"r{i}", arrival=i * 0.2) for i in range(5)]
+        result = service.serve(requests)
+        assert result.report.submitted > 5
+        assert result.report.accounted
+        assert any("~storm" in r.request_id for r in result.responses)
+
+    def test_malformed_stubs_count_against_accounting(self, serve_run_dir):
+        service = QueryService(serve_run_dir)
+        result = service.serve(
+            [request("r0")], malformed=(("line-9", "malformed_json"),)
+        )
+        assert result.report.submitted == 2
+        assert result.report.dead_lettered == 1
+        assert result.report.accounted

@@ -73,9 +73,31 @@ class TestResiliencePolicy:
         with pytest.raises(ConfigError, match="dedup_window"):
             ResiliencePolicy(dedup_window=0)
 
-    def test_reorder_window_must_be_nonnegative(self):
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_reorder_window_must_be_positive(self, bad):
+        """A zero-size reorder buffer silently disables order restoration
+        — reject it at construction, like every other degenerate size."""
         with pytest.raises(ConfigError, match="reorder_window"):
-            ResiliencePolicy(reorder_window=-1)
+            ResiliencePolicy(reorder_window=bad)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"network_backoff_step": -0.25},
+            {"network_backoff_cap": -16.0},
+            {"http_backoff_initial": -5.0},
+            {"http_backoff_cap": -320.0},
+            {"rate_limit_backoff_initial": -60.0},
+            {"rate_limit_backoff_cap": -960.0},
+            {"dedup_window": 0},
+            {"reorder_window": 0},
+        ],
+    )
+    def test_degenerate_fields_raise_value_error(self, kwargs):
+        """ConfigError doubles as ValueError, so generic callers that
+        only know stdlib exception taxonomy still see the rejection."""
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
 
     def test_frozen(self):
         policy = ResiliencePolicy()

@@ -60,6 +60,43 @@ class TestBackoffSchedules:
     def test_schedules_are_pure(self):
         assert network_backoff(NO_JITTER, 3) == network_backoff(NO_JITTER, 3)
 
+    SCHEDULES_AND_CAPS = [
+        (network_backoff, "network_backoff_cap"),
+        (http_backoff, "http_backoff_cap"),
+        (rate_limit_backoff, "rate_limit_backoff_cap"),
+    ]
+
+    @pytest.mark.parametrize("schedule,cap_field", SCHEDULES_AND_CAPS)
+    def test_monotone_non_decreasing_in_attempt(self, schedule, cap_field):
+        delays = [schedule(NO_JITTER, attempt) for attempt in range(1, 200)]
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+    @pytest.mark.parametrize("schedule,cap_field", SCHEDULES_AND_CAPS)
+    def test_capped_and_cap_is_reached(self, schedule, cap_field):
+        cap = getattr(NO_JITTER, cap_field)
+        delays = [schedule(NO_JITTER, attempt) for attempt in range(1, 200)]
+        assert all(delay <= cap for delay in delays)
+        assert delays[-1] == cap  # the schedule saturates, not diverges
+
+    @pytest.mark.parametrize("schedule,cap_field", SCHEDULES_AND_CAPS)
+    def test_deterministic_for_a_fixed_policy(self, schedule, cap_field):
+        policy_a = ResiliencePolicy(jitter=0.0, seed=1)
+        policy_b = ResiliencePolicy(jitter=0.0, seed=1)
+        assert [schedule(policy_a, n) for n in range(1, 100)] == [
+            schedule(policy_b, n) for n in range(1, 100)
+        ]
+
+    @pytest.mark.parametrize("schedule,cap_field", SCHEDULES_AND_CAPS)
+    def test_custom_policy_respects_its_own_cap(self, schedule, cap_field):
+        policy = ResiliencePolicy(
+            network_backoff_cap=2.0,
+            http_backoff_cap=40.0,
+            rate_limit_backoff_cap=120.0,
+            jitter=0.0,
+        )
+        cap = getattr(policy, cap_field)
+        assert schedule(policy, 500) == cap
+
 
 class TestCompatibility:
     def test_default_policy_covers_chaos_plan(self):
@@ -190,9 +227,9 @@ class TestReportRendering:
         list(stream)
         rows = dict(stream.report.as_rows())
         assert rows["Records delivered"] == "5"
-        data = stream.report.as_dict()
+        data = stream.report.to_dict()
         assert data["delivered"] == 5
-        assert "dead_letters" not in data
+        assert data["dead_letters"] == []
 
     def test_summary_lines_render_as_rows(self):
         stream = ResilientStream(FaultySource(iter(tweets(5)), FaultPlan.none()))
@@ -216,6 +253,19 @@ class TestReportRendering:
         assert stream.report.dead_lettered > 0
         restored = ReliabilityReport.from_dict(stream.report.to_dict())
         assert restored == stream.report
+
+    def test_to_dict_is_the_only_serialization_surface(self):
+        """Regression: the old ``as_dict`` partial form is gone — one
+        round-trippable shape, counters and dead letters together."""
+        from dataclasses import fields
+
+        from repro.twitter.resilient import ReliabilityReport
+
+        report = ReliabilityReport()
+        assert not hasattr(report, "as_dict")
+        data = report.to_dict()
+        assert set(data) == {spec.name for spec in fields(ReliabilityReport)}
+        assert ReliabilityReport.from_dict(data) == report
 
 
 class TestDeadLetterReplay:
