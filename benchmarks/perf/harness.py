@@ -48,6 +48,17 @@ replays an evenly spaced request schedule on the simulated clock and
 must satisfy the request-accounting invariant — completed + shed +
 expired + dead-lettered == submitted — so the shed rate measures
 explicit back-pressure, never silent loss.
+
+Schema v7 adds a ``hot_path`` section (:mod:`benchmarks.perf.hotpath`):
+per-layer microbenchmarks of the single-core hot-path engine — the
+allocation-free token scan, the Aho–Corasick keyword filter, the
+automaton organ matcher, and the geocoder memo — each timed against the
+naive reference implementation it replaced and required to produce
+*identical* results (the parity booleans are schema-enforced).  The
+section also records the serial 1M-tweet speedup against the frozen v6
+baseline throughput, and the ``serving`` runs now report paid artifact
+loads per request, which the schema requires to stay below one (the
+generation cache must amortize loads across requests).
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from typing import Any
 
 import numpy as np
 
+from benchmarks.perf.hotpath import bench_hot_path
 from repro.core.attention import AttentionMatrix
 from repro.core.user_clusters import sweep_k
 from repro.cluster.silhouette import silhouette_samples
@@ -75,18 +87,27 @@ from repro.obs.export import write_trace
 from repro.organs import N_ORGANS, Organ
 from repro.pipeline.parallel import run_sharded
 from repro.pipeline.runner import CollectionPipeline
-from repro.serve import QueryRequest, QueryService, ServicePolicy
+from repro.serve import (
+    ArtifactCache,
+    QueryRequest,
+    QueryService,
+    ServicePolicy,
+)
 from repro.storage.manifest import verify_file
 from repro.supervise import SupervisorPolicy
 from repro.synth.scenarios import paper2016_scenario
 from repro.synth.world import SyntheticWorld
 from repro.twitter.models import Tweet, UserProfile
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Firehose tweets emitted per unit of scenario scale (calibrated once;
 #: the artifact records the *actual* count per size).
 _FIREHOSE_PER_SCALE = 1_100_000
+
+#: The v6 artifact's serial 1M-tweet throughput (tweets/s), frozen as
+#: the reference point for the hot-path engine's ``speedup_vs_v6``.
+V6_SERIAL_1M_THROUGHPUT = 23_221.6
 
 
 def cpu_count() -> int:
@@ -373,6 +394,11 @@ def bench_serving(
     with tempfile.TemporaryDirectory() as tmp:
         run_dir = Path(tmp)
         write_jsonl(make_collected(3_000), run_dir / "corpus.jsonl")
+        # One generation-keyed cache across every load factor: the first
+        # service pays each artifact build once, the rest start warm —
+        # the deployment shape the artifact_loads_per_request number
+        # prices.
+        cache = ArtifactCache()
         for factor in load_factors:
             policy = ServicePolicy()
             rate = policy.admission.refill_per_second * factor
@@ -393,7 +419,7 @@ def bench_serving(
                     arrival=round(i / rate, 9),
                     params=params,
                 ))
-            service = QueryService(run_dir, policy=policy)
+            service = QueryService(run_dir, policy=policy, cache=cache)
             start = time.perf_counter()
             result = service.serve(requests)
             seconds = time.perf_counter() - start
@@ -413,6 +439,10 @@ def bench_serving(
                 "degraded": report.degraded,
                 "max_brownout_level": report.max_brownout_level,
                 "shed_rate": round(report.shed / report.submitted, 4),
+                "artifact_loads": report.artifact_loads,
+                "artifact_loads_per_request": round(
+                    report.artifact_loads / report.submitted, 4
+                ),
                 "simulated_seconds": round(simulated, 4),
                 "seconds": round(seconds, 4),
                 "throughput_responses_per_s": round(
@@ -542,8 +572,11 @@ def run_suite(
     observability_sizes: tuple[int, ...] = (10_000, 100_000),
     serving_requests: int = 480,
     serving_load_factors: tuple[int, ...] = (1, 4, 16),
+    hotpath_size: int | None = None,
 ) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_pipeline.json`` payload."""
+    if hotpath_size is None:
+        hotpath_size = 5_000 if smoke else 50_000
     payload: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/perf/run_bench.py",
@@ -553,6 +586,7 @@ def run_suite(
         "pipeline": [
             bench_pipeline_size(size, worker_counts, seed) for size in sizes
         ],
+        "hot_path": bench_hot_path(make_firehose(hotpath_size, seed)),
         "clustering": bench_clustering(
             cluster_users_n, cluster_ks, worker_counts, seed
         ),
@@ -561,6 +595,21 @@ def run_suite(
         "observability": bench_observability(observability_sizes, seed),
         "serving": bench_serving(serving_requests, serving_load_factors, seed),
         "static_analysis": bench_static_analysis(),
+    }
+    # The headline number: this engine's serial throughput at the
+    # largest measured size against the frozen v6 baseline.
+    largest = max(payload["pipeline"], key=lambda e: e["size_target"])
+    serial_run = next(
+        run for run in largest["runs"] if run["workers"] == 1
+    )
+    payload["hot_path"]["serial_reference"] = {
+        "size_target": largest["size_target"],
+        "throughput_tweets_per_s": serial_run["throughput_tweets_per_s"],
+        "v6_serial_1m_throughput": V6_SERIAL_1M_THROUGHPUT,
+        "speedup_vs_v6": round(
+            serial_run["throughput_tweets_per_s"] / V6_SERIAL_1M_THROUGHPUT,
+            3,
+        ),
     }
     payload["peak_rss_mb"] = peak_rss_mb()
     return payload
@@ -619,6 +668,45 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                 problems.append(
                     f"{run_where}: parallel run is not byte-identical"
                 )
+
+    hot_path = payload.get("hot_path")
+    if not isinstance(hot_path, dict):
+        problems.append("payload.hot_path: expected object")
+    else:
+        need(hot_path, "stream_tweets", int, "hot_path")
+        need(hot_path, "distinct_texts", int, "hot_path")
+        for section, fast_key in (
+            ("tokenize", "scan_seconds"),
+            ("track_filter", "automaton_seconds"),
+            ("matcher", "automaton_seconds"),
+        ):
+            block = hot_path.get(section)
+            where = f"hot_path.{section}"
+            if not isinstance(block, dict):
+                problems.append(f"{where}: expected object")
+                continue
+            need(block, fast_key, float, where)
+            need(block, "speedup", float, where)
+            if block.get("parity") is not True:
+                problems.append(
+                    f"{where}: fast path is not equivalent to the naive path"
+                )
+        geocode = hot_path.get("geocode")
+        if not isinstance(geocode, dict):
+            problems.append("hot_path.geocode: expected object")
+        else:
+            need(geocode, "locations", int, "hot_path.geocode")
+            need(geocode, "cold_seconds", float, "hot_path.geocode")
+            need(geocode, "warm_seconds", float, "hot_path.geocode")
+        reference = hot_path.get("serial_reference")
+        if not isinstance(reference, dict):
+            problems.append("hot_path.serial_reference: expected object")
+        else:
+            where = "hot_path.serial_reference"
+            need(reference, "size_target", int, where)
+            need(reference, "throughput_tweets_per_s", float, where)
+            need(reference, "v6_serial_1m_throughput", float, where)
+            need(reference, "speedup_vs_v6", float, where)
 
     clustering = payload.get("clustering")
     if not isinstance(clustering, dict):
@@ -742,6 +830,19 @@ def validate_payload(payload: dict[str, Any]) -> list[str]:
                 if run.get("accounting_exact") is not True:
                     problems.append(
                         f"{run_where}: request accounting is not exact"
+                    )
+                need(run, "artifact_loads", int, run_where)
+                per_request = need(
+                    run, "artifact_loads_per_request", float, run_where
+                )
+                if (
+                    isinstance(per_request, (int, float))
+                    and not isinstance(per_request, bool)
+                    and per_request >= 1.0
+                ):
+                    problems.append(
+                        f"{run_where}.artifact_loads_per_request: "
+                        "cache is not amortizing loads (>= 1 per request)"
                     )
 
     static_analysis = payload.get("static_analysis")

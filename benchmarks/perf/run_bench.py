@@ -88,6 +88,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"{run['throughput_tweets_per_s']:>10,.0f} tweets/s "
                 f"speedup={run['speedup_vs_serial']}"
             )
+    hot_path = payload["hot_path"]
+    for section in ("tokenize", "track_filter", "matcher", "geocode"):
+        block = hot_path[section]
+        parity = block.get("parity")
+        print(
+            f"  hot-path    {section:<12} speedup={block['speedup']}x"
+            + ("" if parity is None else f" parity={parity}")
+        )
+    reference = hot_path["serial_reference"]
+    print(
+        f"  hot-path    serial size={reference['size_target']:,} "
+        f"{reference['throughput_tweets_per_s']:,.0f} tweets/s "
+        f"({reference['speedup_vs_v6']}x vs v6 serial-1M baseline)"
+    )
     for run in payload["clustering"]["sweep"]:
         print(
             f"  k-sweep workers={run['workers']} {run['seconds']:.2f}s "

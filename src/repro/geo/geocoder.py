@@ -119,9 +119,12 @@ class Geocoder:
     instance.  Thread-safe after construction.
     """
 
-    #: Cache bound: far above distinct profile strings in any realistic
-    #: corpus, small enough to be harmless.
-    _CACHE_LIMIT = 1_000_000
+    #: Memo bound: profile locations are heavy-tailed (a 1M-tweet
+    #: firehose carries only a few thousand distinct strings), so this
+    #: is far above steady state; when an adversarial stream does exceed
+    #: it, the oldest insertion is evicted instead of freezing the memo,
+    #: so the cache keeps adapting to the live distribution.
+    _CACHE_LIMIT = 262_144
 
     def __init__(self) -> None:
         self._state_by_name = {state.name.lower(): state.abbrev for state in STATES}
@@ -160,8 +163,12 @@ class Geocoder:
         if cached is not None:
             return cached
         match = self._geocode_uncached(location)
-        if len(self._cache) < self._CACHE_LIMIT:
-            self._cache[location] = match
+        cache = self._cache
+        if len(cache) >= self._CACHE_LIMIT:
+            # Evict the oldest insertion (dicts preserve insertion
+            # order) — approximates LRU without per-hit bookkeeping.
+            del cache[next(iter(cache))]
+        cache[location] = match
         return match
 
     def _geocode_uncached(self, location: str) -> GeoMatch:

@@ -3,6 +3,13 @@
 Maps every tweet to the multiset of organs it mentions.  The contingency
 matrix of :mod:`repro.core.attention` is built from these mentions, so the
 matcher's recall/precision directly shapes every downstream result.
+
+Two implementations of the same rules live here: the **automaton fast
+path** (:meth:`OrganMatcher.mentions`), which scans each tweet once via
+:func:`repro.nlp.tokenize.scan_words_hashtags` and resolves glued
+hashtags with one Aho–Corasick sweep, and the **naive reference path**
+(:meth:`OrganMatcher.mentions_naive`), the original per-term scan kept
+as the oracle the property suite checks the fast path against.
 """
 
 from __future__ import annotations
@@ -10,7 +17,14 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.organs import ALIASES, Organ
-from repro.nlp.tokenize import Token, TokenKind, tokenize
+from repro.nlp.automaton import AhoCorasick
+from repro.nlp.tokenize import (
+    Token,
+    TokenKind,
+    scan_words_hashtags,
+    split_compound,
+    tokenize,
+)
 
 
 class OrganMatcher:
@@ -28,14 +42,66 @@ class OrganMatcher:
       *counts* feed the attention matrix.
     """
 
+    #: Bound on the per-instance hashtag-body memo; glued hashtags repeat
+    #: heavily, so steady state is far below this.
+    _TAG_CACHE_LIMIT = 65536
+
     def __init__(self, aliases: dict[str, Organ] | None = None):
         self._aliases = dict(ALIASES if aliases is None else aliases)
         self._substring_terms = tuple(
             term for term in self._aliases if len(term) >= 4
         )
+        self._automaton = AhoCorasick(self._substring_terms)
+        self._tag_organs: dict[str, tuple[Organ, ...]] = {}
 
     def mentions(self, text: str) -> Counter[Organ]:
-        """Count organ mentions in one tweet's text."""
+        """Count organ mentions in one tweet's text (automaton path)."""
+        counts: Counter[Organ] = Counter()
+        words, hashtags = scan_words_hashtags(text)
+        aliases = self._aliases
+        for word in words:
+            organ = aliases.get(word)
+            if organ is not None:
+                counts[organ] += 1
+                continue
+            parts = split_compound(word)
+            if parts:
+                for matched in frozenset(
+                    aliases[part] for part in parts if part in aliases
+                ):
+                    counts[matched] += 1
+        for tag in hashtags:
+            for matched in self._hashtag_organs(tag):
+                counts[matched] += 1
+        return counts
+
+    def _hashtag_organs(self, tag: str) -> tuple[Organ, ...]:
+        """Organs matched by one hashtag body, each at most once (memoized)."""
+        cached = self._tag_organs.get(tag)
+        if cached is not None:
+            return cached
+        organ = self._aliases.get(tag)
+        if organ is not None:
+            result: tuple[Organ, ...] = (organ,)
+        else:
+            # The automaton returns terms sorted; dedupe to organs in
+            # canonical order so counting stays order-independent.
+            found = frozenset(
+                self._aliases[term] for term in self._automaton.find(tag)
+            )
+            result = tuple(sorted(found, key=lambda o: o.index))
+        cache = self._tag_organs
+        if len(cache) >= self._TAG_CACHE_LIMIT:
+            del cache[next(iter(cache))]
+        cache[tag] = result
+        return result
+
+    def mentions_naive(self, text: str) -> Counter[Organ]:
+        """Count organ mentions via the original per-term scan.
+
+        The reference implementation the automaton path is property-
+        tested against; not used on the pipeline hot path.
+        """
         counts: Counter[Organ] = Counter()
         for token in tokenize(text):
             for organ in self._match_token(token):
@@ -51,8 +117,8 @@ class OrganMatcher:
             organ = self._aliases.get(token.text)
             if organ is not None:
                 return frozenset((organ,))
-            if "-" in token.text or "'" in token.text or "’" in token.text:
-                parts = token.text.replace("’", "'").replace("'", "-").split("-")
+            parts = split_compound(token.text)
+            if parts:
                 return frozenset(
                     self._aliases[part] for part in parts if part in self._aliases
                 )

@@ -51,6 +51,12 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+#: Sentence punctuation a greedy ``\S+`` URL match swallows when the URL
+#: ends a clause: ``(https://example.org/x),`` is the URL *plus* ``),``.
+#: Trailing characters from this set are trimmed off URL tokens; they are
+#: never tokens themselves, so trimming cannot create or destroy matches.
+_URL_TRAILING_PUNCTUATION = ")],.!?;:'\"»”’…"
+
 
 @lru_cache(maxsize=65536)
 def tokenize(text: str) -> tuple[Token, ...]:
@@ -68,7 +74,9 @@ def tokenize(text: str) -> tuple[Token, ...]:
         kind_name = match.lastgroup
         raw = match.group()
         if kind_name == "url":
-            tokens.append(Token(raw, TokenKind.URL))
+            tokens.append(
+                Token(raw.rstrip(_URL_TRAILING_PUNCTUATION), TokenKind.URL)
+            )
         elif kind_name == "mention":
             tokens.append(Token(raw[1:].lower(), TokenKind.MENTION))
         elif kind_name == "hashtag":
@@ -78,6 +86,50 @@ def tokenize(text: str) -> tuple[Token, ...]:
         else:
             tokens.append(Token(raw.lower(), TokenKind.WORD))
     return tuple(tokens)
+
+
+@lru_cache(maxsize=65536)
+def scan_words_hashtags(text: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Fast path: lowercased (WORD texts, HASHTAG bodies) in one sweep.
+
+    The matching layers — the ``track`` filter and the organ matcher —
+    only ever read WORD and HASHTAG token texts.  This scan runs the
+    same token grammar as :func:`tokenize` but skips :class:`Token`
+    allocation entirely and returns two plain string tuples, which is
+    what makes the automaton hot path allocation-free per token.
+    Equivalence with :func:`tokenize` is locked by the tokenizer test
+    suite and the automaton property tests.
+    """
+    words: list[str] = []
+    hashtags: list[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind_name = match.lastgroup
+        if kind_name == "word":
+            words.append(match.group().lower())
+        elif kind_name == "hashtag":
+            hashtags.append(match.group()[1:].lower())
+    return tuple(words), tuple(hashtags)
+
+
+#: Apostrophe variants normalized before compound splitting.
+_EMPTY_PARTS: tuple[str, ...] = ()
+
+
+def split_compound(token_text: str) -> tuple[str, ...]:
+    """Split a hyphen/apostrophe compound token into its parts.
+
+    ``"heart-kidney"`` → ``("heart", "kidney")``; ``"donor's"`` →
+    ``("donor", "s")``.  Returns the shared empty tuple for plain tokens
+    so hot-path callers can branch on truthiness without allocating.
+    This is the single definition of compound splitting — the keyword
+    filter and the organ matcher must agree on it, or a compound tweet
+    could be collected by one layer and unmatchable by the other.
+    """
+    if "-" in token_text or "'" in token_text or "’" in token_text:
+        return tuple(
+            token_text.replace("’", "-").replace("'", "-").split("-")
+        )
+    return _EMPTY_PARTS
 
 
 def words(text: str) -> tuple[str, ...]:
@@ -112,9 +164,7 @@ def present_terms(text: str, terms: Iterable[str]) -> set[str]:
     for token in tokenize(text):
         if token.kind is TokenKind.WORD:
             word_tokens.add(token.text)
-            if "-" in token.text or "'" in token.text or "’" in token.text:
-                normalized = token.text.replace("’", "-").replace("'", "-")
-                word_tokens.update(normalized.split("-"))
+            word_tokens.update(split_compound(token.text))
         elif token.kind is TokenKind.HASHTAG:
             word_tokens.add(token.text)
             hashtags.append(token.text)

@@ -18,6 +18,11 @@ the results so that the outcome is *indistinguishable* from a serial run:
 * **Counter merge** — per-shard :class:`PipelineReport` objects are
   combined with :meth:`PipelineReport.merge`; every counter is a sum over
   disjoint shards, so totals equal the serial run exactly.
+* **Slim IPC** — under the ``fork`` start method workers inherit the
+  shard lists by copy-on-write and are dispatched a bare shard *index*;
+  results come back as raw JSON-line frames
+  (:mod:`repro.pipeline.wire`) via the supervisor's tagged-bytes path,
+  so no tweet object graph is pickled in either direction.
 
 *Transport*-level fault injection / resilient consumption happens in the
 parent *before* sharding (a reconnecting stream is inherently a single
@@ -41,8 +46,11 @@ from repro.faults.compute import WorkerFaultPlan
 from repro.geo.geocoder import Geocoder
 from repro.nlp.keywords import build_query_set, track_phrases
 from repro.nlp.matcher import OrganMatcher
-from repro.pipeline.runner import PipelineReport, process_matched
-from repro.supervise import SupervisorPolicy, run_supervised
+from repro.pipeline.batch import process_stream
+from repro.pipeline.runner import PipelineReport
+from repro.pipeline.wire import decode_shard_result, encode_shard_result
+from repro.procpool import pick_start_method
+from repro.supervise import RawResult, SupervisorPolicy, run_supervised
 from repro.twitter.models import Tweet
 from repro.twitter.stream import TrackFilter
 
@@ -74,8 +82,9 @@ def process_shard(
     """Run collect → augment → US-filter over one shard.
 
     Executed inside a worker process: constructs its own geocoder and
-    matcher, returns position-tagged surviving records plus the shard's
-    provenance counters.
+    matcher, drives the shared batched engine
+    (:func:`repro.pipeline.batch.process_stream`), and returns position-
+    tagged surviving records plus the shard's provenance counters.
     """
     geocoder = Geocoder()
     matcher = OrganMatcher()
@@ -85,34 +94,24 @@ def process_shard(
         )
     )
     report = PipelineReport()
-    out: list[tuple[int, CollectedTweet]] = []
-    for position, tweet in shard:
-        if not track.matches(tweet.text):
-            report.stream_dropped += 1
-            continue
-        report.collected += 1
-        record = process_matched(tweet, geocoder, matcher, config, report)
-        if record is not None:
-            out.append((position, record))
+    out = process_stream(shard, config, track, geocoder, matcher, report)
     return out, report
 
 
-def _shard_task(
-    payload: tuple[int, Shard, CollectionConfig, bool],
+def _run_shard(
+    index: int, shard: Shard, config: CollectionConfig, trace_enabled: bool
 ) -> tuple[
     list[tuple[int, CollectedTweet]],
     PipelineReport,
     "obs.TelemetrySnapshot | None",
 ]:
-    """Worker entry point: unpack one supervised-pool task payload.
+    """Process one shard inside a worker, with optional tracing.
 
     When the parent ran with tracing enabled, the worker builds its own
     telemetry buffer (the per-worker-buffer model: nothing shared while
-    work is in flight), wraps the shard in a span, and ships the frozen
-    snapshot back through the result pipe for the parent to absorb in
-    shard order.
+    work is in flight), wraps the shard in a span, and freezes a
+    snapshot for the parent to absorb in shard order.
     """
-    index, shard, config, trace_enabled = payload
     if not trace_enabled:
         records, report = process_shard(shard, config)
         return records, report, None
@@ -126,6 +125,43 @@ def _shard_task(
     telemetry.inc("shard.tweets_in", len(shard), shard=index)
     telemetry.inc("shard.records_out", len(records), shard=index)
     return records, report, telemetry.snapshot()
+
+
+#: Parent-side stash the fork-inherited workers read their shards from;
+#: set only while one ``run_sharded`` fan-out is dispatching.  Under the
+#: ``fork`` start method every child inherits this by copy-on-write, so
+#: the dispatch payload shrinks to a bare shard index and no tweet is
+#: ever pickled toward a worker.
+_FORK_STATE: tuple[list[Shard], CollectionConfig, bool] | None = None
+
+
+def _shard_task_fork(index: int) -> RawResult:
+    """Fork-mode worker entry point: look the shard up, return a frame.
+
+    The result is wire-encoded in the worker
+    (:func:`repro.pipeline.wire.encode_shard_result`) and shipped as a
+    :class:`~repro.supervise.RawResult`, so the record graph crosses the
+    result pipe as raw JSON lines, not pickle.
+    """
+    state = _FORK_STATE
+    if state is None:  # pragma: no cover - dispatch bug guard
+        raise RuntimeError("fork shard state is not set in this process")
+    shards, config, trace_enabled = state
+    return RawResult(
+        encode_shard_result(
+            *_run_shard(index, shards[index], config, trace_enabled)
+        )
+    )
+
+
+def _shard_task(
+    payload: tuple[int, Shard, CollectionConfig, bool],
+) -> RawResult:
+    """Spawn-compatible worker entry point carrying the shard itself."""
+    index, shard, config, trace_enabled = payload
+    return RawResult(
+        encode_shard_result(*_run_shard(index, shard, config, trace_enabled))
+    )
 
 
 def run_sharded(
@@ -163,17 +199,37 @@ def run_sharded(
         with telemetry.span("shard", index=0, tweets=len(shards[0])):
             results = [process_shard(shards[0], config)]
     else:
-        outcomes, health = run_supervised(
-            _shard_task,
-            [
-                (index, shard, config, telemetry.enabled)
-                for index, shard in enumerate(shards)
-            ],
-            workers=workers,
-            policy=policy,
-            fault_plan=worker_faults,
-            labels=[f"shard {index}" for index in range(len(shards))],
-        )
+        global _FORK_STATE
+        labels = [f"shard {index}" for index in range(len(shards))]
+        fork = pick_start_method() == "fork"
+        outcomes: list[RawResult | None]
+        if fork:
+            # Slim dispatch: workers inherit the shards via fork and
+            # receive only their index over the pipe.
+            _FORK_STATE = (shards, config, telemetry.enabled)
+            try:
+                outcomes, health = run_supervised(
+                    _shard_task_fork,
+                    list(range(len(shards))),
+                    workers=workers,
+                    policy=policy,
+                    fault_plan=worker_faults,
+                    labels=labels,
+                )
+            finally:
+                _FORK_STATE = None
+        else:  # pragma: no cover - non-fork platforms only
+            outcomes, health = run_supervised(
+                _shard_task,
+                [
+                    (index, shard, config, telemetry.enabled)
+                    for index, shard in enumerate(shards)
+                ],
+                workers=workers,
+                policy=policy,
+                fault_plan=worker_faults,
+                labels=labels,
+            )
         # Absorb worker buffers in shard-index order (outcomes align
         # with payloads), so the merged telemetry is deterministic no
         # matter how the scheduler interleaved the workers.
@@ -181,7 +237,9 @@ def run_sharded(
         for outcome in outcomes:
             if outcome is None:
                 continue
-            shard_records, shard_report, snapshot = outcome
+            shard_records, shard_report, snapshot = decode_shard_result(
+                outcome.payload
+            )
             telemetry.absorb(snapshot)
             results.append((shard_records, shard_report))
         report.compute = health

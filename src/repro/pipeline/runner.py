@@ -5,9 +5,11 @@ Runs collect → augment → US-filter over a tweet source and produces a
 stage dropped and why — the numbers behind Table I's footnote ("134,986 out
 of 975,021 tweets could be identified as from USA users").
 
-The per-tweet stage logic lives in :func:`process_matched` so that the
-serial loop here and the sharded workers in
-:mod:`repro.pipeline.parallel` run exactly the same code path.
+The per-tweet stage logic lives in :func:`process_matched`; the batched
+hot path in :mod:`repro.pipeline.batch` runs the same funnel chunk-wise,
+and both the serial loop here and the sharded workers in
+:mod:`repro.pipeline.parallel` drive that one engine, so every execution
+mode runs exactly the same code path.
 """
 
 from __future__ import annotations
@@ -22,9 +24,10 @@ from repro.dataset.records import CollectedTweet
 from repro.errors import ConfigError, PipelineError
 from repro.geo.geocoder import Geocoder
 from repro.nlp.matcher import OrganMatcher
+from repro.nlp.keywords import build_query_set, track_phrases
 from repro.pipeline.augment import augment_location
-from repro.pipeline.collect import collect
 from repro.pipeline.usfilter import is_us_located
+from repro.twitter.stream import TrackFilter
 from repro.twitter.faults import FaultPlan, FaultySource
 from repro.twitter.models import Tweet
 from repro.faults.compute import WorkerFaultPlan
@@ -324,15 +327,23 @@ class CollectionPipeline:
     def _run_serial(
         self, source: Iterable[Tweet]
     ) -> tuple[list[CollectedTweet], PipelineReport]:
+        from repro.pipeline.batch import process_stream
+
         report = PipelineReport()
-        records: list[CollectedTweet] = []
-        stream = collect(source, self.config)
-        for tweet in stream:
-            report.collected += 1
-            record = process_matched(
-                tweet, self.geocoder, self.matcher, self.config, report
+        track = TrackFilter(
+            track_phrases(
+                build_query_set(
+                    self.config.context_terms, self.config.subject_terms
+                )
             )
-            if record is not None:
-                records.append(record)
-        report.stream_dropped = stream.dropped
-        return records, report
+        )
+        tagged = process_stream(
+            enumerate(source),
+            self.config,
+            track,
+            self.geocoder,
+            self.matcher,
+            report,
+        )
+        # Positions from enumerate() are already ascending — no sort.
+        return [record for __, record in tagged], report

@@ -18,6 +18,7 @@ from repro.serve.admission import (
     RequestClass,
     TokenBucket,
 )
+from repro.serve.artifacts import ArtifactCache, corpus_generation
 from repro.serve.breaker import (
     BreakerOpenError,
     BreakerPolicy,
@@ -50,6 +51,7 @@ from repro.serve.service import (
 __all__ = [
     "AdmissionPolicy",
     "AdmissionQueue",
+    "ArtifactCache",
     "ArtifactStore",
     "BreakerOpenError",
     "BreakerPolicy",
@@ -74,6 +76,7 @@ __all__ = [
     "ServeResult",
     "ServicePolicy",
     "TokenBucket",
+    "corpus_generation",
     "read_requests_jsonl",
     "write_responses_jsonl",
 ]

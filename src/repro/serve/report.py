@@ -39,6 +39,9 @@ class OverloadReport:
         max_brownout_level: highest brownout level the ladder reached.
         breaker_opens: times the artifact breaker tripped open.
         breaker_transitions: full breaker state-change history.
+        artifact_loads: paid artifact-store loads during the run — with
+            the generation cache healthy this stays far below the
+            request count (one load per artifact, amortized).
     """
 
     submitted: int = 0
@@ -52,6 +55,7 @@ class OverloadReport:
     degraded: int = 0
     max_brownout_level: int = 0
     breaker_opens: int = 0
+    artifact_loads: int = 0
     breaker_transitions: list[BreakerTransition] = field(default_factory=list)
 
     @property
@@ -78,6 +82,7 @@ class OverloadReport:
             ("degraded answers", str(self.degraded)),
             ("max brownout level", str(self.max_brownout_level)),
             ("breaker opens", str(self.breaker_opens)),
+            ("artifact loads", str(self.artifact_loads)),
             ("accounting", "exact" if self.accounted else "BROKEN"),
         ]
 
@@ -97,6 +102,7 @@ class OverloadReport:
             "degraded": self.degraded,
             "max_brownout_level": self.max_brownout_level,
             "breaker_opens": self.breaker_opens,
+            "artifact_loads": self.artifact_loads,
             "breaker_transitions": [
                 transition.to_dict() for transition in self.breaker_transitions
             ],
@@ -117,6 +123,8 @@ class OverloadReport:
             degraded=int(data["degraded"]),
             max_brownout_level=int(data["max_brownout_level"]),
             breaker_opens=int(data["breaker_opens"]),
+            # Default for reports serialized before the artifact cache.
+            artifact_loads=int(data.get("artifact_loads", 0)),
             breaker_transitions=[
                 BreakerTransition.from_dict(item)
                 for item in data.get("breaker_transitions", [])

@@ -51,6 +51,7 @@ from repro.obs.clock import ManualClock
 from repro.obs.telemetry import current
 from repro.organs import Organ
 from repro.serve.admission import AdmissionPolicy, AdmissionQueue, RequestClass
+from repro.serve.artifacts import ArtifactCache, corpus_generation
 from repro.serve.breaker import BreakerOpenError, BreakerPolicy, CircuitBreaker
 from repro.serve.deadline import Deadline, DeadlineExceeded
 from repro.serve.degrade import BrownoutLadder, BrownoutPolicy, CoarseSummaries
@@ -206,12 +207,20 @@ class ArtifactStore:
     injected slowness).  A hit is free — the dangerous seam is the load,
     not the lookup.
 
+    The builder work behind each load is memoized in a generation-keyed
+    :class:`~repro.serve.artifacts.ArtifactCache`: the store still pays
+    the simulated load cost and reports to the breaker on every *store*
+    miss, but the expensive JSONL parse / clustering runs at most once
+    per corpus generation across every store sharing the cache.
+
     Args:
         run_dir: completed run directory holding ``corpus.jsonl``.
         policy: service policy (costs, cluster k).
         plan: load-chaos plan; faults draw per (artifact, load index).
         clock: the service's simulated clock.
         breaker: the breaker guarding this store.
+        cache: the shared builder cache.
+        generation: this run directory's corpus generation key.
     """
 
     def __init__(
@@ -221,27 +230,75 @@ class ArtifactStore:
         plan: LoadFaultPlan,
         clock: ManualClock,
         breaker: CircuitBreaker,
+        cache: ArtifactCache,
+        generation: str,
     ):
         self._policy = policy
         self._plan = plan
         self._clock = clock
         self._breaker = breaker
+        self._shared = cache
+        self._generation = generation
+        self._run_dir = run_dir
         self._cache: dict[str, object] = {}
         self._load_counts: dict[str, int] = {}
+        # Each loader resolves its *dependencies* through the paid store
+        # path first (so nested load costs, fault draws, and breaker
+        # reports are identical whether the shared cache is cold or
+        # warm), and only the pure builder work is generation-memoized.
         self._loaders: dict[str, Callable[[], object]] = {
-            "corpus": lambda: TweetCorpus(read_jsonl(run_dir / "corpus.jsonl")),
-            "regions": lambda: characterize_regions(self._corpus()),
-            "risks": lambda: highlighted_organs(self._corpus()),
-            "clustering": lambda: cluster_users(
-                build_attention_matrix(self._corpus()),
-                UserClusteringConfig(
-                    k=policy.cluster_k, n_init=_CLUSTER_N_INIT, workers=1
-                ),
-            ),
+            "corpus": self._build_corpus,
+            "regions": self._build_regions,
+            "risks": self._build_risks,
+            "clustering": self._build_clustering,
         }
 
     def _corpus(self) -> TweetCorpus:
         return cast(TweetCorpus, self.load("corpus"))
+
+    def _build_corpus(self) -> object:
+        run_dir = self._run_dir
+        return self._shared.get(
+            (self._generation, "corpus"),
+            lambda: TweetCorpus(read_jsonl(run_dir / "corpus.jsonl")),
+        )
+
+    def _build_regions(self) -> object:
+        corpus = self._corpus()
+        return self._shared.get(
+            (self._generation, "regions"),
+            lambda: characterize_regions(corpus),
+        )
+
+    def _build_risks(self) -> object:
+        corpus = self._corpus()
+        return self._shared.get(
+            (self._generation, "risks"),
+            lambda: highlighted_organs(corpus),
+        )
+
+    def _build_clustering(self) -> object:
+        corpus = self._corpus()
+        policy = self._policy
+        return self._shared.get(
+            (
+                self._generation,
+                "clustering",
+                policy.cluster_k,
+                _CLUSTER_N_INIT,
+            ),
+            lambda: cluster_users(
+                build_attention_matrix(corpus),
+                UserClusteringConfig(
+                    k=policy.cluster_k, n_init=_CLUSTER_N_INIT, workers=1
+                ),
+            ),
+        )
+
+    @property
+    def loads(self) -> int:
+        """Total store misses that went through the paid load path."""
+        return sum(self._load_counts.values())
 
     def load(self, name: str) -> object:
         """Return the named artifact, loading (and paying) on a miss.
@@ -314,6 +371,10 @@ class QueryService:
         run_dir: completed run directory (``corpus.jsonl`` required).
         policy: costs and defense sub-policies.
         plan: load-chaos plan (storms, poison, slow/failing loads).
+        cache: generation-keyed artifact cache to share across services;
+            ``None`` (default) gives this service a private cache, which
+            preserves full isolation between service instances — chaos
+            suites rely on that.
     """
 
     def __init__(
@@ -321,20 +382,46 @@ class QueryService:
         run_dir: str | Path,
         policy: ServicePolicy | None = None,
         plan: LoadFaultPlan | None = None,
+        cache: ArtifactCache | None = None,
     ):
         self.run_dir = Path(run_dir)
         self.policy = policy or ServicePolicy()
         self.plan = plan or LoadFaultPlan.none()
         self.clock = ManualClock(0.0)
         self.breaker = CircuitBreaker(self.policy.breaker)
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.generation = corpus_generation(self.run_dir)
         self.store = ArtifactStore(
-            self.run_dir, self.policy, self.plan, self.clock, self.breaker
+            self.run_dir,
+            self.policy,
+            self.plan,
+            self.clock,
+            self.breaker,
+            self.cache,
+            self.generation,
         )
         # Coarse summaries are the brownout floor: built once at startup,
         # straight from disk, deliberately outside the breaker's blast
         # radius (this models offline precomputation at deploy time).
-        self.coarse = CoarseSummaries.from_corpus(
-            TweetCorpus(read_jsonl(self.run_dir / "corpus.jsonl"))
+        # Both the corpus parse and the summary build go through the
+        # generation cache, so a second service on an unchanged run
+        # directory starts without touching the corpus file.
+        self.coarse = cast(
+            CoarseSummaries,
+            self.cache.get(
+                (self.generation, "coarse"),
+                lambda: CoarseSummaries.from_corpus(
+                    cast(
+                        TweetCorpus,
+                        self.cache.get(
+                            (self.generation, "corpus"),
+                            lambda: TweetCorpus(
+                                read_jsonl(self.run_dir / "corpus.jsonl")
+                            ),
+                        ),
+                    )
+                ),
+            ),
         )
         self._ladder = BrownoutLadder(self.policy.brownout)
         self._queue: AdmissionQueue[QueryRequest] = AdmissionQueue(
@@ -405,6 +492,7 @@ class QueryService:
         report.max_brownout_level = self._ladder.max_level_seen
         report.breaker_opens = self.breaker.opens
         report.breaker_transitions = list(self.breaker.transitions)
+        report.artifact_loads = self.store.loads
         return ServeResult(responses=tuple(responses), report=report)
 
     def _materialize(self, requests: list[QueryRequest]) -> list[QueryRequest]:

@@ -41,6 +41,7 @@ run cannot change it.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import traceback
 from collections import deque
@@ -58,6 +59,31 @@ from repro.procpool import pool_context, reaped
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Result-pipe frame tags.  Every worker report is one ``send_bytes``
+#: frame whose first byte says how to read the rest: ``O`` — a pickled
+#: ordinary object; ``B`` — raw bytes from a task that returned
+#: :class:`RawResult` (zero pickle involvement); ``E`` — a UTF-8 task
+#: traceback.  An unknown tag is treated as a corrupt report, i.e. a
+#: crashed attempt.
+_TAG_OBJECT = b"O"
+_TAG_BYTES = b"B"
+_TAG_ERROR = b"E"
+
+
+@dataclass(frozen=True, slots=True)
+class RawResult:
+    """A task result that is already wire-encoded bytes.
+
+    A task function that returns ``RawResult`` opts its payload out of
+    pickling on the result pipe: the worker ships it as one tagged raw
+    byte frame and the caller receives the same ``RawResult`` back,
+    decoding it however its own wire format dictates.  The sharded
+    pipeline uses this to return JSON-line frames
+    (:mod:`repro.pipeline.wire`) instead of pickled record graphs.
+    """
+
+    payload: bytes
 
 
 @dataclass(frozen=True, slots=True)
@@ -326,9 +352,15 @@ def _worker_main(
             )
         result = func(task)
     except Exception:  # reprolint: disable=RPL004 — traceback is forwarded to the supervisor, which retries or dead-letters it; nothing is swallowed
-        conn.send(("error", traceback.format_exc()))
+        conn.send_bytes(_TAG_ERROR + traceback.format_exc().encode("utf-8"))
     else:
-        conn.send(("ok", result))
+        if isinstance(result, RawResult):
+            conn.send_bytes(_TAG_BYTES + result.payload)
+        else:
+            conn.send_bytes(
+                _TAG_OBJECT
+                + pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            )
     finally:
         conn.close()
 
@@ -475,10 +507,22 @@ def run_supervised(
             now = MONOTONIC.now()
             for attempt in list(running.values()):
                 if attempt.conn.poll():
+                    kind: str
+                    payload: Any
                     try:
-                        kind, payload = attempt.conn.recv()
+                        frame = attempt.conn.recv_bytes()
                     except (EOFError, OSError):
                         kind, payload = "crash", None
+                    else:
+                        tag, body = frame[:1], frame[1:]
+                        if tag == _TAG_OBJECT:
+                            kind, payload = "ok", pickle.loads(body)
+                        elif tag == _TAG_BYTES:
+                            kind, payload = "ok", RawResult(body)
+                        elif tag == _TAG_ERROR:
+                            kind, payload = "error", body.decode("utf-8")
+                        else:  # pragma: no cover - corrupt frame
+                            kind, payload = "crash", None
                     attempt.conn.close()
                     attempt.process.join()
                     del running[attempt.task_index]

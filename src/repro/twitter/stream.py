@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.nlp.automaton import TermVocabulary
 from repro.nlp.tokenize import present_terms
 from repro.twitter.errors import InvalidTrackError, StreamClosedError
 from repro.twitter.models import Tweet
@@ -17,6 +18,14 @@ from repro.twitter.models import Tweet
 
 class TrackFilter:
     """Twitter ``track`` phrase matcher.
+
+    Matching runs on the automaton hot path: term presence is resolved
+    by a compiled :class:`repro.nlp.automaton.TermVocabulary` (one
+    tokenizer sweep + one automaton sweep per hashtag, instead of a
+    Python loop over every vocabulary term), and phrases are indexed by
+    an *anchor* term so only phrases whose anchor is present are subset-
+    checked.  :meth:`matches_naive` keeps the original per-term scan as
+    the equivalence oracle.
 
     Args:
         phrases: Track phrases; each phrase's space-separated terms must all
@@ -40,6 +49,17 @@ class TrackFilter:
         self._vocabulary = tuple(
             sorted({term for terms in self._phrases for term in terms})
         )
+        self._term_vocabulary = TermVocabulary(self._vocabulary)
+        # A phrase can only match when its anchor term (lexicographic
+        # minimum — any fixed member works) is present, so the per-tweet
+        # subset checks shrink from every phrase to the phrases anchored
+        # on a present term.
+        anchored: dict[str, list[frozenset[str]]] = {}
+        for phrase_set in self._phrase_sets:
+            anchored.setdefault(min(phrase_set), []).append(phrase_set)
+        self._phrases_by_anchor = {
+            anchor: tuple(sets) for anchor, sets in anchored.items()
+        }
 
     @property
     def phrases(self) -> tuple[tuple[str, ...], ...]:
@@ -52,6 +72,22 @@ class TrackFilter:
         hashtag bodies (``#kidneydonor`` matches ``kidney donor``); a
         term embedded in a longer plain word (``organized``) does not
         count.
+        """
+        present = self._term_vocabulary.present(text)
+        if not present:
+            return False
+        phrases_by_anchor = self._phrases_by_anchor
+        for term in present:
+            for phrase_set in phrases_by_anchor.get(term, ()):
+                if phrase_set <= present:
+                    return True
+        return False
+
+    def matches_naive(self, text: str) -> bool:
+        """Reference implementation via :func:`present_terms`.
+
+        Kept off the hot path as the oracle the automaton path is
+        property-tested against.
         """
         present = present_terms(text, self._vocabulary)
         if not present:

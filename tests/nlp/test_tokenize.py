@@ -1,6 +1,15 @@
 """Tests for the tweet tokenizer."""
 
-from repro.nlp.tokenize import Token, TokenKind, tokenize, words
+import pytest
+
+from repro.nlp.tokenize import (
+    Token,
+    TokenKind,
+    scan_words_hashtags,
+    split_compound,
+    tokenize,
+    words,
+)
 
 
 class TestBasicTokenization:
@@ -63,9 +72,79 @@ class TestWordsHelper:
         assert words("@unos 42 https://x.co organ") == ("organ",)
 
 
+class TestUrlTrailingPunctuation:
+    @pytest.mark.parametrize(
+        "text, expected_url",
+        [
+            ("see (https://example.org/organ), please", "https://example.org/organ"),
+            ("link: https://example.org/x.", "https://example.org/x"),
+            ("really? https://example.org/a?b=c!?", "https://example.org/a?b=c"),
+            ("[https://example.org/list]", "https://example.org/list"),
+            ("quote “https://example.org/q”…", "https://example.org/q"),
+        ],
+    )
+    def test_clause_punctuation_trimmed(self, text, expected_url):
+        urls = [t.text for t in tokenize(text) if t.kind is TokenKind.URL]
+        assert urls == [expected_url]
+
+    def test_interior_punctuation_preserved(self):
+        # Parens/commas inside the path are part of the URL; only the
+        # trailing run is trimmed.
+        token = tokenize("https://en.example.org/wiki/Heart_(organ)x")[0]
+        assert token.text == "https://en.example.org/wiki/Heart_(organ)x"
+
+    def test_trimmed_punctuation_does_not_become_tokens(self):
+        tokens = tokenize("read (https://example.org/x), now")
+        assert [t.kind for t in tokens] == [
+            TokenKind.WORD, TokenKind.URL, TokenKind.WORD,
+        ]
+
+
+class TestScanWordsHashtags:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Be a #kidney donor @UNOS https://x.co 🙏",
+            "waited 14 months for a HEART",
+            "#OrganDonor saves-lives donor's",
+            "",
+            "(https://example.org/x), trailing",
+        ],
+    )
+    def test_agrees_with_tokenize(self, text):
+        tokens = tokenize(text)
+        assert scan_words_hashtags(text) == (
+            tuple(t.text for t in tokens if t.kind is TokenKind.WORD),
+            tuple(t.text for t in tokens if t.kind is TokenKind.HASHTAG),
+        )
+
+
+class TestSplitCompound:
+    def test_hyphen_compound(self):
+        assert split_compound("heart-kidney") == ("heart", "kidney")
+
+    def test_apostrophe_compound(self):
+        assert split_compound("donor's") == ("donor", "s")
+
+    def test_curly_apostrophe(self):
+        assert split_compound("donor’s") == ("donor", "s")
+
+    def test_mixed_separators(self):
+        assert split_compound("o'brien-smith") == ("o", "brien", "smith")
+
+    def test_plain_token_returns_shared_empty(self):
+        assert split_compound("kidney") is split_compound("liver")
+        assert split_compound("kidney") == ()
+
+
 class TestCaching:
     def test_same_text_same_result(self):
         assert tokenize("kidney donor") is tokenize("kidney donor")
 
     def test_result_is_immutable_tuple(self):
         assert isinstance(tokenize("kidney donor"), tuple)
+
+    def test_scan_is_cached(self):
+        assert scan_words_hashtags("kidney donor") is scan_words_hashtags(
+            "kidney donor"
+        )

@@ -1,0 +1,152 @@
+"""Tests for the batched hot-path engine.
+
+The batch engine inlines the keyword filter + :func:`process_matched`
+funnel into one tight loop; these tests hold the two formulations in
+lockstep — same records, same provenance counters — over a real
+synthetic firehose, so any drift between the inlined conditions and
+:func:`augment_location` / :func:`is_us_located` fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CollectionConfig
+from repro.geo.geocoder import Geocoder
+from repro.nlp.keywords import build_query_set, track_phrases
+from repro.nlp.matcher import OrganMatcher
+from repro.pipeline.batch import BATCH_SIZE, iter_batches, process_stream
+from repro.pipeline.runner import PipelineReport, process_matched
+from repro.twitter.stream import TrackFilter
+
+
+def _track_filter(config: CollectionConfig) -> TrackFilter:
+    return TrackFilter(
+        track_phrases(
+            build_query_set(config.context_terms, config.subject_terms)
+        )
+    )
+
+
+def _reference_run(source, config):
+    """The unbatched formulation: keyword filter + process_matched."""
+    report = PipelineReport()
+    geocoder = Geocoder()
+    matcher = OrganMatcher()
+    track = _track_filter(config)
+    tagged = []
+    for position, tweet in enumerate(source):
+        if not track.matches(tweet.text):
+            report.stream_dropped += 1
+            continue
+        report.collected += 1
+        record = process_matched(tweet, geocoder, matcher, config, report)
+        if record is not None:
+            tagged.append((position, record))
+    return tagged, report
+
+
+class TestIterBatches:
+    def test_exact_multiple(self):
+        batches = list(iter_batches(enumerate(range(6)), size=3))
+        assert [len(b) for b in batches] == [3, 3]
+
+    def test_ragged_tail(self):
+        batches = list(iter_batches(enumerate(range(7)), size=3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_empty_source(self):
+        assert list(iter_batches(iter(()), size=3)) == []
+
+    def test_preserves_order_and_positions(self):
+        batches = list(iter_batches(enumerate("abcde"), size=2))
+        flat = [item for batch in batches for item in batch]
+        assert flat == [(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]
+
+    def test_default_size(self):
+        batches = list(iter_batches(enumerate(range(BATCH_SIZE + 1))))
+        assert [len(b) for b in batches] == [BATCH_SIZE, 1]
+
+
+class TestBatchFunnelLockstep:
+    @pytest.fixture(scope="class")
+    def firehose(self, small_world):
+        return list(small_world.firehose())
+
+    def test_records_and_report_identical(self, firehose):
+        config = CollectionConfig()
+        expected_records, expected_report = _reference_run(firehose, config)
+
+        report = PipelineReport()
+        records = process_stream(
+            enumerate(firehose),
+            config,
+            _track_filter(config),
+            Geocoder(),
+            OrganMatcher(),
+            report,
+        )
+
+        assert records == expected_records
+        assert report == expected_report
+        assert report.retained == len(records) > 0
+
+    def test_batch_size_does_not_change_results(self, firehose):
+        config = CollectionConfig()
+        sample = firehose[:3_000]
+
+        def run_with_batch_size(size):
+            report = PipelineReport()
+            records = process_stream(
+                enumerate(sample),
+                config,
+                _track_filter(config),
+                Geocoder(),
+                OrganMatcher(),
+                report,
+                batch_size=size,
+            )
+            return records, report
+
+        baseline = run_with_batch_size(2048)
+        assert run_with_batch_size(7) == baseline
+        assert run_with_batch_size(len(sample) + 10) == baseline
+
+    def test_positions_ascending(self, firehose):
+        config = CollectionConfig()
+        report = PipelineReport()
+        records = process_stream(
+            enumerate(firehose[:5_000]),
+            config,
+            _track_filter(config),
+            Geocoder(),
+            OrganMatcher(),
+            report,
+        )
+        positions = [position for position, __ in records]
+        assert positions == sorted(positions)
+
+    def test_counters_account_for_every_tweet(self, firehose):
+        config = CollectionConfig()
+        report = PipelineReport()
+        sample = firehose[:5_000]
+        process_stream(
+            enumerate(sample),
+            config,
+            _track_filter(config),
+            Geocoder(),
+            OrganMatcher(),
+            report,
+        )
+        assert report.stream_dropped + report.collected == len(sample)
+        assert (
+            report.unresolved
+            + report.located_gps
+            + report.located_profile
+            == report.collected
+        )
+        assert (
+            report.non_us + report.us_located
+            == report.located_gps + report.located_profile
+        )
+        assert report.no_mentions + report.retained == report.us_located
